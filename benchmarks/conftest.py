@@ -1,0 +1,44 @@
+"""Shared state for the benchmark harness.
+
+Each benchmark regenerates one table or figure of the paper's evaluation
+(Section 6) and prints it, so running ``pytest benchmarks/ --benchmark-only``
+reproduces the whole evaluation at a reduced scale.  Set ``REPRO_PRESET=full``
+to run the full 46-app configuration (slower); the default benchmark preset
+uses a reduced app count and inference budget so the whole suite finishes in
+a few minutes.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+
+import pytest
+
+_SRC = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)
+
+from repro.experiments.config import FULL_CONFIG, QUICK_CONFIG  # noqa: E402
+from repro.experiments.context import ExperimentContext  # noqa: E402
+
+
+def _bench_config():
+    preset = os.environ.get("REPRO_PRESET", "").strip().lower()
+    if preset == "full":
+        return FULL_CONFIG
+    # Benchmark preset: the quick configuration with a slightly smaller suite.
+    return QUICK_CONFIG.scaled(name="bench", num_apps=10)
+
+
+@pytest.fixture(scope="session")
+def context():
+    return ExperimentContext(_bench_config())
+
+
+def emit(title: str, text: str) -> None:
+    """Print a reproduced table under a recognizable banner."""
+    print()
+    print("=" * 72)
+    print(title)
+    print(text)

@@ -1,0 +1,17 @@
+"""Benchmark: Section 6.3 (sampling strategy and initialization ablations)."""
+
+from conftest import emit
+
+from repro.experiments import design_choices
+
+
+def test_bench_design_choices(benchmark, context):
+    result = benchmark.pedantic(design_choices.run, args=(context,), rounds=1, iterations=1)
+    emit("Section 6.3 (reproduced)", result.format_table())
+    # MCTS finds at least as many positive examples as uniform random sampling,
+    # and instantiation lets at least as many witnesses pass as null initialization.
+    assert result.sampling.mcts_positives >= result.sampling.random_positives
+    assert (
+        result.initialization.passed_with_instantiation
+        >= result.initialization.passed_with_null
+    )

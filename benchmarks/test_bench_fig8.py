@@ -1,0 +1,13 @@
+"""Benchmark: regenerate Figure 8 (benchmark app sizes)."""
+
+from conftest import emit
+
+from repro.experiments import fig8
+
+
+def test_bench_fig8_app_sizes(benchmark, context):
+    result = benchmark.pedantic(fig8.run, args=(context,), rounds=1, iterations=1)
+    emit("Figure 8 (reproduced)", result.format_table())
+    assert len(result.rows) == context.config.num_apps
+    sizes = [loc for _n, _c, _s, loc in result.rows]
+    assert sizes == sorted(sizes, reverse=True)

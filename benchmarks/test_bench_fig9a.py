@@ -1,0 +1,13 @@
+"""Benchmark: regenerate Figure 9(a) (information flows, Atlas vs handwritten)."""
+
+from conftest import emit
+
+from repro.experiments import fig9a
+
+
+def test_bench_fig9a_information_flows(benchmark, context):
+    result = benchmark.pedantic(fig9a.run, args=(context,), rounds=1, iterations=1)
+    emit("Figure 9(a) (reproduced)", result.format_table())
+    # Atlas must find at least as many nontrivial flows as the handwritten specs
+    # (the paper reports 52% more).
+    assert result.total_atlas_flows >= result.total_handwritten_flows

@@ -1,0 +1,14 @@
+"""Benchmark: regenerate Figure 9(b) (points-to edges, Atlas vs ground truth)."""
+
+from conftest import emit
+
+from repro.experiments import fig9b
+
+
+def test_bench_fig9b_points_to_vs_ground_truth(benchmark, context):
+    result = benchmark.pedantic(fig9b.run, args=(context,), rounds=1, iterations=1)
+    emit("Figure 9(b) (reproduced)", result.format_table())
+    # Precision of the inferred specifications: no false positive points-to edges.
+    assert result.precision_is_perfect
+    if result.summary.mean is not None:
+        assert result.summary.mean <= 1.0

@@ -1,0 +1,12 @@
+"""Benchmark: Section 6.2 (precision/recall against ground-truth specifications)."""
+
+from conftest import emit
+
+from repro.experiments import ground_truth_eval
+
+
+def test_bench_ground_truth_comparison(benchmark, context):
+    result = benchmark.pedantic(ground_truth_eval.run, args=(context,), rounds=1, iterations=1)
+    emit("Section 6.2 (reproduced)", result.format_table())
+    assert result.top_function_recall >= 0.8
+    assert result.checked_precision >= 0.95

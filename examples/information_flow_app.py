@@ -1,0 +1,79 @@
+"""Information-flow analysis of a hand-written "Android app".
+
+This example mirrors the paper's motivating client: an app reads the device
+identifier, stores it in a collection, retrieves it and sends it out over
+SMS.  The explicit information-flow client only finds the leak when the
+points-to analysis can see through the collection -- i.e. when library
+specifications (here: the ground-truth specifications, or specifications
+inferred by Atlas) are available.
+
+Run with::
+
+    python examples/information_flow_app.py
+"""
+
+from repro.client import InformationFlowAnalysis, build_framework_program
+from repro.lang import ClassBuilder, Program
+from repro.library import build_interface, build_library_program, ground_truth_program
+from repro.library.registry import core_program, replaceable_library
+
+
+def build_app() -> Program:
+    """A small app with one real leak and one benign flow."""
+    app = ClassBuilder("LeakyApp")
+
+    main = app.method("onCreate", is_static=True)
+    # secret: the device identifier
+    main.new("telephony", "TelephonyManager")
+    main.call("deviceId", "telephony", "getDeviceId")
+    # the secret is stashed in a list ...
+    main.new("cache", "ArrayList")
+    main.call(None, "cache", "add", "deviceId")
+    # ... later retrieved ...
+    main.const("first", 0)
+    main.call("payload", "cache", "get", "first")
+    # ... and sent out over SMS: this is the leak.
+    main.new("sms", "SmsManager")
+    main.call(None, "sms", "sendTextMessage", "payload")
+    # a benign value going to the same sink is not a leak
+    main.new("resources", "ResourceManager")
+    main.call("label", "resources", "getString")
+    main.call(None, "sms", "sendTextMessage", "label")
+    app.add_method(main)
+
+    return Program([app.build()])
+
+
+def analyze(app: Program, specs: Program, label: str) -> None:
+    library = build_library_program()
+    program = (
+        app.merged_with(core_program(library))
+        .merged_with(build_framework_program())
+        .merged_with(specs)
+    )
+    report = InformationFlowAnalysis(program).run()
+    print(f"\n== {label} ==")
+    if not report.flows:
+        print("  no information flows found")
+    for flow in sorted(report.flows, key=lambda f: f.describe()):
+        print(f"  LEAK: {flow.describe()}")
+
+
+def main() -> None:
+    app = build_app()
+    library = build_library_program()
+    interface = build_interface(library)
+
+    # Without specifications the flow through the ArrayList is invisible.
+    analyze(app, Program([]), "empty specifications (library calls are no-ops)")
+
+    # With ground-truth specifications the leak is found.
+    analyze(app, ground_truth_program(interface), "ground-truth specifications")
+
+    # Analyzing the real library implementation also finds it, at the cost of
+    # analyzing every internal helper of the collection classes.
+    analyze(app, replaceable_library(library), "library implementation")
+
+
+if __name__ == "__main__":
+    main()

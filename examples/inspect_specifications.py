@@ -1,0 +1,54 @@
+"""Inspect inferred specifications for the collection classes.
+
+Runs Atlas on a few collection clusters, prints the inferred path
+specification language, compares it against the ground truth, and shows the
+generated code fragments for one class.
+
+Run with::
+
+    python examples/inspect_specifications.py [ArrayList LinkedList ...]
+"""
+
+import sys
+
+from repro.experiments.spec_metrics import compare_languages, covered_functions
+from repro.lang import pretty_class
+from repro.learn import Atlas, AtlasConfig
+from repro.library import build_interface, build_library_program, ground_truth_fsa
+
+
+def main() -> None:
+    classes = sys.argv[1:] or ["ArrayList"]
+    library = build_library_program()
+    interface = build_interface(library)
+
+    clusters = [(name, "Iterator") for name in classes]
+    config = AtlasConfig(clusters=clusters, enumeration_budget=15_000, seed=11)
+    result = Atlas(library, interface, config).run()
+
+    print(f"inference over clusters {clusters}")
+    print(f"  positive examples: {len(result.positives)}")
+    print(f"  FSA states: {result.initial_fsa_states} -> {result.final_fsa_states}")
+    print(f"  functions covered: {len(result.covered_functions())}")
+
+    print("\ninferred path specifications (up to 3 calls):")
+    for word in sorted(result.fsa.enumerate_words(6), key=lambda w: (len(w), str(w)))[:25]:
+        print("   ", " ".join(str(v) for v in word))
+
+    truth = ground_truth_fsa(classes)
+    comparison = compare_languages(result.fsa, truth)
+    print(
+        f"\nagainst ground truth for {classes}: "
+        f"precision {100 * comparison.precision:.1f}%, recall {100 * comparison.recall:.1f}%"
+    )
+    for word in comparison.missing_words[:5]:
+        print("    missing:", " ".join(str(v) for v in word))
+
+    target = classes[0]
+    if result.spec_program.has_class(target):
+        print(f"\ngenerated code-fragment specification for {target}:")
+        print(pretty_class(result.spec_program.class_def(target)))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,19 @@
+"""Regenerate the paper's evaluation tables and figures.
+
+Thin wrapper over :mod:`repro.experiments.runner`; the quick preset finishes
+in a few minutes, the full preset regenerates the numbers recorded in
+``EXPERIMENTS.md``.
+
+Run with::
+
+    python examples/run_experiments.py                  # quick preset
+    python examples/run_experiments.py --preset full    # full evaluation
+    python examples/run_experiments.py fig9a fig9c      # a subset
+"""
+
+import sys
+
+from repro.experiments.runner import main
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

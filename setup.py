@@ -1,0 +1,18 @@
+"""Setuptools entry point.
+
+Kept alongside ``pyproject.toml`` so that editable installs work in offline
+environments where the ``wheel`` package (needed for PEP 660 editable wheels)
+is unavailable: ``pip install -e . --no-build-isolation`` then falls back to
+the legacy ``setup.py develop`` code path.
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="0.1.0",
+    description="Reproduction of 'Active Learning of Points-To Specifications' (Atlas, PLDI 2018)",
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.10",
+)

@@ -1,0 +1,21 @@
+"""Synthetic benchmark app generator.
+
+The paper evaluates on 46 Android apps (utility apps and games, a mix of
+malicious and benign).  Real APKs are not available offline, so this package
+generates seeded synthetic apps with the characteristics the client analysis
+cares about: library-heavy data flow through collections and string builders,
+source and sink calls, a skewed size distribution (Figure 8), and a few apps
+that exercise the library corners (``Vector``/``Stack``/``toArray``) where
+analyzing the implementation is unsound.
+"""
+
+from repro.benchgen.generator import AppGenerator, AppProfile, GeneratedApp
+from repro.benchgen.suite import BenchmarkSuite, benchmark_suite
+
+__all__ = [
+    "AppGenerator",
+    "AppProfile",
+    "BenchmarkSuite",
+    "GeneratedApp",
+    "benchmark_suite",
+]

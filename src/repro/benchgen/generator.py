@@ -1,0 +1,251 @@
+"""Generation of one synthetic app.
+
+An app is a single client class with several static methods.  Each method is
+a sequence of *dataflow chains*: a value is acquired from a source (secret)
+or a benign provider, pushed through zero or more library containers
+(possibly copied between containers with ``addAll``/``putAll`` or views), and
+finally either passed to a sink or dropped.  Padding statements (benign
+allocations, field traffic on an app-local data holder) bring each app to its
+target size.
+
+Everything is driven by a seeded :class:`random.Random`, so the same profile
+always yields the same app.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.client.sources_sinks import SINK_METHODS, SOURCE_METHODS
+from repro.lang.builder import ClassBuilder, MethodBuilder
+from repro.lang.program import ClassDef, Program
+from repro.lang.types import OBJECT
+
+
+@dataclass
+class AppProfile:
+    """Shape of one generated app."""
+
+    name: str
+    seed: int
+    target_statements: int
+    category: str = "utility"  # "utility", "game", "legacy", or "benign"
+    malicious: bool = True
+    container_classes: Sequence[str] = (
+        "ArrayList",
+        "LinkedList",
+        "HashMap",
+        "HashSet",
+        "StringBuilder",
+    )
+
+
+@dataclass
+class GeneratedApp:
+    """A generated app plus its metadata."""
+
+    profile: AppProfile
+    program: Program
+    statements: int
+    loc: int
+    planted_leaks: int
+    container_classes_used: Tuple[str, ...]
+
+    @property
+    def name(self) -> str:
+        return self.profile.name
+
+
+#: container kinds and the operations the generator knows how to emit for them
+_LIST_LIKE = {"ArrayList", "LinkedList", "Vector", "Stack"}
+_MAP_LIKE = {"HashMap", "Hashtable", "TreeMap"}
+_SET_LIKE = {"HashSet", "LinkedHashSet", "TreeSet"}
+_BUILDER_LIKE = {"StringBuilder", "StringBuffer"}
+
+
+class AppGenerator:
+    """Generates one app from an :class:`AppProfile`."""
+
+    def __init__(self, profile: AppProfile):
+        self.profile = profile
+        self.rng = random.Random(profile.seed)
+        self._counter = 0
+        self._classes_used: set = set()
+        self._planted_leaks = 0
+
+    # ------------------------------------------------------------------ naming
+    def _fresh(self, prefix: str) -> str:
+        self._counter += 1
+        return f"{prefix}{self._counter}"
+
+    # ------------------------------------------------------------------ chain pieces
+    def _emit_source(self, method: MethodBuilder, secret: bool) -> str:
+        value = self._fresh("v")
+        if secret:
+            source_class, source_method = self.rng.choice(sorted(SOURCE_METHODS))
+            manager = self._fresh("mgr")
+            method.new(manager, source_class)
+            method.call(value, manager, source_method)
+        else:
+            provider = self._fresh("res")
+            method.new(provider, "ResourceManager")
+            method.call(value, provider, self.rng.choice(["getString", "getDrawable"]))
+        return value
+
+    def _emit_store(self, method: MethodBuilder, container: str, container_class: str, value: str) -> None:
+        if container_class in _LIST_LIKE:
+            operation = self.rng.choice(["add", "add", "add"] + (["push"] if container_class == "Stack" else []))
+            method.call(None, container, operation, value)
+        elif container_class in _MAP_LIKE:
+            key = self._fresh("k")
+            method.new(key, "Object")
+            method.call(None, container, "put", key, value)
+        elif container_class in _SET_LIKE:
+            method.call(None, container, "add", value)
+        else:  # builders
+            method.call(self._fresh("b"), container, "append", value)
+
+    def _emit_retrieve(self, method: MethodBuilder, container: str, container_class: str) -> str:
+        result = self._fresh("v")
+        if container_class in _LIST_LIKE:
+            choice = self.rng.random()
+            if choice < 0.45:
+                index = self._fresh("i")
+                method.const(index, 0)
+                method.call(result, container, "get", index)
+            elif choice < 0.75:
+                iterator = self._fresh("it")
+                method.call(iterator, container, "iterator")
+                method.call(result, iterator, "next")
+            elif container_class in ("Vector", "Stack") and choice < 0.9:
+                method.call(result, container, "firstElement")
+            else:
+                array = self._fresh("arr")
+                method.call(array, container, "toArray")
+                index = self._fresh("i")
+                method.const(index, 0)
+                method.call(result, array, "aget", index)
+        elif container_class in _MAP_LIKE:
+            choice = self.rng.random()
+            if choice < 0.5:
+                key = self._fresh("k")
+                method.new(key, "Object")
+                method.call(result, container, "get", key)
+            else:
+                values = self._fresh("vals")
+                method.call(values, container, "values")
+                iterator = self._fresh("it")
+                method.call(iterator, values, "iterator")
+                method.call(result, iterator, "next")
+        elif container_class in _SET_LIKE:
+            iterator = self._fresh("it")
+            method.call(iterator, container, "iterator")
+            method.call(result, iterator, "next")
+        else:  # builders
+            method.call(result, container, "toString")
+        return result
+
+    def _emit_copy(self, method: MethodBuilder, container: str, container_class: str) -> Tuple[str, str]:
+        """Copy the container into a fresh one of the same class; return the new container."""
+        copy = self._fresh("c")
+        method.new(copy, container_class)
+        if container_class in _MAP_LIKE:
+            method.call(None, copy, "putAll", container)
+        elif container_class in _BUILDER_LIKE:
+            return container, container_class
+        else:
+            method.call(None, copy, "addAll", container)
+        return copy, container_class
+
+    def _emit_sink(self, method: MethodBuilder, value: str) -> None:
+        sink_class, sink_method = self.rng.choice(sorted(SINK_METHODS))
+        device = self._fresh("out")
+        method.new(device, sink_class)
+        method.call(None, device, sink_method, value)
+
+    # ------------------------------------------------------------------ chains
+    def _emit_chain(self, method: MethodBuilder) -> None:
+        secret = self.profile.malicious and self.rng.random() < 0.45
+        to_sink = self.rng.random() < (0.7 if secret else 0.35)
+        depth = self.rng.choice([0, 1, 1, 1, 2])
+
+        value = self._emit_source(method, secret)
+        for _ in range(depth):
+            container_class = self.rng.choice(list(self.profile.container_classes))
+            self._classes_used.add(container_class)
+            container = self._fresh("c")
+            method.new(container, container_class)
+            self._emit_store(method, container, container_class, value)
+            if self.rng.random() < 0.3:
+                container, container_class = self._emit_copy(method, container, container_class)
+            value = self._emit_retrieve(method, container, container_class)
+        if to_sink:
+            if secret:
+                self._planted_leaks += 1
+            self._emit_sink(method, value)
+
+    def _emit_padding(self, method: MethodBuilder, holder_class: str) -> None:
+        """Benign statements that enlarge the app without creating flows."""
+        choice = self.rng.random()
+        if choice < 0.35:
+            target = self._fresh("o")
+            method.new(target, "Object")
+            alias = self._fresh("o")
+            method.assign(alias, target)
+        elif choice < 0.7:
+            holder = self._fresh("h")
+            method.new(holder, holder_class)
+            value = self._fresh("o")
+            method.new(value, "Object")
+            method.store(holder, "data", value)
+            back = self._fresh("o")
+            method.load(back, holder, "data")
+        else:
+            container_class = self.rng.choice(list(self.profile.container_classes))
+            self._classes_used.add(container_class)
+            container = self._fresh("c")
+            method.new(container, container_class)
+            value = self._fresh("o")
+            method.new(value, "Object")
+            self._emit_store(method, container, container_class, value)
+
+    # ------------------------------------------------------------------ assembly
+    def generate(self) -> GeneratedApp:
+        profile = self.profile
+        class_name = profile.name
+        holder_class_name = f"{class_name}Data"
+
+        holder = ClassBuilder(holder_class_name)
+        holder.field("data")
+        holder.field("extra")
+        holder.add_method(holder.constructor())
+
+        app = ClassBuilder(class_name)
+        statements = 0
+        method_index = 0
+        while statements < profile.target_statements:
+            method_index += 1
+            method = MethodBuilder(f"handler{method_index}", is_static=True)
+            target = min(
+                profile.target_statements - statements,
+                self.rng.randint(12, 30),
+            )
+            while len(method._body) < target:
+                if self.rng.random() < 0.5:
+                    self._emit_chain(method)
+                else:
+                    self._emit_padding(method, holder_class_name)
+            statements += len(method._body)
+            app.add_method(method)
+
+        program = Program([app.build(), holder.build()])
+        return GeneratedApp(
+            profile=profile,
+            program=program,
+            statements=program.statement_count(),
+            loc=program.loc(),
+            planted_leaks=self._planted_leaks,
+            container_classes_used=tuple(sorted(self._classes_used)),
+        )

@@ -1,0 +1,96 @@
+"""The 46-app benchmark suite.
+
+App sizes follow a skewed, roughly geometric decline (the shape of Figure 8),
+and the apps are a mix of the categories described in the paper's benchmark:
+utility apps, games, legacy apps that use ``Vector``/``Stack``/``toArray``
+(the corners where analyzing the library implementation is unsound), and a
+handful of benign apps with no secret-to-sink chains.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.benchgen.generator import AppGenerator, AppProfile, GeneratedApp
+
+#: container mixes per category
+_CATEGORY_CONTAINERS: Dict[str, Tuple[str, ...]] = {
+    "utility": ("ArrayList", "HashMap", "StringBuilder", "HashSet", "LinkedList"),
+    "game": ("LinkedList", "HashSet", "TreeSet", "ArrayList", "TreeMap", "Hashtable"),
+    "legacy": ("Vector", "Stack", "ArrayList", "Hashtable", "StringBuffer"),
+    "benign": ("ArrayList", "HashMap", "StringBuilder"),
+}
+
+_CATEGORY_CYCLE: Tuple[str, ...] = (
+    "utility",
+    "utility",
+    "game",
+    "utility",
+    "game",
+    "legacy",
+    "utility",
+    "game",
+    "benign",
+    "utility",
+)
+
+
+@dataclass
+class BenchmarkSuite:
+    """A generated suite of apps."""
+
+    apps: List[GeneratedApp]
+    seed: int
+
+    def __iter__(self):
+        return iter(self.apps)
+
+    def __len__(self) -> int:
+        return len(self.apps)
+
+    def sizes(self) -> List[int]:
+        """App sizes (IR LOC), in generation order (largest first, as in Figure 8)."""
+        return [app.loc for app in self.apps]
+
+    def by_name(self, name: str) -> GeneratedApp:
+        for app in self.apps:
+            if app.name == name:
+                return app
+        raise KeyError(name)
+
+
+def _size_schedule(count: int, max_statements: int, min_statements: int) -> List[int]:
+    """A skewed (geometric-ish) size decline from *max_statements* to *min_statements*."""
+    if count == 1:
+        return [max_statements]
+    sizes = []
+    ratio = (min_statements / max_statements) ** (1 / (count - 1))
+    value = float(max_statements)
+    for _ in range(count):
+        sizes.append(max(min_statements, int(round(value))))
+        value *= ratio
+    return sizes
+
+
+def benchmark_suite(
+    count: int = 46,
+    seed: int = 2018,
+    max_statements: int = 260,
+    min_statements: int = 30,
+) -> BenchmarkSuite:
+    """Generate the benchmark suite (46 apps by default, deterministic per seed)."""
+    sizes = _size_schedule(count, max_statements, min_statements)
+    apps: List[GeneratedApp] = []
+    for index in range(count):
+        category = _CATEGORY_CYCLE[index % len(_CATEGORY_CYCLE)]
+        profile = AppProfile(
+            name=f"App{index:02d}",
+            seed=seed * 1000 + index,
+            target_statements=sizes[index],
+            category=category,
+            malicious=category != "benign",
+            container_classes=_CATEGORY_CONTAINERS[category],
+        )
+        apps.append(AppGenerator(profile).generate())
+    return BenchmarkSuite(apps=apps, seed=seed)

@@ -1,0 +1,30 @@
+"""The static explicit information-flow client (Section 6, "Information flow client").
+
+The client mirrors the paper's setup: an Android-like framework provides
+*source* methods (device identifiers, location, contacts, SMS content) and
+*sink* methods (SMS sending, network output, file output).  A flow is
+reported when an object allocated inside a source method may reach a
+reference argument of a sink call, with heap flows resolved by the points-to
+analysis -- so the quality of the library specifications directly determines
+the client's recall.
+"""
+
+from repro.client.sources_sinks import (
+    SINK_METHODS,
+    SOURCE_METHODS,
+    build_framework_program,
+    sink_parameters,
+    source_methods,
+)
+from repro.client.taint import Flow, InformationFlowAnalysis, InformationFlowReport
+
+__all__ = [
+    "Flow",
+    "InformationFlowAnalysis",
+    "InformationFlowReport",
+    "SINK_METHODS",
+    "SOURCE_METHODS",
+    "build_framework_program",
+    "sink_parameters",
+    "source_methods",
+]

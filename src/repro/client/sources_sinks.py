@@ -1,0 +1,100 @@
+"""The Android-like framework: source and sink methods.
+
+Source methods return freshly allocated secret objects (device identifiers,
+location fixes, contact records, SMS bodies); sink methods consume reference
+arguments (SMS text, HTTP payloads, file contents).  The framework classes
+are marked as library classes (their internals are not part of the metrics)
+but are *never* replaced by inferred specifications -- they are the fixed
+endpoints between which flows are measured.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.lang.builder import ClassBuilder
+from repro.lang.program import ClassDef, Program
+from repro.lang.types import OBJECT
+
+#: (class, method) -> description of the secret the source produces.
+SOURCE_METHODS: Dict[Tuple[str, str], str] = {
+    ("TelephonyManager", "getDeviceId"): "IMEI device identifier",
+    ("TelephonyManager", "getSimSerialNumber"): "SIM serial number",
+    ("LocationManager", "getLastKnownLocation"): "GPS location fix",
+    ("ContactsProvider", "queryContacts"): "contact record",
+    ("SmsInbox", "readMessages"): "SMS message body",
+    ("AccountManager", "getAccountName"): "account name",
+}
+
+#: (class, method) -> name of the reference parameter that is the sink.
+SINK_METHODS: Dict[Tuple[str, str], str] = {
+    ("SmsManager", "sendTextMessage"): "text",
+    ("HttpConnection", "post"): "payload",
+    ("FileOutput", "write"): "data",
+    ("Logger", "leak"): "message",
+}
+
+
+def source_methods() -> Tuple[Tuple[str, str], ...]:
+    return tuple(SOURCE_METHODS)
+
+
+def sink_parameters() -> Dict[Tuple[str, str], str]:
+    return dict(SINK_METHODS)
+
+
+def _build_source_class(class_name: str, methods: List[str]) -> ClassDef:
+    cls = ClassBuilder(class_name, is_library=True)
+    cls.add_method(cls.constructor())
+    for method_name in methods:
+        cls.add_method(
+            cls.method(method_name, return_type="String", doc=f"source: {SOURCE_METHODS[(class_name, method_name)]}")
+            .new("secret", "String")
+            .ret("secret")
+        )
+    return cls.build()
+
+
+def _build_sink_class(class_name: str, methods: List[str]) -> ClassDef:
+    cls = ClassBuilder(class_name, is_library=True)
+    cls.add_method(cls.constructor())
+    for method_name in methods:
+        parameter = SINK_METHODS[(class_name, method_name)]
+        cls.add_method(
+            cls.method(method_name, [(parameter, OBJECT)], doc=f"sink: consumes {parameter}")
+        )
+    return cls.build()
+
+
+def build_framework_program() -> Program:
+    """The framework classes (sources, sinks, and a few benign services)."""
+    sources_by_class: Dict[str, List[str]] = {}
+    for (class_name, method_name) in SOURCE_METHODS:
+        sources_by_class.setdefault(class_name, []).append(method_name)
+    sinks_by_class: Dict[str, List[str]] = {}
+    for (class_name, method_name) in SINK_METHODS:
+        sinks_by_class.setdefault(class_name, []).append(method_name)
+
+    classes = [
+        _build_source_class(class_name, methods) for class_name, methods in sources_by_class.items()
+    ]
+    classes.extend(
+        _build_sink_class(class_name, methods) for class_name, methods in sinks_by_class.items()
+    )
+
+    # A benign service producing non-sensitive data, so that apps have
+    # plenty of flows that are *not* information leaks.
+    benign = ClassBuilder("ResourceManager", is_library=True)
+    benign.add_method(benign.constructor())
+    benign.add_method(
+        benign.method("getString", return_type="String", doc="benign resource string")
+        .new("value", "String")
+        .ret("value")
+    )
+    benign.add_method(
+        benign.method("getDrawable", return_type=OBJECT, doc="benign resource object")
+        .new("value", "Object")
+        .ret("value")
+    )
+    classes.append(benign.build())
+    return Program(classes)

@@ -1,0 +1,48 @@
+"""Experiment drivers that regenerate the paper's tables and figures (Section 6).
+
+Each module corresponds to one artifact of the evaluation:
+
+* :mod:`repro.experiments.fig8` -- benchmark app sizes (Figure 8);
+* :mod:`repro.experiments.fig9a` -- information flows, Atlas vs handwritten
+  specifications (Figure 9a);
+* :mod:`repro.experiments.fig9b` -- points-to edges, Atlas vs ground truth
+  (Figure 9b);
+* :mod:`repro.experiments.fig9c` -- points-to edges, implementation vs ground
+  truth (Figure 9c);
+* :mod:`repro.experiments.spec_counts` -- coverage of inferred vs handwritten
+  specifications (Section 6.1);
+* :mod:`repro.experiments.ground_truth_eval` -- precision/recall against
+  ground truth (Section 6.2);
+* :mod:`repro.experiments.design_choices` -- sampling strategy and
+  initialization ablations (Section 6.3).
+
+:mod:`repro.experiments.runner` ties everything together behind a small
+command-line interface and shared caching of the expensive artifacts
+(benchmark suite, inferred specifications, per-app closures).
+"""
+
+from repro.experiments.config import ExperimentConfig, FULL_CONFIG, QUICK_CONFIG
+from repro.experiments.context import ExperimentContext
+from repro.experiments.metrics import (
+    RatioSummary,
+    nontrivial_flows,
+    nontrivial_points_to_edges,
+    ratio,
+    summarize_ratios,
+)
+from repro.experiments.spec_metrics import SpecComparison, compare_languages, covered_functions
+
+__all__ = [
+    "ExperimentConfig",
+    "ExperimentContext",
+    "FULL_CONFIG",
+    "QUICK_CONFIG",
+    "RatioSummary",
+    "SpecComparison",
+    "compare_languages",
+    "covered_functions",
+    "nontrivial_flows",
+    "nontrivial_points_to_edges",
+    "ratio",
+    "summarize_ratios",
+]

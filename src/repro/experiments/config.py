@@ -1,0 +1,81 @@
+"""Experiment presets.
+
+Two presets are provided:
+
+* ``QUICK_CONFIG`` -- a scaled-down run (fewer apps, smaller inference
+  budget) that finishes in a couple of minutes; used by the test suite and by
+  the default benchmark harness.
+* ``FULL_CONFIG`` -- the full 46-app suite with the complete cluster list and
+  a larger inference budget; used to regenerate the numbers reported in
+  ``EXPERIMENTS.md``.
+
+Set the environment variable ``REPRO_PRESET=full`` to make the benchmark
+harness use the full preset.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field, replace
+from typing import Optional, Sequence, Tuple
+
+from repro.learn.pipeline import AtlasConfig
+from repro.library.registry import SPEC_CLASS_CLUSTERS
+
+
+@dataclass(frozen=True)
+class ExperimentConfig:
+    """Parameters shared by every experiment driver."""
+
+    name: str
+    num_apps: int
+    app_max_statements: int
+    app_min_statements: int
+    seed: int
+    atlas: AtlasConfig
+    design_choice_samples: int = 20_000
+    design_choice_clusters: Tuple[Tuple[str, ...], ...] = (("Stack", "Iterator"),)
+
+    def scaled(self, **overrides) -> "ExperimentConfig":
+        return replace(self, **overrides)
+
+
+QUICK_CONFIG = ExperimentConfig(
+    name="quick",
+    num_apps=12,
+    app_max_statements=160,
+    app_min_statements=30,
+    seed=2018,
+    atlas=AtlasConfig(
+        strategy="enumerate",
+        enumeration_budget=12_000,
+        samples_per_cluster=0,
+        seed=2018,
+    ),
+    design_choice_samples=12_000,
+)
+
+FULL_CONFIG = ExperimentConfig(
+    name="full",
+    num_apps=46,
+    app_max_statements=260,
+    app_min_statements=30,
+    seed=2018,
+    atlas=AtlasConfig(
+        strategy="enumerate",
+        enumeration_budget=40_000,
+        samples_per_cluster=2_000,
+        seed=2018,
+    ),
+    design_choice_samples=20_000,
+)
+
+
+def preset_from_environment(default: Optional[ExperimentConfig] = None) -> ExperimentConfig:
+    """Pick a preset based on ``REPRO_PRESET`` (``quick`` unless set to ``full``)."""
+    value = os.environ.get("REPRO_PRESET", "").strip().lower()
+    if value == "full":
+        return FULL_CONFIG
+    if value == "quick":
+        return QUICK_CONFIG
+    return default if default is not None else QUICK_CONFIG

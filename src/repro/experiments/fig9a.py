@@ -1,0 +1,67 @@
+"""Figure 9(a): information flows found with Atlas vs handwritten specifications.
+
+For each app the ratio ``R_flow(S_atlas, S_hand)`` of nontrivial information
+flows is reported; the aggregate number corresponding to the paper's
+"52% more flows" headline is the relative increase in the total number of
+nontrivial flows across the suite.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.experiments.context import ExperimentContext
+from repro.experiments.metrics import RatioSummary, nontrivial_flows, ratio, summarize_ratios
+
+
+@dataclass
+class Fig9aResult:
+    summary: RatioSummary
+    per_app_counts: List[Tuple[str, int, int]]  # (app, atlas flows, handwritten flows)
+    total_atlas_flows: int
+    total_handwritten_flows: int
+
+    @property
+    def flow_increase(self) -> Optional[float]:
+        """Relative increase in total nontrivial flows (the paper reports +52%)."""
+        if self.total_handwritten_flows == 0:
+            return None
+        return self.total_atlas_flows / self.total_handwritten_flows - 1.0
+
+    def format_table(self) -> str:
+        lines = ["Figure 9(a): nontrivial information flows, Atlas vs handwritten"]
+        lines.append(f"{'app':>8}  {'atlas':>6}  {'hand':>6}  {'ratio':>6}")
+        ratios = dict(self.summary.per_app)
+        for name, atlas_count, hand_count in self.per_app_counts:
+            value = ratios.get(name)
+            formatted = f"{value:.2f}" if value is not None else "  n/a"
+            lines.append(f"{name:>8}  {atlas_count:>6}  {hand_count:>6}  {formatted:>6}")
+        if self.flow_increase is not None:
+            lines.append(
+                f"total flows: atlas={self.total_atlas_flows} handwritten={self.total_handwritten_flows} "
+                f"(+{100 * self.flow_increase:.0f}% with Atlas; paper reports +52%)"
+            )
+        return "\n".join(lines)
+
+
+def run(context: ExperimentContext) -> Fig9aResult:
+    per_app_ratios: List[Tuple[str, Optional[float]]] = []
+    per_app_counts: List[Tuple[str, int, int]] = []
+    total_atlas = 0
+    total_hand = 0
+    for app in context.suite:
+        baseline = context.flow_report(app, "empty")
+        atlas_flows = nontrivial_flows(context.flow_report(app, "atlas"), baseline)
+        hand_flows = nontrivial_flows(context.flow_report(app, "handwritten"), baseline)
+        per_app_counts.append((app.name, len(atlas_flows), len(hand_flows)))
+        per_app_ratios.append((app.name, ratio(len(atlas_flows), len(hand_flows))))
+        total_atlas += len(atlas_flows)
+        total_hand += len(hand_flows)
+    summary = summarize_ratios("R_flow(Atlas, handwritten)", per_app_ratios)
+    return Fig9aResult(
+        summary=summary,
+        per_app_counts=per_app_counts,
+        total_atlas_flows=total_atlas,
+        total_handwritten_flows=total_hand,
+    )

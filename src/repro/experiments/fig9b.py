@@ -1,0 +1,71 @@
+"""Figure 9(b): points-to edges computed with Atlas vs ground-truth specifications.
+
+Using Atlas must not compute any points-to edge that ground truth does not
+(precision 100% in the paper); the per-app ratio therefore measures recall
+(1.0 means no false negatives for that app).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.experiments.context import ExperimentContext
+from repro.experiments.metrics import (
+    RatioSummary,
+    nontrivial_points_to_edges,
+    ratio,
+    summarize_ratios,
+)
+
+
+@dataclass
+class Fig9bResult:
+    summary: RatioSummary
+    per_app_counts: List[Tuple[str, int, int, int]]  # (app, atlas, ground truth, false positives)
+    apps_with_false_positives: int
+
+    @property
+    def precision_is_perfect(self) -> bool:
+        return self.apps_with_false_positives == 0
+
+    def format_table(self) -> str:
+        lines = ["Figure 9(b): nontrivial points-to edges, Atlas vs ground truth"]
+        lines.append(f"{'app':>8}  {'atlas':>6}  {'truth':>6}  {'fp':>4}  {'ratio':>6}")
+        ratios = dict(self.summary.per_app)
+        for name, atlas_count, truth_count, false_positives in self.per_app_counts:
+            value = ratios.get(name)
+            formatted = f"{value:.2f}" if value is not None else "  n/a"
+            lines.append(
+                f"{name:>8}  {atlas_count:>6}  {truth_count:>6}  {false_positives:>4}  {formatted:>6}"
+            )
+        mean = self.summary.mean
+        median = self.summary.median
+        if mean is not None:
+            lines.append(
+                f"recall: mean={mean:.3f} median={median:.3f}; "
+                f"apps with false positives: {self.apps_with_false_positives} "
+                "(paper: precision 100%, median recall 0.99, mean 0.758)"
+            )
+        return "\n".join(lines)
+
+
+def run(context: ExperimentContext) -> Fig9bResult:
+    per_app_ratios: List[Tuple[str, Optional[float]]] = []
+    per_app_counts: List[Tuple[str, int, int, int]] = []
+    apps_with_false_positives = 0
+    for app in context.suite:
+        baseline = context.analysis(app, "empty")
+        atlas_edges = nontrivial_points_to_edges(context.analysis(app, "atlas"), baseline)
+        truth_edges = nontrivial_points_to_edges(context.analysis(app, "ground_truth"), baseline)
+        false_positives = len(atlas_edges - truth_edges)
+        if false_positives:
+            apps_with_false_positives += 1
+        per_app_counts.append((app.name, len(atlas_edges), len(truth_edges), false_positives))
+        per_app_ratios.append((app.name, ratio(len(atlas_edges), len(truth_edges))))
+    summary = summarize_ratios("R_pt(Atlas, ground truth)", per_app_ratios)
+    return Fig9bResult(
+        summary=summary,
+        per_app_counts=per_app_counts,
+        apps_with_false_positives=apps_with_false_positives,
+    )

@@ -1,0 +1,80 @@
+"""Figure 9(c): points-to edges computed from the library implementation vs ground truth.
+
+Analyzing the implementation directly suffers from deep call hierarchies and
+shared superclass helpers (false positives: ``R_pt > 1``) and from native
+code (false negatives: ``R_pt < 1``), which is the paper's motivation for
+using specifications in the first place.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.experiments.context import ExperimentContext
+from repro.experiments.metrics import (
+    RatioSummary,
+    nontrivial_points_to_edges,
+    ratio,
+    summarize_ratios,
+)
+
+
+@dataclass
+class Fig9cResult:
+    summary: RatioSummary
+    per_app_counts: List[Tuple[str, int, int, int, int]]
+    # (app, implementation edges, ground-truth edges, false positives, false negatives)
+
+    @property
+    def apps_with_false_positive_rate_over_100(self) -> int:
+        """Apps where the implementation at least doubles the nontrivial edges (R_pt >= 2)."""
+        return self.summary.count_at_least(2.0)
+
+    @property
+    def apps_with_false_negatives(self) -> int:
+        return sum(1 for _name, _impl, _truth, _fp, fn in self.per_app_counts if fn > 0)
+
+    @property
+    def average_false_positive_rate(self) -> Optional[float]:
+        values = self.summary.defined()
+        if not values:
+            return None
+        return sum(max(value - 1.0, 0.0) for value in values) / len(values)
+
+    def format_table(self) -> str:
+        lines = ["Figure 9(c): nontrivial points-to edges, implementation vs ground truth"]
+        lines.append(f"{'app':>8}  {'impl':>6}  {'truth':>6}  {'fp':>4}  {'fn':>4}  {'ratio':>6}")
+        ratios = dict(self.summary.per_app)
+        for name, impl_count, truth_count, fp, fn in self.per_app_counts:
+            value = ratios.get(name)
+            formatted = f"{value:.2f}" if value is not None else "  n/a"
+            lines.append(
+                f"{name:>8}  {impl_count:>6}  {truth_count:>6}  {fp:>4}  {fn:>4}  {formatted:>6}"
+            )
+        mean = self.summary.mean
+        if mean is not None:
+            lines.append(
+                f"ratio: mean={mean:.2f} median={self.summary.median:.2f}; "
+                f"apps with R_pt >= 2: {self.apps_with_false_positive_rate_over_100}; "
+                f"apps with false negatives: {self.apps_with_false_negatives} "
+                "(paper: average false-positive rate 115.2%, median 62.1%, two apps with false negatives)"
+            )
+        return "\n".join(lines)
+
+
+def run(context: ExperimentContext) -> Fig9cResult:
+    per_app_ratios: List[Tuple[str, Optional[float]]] = []
+    per_app_counts: List[Tuple[str, int, int, int, int]] = []
+    for app in context.suite:
+        baseline = context.analysis(app, "empty")
+        impl_edges = nontrivial_points_to_edges(context.analysis(app, "implementation"), baseline)
+        truth_edges = nontrivial_points_to_edges(context.analysis(app, "ground_truth"), baseline)
+        false_positives = len(impl_edges - truth_edges)
+        false_negatives = len(truth_edges - impl_edges)
+        per_app_counts.append(
+            (app.name, len(impl_edges), len(truth_edges), false_positives, false_negatives)
+        )
+        per_app_ratios.append((app.name, ratio(len(impl_edges), len(truth_edges))))
+    summary = summarize_ratios("R_pt(implementation, ground truth)", per_app_ratios)
+    return Fig9cResult(summary=summary, per_app_counts=per_app_counts)

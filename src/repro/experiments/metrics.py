@@ -1,0 +1,95 @@
+"""Metrics used by the evaluation (Section 6, "Evaluating computed relations").
+
+Both the points-to and the information-flow comparisons are reported as
+ratios of *nontrivial* relation sizes: relations that can be computed even
+with empty specifications (all library calls treated as no-ops) are
+subtracted before taking the ratio, exactly as in the paper's ``R_pt`` and
+``R_flow`` metrics.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import FrozenSet, List, Optional, Sequence, Tuple
+
+from repro.client.taint import Flow, InformationFlowReport
+from repro.pointsto.graph import ObjNode, VarNode
+from repro.pointsto.relations import PointsToResult
+
+PointsToEdge = Tuple[VarNode, ObjNode]
+
+
+def nontrivial_points_to_edges(
+    result: PointsToResult, baseline: PointsToResult
+) -> FrozenSet[PointsToEdge]:
+    """Program points-to edges beyond those derivable with empty specifications."""
+    return result.program_points_to_edges() - baseline.program_points_to_edges()
+
+
+def nontrivial_flows(
+    report: InformationFlowReport, baseline: InformationFlowReport
+) -> FrozenSet[Flow]:
+    """Information flows beyond those derivable with empty specifications."""
+    return report.flows - baseline.flows
+
+
+def ratio(numerator: int, denominator: int) -> Optional[float]:
+    """``numerator / denominator``, or ``None`` when the denominator is zero."""
+    if denominator == 0:
+        return None
+    return numerator / denominator
+
+
+@dataclass
+class RatioSummary:
+    """Per-app ratios plus aggregate statistics (apps with undefined ratios are skipped)."""
+
+    label: str
+    per_app: List[Tuple[str, Optional[float]]]
+
+    def defined(self) -> List[float]:
+        return [value for _name, value in self.per_app if value is not None]
+
+    @property
+    def mean(self) -> Optional[float]:
+        values = self.defined()
+        return sum(values) / len(values) if values else None
+
+    @property
+    def median(self) -> Optional[float]:
+        values = sorted(self.defined())
+        if not values:
+            return None
+        middle = len(values) // 2
+        if len(values) % 2 == 1:
+            return values[middle]
+        return (values[middle - 1] + values[middle]) / 2
+
+    def count_at_least(self, threshold: float) -> int:
+        return sum(1 for value in self.defined() if value >= threshold)
+
+    def count_below(self, threshold: float) -> int:
+        return sum(1 for value in self.defined() if value < threshold)
+
+    def sorted_descending(self) -> List[Tuple[str, float]]:
+        return sorted(
+            ((name, value) for name, value in self.per_app if value is not None),
+            key=lambda item: item[1],
+            reverse=True,
+        )
+
+    def format_rows(self) -> str:
+        lines = [f"{self.label}"]
+        for name, value in self.sorted_descending():
+            lines.append(f"  {name:>8}  {value:6.2f}")
+        skipped = [name for name, value in self.per_app if value is None]
+        if skipped:
+            lines.append(f"  (no nontrivial baseline relations: {', '.join(skipped)})")
+        if self.mean is not None:
+            lines.append(f"  mean={self.mean:.3f} median={self.median:.3f}")
+        return "\n".join(lines)
+
+
+def summarize_ratios(label: str, per_app: Sequence[Tuple[str, Optional[float]]]) -> RatioSummary:
+    return RatioSummary(label=label, per_app=list(per_app))

@@ -1,0 +1,63 @@
+"""Command-line driver that regenerates every table and figure.
+
+Usage::
+
+    python -m repro.experiments.runner                 # quick preset, all experiments
+    python -m repro.experiments.runner --preset full   # full 46-app evaluation
+    python -m repro.experiments.runner fig9a fig9c     # only selected experiments
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Callable, Dict, List
+
+from repro.experiments import design_choices, fig8, fig9a, fig9b, fig9c, ground_truth_eval, spec_counts
+from repro.experiments.config import FULL_CONFIG, QUICK_CONFIG, ExperimentConfig
+from repro.experiments.context import ExperimentContext
+
+EXPERIMENTS: Dict[str, Callable[[ExperimentContext], object]] = {
+    "fig8": fig8.run,
+    "fig9a": fig9a.run,
+    "fig9b": fig9b.run,
+    "fig9c": fig9c.run,
+    "spec_counts": spec_counts.run,
+    "ground_truth": ground_truth_eval.run,
+    "design_choices": design_choices.run,
+}
+
+
+def run_experiments(names: List[str], config: ExperimentConfig, stream=sys.stdout) -> None:
+    context = ExperimentContext(config)
+    for name in names:
+        runner = EXPERIMENTS[name]
+        started = time.time()
+        result = runner(context)
+        elapsed = time.time() - started
+        stream.write("\n" + "=" * 72 + "\n")
+        stream.write(result.format_table())
+        stream.write(f"\n({name} completed in {elapsed:.1f}s, preset {config.name!r})\n")
+        stream.flush()
+
+
+def main(argv: List[str] = None) -> int:
+    parser = argparse.ArgumentParser(description="Regenerate the paper's tables and figures.")
+    parser.add_argument(
+        "experiments",
+        nargs="*",
+        choices=list(EXPERIMENTS) + [[]],
+        help="experiments to run (default: all)",
+    )
+    parser.add_argument("--preset", choices=["quick", "full"], default="quick")
+    args = parser.parse_args(argv)
+
+    config = FULL_CONFIG if args.preset == "full" else QUICK_CONFIG
+    names = list(args.experiments) or list(EXPERIMENTS)
+    run_experiments(names, config)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - CLI entry point
+    raise SystemExit(main())

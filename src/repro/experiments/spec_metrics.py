@@ -1,0 +1,200 @@
+"""Comparing specification languages (Sections 6.1 and 6.2).
+
+Two regular sets of path specifications are compared by enumerating their
+words up to a bounded length and weighting each word by its length, the
+analogue of the paper's fractional statement counting for code-fragment
+specifications ("this heuristic intuitively counts false negative and false
+positive path specifications weighted by their length").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+
+from repro.specs.fsa import FSA
+from repro.specs.variables import SpecVariable
+
+Word = Tuple[SpecVariable, ...]
+
+
+def covered_functions(fsa: FSA) -> Set[Tuple[str, str]]:
+    """Library functions mentioned by at least one specification in the language."""
+    functions: Set[Tuple[str, str]] = set()
+    for _source, symbol, _target in fsa.transitions():
+        if isinstance(symbol, SpecVariable):
+            functions.add(symbol.method_key)
+    return functions
+
+
+def canonicalize_word(word: Word) -> Word:
+    """Drop identity pairs ``(v, v)`` from a path specification word.
+
+    A pair whose two variables are the same parameter summarizes the empty
+    library path; dropping it yields an equivalent, shorter specification.
+    Comparisons are performed on canonicalized words so that such degenerate
+    (but precise) variants do not show up as spurious false positives.
+    """
+    pairs = [(word[i], word[i + 1]) for i in range(0, len(word) - 1, 2)]
+    kept = [pair for pair in pairs if pair[0] != pair[1]]
+    if not kept:
+        return word
+    flattened: List[SpecVariable] = []
+    for z, w in kept:
+        flattened.extend((z, w))
+    return tuple(flattened)
+
+
+def _words(fsa: FSA, max_length: int, limit: int) -> FrozenSet[Word]:
+    return frozenset(canonicalize_word(word) for word in fsa.enumerate_words(max_length, limit=limit))
+
+
+@dataclass
+class SpecComparison:
+    """Weighted precision/recall of an inferred language against a reference language."""
+
+    max_length: int
+    true_positive_weight: float
+    false_positive_weight: float
+    false_negative_weight: float
+    missing_words: List[Word] = field(default_factory=list)
+    extra_words: List[Word] = field(default_factory=list)
+
+    @property
+    def precision(self) -> float:
+        denominator = self.true_positive_weight + self.false_positive_weight
+        return 1.0 if denominator == 0 else self.true_positive_weight / denominator
+
+    @property
+    def recall(self) -> float:
+        denominator = self.true_positive_weight + self.false_negative_weight
+        return 1.0 if denominator == 0 else self.true_positive_weight / denominator
+
+
+def compare_languages(
+    inferred: FSA,
+    reference: FSA,
+    max_length: int = 8,
+    limit: int = 20_000,
+    weight_by_length: bool = True,
+    examples: int = 10,
+) -> SpecComparison:
+    """Compare the *inferred* language against the *reference* (ground-truth) language."""
+    inferred_words = _words(inferred, max_length, limit)
+    reference_words = _words(reference, max_length, limit)
+
+    def weight(word: Word) -> float:
+        return float(len(word) // 2) if weight_by_length else 1.0
+
+    true_positive = sum(weight(word) for word in inferred_words & reference_words)
+    false_positive = sum(weight(word) for word in inferred_words - reference_words)
+    false_negative = sum(weight(word) for word in reference_words - inferred_words)
+
+    missing = sorted(reference_words - inferred_words, key=lambda w: (len(w), tuple(str(v) for v in w)))
+    extra = sorted(inferred_words - reference_words, key=lambda w: (len(w), tuple(str(v) for v in w)))
+
+    return SpecComparison(
+        max_length=max_length,
+        true_positive_weight=true_positive,
+        false_positive_weight=false_positive,
+        false_negative_weight=false_negative,
+        missing_words=missing[:examples],
+        extra_words=extra[:examples],
+    )
+
+
+def extra_words(
+    inferred: FSA, reference: FSA, max_length: int = 8, limit: int = 20_000
+) -> List[Word]:
+    """Canonicalized words accepted by *inferred* but not by *reference*."""
+    inferred_words = _words(inferred, max_length, limit)
+    reference_words = _words(reference, max_length, limit)
+    return sorted(
+        inferred_words - reference_words,
+        key=lambda w: (len(w), tuple(str(v) for v in w)),
+    )
+
+
+def statically_derivable(
+    word: Word,
+    library_program,
+    interface,
+    synthesizer=None,
+) -> bool:
+    """Whether a path specification is implied by the library implementation.
+
+    The check mirrors the paper's manual examination of newly inferred
+    specifications: synthesize the potential witness for the word (a program
+    that establishes exactly the premise edges), analyze it *statically
+    together with the library implementation*, and test whether the
+    conclusion edge is derived.  Any specification whose witness passed
+    dynamically is derivable this way (static analysis of the implementation
+    over-approximates executions), so the check never under-counts; words
+    that are not derivable are genuine false positives.
+    """
+    from repro.pointsto.andersen import AndersenAnalysis
+    from repro.pointsto.graph import VarNode
+    from repro.specs.path_spec import PathSpec, PathSpecError
+    from repro.synthesis.unit_test import (
+        SynthesisError,
+        UnitTestSynthesizer,
+        WITNESS_CLASS,
+        WITNESS_METHOD,
+    )
+
+    try:
+        spec = PathSpec(word)
+    except PathSpecError:
+        return False
+    if synthesizer is None:
+        synthesizer = UnitTestSynthesizer(interface, initialization="instantiation")
+    try:
+        test = synthesizer.synthesize(spec)
+    except SynthesisError:
+        return False
+    program = library_program.merged_with(test.to_program())
+    result = AndersenAnalysis(program).run()
+    left = VarNode(WITNESS_CLASS, WITNESS_METHOD, test.check_left)
+    right = VarNode(WITNESS_CLASS, WITNESS_METHOD, test.check_right)
+    if spec.conclusion().kind.value == "Alias":
+        return result.aliased(left, right)
+    return result.transfer(left, right) or result.aliased(left, right)
+
+
+def classify_extra_words(
+    words: Sequence[Word],
+    library_program,
+    interface,
+    sample: int = 200,
+) -> Tuple[int, int, List[Word]]:
+    """Split *words* into (derivable, not derivable) by implementation analysis.
+
+    At most *sample* words are checked (the paper manually examined a sample
+    of ~200 newly inferred specifications); returns the two counts over the
+    checked sample and the list of non-derivable words.
+    """
+    from repro.synthesis.unit_test import UnitTestSynthesizer
+
+    synthesizer = UnitTestSynthesizer(interface, initialization="instantiation")
+    checked = list(words)[:sample]
+    derivable = 0
+    offenders: List[Word] = []
+    for word in checked:
+        if statically_derivable(word, library_program, interface, synthesizer=synthesizer):
+            derivable += 1
+        else:
+            offenders.append(word)
+    return derivable, len(offenders), offenders
+
+
+def function_recall(
+    inferred: FSA, reference: FSA, functions: Optional[Sequence[Tuple[str, str]]] = None
+) -> float:
+    """Fraction of reference-covered functions also covered by the inferred language."""
+    reference_functions = covered_functions(reference)
+    if functions is not None:
+        reference_functions &= set(functions)
+    if not reference_functions:
+        return 1.0
+    inferred_functions = covered_functions(inferred)
+    return len(reference_functions & inferred_functions) / len(reference_functions)

@@ -1,0 +1,39 @@
+"""Reference interpreter for the IR.
+
+The interpreter provides the *blackbox access* to library code that the
+paper's specification-inference algorithm assumes: the ability to execute
+sequences of library calls on chosen inputs and observe the resulting heap
+(in particular, whether two variables refer to the same object).  It plays
+the role the JVM plays for the original Atlas tool.
+"""
+
+from repro.interp.errors import (
+    CallDepthExceeded,
+    IndexOutOfBounds,
+    InterpreterError,
+    NoSuchElement,
+    NullPointerError,
+    StepLimitExceeded,
+    UnknownMethodError,
+    UnsupportedOperation,
+)
+from repro.interp.heap import Heap, HeapObject
+from repro.interp.interpreter import ExecutionResult, Interpreter
+from repro.interp.natives import NativeRegistry, default_natives
+
+__all__ = [
+    "CallDepthExceeded",
+    "ExecutionResult",
+    "Heap",
+    "HeapObject",
+    "IndexOutOfBounds",
+    "Interpreter",
+    "InterpreterError",
+    "NativeRegistry",
+    "NoSuchElement",
+    "NullPointerError",
+    "StepLimitExceeded",
+    "UnknownMethodError",
+    "UnsupportedOperation",
+    "default_natives",
+]

@@ -1,0 +1,42 @@
+"""Runtime errors raised by the interpreter.
+
+These mirror the Java exceptions that make synthesized unit tests fail in the
+paper (``NullPointerException``, ``IndexOutOfBoundsException``,
+``NoSuchElementException``): the noisy oracle treats any raised exception as
+the unit test *failing*, i.e. the candidate specification is (conservatively)
+rejected.
+"""
+
+from __future__ import annotations
+
+
+class InterpreterError(Exception):
+    """Base class for all runtime errors raised while executing IR code."""
+
+
+class NullPointerError(InterpreterError):
+    """A field access or method call was attempted on ``null``."""
+
+
+class IndexOutOfBounds(InterpreterError):
+    """An array or collection index was outside the valid range."""
+
+
+class NoSuchElement(InterpreterError):
+    """An iterator or queue access found no element."""
+
+
+class UnsupportedOperation(InterpreterError):
+    """The operation is not supported by the receiver (e.g. immutable views)."""
+
+
+class UnknownMethodError(InterpreterError):
+    """A call could not be resolved to any method definition or native hook."""
+
+
+class StepLimitExceeded(InterpreterError):
+    """Execution exceeded the configured statement budget."""
+
+
+class CallDepthExceeded(InterpreterError):
+    """Execution exceeded the configured call-stack depth."""

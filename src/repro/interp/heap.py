@@ -1,0 +1,56 @@
+"""Concrete heap used by the interpreter."""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+
+class HeapObject:
+    """A concrete heap object: a class name plus a mutable field map.
+
+    Objects used as internal array storage additionally carry a Python list in
+    :attr:`array_elements`; that list is only manipulated by native hooks
+    (the analogue of ``native`` array intrinsics in the JVM).
+    """
+
+    __slots__ = ("object_id", "class_name", "fields", "array_elements")
+
+    def __init__(self, object_id: int, class_name: str):
+        self.object_id = object_id
+        self.class_name = class_name
+        self.fields: Dict[str, Any] = {}
+        self.array_elements: Optional[List[Any]] = None
+
+    def get_field(self, name: str) -> Any:
+        """Read a field; undefined fields read as ``null`` (like default Java fields)."""
+        return self.fields.get(name)
+
+    def set_field(self, name: str, value: Any) -> None:
+        self.fields[name] = value
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"<{self.class_name}#{self.object_id}>"
+
+
+class Heap:
+    """Allocates and tracks :class:`HeapObject` instances."""
+
+    def __init__(self) -> None:
+        self._objects: List[HeapObject] = []
+
+    def allocate(self, class_name: str) -> HeapObject:
+        obj = HeapObject(len(self._objects), class_name)
+        self._objects.append(obj)
+        return obj
+
+    def allocate_array(self, length: int = 0) -> HeapObject:
+        obj = self.allocate("ObjectArray")
+        obj.array_elements = [None] * length
+        return obj
+
+    @property
+    def objects(self) -> List[HeapObject]:
+        return list(self._objects)
+
+    def __len__(self) -> int:
+        return len(self._objects)

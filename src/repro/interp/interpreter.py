@@ -1,0 +1,213 @@
+"""The IR interpreter.
+
+Execution is straight-line per method (the IR has no branches; conditional
+behaviour lives in intrinsics / natives), with dynamic dispatch on the
+receiver's runtime class and a bounded step budget to guard against runaway
+recursion in hand-written models.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional, Sequence
+
+from repro.interp.errors import (
+    CallDepthExceeded,
+    InterpreterError,
+    NullPointerError,
+    StepLimitExceeded,
+    UnknownMethodError,
+)
+from repro.interp.heap import Heap, HeapObject
+from repro.interp.natives import NativeRegistry, default_natives
+from repro.lang.program import CONSTRUCTOR, MethodDef, MethodRef, Program, RECEIVER
+from repro.lang.statements import Assign, Call, Const, Load, New, Return, Statement, Store
+
+#: Class name whose instances carry real Python-list storage.
+ARRAY_CLASS = "ObjectArray"
+
+
+@dataclass
+class ExecutionResult:
+    """Outcome of executing a single method: its return value and final locals."""
+
+    value: Any
+    environment: Dict[str, Any] = field(default_factory=dict)
+
+
+class Interpreter:
+    """Executes IR programs concretely.
+
+    Parameters
+    ----------
+    program:
+        The program to execute (library plus any driver classes).
+    natives:
+        Hook registry; defaults to :func:`default_natives`.
+    max_steps:
+        Total statement budget across the whole execution.
+    max_depth:
+        Maximum call-stack depth.
+    """
+
+    def __init__(
+        self,
+        program: Program,
+        natives: Optional[NativeRegistry] = None,
+        max_steps: int = 100_000,
+        max_depth: int = 200,
+    ):
+        self.program = program
+        self.natives = natives if natives is not None else default_natives()
+        self.max_steps = max_steps
+        self.max_depth = max_depth
+        self.heap = Heap()
+        self._steps = 0
+
+    # ------------------------------------------------------------------ entry points
+    def execute_static(self, class_name: str, method_name: str, args: Sequence[Any] = ()) -> ExecutionResult:
+        """Execute a static method and return its result and final locals."""
+        ref = self.program.resolve_method(class_name, method_name)
+        if ref is None:
+            raise UnknownMethodError(f"no method {class_name}.{method_name}")
+        method = self.program.method_def(ref)
+        if not method.is_static:
+            raise InterpreterError(f"{ref} is not static")
+        return self._execute_body(ref, method, receiver=None, args=args, depth=0)
+
+    def call(self, receiver: HeapObject, method_name: str, args: Sequence[Any] = ()) -> Any:
+        """Invoke an instance method on *receiver* (dynamic dispatch) and return its value."""
+        return self._invoke(receiver, method_name, list(args), depth=0)
+
+    def allocate(self, class_name: str, args: Sequence[Any] = ()) -> HeapObject:
+        """Allocate an object of *class_name* and run its constructor, if any."""
+        return self._allocate(class_name, list(args), depth=0)
+
+    # ------------------------------------------------------------------ internals
+    def _tick(self) -> None:
+        self._steps += 1
+        if self._steps > self.max_steps:
+            raise StepLimitExceeded(f"exceeded {self.max_steps} interpreted statements")
+
+    def _allocate(self, class_name: str, args: Sequence[Any], depth: int) -> HeapObject:
+        if class_name == ARRAY_CLASS:
+            obj = self.heap.allocate_array()
+        else:
+            obj = self.heap.allocate(class_name)
+        if self.program.has_class(class_name):
+            constructor = self.program.resolve_method(class_name, CONSTRUCTOR)
+            if constructor is not None:
+                self._dispatch(constructor, obj, args, depth)
+        return obj
+
+    def _invoke(self, receiver: Any, method_name: str, args: Sequence[Any], depth: int) -> Any:
+        if receiver is None:
+            raise NullPointerError(f"call to {method_name!r} on null")
+        if not isinstance(receiver, HeapObject):
+            raise InterpreterError(f"call to {method_name!r} on non-reference value {receiver!r}")
+        ref = self.program.resolve_method(receiver.class_name, method_name)
+        if ref is None:
+            hook = self.natives.lookup(receiver.class_name, method_name)
+            if hook is not None:
+                return hook(self, receiver, args)
+            raise UnknownMethodError(f"no method {method_name!r} on class {receiver.class_name!r}")
+        return self._dispatch(ref, receiver, args, depth)
+
+    def _invoke_static(self, class_name: str, method_name: str, args: Sequence[Any], depth: int) -> Any:
+        hook = self.natives.lookup(class_name, method_name)
+        ref = self.program.resolve_method(class_name, method_name) if self.program.has_class(class_name) else None
+        if ref is not None:
+            method = self.program.method_def(ref)
+            if not method.is_native or hook is None:
+                return self._dispatch(ref, None, args, depth)
+        if hook is not None:
+            return hook(self, None, args)
+        raise UnknownMethodError(f"no static method {class_name}.{method_name}")
+
+    def _dispatch(self, ref: MethodRef, receiver: Any, args: Sequence[Any], depth: int) -> Any:
+        method = self.program.method_def(ref)
+        hook = self.natives.lookup(ref.class_name, ref.method_name)
+        if hook is not None:
+            # Intrinsic or native: the hook provides the concrete behaviour.
+            return hook(self, receiver, args)
+        if method.is_native:
+            raise UnknownMethodError(f"native method {ref} has no registered hook")
+        return self._execute_body(ref, method, receiver, args, depth).value
+
+    def _execute_body(
+        self,
+        ref: MethodRef,
+        method: MethodDef,
+        receiver: Any,
+        args: Sequence[Any],
+        depth: int,
+    ) -> ExecutionResult:
+        if depth > self.max_depth:
+            raise CallDepthExceeded(f"call depth exceeded {self.max_depth} at {ref}")
+        env: Dict[str, Any] = {}
+        if not method.is_static:
+            env[RECEIVER] = receiver
+        params = method.params
+        for index, param in enumerate(params):
+            env[param.name] = args[index] if index < len(args) else None
+
+        result: Any = None
+        for statement in method.body:
+            self._tick()
+            done, result = self._execute_statement(statement, env, depth)
+            if done:
+                break
+        return ExecutionResult(value=result, environment=env)
+
+    def _execute_statement(self, statement: Statement, env: Dict[str, Any], depth: int):
+        if isinstance(statement, Assign):
+            env[statement.target] = self._read(env, statement.source)
+            return False, None
+        if isinstance(statement, Const):
+            env[statement.target] = statement.value
+            return False, None
+        if isinstance(statement, New):
+            args = [self._read(env, a) for a in statement.args]
+            env[statement.target] = self._allocate(statement.class_name, args, depth + 1)
+            return False, None
+        if isinstance(statement, Store):
+            base = self._read(env, statement.base)
+            if base is None:
+                raise NullPointerError(f"store to field {statement.field_name!r} of null")
+            if not isinstance(base, HeapObject):
+                raise InterpreterError(f"store to field of non-reference value {base!r}")
+            base.set_field(statement.field_name, self._read(env, statement.source))
+            return False, None
+        if isinstance(statement, Load):
+            base = self._read(env, statement.base)
+            if base is None:
+                raise NullPointerError(f"load of field {statement.field_name!r} from null")
+            if not isinstance(base, HeapObject):
+                raise InterpreterError(f"load of field from non-reference value {base!r}")
+            env[statement.target] = base.get_field(statement.field_name)
+            return False, None
+        if isinstance(statement, Call):
+            args = [self._read(env, a) for a in statement.args]
+            if statement.base is None:
+                class_name, _, method_name = statement.method_name.rpartition(".")
+                if not class_name:
+                    raise InterpreterError(
+                        f"static call {statement.method_name!r} must be qualified as Class.method"
+                    )
+                value = self._invoke_static(class_name, method_name, args, depth + 1)
+            else:
+                receiver = self._read(env, statement.base)
+                value = self._invoke(receiver, statement.method_name, args, depth + 1)
+            if statement.target is not None:
+                env[statement.target] = value
+            return False, None
+        if isinstance(statement, Return):
+            value = None if statement.value is None else self._read(env, statement.value)
+            return True, value
+        raise InterpreterError(f"unknown statement type {type(statement).__name__}")
+
+    @staticmethod
+    def _read(env: Dict[str, Any], name: str) -> Any:
+        if name not in env:
+            raise InterpreterError(f"read of undefined variable {name!r}")
+        return env[name]

@@ -1,0 +1,163 @@
+"""Native hooks and intrinsics for the interpreter.
+
+Two related mechanisms are provided, mirroring how the JVM treats library
+internals:
+
+* **Natives** -- methods marked ``is_native`` in the IR have no body visible
+  to the static analysis (the analogue of JNI methods such as
+  ``System.arraycopy``).  The interpreter executes them through Python hooks
+  registered here; the static analysis sees nothing, which is the paper's
+  source of *unsoundness* when analyzing library implementations directly.
+
+* **Intrinsics** -- methods that *do* have an IR body (the body is the
+  collapsed-array abstraction the static analysis uses, e.g. a single
+  ``$elem`` pseudo-field standing for all array slots) but whose dynamic
+  behaviour is overridden by a Python hook so that executions are realistic
+  (real indexing, real bounds checks).  This mirrors the paper's treatment of
+  arrays: "our points-to analysis ... collapses arrays into a single field",
+  while the concrete execution of course does not.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Sequence, Tuple, TYPE_CHECKING
+
+from repro.interp.errors import IndexOutOfBounds, InterpreterError, NullPointerError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.interp.heap import HeapObject
+    from repro.interp.interpreter import Interpreter
+
+NativeHook = Callable[["Interpreter", Any, Sequence[Any]], Any]
+
+
+class NativeRegistry:
+    """Maps ``(class_name, method_name)`` to Python hooks."""
+
+    def __init__(self) -> None:
+        self._hooks: Dict[Tuple[str, str], NativeHook] = {}
+
+    def register(self, class_name: str, method_name: str, hook: NativeHook) -> None:
+        self._hooks[(class_name, method_name)] = hook
+
+    def lookup(self, class_name: str, method_name: str) -> NativeHook | None:
+        return self._hooks.get((class_name, method_name))
+
+    def copy(self) -> "NativeRegistry":
+        registry = NativeRegistry()
+        registry._hooks = dict(self._hooks)
+        return registry
+
+
+# --------------------------------------------------------------------------- helpers
+def _require_array(obj: Any, operation: str) -> "HeapObject":
+    if obj is None:
+        raise NullPointerError(f"{operation} on null array")
+    if getattr(obj, "array_elements", None) is None:
+        raise InterpreterError(f"{operation} on non-array object {obj!r}")
+    return obj
+
+
+def _as_index(value: Any, operation: str) -> int:
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise InterpreterError(f"{operation} requires an int index, got {value!r}")
+    return value
+
+
+# --------------------------------------------------------------- ObjectArray intrinsics
+def _array_get(interp: "Interpreter", receiver: Any, args: Sequence[Any]) -> Any:
+    array = _require_array(receiver, "aget")
+    index = _as_index(args[0], "aget")
+    elements = array.array_elements
+    if index < 0 or index >= len(elements):
+        raise IndexOutOfBounds(f"index {index} out of bounds for length {len(elements)}")
+    return elements[index]
+
+
+def _array_set(interp: "Interpreter", receiver: Any, args: Sequence[Any]) -> Any:
+    array = _require_array(receiver, "aset")
+    index = _as_index(args[0], "aset")
+    elements = array.array_elements
+    if index < 0 or index >= len(elements):
+        raise IndexOutOfBounds(f"index {index} out of bounds for length {len(elements)}")
+    elements[index] = args[1]
+    return None
+
+
+def _array_append(interp: "Interpreter", receiver: Any, args: Sequence[Any]) -> Any:
+    array = _require_array(receiver, "aappend")
+    array.array_elements.append(args[0])
+    return None
+
+
+def _array_insert(interp: "Interpreter", receiver: Any, args: Sequence[Any]) -> Any:
+    array = _require_array(receiver, "ainsert")
+    index = _as_index(args[0], "ainsert")
+    elements = array.array_elements
+    if index < 0 or index > len(elements):
+        raise IndexOutOfBounds(f"index {index} out of bounds for insertion into length {len(elements)}")
+    elements.insert(index, args[1])
+    return None
+
+
+def _array_remove(interp: "Interpreter", receiver: Any, args: Sequence[Any]) -> Any:
+    array = _require_array(receiver, "aremove")
+    index = _as_index(args[0], "aremove")
+    elements = array.array_elements
+    if index < 0 or index >= len(elements):
+        raise IndexOutOfBounds(f"index {index} out of bounds for length {len(elements)}")
+    return elements.pop(index)
+
+def _array_last(interp: "Interpreter", receiver: Any, args: Sequence[Any]) -> Any:
+    array = _require_array(receiver, "alast")
+    if not array.array_elements:
+        raise IndexOutOfBounds("alast on empty array")
+    return array.array_elements[-1]
+
+
+def _array_remove_last(interp: "Interpreter", receiver: Any, args: Sequence[Any]) -> Any:
+    array = _require_array(receiver, "aremovelast")
+    if not array.array_elements:
+        raise IndexOutOfBounds("aremovelast on empty array")
+    return array.array_elements.pop()
+
+
+def _array_length(interp: "Interpreter", receiver: Any, args: Sequence[Any]) -> Any:
+    array = _require_array(receiver, "alength")
+    return len(array.array_elements)
+
+
+def _array_range(interp: "Interpreter", receiver: Any, args: Sequence[Any]) -> Any:
+    array = _require_array(receiver, "arange")
+    start = _as_index(args[0], "arange")
+    end = _as_index(args[1], "arange")
+    elements = array.array_elements
+    if start < 0 or end > len(elements) or start > end:
+        raise IndexOutOfBounds(f"range [{start}, {end}) out of bounds for length {len(elements)}")
+    result = interp.heap.allocate_array()
+    result.array_elements = list(elements[start:end])
+    return result
+
+
+# ----------------------------------------------------------------------- System natives
+def _system_arraycopy(interp: "Interpreter", receiver: Any, args: Sequence[Any]) -> Any:
+    source = _require_array(args[0], "arraycopy")
+    destination = _require_array(args[1], "arraycopy")
+    destination.array_elements.extend(source.array_elements)
+    return None
+
+
+def default_natives() -> NativeRegistry:
+    """Registry with the hooks used by the bundled library models."""
+    registry = NativeRegistry()
+    registry.register("ObjectArray", "aget", _array_get)
+    registry.register("ObjectArray", "aset", _array_set)
+    registry.register("ObjectArray", "aappend", _array_append)
+    registry.register("ObjectArray", "ainsert", _array_insert)
+    registry.register("ObjectArray", "aremove", _array_remove)
+    registry.register("ObjectArray", "alast", _array_last)
+    registry.register("ObjectArray", "aremovelast", _array_remove_last)
+    registry.register("ObjectArray", "alength", _array_length)
+    registry.register("ObjectArray", "arange", _array_range)
+    registry.register("System", "arraycopy", _system_arraycopy)
+    return registry

@@ -1,0 +1,85 @@
+"""A small class-based intermediate representation (IR).
+
+The IR plays the role that Jimple (Soot's IR for Java) plays in the paper: it
+is the common substrate on which
+
+* the library implementations are written (``repro.library``),
+* client programs / synthesized unit tests are expressed,
+* code-fragment specifications are generated (Appendix A of the paper), and
+* the static points-to analysis (``repro.pointsto``) and the reference
+  interpreter (``repro.interp``) operate.
+
+Only the statement forms consumed by the paper's analysis (Figure 2) are
+modelled: assignments, allocations, field stores, field loads, calls and
+returns, plus primitive constants needed to execute unit tests concretely.
+"""
+
+from repro.lang.types import (
+    BOOLEAN,
+    CHAR,
+    INT,
+    OBJECT,
+    PRIMITIVE_TYPES,
+    VOID,
+    default_primitive_value,
+    is_primitive,
+    is_reference,
+)
+from repro.lang.statements import (
+    Assign,
+    Call,
+    Const,
+    Load,
+    New,
+    Return,
+    Statement,
+    Store,
+)
+from repro.lang.program import (
+    ClassDef,
+    Field,
+    MethodDef,
+    MethodRef,
+    Parameter,
+    Program,
+    RECEIVER,
+)
+from repro.lang.builder import ClassBuilder, MethodBuilder, ProgramBuilder
+from repro.lang.pretty import pretty_class, pretty_method, pretty_program, pretty_statement
+from repro.lang.validate import ValidationError, validate_program
+
+__all__ = [
+    "Assign",
+    "BOOLEAN",
+    "CHAR",
+    "Call",
+    "ClassBuilder",
+    "ClassDef",
+    "Const",
+    "Field",
+    "INT",
+    "Load",
+    "MethodBuilder",
+    "MethodDef",
+    "MethodRef",
+    "New",
+    "OBJECT",
+    "PRIMITIVE_TYPES",
+    "Parameter",
+    "Program",
+    "ProgramBuilder",
+    "RECEIVER",
+    "Return",
+    "Statement",
+    "Store",
+    "VOID",
+    "ValidationError",
+    "default_primitive_value",
+    "is_primitive",
+    "is_reference",
+    "pretty_class",
+    "pretty_method",
+    "pretty_program",
+    "pretty_statement",
+    "validate_program",
+]

@@ -1,0 +1,172 @@
+"""Fluent builders for IR classes, methods and programs.
+
+The library models in ``repro.library`` and the synthesized unit tests in
+``repro.synthesis`` are built with these helpers; they keep the hand-written
+model code readable while producing the immutable dataclasses of
+``repro.lang.program``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.lang.program import CONSTRUCTOR, ClassDef, Field, MethodDef, Parameter, Program
+from repro.lang.statements import Assign, Call, Const, Load, New, Return, Statement, Store
+from repro.lang.types import OBJECT, VOID
+
+
+class MethodBuilder:
+    """Accumulates statements for a single method."""
+
+    def __init__(
+        self,
+        name: str,
+        params: Sequence[Union[Parameter, Tuple[str, str], str]] = (),
+        return_type: str = VOID,
+        is_static: bool = False,
+        is_native: bool = False,
+        doc: str = "",
+    ):
+        self.name = name
+        self.params = tuple(self._as_parameter(p) for p in params)
+        self.return_type = return_type
+        self.is_static = is_static
+        self.is_native = is_native
+        self.doc = doc
+        self._body: List[Statement] = []
+
+    @staticmethod
+    def _as_parameter(param: Union[Parameter, Tuple[str, str], str]) -> Parameter:
+        if isinstance(param, Parameter):
+            return param
+        if isinstance(param, tuple):
+            name, type_name = param
+            return Parameter(name, type_name)
+        return Parameter(param, OBJECT)
+
+    # -------------------------------------------------------------- statements
+    def assign(self, target: str, source: str) -> "MethodBuilder":
+        self._body.append(Assign(target, source))
+        return self
+
+    def new(self, target: str, class_name: str, *args: str) -> "MethodBuilder":
+        self._body.append(New(target, class_name, tuple(args)))
+        return self
+
+    def store(self, base: str, field_name: str, source: str) -> "MethodBuilder":
+        self._body.append(Store(base, field_name, source))
+        return self
+
+    def load(self, target: str, base: str, field_name: str) -> "MethodBuilder":
+        self._body.append(Load(target, base, field_name))
+        return self
+
+    def call(
+        self,
+        target: Optional[str],
+        base: Optional[str],
+        method_name: str,
+        *args: str,
+    ) -> "MethodBuilder":
+        self._body.append(Call(target, base, method_name, tuple(args)))
+        return self
+
+    def const(self, target: str, value) -> "MethodBuilder":
+        self._body.append(Const(target, value))
+        return self
+
+    def ret(self, value: Optional[str] = None) -> "MethodBuilder":
+        self._body.append(Return(value))
+        return self
+
+    def add(self, statement: Statement) -> "MethodBuilder":
+        self._body.append(statement)
+        return self
+
+    def extend(self, statements: Sequence[Statement]) -> "MethodBuilder":
+        self._body.extend(statements)
+        return self
+
+    # ------------------------------------------------------------------ build
+    def build(self) -> MethodDef:
+        return MethodDef(
+            name=self.name,
+            params=self.params,
+            return_type=self.return_type,
+            body=tuple(self._body),
+            is_static=self.is_static,
+            is_native=self.is_native,
+            doc=self.doc,
+        )
+
+
+class ClassBuilder:
+    """Accumulates fields and methods for a single class."""
+
+    def __init__(self, name: str, superclass: Optional[str] = OBJECT, is_library: bool = False):
+        self.name = name
+        self.superclass = superclass
+        self.is_library = is_library
+        self._fields: List[Field] = []
+        self._methods: Dict[str, MethodDef] = {}
+
+    def field(self, name: str, type_name: str = OBJECT) -> "ClassBuilder":
+        self._fields.append(Field(name, type_name))
+        return self
+
+    def method(
+        self,
+        name: str,
+        params: Sequence[Union[Parameter, Tuple[str, str], str]] = (),
+        return_type: str = VOID,
+        is_static: bool = False,
+        is_native: bool = False,
+        doc: str = "",
+    ) -> MethodBuilder:
+        """Start a method; call :meth:`add_method` (or use ``finish``) when done."""
+        return MethodBuilder(
+            name,
+            params=params,
+            return_type=return_type,
+            is_static=is_static,
+            is_native=is_native,
+            doc=doc,
+        )
+
+    def constructor(
+        self, params: Sequence[Union[Parameter, Tuple[str, str], str]] = (), doc: str = ""
+    ) -> MethodBuilder:
+        return MethodBuilder(CONSTRUCTOR, params=params, return_type=VOID, doc=doc)
+
+    def add_method(self, method: Union[MethodDef, MethodBuilder]) -> "ClassBuilder":
+        if isinstance(method, MethodBuilder):
+            method = method.build()
+        if method.name in self._methods:
+            raise ValueError(f"duplicate method {self.name}.{method.name}")
+        self._methods[method.name] = method
+        return self
+
+    def build(self) -> ClassDef:
+        return ClassDef(
+            name=self.name,
+            superclass=self.superclass,
+            fields=tuple(self._fields),
+            methods=dict(self._methods),
+            is_library=self.is_library,
+        )
+
+
+class ProgramBuilder:
+    """Accumulates classes into a :class:`~repro.lang.program.Program`."""
+
+    def __init__(self) -> None:
+        self._classes: List[ClassDef] = []
+
+    def add_class(self, cls: Union[ClassDef, ClassBuilder]) -> "ProgramBuilder":
+        if isinstance(cls, ClassBuilder):
+            cls = cls.build()
+        self._classes.append(cls)
+        return self
+
+    def build(self) -> Program:
+        return Program(self._classes)

@@ -1,0 +1,84 @@
+"""Pretty printer: renders IR programs as readable pseudo-Java source."""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.lang.program import ClassDef, MethodDef, Program, RECEIVER
+from repro.lang.statements import Assign, Call, Const, Load, New, Return, Statement, Store
+
+
+def pretty_statement(statement: Statement) -> str:
+    """Render a single statement as pseudo-Java."""
+    if isinstance(statement, Assign):
+        return f"{statement.target} = {statement.source};"
+    if isinstance(statement, New):
+        args = ", ".join(statement.args)
+        return f"{statement.target} = new {statement.class_name}({args});"
+    if isinstance(statement, Store):
+        return f"{statement.base}.{statement.field_name} = {statement.source};"
+    if isinstance(statement, Load):
+        return f"{statement.target} = {statement.base}.{statement.field_name};"
+    if isinstance(statement, Call):
+        args = ", ".join(statement.args)
+        receiver = "" if statement.base is None else f"{statement.base}."
+        call = f"{receiver}{statement.method_name}({args})"
+        if statement.target is None:
+            return f"{call};"
+        return f"{statement.target} = {call};"
+    if isinstance(statement, Return):
+        if statement.value is None:
+            return "return;"
+        return f"return {statement.value};"
+    if isinstance(statement, Const):
+        value = statement.value
+        if value is None:
+            literal = "null"
+        elif isinstance(value, bool):
+            literal = "true" if value else "false"
+        elif isinstance(value, str):
+            literal = f"'{value}'"
+        else:
+            literal = str(value)
+        return f"{statement.target} = {literal};"
+    raise TypeError(f"unknown statement type {type(statement).__name__}")
+
+
+def pretty_method(method: MethodDef, indent: str = "  ") -> str:
+    """Render a method (signature plus body) as pseudo-Java."""
+    params = ", ".join(f"{p.type} {p.name}" for p in method.params)
+    modifiers = []
+    if method.is_static:
+        modifiers.append("static")
+    if method.is_native:
+        modifiers.append("native")
+    prefix = (" ".join(modifiers) + " ") if modifiers else ""
+    header = f"{indent}{prefix}{method.return_type} {method.name}({params})"
+    if method.is_native:
+        return header + ";"
+    lines = [header + " {"]
+    for statement in method.body:
+        lines.append(f"{indent}{indent}{pretty_statement(statement)}")
+    lines.append(f"{indent}}}")
+    return "\n".join(lines)
+
+
+def pretty_class(cls: ClassDef) -> str:
+    """Render a class as pseudo-Java."""
+    extends = f" extends {cls.superclass}" if cls.superclass and cls.superclass != "Object" else ""
+    kind = "library class" if cls.is_library else "class"
+    lines: List[str] = [f"{kind} {cls.name}{extends} {{"]
+    for fld in cls.fields:
+        lines.append(f"  {fld.type} {fld.name};")
+    for method in cls.methods.values():
+        lines.append(pretty_method(method))
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def pretty_program(program: Program) -> str:
+    """Render a whole program as pseudo-Java (one class after another)."""
+    return "\n\n".join(pretty_class(cls) for cls in program)
+
+
+__all__ = ["pretty_statement", "pretty_method", "pretty_class", "pretty_program", "RECEIVER"]

@@ -1,0 +1,146 @@
+"""Statement forms of the IR.
+
+These correspond one-to-one with the statement forms the paper's points-to
+analysis consumes (Figure 2):
+
+* ``Assign``  -- ``y <- x``
+* ``New``     -- ``x <- X()`` (allocation, optionally with constructor args)
+* ``Store``   -- ``y.f <- x``
+* ``Load``    -- ``y <- x.f``
+* ``Call``    -- ``y <- x.m(a, ...)``
+* ``Return``  -- ``return x``
+* ``Const``   -- ``x <- literal`` (primitive constants / ``null``)
+
+``Const`` has no points-to effect but is needed to run synthesized unit tests
+concretely (index arguments, booleans, explicit ``null`` initialization).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Tuple, Union
+
+
+@dataclass(frozen=True)
+class Statement:
+    """Base class for all IR statements."""
+
+    def defined_variable(self) -> Optional[str]:
+        """Name of the local variable this statement defines, if any."""
+        return None
+
+    def used_variables(self) -> Tuple[str, ...]:
+        """Names of the local variables this statement reads."""
+        return ()
+
+
+@dataclass(frozen=True)
+class Assign(Statement):
+    """``target <- source`` (copy of a reference or primitive value)."""
+
+    target: str
+    source: str
+
+    def defined_variable(self) -> Optional[str]:
+        return self.target
+
+    def used_variables(self) -> Tuple[str, ...]:
+        return (self.source,)
+
+
+@dataclass(frozen=True)
+class New(Statement):
+    """``target <- new ClassName(args...)``.
+
+    Each ``New`` statement is an allocation site; the static analysis derives
+    a unique abstract object from its position in the enclosing method.  The
+    constructor (method named ``<init>``) is invoked with ``target`` as the
+    receiver and *args* as arguments, when such a constructor exists.
+    """
+
+    target: str
+    class_name: str
+    args: Tuple[str, ...] = field(default=())
+
+    def defined_variable(self) -> Optional[str]:
+        return self.target
+
+    def used_variables(self) -> Tuple[str, ...]:
+        return tuple(self.args)
+
+
+@dataclass(frozen=True)
+class Store(Statement):
+    """``base.field_name <- source``."""
+
+    base: str
+    field_name: str
+    source: str
+
+    def used_variables(self) -> Tuple[str, ...]:
+        return (self.base, self.source)
+
+
+@dataclass(frozen=True)
+class Load(Statement):
+    """``target <- base.field_name``."""
+
+    target: str
+    base: str
+    field_name: str
+
+    def defined_variable(self) -> Optional[str]:
+        return self.target
+
+    def used_variables(self) -> Tuple[str, ...]:
+        return (self.base,)
+
+
+@dataclass(frozen=True)
+class Call(Statement):
+    """``target <- base.method_name(args...)``.
+
+    *target* may be ``None`` when the result is discarded and *base* may be
+    ``None`` for static calls (used only by a handful of library helpers).
+    """
+
+    target: Optional[str]
+    base: Optional[str]
+    method_name: str
+    args: Tuple[str, ...] = field(default=())
+
+    def defined_variable(self) -> Optional[str]:
+        return self.target
+
+    def used_variables(self) -> Tuple[str, ...]:
+        used = [] if self.base is None else [self.base]
+        used.extend(self.args)
+        return tuple(used)
+
+
+@dataclass(frozen=True)
+class Return(Statement):
+    """``return value`` (or a bare ``return`` when *value* is ``None``)."""
+
+    value: Optional[str] = None
+
+    def used_variables(self) -> Tuple[str, ...]:
+        return () if self.value is None else (self.value,)
+
+
+@dataclass(frozen=True)
+class Const(Statement):
+    """``target <- literal``.
+
+    *value* is a Python ``int``, ``bool``, one-character ``str`` or ``None``
+    (the ``null`` literal).  Constants carry no points-to information.
+    """
+
+    target: str
+    value: Union[int, bool, str, None]
+
+    def defined_variable(self) -> Optional[str]:
+        return self.target
+
+    def used_variables(self) -> Tuple[str, ...]:
+        return ()

@@ -1,0 +1,46 @@
+"""Type names used by the IR.
+
+Types are plain strings.  Reference types are class names (``"Object"``,
+``"ArrayList"``, ...); primitive types are the small fixed set below.  The
+paper's analysis only distinguishes reference values (which participate in
+points-to relations) from primitive values (which do not), so no richer type
+machinery is necessary.
+"""
+
+from __future__ import annotations
+
+OBJECT = "Object"
+VOID = "void"
+
+INT = "int"
+BOOLEAN = "boolean"
+CHAR = "char"
+
+PRIMITIVE_TYPES = frozenset({INT, BOOLEAN, CHAR})
+
+_DEFAULT_PRIMITIVE_VALUES = {
+    INT: 0,
+    BOOLEAN: True,
+    CHAR: "a",
+}
+
+
+def is_primitive(type_name: str) -> bool:
+    """Return ``True`` if *type_name* denotes a primitive (non-reference) type."""
+    return type_name in PRIMITIVE_TYPES
+
+
+def is_reference(type_name: str) -> bool:
+    """Return ``True`` if *type_name* denotes a reference (class) type."""
+    return type_name != VOID and type_name not in PRIMITIVE_TYPES
+
+
+def default_primitive_value(type_name: str):
+    """Default value used to initialize primitive variables in synthesized tests.
+
+    The paper (Appendix B.3) initializes numeric variables to 0, booleans to
+    ``true`` and characters to ``'a'``.
+    """
+    if type_name not in _DEFAULT_PRIMITIVE_VALUES:
+        raise ValueError(f"{type_name!r} is not a primitive type")
+    return _DEFAULT_PRIMITIVE_VALUES[type_name]

@@ -1,0 +1,91 @@
+"""Structural validation of IR programs.
+
+Validation catches the mistakes that are easy to make when hand-writing
+library models or generating code fragments: using a local variable before it
+is defined, storing to an undeclared field, calling a method that does not
+resolve anywhere in the program, or returning a value from a ``void`` method.
+"""
+
+from __future__ import annotations
+
+from typing import List, Set
+
+from repro.lang.program import ClassDef, MethodDef, Program, RECEIVER
+from repro.lang.statements import Assign, Call, Const, Load, New, Return, Store
+from repro.lang.types import VOID
+
+
+class ValidationError(Exception):
+    """Raised when a program fails structural validation."""
+
+    def __init__(self, errors: List[str]):
+        super().__init__("; ".join(errors))
+        self.errors = errors
+
+
+def _validate_method(program: Program, cls: ClassDef, method: MethodDef, errors: List[str]) -> None:
+    where = f"{cls.name}.{method.name}"
+    defined: Set[str] = {p.name for p in method.params}
+    if not method.is_static:
+        defined.add(RECEIVER)
+
+    for index, statement in enumerate(method.body):
+        for used in statement.used_variables():
+            if used not in defined:
+                errors.append(f"{where}: statement {index} uses undefined variable {used!r}")
+        if isinstance(statement, (Store, Load)):
+            base_class = None
+            # Field declarations are only checked when the base is the receiver,
+            # since local reference variables are untyped in the IR.
+            if statement.base == RECEIVER and not method.is_static:
+                base_class = cls.name
+            if base_class is not None:
+                declared = {f.name for f in program.all_fields(base_class)}
+                if statement.field_name not in declared and not statement.field_name.startswith("$"):
+                    errors.append(
+                        f"{where}: statement {index} accesses undeclared field "
+                        f"{base_class}.{statement.field_name}"
+                    )
+        if isinstance(statement, New) and not program.has_class(statement.class_name):
+            errors.append(f"{where}: statement {index} allocates unknown class {statement.class_name!r}")
+        if isinstance(statement, Return):
+            if statement.value is not None and method.return_type == VOID:
+                errors.append(f"{where}: statement {index} returns a value from a void method")
+            if statement.value is None and method.return_type != VOID and not method.is_native:
+                errors.append(f"{where}: statement {index} returns no value from a non-void method")
+        target = statement.defined_variable()
+        if target is not None:
+            defined.add(target)
+
+
+def _validate_calls(program: Program, cls: ClassDef, method: MethodDef, errors: List[str]) -> None:
+    where = f"{cls.name}.{method.name}"
+    for index, statement in enumerate(method.body):
+        if not isinstance(statement, Call) or statement.base is None:
+            continue
+        # The callee class is unknown statically (locals are untyped), so we
+        # only require that *some* class in the program defines the method.
+        if not any(statement.method_name in c.methods for c in program):
+            errors.append(
+                f"{where}: statement {index} calls {statement.method_name!r}, "
+                "which no class in the program defines"
+            )
+
+
+def validate_program(program: Program, check_calls: bool = False) -> None:
+    """Validate *program*; raise :class:`ValidationError` listing all problems.
+
+    ``check_calls=True`` additionally requires every invoked method name to be
+    defined by at least one class in the program (useful for fully linked
+    programs, too strict for partial libraries).
+    """
+    errors: List[str] = []
+    for cls in program:
+        if cls.superclass is not None and cls.superclass != "Object" and not program.has_class(cls.superclass):
+            errors.append(f"{cls.name}: unknown superclass {cls.superclass!r}")
+        for method in cls.methods.values():
+            _validate_method(program, cls, method, errors)
+            if check_calls:
+                _validate_calls(program, cls, method, errors)
+    if errors:
+        raise ValidationError(errors)

@@ -1,0 +1,30 @@
+"""The active-learning specification inference algorithm (Section 5).
+
+Phase one samples candidate path specifications (randomly or with Monte Carlo
+tree search) and keeps the ones whose synthesized unit test passes (the noisy
+oracle).  Phase two inductively generalizes the positive examples to a
+regular language with an oracle-guided variant of RPNI.  The resulting
+automaton is translated to code-fragment specifications usable by the static
+points-to analysis.
+"""
+
+from repro.learn.oracle import OracleStats, WitnessOracle
+from repro.learn.sampler import RandomSampler, SamplingStats, sample_positive_examples
+from repro.learn.mcts import MCTSSampler
+from repro.learn.rpni import RPNIStats, learn_fsa
+from repro.learn.pipeline import Atlas, AtlasConfig, AtlasResult, infer_specifications
+
+__all__ = [
+    "Atlas",
+    "AtlasConfig",
+    "AtlasResult",
+    "MCTSSampler",
+    "OracleStats",
+    "RPNIStats",
+    "RandomSampler",
+    "SamplingStats",
+    "WitnessOracle",
+    "infer_specifications",
+    "learn_fsa",
+    "sample_positive_examples",
+]

@@ -1,0 +1,203 @@
+"""Systematic candidate enumeration for phase one.
+
+The paper's phase one draws 12 million random candidates over the whole
+standard library; at laptop scale (and with a much smaller modelled library)
+the same coverage is obtained by *systematically* enumerating short candidate
+specifications and extending the promising ones:
+
+* all structurally valid candidates with at most ``exhaustive_calls`` calls
+  (default 2) whose first variable is a parameter are checked directly;
+* longer candidates (up to ``max_calls``) are built by extending *productive
+  prefixes* -- prefixes of already-witnessed specifications -- with one more
+  pair and a final retrieve pair;
+* candidates whose connecting (premise) edges relate variables of provably
+  incompatible declared types are pruned, since no client could establish
+  such an edge.
+
+The enumeration is a deterministic, budgeted substitute for the sampling
+budget of the paper; the random and MCTS samplers of Section 5.2 remain
+available (and are compared in the §6.3 design-choice experiment).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.lang.program import Program
+from repro.lang.types import OBJECT
+from repro.specs.path_spec import is_valid_word
+from repro.specs.variables import LibraryInterface, MethodSignature, SpecVariable
+
+Word = Tuple[SpecVariable, ...]
+Pair = Tuple[SpecVariable, SpecVariable]
+
+
+@dataclass
+class EnumerationStats:
+    """Counters describing a systematic enumeration run."""
+
+    candidates: int = 0
+    pruned_by_type: int = 0
+    positives: int = 0
+    budget_exhausted: bool = False
+
+
+class TypeCompatibility:
+    """Assignability check between declared types of the modelled library."""
+
+    def __init__(self, library_program: Optional[Program] = None):
+        self._ancestors: Dict[str, Set[str]] = {}
+        if library_program is not None:
+            for cls in library_program:
+                self._ancestors[cls.name] = set(library_program.superclass_chain(cls.name))
+
+    def compatible(self, left: str, right: str) -> bool:
+        """Whether a value of declared type *left* could flow into *right* (or vice versa)."""
+        if left == right or left == OBJECT or right == OBJECT:
+            return True
+        left_ancestors = self._ancestors.get(left)
+        right_ancestors = self._ancestors.get(right)
+        if left_ancestors is None or right_ancestors is None:
+            return True  # unknown types: do not prune
+        return left in right_ancestors or right in left_ancestors
+
+
+class CandidateEnumerator:
+    """Budgeted systematic enumeration of candidate path specifications."""
+
+    def __init__(
+        self,
+        interface: LibraryInterface,
+        library_program: Optional[Program] = None,
+        exhaustive_calls: int = 2,
+        max_calls: int = 4,
+        budget: int = 60_000,
+        prune_by_type: bool = True,
+    ):
+        self.interface = interface
+        self.exhaustive_calls = exhaustive_calls
+        self.max_calls = max_calls
+        self.budget = budget
+        self.prune_by_type = prune_by_type
+        self.types = TypeCompatibility(library_program)
+        self._type_of: Dict[SpecVariable, str] = {}
+        for signature in interface.methods():
+            for variable in signature.variables():
+                self._type_of[variable] = self._declared_type(signature, variable)
+
+        self._start_pairs = self._build_pairs(first=True)
+        self._middle_pairs = self._build_pairs(first=False, receiver_only=True)
+        self._final_pairs = [
+            (z, w) for (z, w) in self._build_pairs(first=False) if w.is_return
+        ]
+
+    # ------------------------------------------------------------------ vocabulary
+    @staticmethod
+    def _declared_type(signature: MethodSignature, variable: SpecVariable) -> str:
+        if variable.is_return:
+            return signature.return_type
+        if variable.name == "this":
+            return signature.class_name
+        for name, type_name in signature.params:
+            if name == variable.name:
+                return type_name
+        return OBJECT
+
+    def _build_pairs(self, first: bool, receiver_only: bool = False) -> List[Pair]:
+        """All ``(z, w)`` pairs of one method; *first* pairs start with a parameter."""
+        pairs: List[Pair] = []
+        for signature in self.interface.methods():
+            variables = signature.variables()
+            for z in variables:
+                if first and not z.is_param:
+                    continue
+                for w in variables:
+                    if z == w:
+                        continue  # identity pairs carry no information
+                    if receiver_only and z.name != "this" and w.name != "this":
+                        continue
+                    pairs.append((z, w))
+        return pairs
+
+    def _edge_compatible(self, w: SpecVariable, z: SpecVariable) -> bool:
+        if w.is_return and z.is_return:
+            return False  # structurally invalid
+        if not self.prune_by_type:
+            return True
+        return self.types.compatible(self._type_of[w], self._type_of[z])
+
+    # ------------------------------------------------------------------ enumeration
+    def _extend(self, prefixes: Iterable[Word], pairs: Sequence[Pair]) -> Iterable[Word]:
+        for prefix in prefixes:
+            last = prefix[-1]
+            for z, w in pairs:
+                if not self._edge_compatible(last, z):
+                    continue
+                yield prefix + (z, w)
+
+    def run(self, oracle) -> Tuple[Set[Word], EnumerationStats]:
+        """Enumerate candidates, query the oracle, and return the witnessed words."""
+        stats = EnumerationStats()
+        positives: Set[Word] = set()
+
+        def check(word: Word) -> bool:
+            if stats.candidates >= self.budget:
+                stats.budget_exhausted = True
+                return False
+            if not is_valid_word(word):
+                return False
+            stats.candidates += 1
+            if oracle(word):
+                stats.positives += 1
+                positives.add(word)
+                return True
+            return False
+
+        # Exhaustive enumeration for short candidates.
+        frontier: List[Word] = []
+        for z, w in self._start_pairs:
+            word = (z, w)
+            frontier.append(word)
+            check(word)
+        calls = 1
+        exhaustive_frontier = frontier
+        while calls < self.exhaustive_calls and not stats.budget_exhausted:
+            calls += 1
+            next_frontier: List[Word] = []
+            for word in self._extend(exhaustive_frontier, self._final_pairs):
+                check(word)
+            for word in self._extend(exhaustive_frontier, self._middle_pairs):
+                next_frontier.append(word)
+            exhaustive_frontier = next_frontier
+
+        # Productive-prefix extension for longer candidates.  Store-like pairs
+        # (a parameter flowing into the receiver) are always considered
+        # productive: classes such as sets have no two-call specification at
+        # all (nothing retrieves an element directly), yet their three-call
+        # iterator specifications must still be explored.
+        store_prefixes = {
+            (z, w)
+            for (z, w) in self._start_pairs
+            if z.is_param and z.name != "this" and w.is_param and w.name == "this"
+        }
+        productive: List[Word] = sorted(
+            {word[:-2] for word in positives if len(word) >= 4} | store_prefixes,
+            key=lambda w: tuple(str(v) for v in w),
+        )
+        while calls < self.max_calls and not stats.budget_exhausted:
+            calls += 1
+            extended_prefixes = [
+                prefix
+                for prefix in self._extend(productive, self._middle_pairs)
+            ]
+            new_positive_prefixes: Set[Word] = set()
+            for prefix in extended_prefixes:
+                if stats.budget_exhausted:
+                    break
+                for word in self._extend([prefix], self._final_pairs):
+                    if check(word):
+                        new_positive_prefixes.add(prefix)
+            productive = sorted(new_positive_prefixes, key=lambda w: tuple(str(v) for v in w))
+
+        return positives, stats

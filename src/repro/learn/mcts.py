@@ -1,0 +1,72 @@
+"""Monte Carlo tree search sampling (Section 5.2).
+
+The search space of candidate specifications is a tree whose edges are
+labeled with specification variables (or the terminate symbol).  MCTS keeps a
+score ``Q(N, x)`` for every visited node ``N`` and choice ``x``, samples
+choices from the softmax of the scores, and after the oracle's verdict ``o``
+updates every score along the path with
+
+    Q <- (1 - alpha) * Q + alpha * o        (alpha = 1/2)
+
+so that prefixes that tend to lead to witnessed specifications are explored
+more often.  In the paper this finds roughly three times as many positive
+examples as uniform sampling for the same budget.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Optional, Sequence, Tuple
+
+from repro.learn.sampler import STOP, CandidateSampler, Word
+from repro.specs.variables import LibraryInterface, SpecVariable
+
+ChoiceKey = Tuple[Word, Optional[SpecVariable]]
+
+
+class MCTSSampler(CandidateSampler):
+    """Softmax-guided sampling with learned per-prefix scores."""
+
+    def __init__(
+        self,
+        interface: LibraryInterface,
+        max_calls: int = 4,
+        seed: int = 0,
+        learning_rate: float = 0.5,
+        temperature: float = 1.0,
+    ):
+        super().__init__(interface, max_calls=max_calls, seed=seed)
+        self.learning_rate = learning_rate
+        self.temperature = temperature
+        self._scores: Dict[ChoiceKey, float] = {}
+
+    # ------------------------------------------------------------------ policy
+    def score(self, prefix: Word, choice: Optional[SpecVariable]) -> float:
+        return self._scores.get((prefix, choice), 0.0)
+
+    def select(
+        self, prefix: Word, options: Sequence[Optional[SpecVariable]]
+    ) -> Optional[SpecVariable]:
+        options = list(options)
+        if len(options) == 1:
+            return options[0]
+        weights = []
+        maximum = max(self.score(prefix, option) for option in options)
+        for option in options:
+            weights.append(math.exp((self.score(prefix, option) - maximum) / self.temperature))
+        return self.rng.choices(options, weights=weights, k=1)[0]
+
+    # ------------------------------------------------------------------ learning
+    def observe(self, word: Word, outcome: bool) -> None:
+        """Update the scores along the sampled path with the oracle's verdict."""
+        reward = 1.0 if outcome else 0.0
+        alpha = self.learning_rate
+        for index in range(len(word)):
+            key = (word[:index], word[index])
+            self._scores[key] = (1 - alpha) * self._scores.get(key, 0.0) + alpha * reward
+        # The terminating choice also gets credit.
+        stop_key = (word, STOP)
+        self._scores[stop_key] = (1 - alpha) * self._scores.get(stop_key, 0.0) + alpha * reward
+
+    def num_tracked_choices(self) -> int:
+        return len(self._scores)

@@ -1,0 +1,115 @@
+"""The noisy oracle (Section 5.1).
+
+Given a candidate path specification, the oracle synthesizes a potential
+witness and executes it against the library implementation (blackbox access,
+here: the reference interpreter).  It returns ``True`` only when the witness
+passes, i.e. when the two conclusion variables hold the very same object.
+A ``False`` answer is *not* proof of imprecision -- executions are
+underapproximations -- which is exactly why the oracle is "noisy".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Sequence, Tuple, Union
+
+from repro.interp.errors import InterpreterError
+from repro.interp.heap import HeapObject
+from repro.interp.interpreter import Interpreter
+from repro.lang.program import Program
+from repro.specs.path_spec import PathSpec, PathSpecError
+from repro.specs.variables import LibraryInterface, SpecVariable
+from repro.synthesis.initialization import InitializationStrategy
+from repro.synthesis.unit_test import SynthesisError, UnitTest, UnitTestSynthesizer, WITNESS_CLASS, WITNESS_METHOD
+
+Word = Tuple[SpecVariable, ...]
+
+
+@dataclass
+class OracleStats:
+    """Counters describing the oracle's activity."""
+
+    queries: int = 0
+    cache_hits: int = 0
+    invalid_candidates: int = 0
+    synthesis_failures: int = 0
+    execution_failures: int = 0
+    witnesses_passed: int = 0
+    witnesses_failed: int = 0
+
+
+class WitnessOracle:
+    """Checks candidate path specifications by synthesizing and running unit tests."""
+
+    def __init__(
+        self,
+        library_program: Program,
+        interface: LibraryInterface,
+        initialization: Union[str, InitializationStrategy] = "instantiation",
+        max_steps: int = 20_000,
+        cache: bool = True,
+    ):
+        self.library_program = library_program
+        self.interface = interface
+        self.synthesizer = UnitTestSynthesizer(interface, initialization=initialization)
+        self.max_steps = max_steps
+        self.stats = OracleStats()
+        self._cache: Optional[Dict[Word, bool]] = {} if cache else None
+
+    # ------------------------------------------------------------------ main entry
+    def __call__(self, candidate: Union[PathSpec, Sequence[SpecVariable]]) -> bool:
+        word = tuple(candidate.word if isinstance(candidate, PathSpec) else candidate)
+        if self._cache is not None and word in self._cache:
+            self.stats.cache_hits += 1
+            return self._cache[word]
+        result = self._check(word, candidate)
+        if self._cache is not None:
+            self._cache[word] = result
+        return result
+
+    def _check(self, word: Word, candidate: Union[PathSpec, Sequence[SpecVariable]]) -> bool:
+        self.stats.queries += 1
+        try:
+            spec = candidate if isinstance(candidate, PathSpec) else PathSpec(word)
+        except PathSpecError:
+            self.stats.invalid_candidates += 1
+            return False
+
+        try:
+            test = self.synthesizer.synthesize(spec)
+        except SynthesisError:
+            self.stats.synthesis_failures += 1
+            return False
+
+        if test.check_left == test.check_right:
+            # The conclusion compares a variable with itself, so the test
+            # cannot be a potential witness (its conclusion holds trivially
+            # even with empty specifications); reject the candidate.
+            self.stats.synthesis_failures += 1
+            return False
+
+        passed = self.execute_witness(test)
+        if passed:
+            self.stats.witnesses_passed += 1
+        else:
+            self.stats.witnesses_failed += 1
+        return passed
+
+    # ------------------------------------------------------------------ execution
+    def execute_witness(self, test: UnitTest) -> bool:
+        """Run a synthesized witness and report whether it passes."""
+        program = self.library_program.merged_with(test.to_program())
+        interpreter = Interpreter(program, max_steps=self.max_steps)
+        try:
+            result = interpreter.execute_static(WITNESS_CLASS, WITNESS_METHOD)
+        except InterpreterError:
+            self.stats.execution_failures += 1
+            return False
+        environment = result.environment
+        left = environment.get(test.check_left)
+        right = environment.get(test.check_right)
+        return isinstance(left, HeapObject) and left is right
+
+    # ------------------------------------------------------------------ utilities
+    def cached_results(self) -> Dict[Word, bool]:
+        return dict(self._cache or {})

@@ -1,0 +1,124 @@
+"""Oracle-guided RPNI (Section 5.3).
+
+Classic RPNI takes positive and negative examples; the paper replaces the
+negative examples with on-the-fly oracle queries: a candidate state merge is
+accepted only if every path specification it adds to the language (up to a
+bounded length ``N``) is accepted by the noisy oracle.  Structurally invalid
+words are rejected by the oracle, which keeps merges from destroying the
+alternating structure of path specifications.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Sequence, Set, Tuple
+
+from repro.specs.fsa import FSA, prefix_tree_acceptor
+from repro.specs.variables import SpecVariable
+
+Word = Tuple[SpecVariable, ...]
+
+
+@dataclass
+class RPNIStats:
+    """Counters describing one language-inference run."""
+
+    initial_states: int = 0
+    final_states: int = 0
+    merges_attempted: int = 0
+    merges_accepted: int = 0
+    oracle_checks: int = 0
+
+
+def _sorted_words(words: Iterable[Word]) -> List[Word]:
+    return sorted(words, key=lambda word: (len(word), tuple(str(symbol) for symbol in word)))
+
+
+def _bfs_order(fsa: FSA) -> List[int]:
+    order: List[int] = []
+    seen: Set[int] = {fsa.initial}
+    queue = [fsa.initial]
+    while queue:
+        state = queue.pop(0)
+        order.append(state)
+        for _symbol, target in sorted(fsa.outgoing(state), key=lambda item: (str(item[0]), item[1])):
+            if target not in seen:
+                seen.add(target)
+                queue.append(target)
+    return order
+
+
+def learn_fsa(
+    positives: Iterable[Word],
+    oracle,
+    max_check_length: int = 8,
+    max_checked_words: int = 256,
+) -> Tuple[FSA, RPNIStats]:
+    """Infer a regular language of path specifications from positive examples.
+
+    *oracle* is queried for every word a candidate merge adds to the language
+    (up to ``max_check_length`` symbols and ``max_checked_words`` words); the
+    merge is accepted greedily when every checked word passes.  States at
+    different parities (even parity plays the ``z_i`` role, odd parity the
+    ``w_i`` role) are never merged -- such a merge only adds structurally
+    invalid words, so skipping it saves the wasted enumeration and oracle
+    round-trips.
+    """
+    stats = RPNIStats()
+    positives = _sorted_words(positives)
+    current = prefix_tree_acceptor(positives)
+    stats.initial_states = current.num_states
+
+    order = _bfs_order(current)
+    parities = current.state_parities()
+    processed: List[int] = []
+    current_words = set(current.enumerate_words(max_check_length, limit=50_000))
+
+    for state in order:
+        if state == current.initial:
+            processed.append(state)
+            continue
+        if state not in current.states():
+            continue  # already merged away
+        merged_into = None
+        for candidate in processed:
+            if candidate not in current.states():
+                continue
+            if not (parities.get(state, {0}) & parities.get(candidate, {0})):
+                continue  # parity mismatch: the merge can only add invalid words
+            stats.merges_attempted += 1
+            merged = current.merge(state, candidate)
+            if _merge_acceptable(current_words, merged, oracle, stats, max_check_length, max_checked_words):
+                current = merged
+                current_words = set(current.enumerate_words(max_check_length, limit=50_000))
+                merged_into = candidate
+                stats.merges_accepted += 1
+                break
+        if merged_into is None:
+            processed.append(state)
+
+    current = current.trimmed()
+    stats.final_states = current.num_states
+    return current, stats
+
+
+def _merge_acceptable(
+    current_words: set,
+    merged: FSA,
+    oracle,
+    stats: RPNIStats,
+    max_check_length: int,
+    max_checked_words: int,
+) -> bool:
+    """Check the words a merge would add, streaming and aborting on the first failure."""
+    checked = 0
+    for word in merged.enumerate_words(max_check_length):
+        if word in current_words:
+            continue
+        stats.oracle_checks += 1
+        checked += 1
+        if not oracle(word):
+            return False
+        if checked >= max_checked_words:
+            break
+    return True

@@ -1,0 +1,125 @@
+"""Random sampling of candidate path specifications (Section 5.2).
+
+A candidate is built one variable at a time.  After ``z_i`` the next variable
+``w_i`` must belong to the same method; after a ``w_i`` that is a parameter
+the walk may continue with any variable; after a ``w_i`` that is a return
+value the walk may continue with any parameter or terminate.  The sampler
+never emits structurally invalid words.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.specs.path_spec import is_valid_word
+from repro.specs.variables import LibraryInterface, SpecVariable
+
+Word = Tuple[SpecVariable, ...]
+
+#: Sentinel "terminate the walk" choice (the paper's ``phi``).
+STOP = None
+
+
+@dataclass
+class SamplingStats:
+    """Counters describing a phase-one sampling run."""
+
+    samples: int = 0
+    aborted: int = 0
+    candidates: int = 0
+    distinct_candidates: int = 0
+    positives: int = 0
+    distinct_positives: int = 0
+
+
+class CandidateSampler:
+    """Shared machinery for the random and MCTS samplers."""
+
+    def __init__(
+        self,
+        interface: LibraryInterface,
+        max_calls: int = 4,
+        seed: int = 0,
+    ):
+        self.interface = interface
+        self.max_calls = max_calls
+        self.rng = random.Random(seed)
+        self._all_variables: Tuple[SpecVariable, ...] = tuple(interface.variables())
+        self._parameters: Tuple[SpecVariable, ...] = tuple(
+            v for v in self._all_variables if v.is_param
+        )
+
+    # ------------------------------------------------------------------ choice sets
+    def choices(self, prefix: Word) -> Tuple[Optional[SpecVariable], ...]:
+        """The paper's ``T(s)``: admissible next variables (``STOP`` means terminate)."""
+        if len(prefix) >= 2 * self.max_calls:
+            # Length cap reached: terminate if allowed, otherwise abort.
+            if prefix and prefix[-1].is_return and len(prefix) % 2 == 0:
+                return (STOP,)
+            return ()
+        if not prefix:
+            return self._all_variables
+        if len(prefix) % 2 == 1:
+            # Choosing w_i: any variable of z_i's method.
+            return tuple(self.interface.variables_of(prefix[-1]))
+        last = prefix[-1]
+        if last.is_return:
+            return self._parameters + (STOP,)
+        return self._all_variables
+
+    # ------------------------------------------------------------------ sampling
+    def sample(self) -> Optional[Word]:
+        """Sample one candidate; ``None`` when the walk had to be aborted."""
+        prefix: Tuple[SpecVariable, ...] = ()
+        while True:
+            options = self.choices(prefix)
+            if not options:
+                return None
+            choice = self.select(prefix, options)
+            if choice is STOP:
+                return prefix if is_valid_word(prefix) else None
+            prefix = prefix + (choice,)
+
+    def select(
+        self, prefix: Word, options: Sequence[Optional[SpecVariable]]
+    ) -> Optional[SpecVariable]:
+        """Pick the next variable; overridden by the MCTS sampler."""
+        return self.rng.choice(list(options))
+
+    def observe(self, word: Word, outcome: bool) -> None:
+        """Feedback hook called with the oracle's verdict (no-op for random sampling)."""
+
+
+class RandomSampler(CandidateSampler):
+    """Uniform random sampling over ``T(s)`` at every step."""
+
+
+def sample_positive_examples(
+    sampler: CandidateSampler,
+    oracle,
+    num_samples: int,
+) -> Tuple[Set[Word], SamplingStats]:
+    """Phase one: draw *num_samples* candidates and keep the witnessed ones."""
+    stats = SamplingStats()
+    seen: Set[Word] = set()
+    positives: Set[Word] = set()
+    for _ in range(num_samples):
+        stats.samples += 1
+        word = sampler.sample()
+        if word is None:
+            stats.aborted += 1
+            continue
+        stats.candidates += 1
+        if word not in seen:
+            seen.add(word)
+            stats.distinct_candidates += 1
+        outcome = bool(oracle(word))
+        sampler.observe(word, outcome)
+        if outcome:
+            stats.positives += 1
+            if word not in positives:
+                positives.add(word)
+                stats.distinct_positives += 1
+    return positives, stats

@@ -1,0 +1,43 @@
+"""Models of the "Java standard library" used throughout the reproduction.
+
+The paper infers specifications for the Java Collections API and related
+classes.  This package contains IR implementations of a comparable set of
+classes, written to exhibit the phenomena the paper measures:
+
+* **deep call hierarchies and shared superclass helpers** (``AbstractList``,
+  ``AbstractCollection.addAll``, shared iterator classes), which make direct
+  static analysis of the implementation imprecise;
+* **native methods** (``System.arraycopy``), which make direct static
+  analysis unsound;
+* realistic-enough dynamic behaviour for synthesized unit tests to execute,
+  including bounds checks that make certain witnesses fail (``set(int, e)``,
+  ``subList``), reproducing the paper's known false negatives.
+
+The package also provides the *ground truth* and *handwritten* specification
+sets used in the evaluation (Section 6), expressed as regular path
+specification patterns.
+"""
+
+from repro.library.registry import (
+    CONCRETE_CLASSES,
+    COLLECTION_CLASSES,
+    SPEC_CLASS_CLUSTERS,
+    build_interface,
+    build_library_program,
+)
+from repro.library.ground_truth import ground_truth_patterns, ground_truth_fsa, ground_truth_program
+from repro.library.handwritten import handwritten_patterns, handwritten_fsa, handwritten_program
+
+__all__ = [
+    "CONCRETE_CLASSES",
+    "COLLECTION_CLASSES",
+    "SPEC_CLASS_CLUSTERS",
+    "build_interface",
+    "build_library_program",
+    "ground_truth_fsa",
+    "ground_truth_patterns",
+    "ground_truth_program",
+    "handwritten_fsa",
+    "handwritten_patterns",
+    "handwritten_program",
+]

@@ -1,0 +1,63 @@
+"""The ``Box`` and ``StrangeBox`` classes from the paper (Figures 1 and 10).
+
+``Box`` is the running example: ``set`` stores into a field, ``get`` loads
+from it and ``clone`` copies the field into a freshly allocated box (giving
+rise to the starred path specification family of Figure 5).
+
+``StrangeBox.set`` stores its argument and then overwrites the field with
+``null``; the specification ``ob ~> this_set -> this_get ~> r_get`` is still
+precise for a flow-insensitive analysis, but no sequential unit test can
+witness it (Section 7, "Sources of unsoundness").
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.lang.builder import ClassBuilder
+from repro.lang.program import ClassDef
+from repro.lang.types import OBJECT
+
+
+def build_box_class() -> ClassDef:
+    cls = ClassBuilder("Box", is_library=True)
+    cls.field("f")
+    cls.add_method(cls.constructor())
+    cls.add_method(
+        cls.method("set", [("ob", OBJECT)], doc="store ob into the box").store("this", "f", "ob")
+    )
+    cls.add_method(
+        cls.method("get", return_type=OBJECT, doc="load the boxed object")
+        .load("r", "this", "f")
+        .ret("r")
+    )
+    cls.add_method(
+        cls.method("clone", return_type="Box", doc="copy the box")
+        .new("copy", "Box")
+        .load("t", "this", "f")
+        .store("copy", "f", "t")
+        .ret("copy")
+    )
+    return cls.build()
+
+
+def build_strange_box_class() -> ClassDef:
+    cls = ClassBuilder("StrangeBox", is_library=True)
+    cls.field("f")
+    cls.add_method(cls.constructor())
+    cls.add_method(
+        cls.method("set", [("ob", OBJECT)], doc="store ob, then overwrite with null")
+        .store("this", "f", "ob")
+        .const("nothing", None)
+        .store("this", "f", "nothing")
+    )
+    cls.add_method(
+        cls.method("get", return_type=OBJECT, doc="load the (usually null) field")
+        .load("r", "this", "f")
+        .ret("r")
+    )
+    return cls.build()
+
+
+def build_box_classes() -> List[ClassDef]:
+    return [build_box_class(), build_strange_box_class()]

@@ -1,0 +1,284 @@
+"""Ground-truth specification languages for the modelled library (Section 6.2).
+
+The ground truth is written as regular path-specification patterns per class
+(the analogue of the 1,731 lines of handwritten ground-truth code fragments
+in the paper).  A single pattern family captures, e.g., "anything stored by an
+add-like method may be returned by any get-like method, possibly through an
+iterator, an ``addAll`` copy, or a chain of ``subList`` views".
+
+The code-fragment form used by the static analysis is *generated* from these
+patterns through the Appendix-A translation, so the patterns are the single
+source of truth.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.lang.program import Program
+from repro.specs.codegen import generate_code_fragments
+from repro.specs.fsa import FSA
+from repro.specs.regular import SpecPattern, patterns_to_fsa, seg, star
+from repro.specs.variables import LibraryInterface, SpecVariable, param, receiver, ret
+
+
+# --------------------------------------------------------------------------- helpers
+def _store_pair(class_name: str, method: str, parameter: str) -> Tuple[SpecVariable, SpecVariable]:
+    """The ``(z, w)`` pair "parameter flows into the receiver" for a store method."""
+    return (param(class_name, method, parameter), receiver(class_name, method))
+
+
+def _retrieve_pair(class_name: str, method: str) -> Tuple[SpecVariable, SpecVariable]:
+    """The ``(z, w)`` pair "the receiver's contents flow to the return value"."""
+    return (receiver(class_name, method), ret(class_name, method))
+
+
+def _chain(*pairs: Tuple[SpecVariable, SpecVariable]) -> SpecPattern:
+    variables: List[SpecVariable] = []
+    for z, w in pairs:
+        variables.extend((z, w))
+    return SpecPattern.simple(*variables)
+
+
+# --------------------------------------------------------------------------- tables
+#: store methods per list-like class: (method name, reference parameter name)
+LIST_STORES: Dict[str, Tuple[Tuple[str, str], ...]] = {
+    "ArrayList": (("add", "element"), ("set", "element")),
+    "LinkedList": (
+        ("add", "element"),
+        ("addFirst", "element"),
+        ("addLast", "element"),
+        ("offer", "element"),
+    ),
+    "Vector": (("add", "element"), ("addElement", "element")),
+    "Stack": (("add", "element"), ("addElement", "element"), ("push", "element")),
+}
+
+#: retrieve methods per list-like class (methods returning a stored element)
+LIST_RETRIEVES: Dict[str, Tuple[str, ...]] = {
+    "ArrayList": ("get", "remove", "set"),
+    "LinkedList": (
+        "get",
+        "getFirst",
+        "getLast",
+        "removeFirst",
+        "peek",
+        "poll",
+        "element",
+    ),
+    "Vector": ("get", "elementAt", "firstElement", "lastElement"),
+    "Stack": ("get", "elementAt", "firstElement", "lastElement", "peek", "pop"),
+}
+
+SET_STORES: Dict[str, Tuple[Tuple[str, str], ...]] = {
+    "HashSet": (("add", "element"),),
+    "LinkedHashSet": (("add", "element"),),
+    "TreeSet": (("add", "element"),),
+}
+
+SET_RETRIEVES: Dict[str, Tuple[str, ...]] = {
+    "HashSet": (),
+    "LinkedHashSet": (),
+    "TreeSet": ("first", "last", "pollFirst"),
+}
+
+MAP_CLASSES: Tuple[str, ...] = ("HashMap", "Hashtable", "TreeMap")
+
+#: primary retrieval method used at the end of same-class addAll/putAll chains
+PRIMARY_RETRIEVE: Dict[str, str] = {
+    "ArrayList": "get",
+    "LinkedList": "getFirst",
+    "Vector": "firstElement",
+    "Stack": "peek",
+}
+
+
+# --------------------------------------------------------------------------- patterns
+def _list_patterns(class_name: str) -> List[SpecPattern]:
+    patterns: List[SpecPattern] = []
+    stores = LIST_STORES[class_name]
+    retrieves = LIST_RETRIEVES[class_name]
+    add_all = (param(class_name, "addAll", "source"), receiver(class_name, "addAll"))
+    for method, parameter in stores:
+        store = _store_pair(class_name, method, parameter)
+        for retrieve in retrieves:
+            # store -> (addAll)* -> retrieve : the element survives any number
+            # of whole-collection copies before being read back.
+            patterns.append(
+                SpecPattern.of(seg(*store), star(*add_all), seg(*_retrieve_pair(class_name, retrieve)))
+            )
+        # store -> (addAll)* -> iterator() -> next()
+        patterns.append(
+            SpecPattern.of(
+                seg(*store),
+                star(*add_all),
+                seg(*_retrieve_pair(class_name, "iterator")),
+                seg(*_retrieve_pair("Iterator", "next")),
+            )
+        )
+    if class_name == "ArrayList":
+        # add -> (subList)* -> get : chains of views still expose the element.
+        patterns.append(
+            SpecPattern.of(
+                seg(*_store_pair("ArrayList", "add", "element")),
+                star(*_retrieve_pair("ArrayList", "subList")),
+                seg(*_retrieve_pair("ArrayList", "get")),
+            )
+        )
+    if class_name == "Stack":
+        # push returns its argument, and chains of pushes keep forwarding it.
+        push_pair = (param("Stack", "push", "element"), ret("Stack", "push"))
+        patterns.append(SpecPattern.of(seg(*push_pair), star(*push_pair)))
+    return patterns
+
+
+def _set_patterns(class_name: str) -> List[SpecPattern]:
+    patterns: List[SpecPattern] = []
+    add_all = (param(class_name, "addAll", "source"), receiver(class_name, "addAll"))
+    for method, parameter in SET_STORES[class_name]:
+        store = _store_pair(class_name, method, parameter)
+        for retrieve in SET_RETRIEVES[class_name]:
+            patterns.append(
+                SpecPattern.of(seg(*store), star(*add_all), seg(*_retrieve_pair(class_name, retrieve)))
+            )
+        patterns.append(
+            SpecPattern.of(
+                seg(*store),
+                star(*add_all),
+                seg(*_retrieve_pair(class_name, "iterator")),
+                seg(*_retrieve_pair("Iterator", "next")),
+            )
+        )
+    return patterns
+
+
+def _map_patterns(class_name: str) -> List[SpecPattern]:
+    patterns: List[SpecPattern] = []
+    value_store = (param(class_name, "put", "value"), receiver(class_name, "put"))
+    key_store = (param(class_name, "put", "key"), receiver(class_name, "put"))
+    put_all = (param(class_name, "putAll", "source"), receiver(class_name, "putAll"))
+
+    # values survive any number of whole-map copies before being read back
+    for retrieve in ("get", "remove"):
+        patterns.append(
+            SpecPattern.of(seg(*value_store), star(*put_all), seg(*_retrieve_pair(class_name, retrieve)))
+        )
+    patterns.append(
+        SpecPattern.of(
+            seg(*value_store),
+            star(*put_all),
+            seg(*_retrieve_pair(class_name, "values")),
+            seg(*_retrieve_pair("ArrayList", "get")),
+        )
+    )
+    patterns.append(
+        SpecPattern.of(
+            seg(*value_store),
+            star(*put_all),
+            seg(*_retrieve_pair(class_name, "values")),
+            seg(*_retrieve_pair("ArrayList", "iterator")),
+            seg(*_retrieve_pair("Iterator", "next")),
+        )
+    )
+    # keys
+    patterns.append(
+        SpecPattern.of(
+            seg(*key_store),
+            star(*put_all),
+            seg(*_retrieve_pair(class_name, "keySet")),
+            seg(*_retrieve_pair("HashSet", "iterator")),
+            seg(*_retrieve_pair("Iterator", "next")),
+        )
+    )
+    if class_name == "Hashtable":
+        patterns.append(
+            SpecPattern.of(
+                seg(*value_store),
+                star(*put_all),
+                seg(*_retrieve_pair("Hashtable", "elements")),
+                seg(*_retrieve_pair("Iterator", "next")),
+            )
+        )
+    if class_name == "TreeMap":
+        for retrieve in ("firstKey", "lastKey"):
+            patterns.append(
+                SpecPattern.of(seg(*key_store), star(*put_all), seg(*_retrieve_pair("TreeMap", retrieve)))
+            )
+    return patterns
+
+
+def _box_patterns() -> List[SpecPattern]:
+    return [
+        SpecPattern.of(
+            seg(param("Box", "set", "ob"), receiver("Box", "set")),
+            star(receiver("Box", "clone"), ret("Box", "clone")),
+            seg(receiver("Box", "get"), ret("Box", "get")),
+        ),
+    ]
+
+
+def _strange_box_patterns() -> List[SpecPattern]:
+    return [
+        _chain(
+            (param("StrangeBox", "set", "ob"), receiver("StrangeBox", "set")),
+            _retrieve_pair("StrangeBox", "get"),
+        )
+    ]
+
+
+def _map_entry_patterns() -> List[SpecPattern]:
+    value_store = (param("MapEntry", "setValue", "value"), receiver("MapEntry", "setValue"))
+    return [
+        _chain(value_store, _retrieve_pair("MapEntry", "getValue")),
+        _chain(value_store, (receiver("MapEntry", "setValue"), ret("MapEntry", "setValue"))),
+    ]
+
+
+def _string_builder_patterns(class_name: str) -> List[SpecPattern]:
+    append_returns_this = (receiver(class_name, "append"), ret(class_name, "append"))
+    return [
+        _chain(
+            (param(class_name, "append", "piece"), receiver(class_name, "append")),
+            _retrieve_pair(class_name, "toString"),
+        ),
+        # append returns its receiver, and fluent chains keep forwarding it.
+        SpecPattern.of(seg(*append_returns_this), star(*append_returns_this)),
+    ]
+
+
+# --------------------------------------------------------------------------- assembly
+def ground_truth_patterns(class_names: Optional[Sequence[str]] = None) -> Dict[str, List[SpecPattern]]:
+    """Ground-truth pattern families, keyed by the class they primarily describe."""
+    by_class: Dict[str, List[SpecPattern]] = {
+        "Box": _box_patterns(),
+        "StrangeBox": _strange_box_patterns(),
+        "MapEntry": _map_entry_patterns(),
+        "StringBuilder": _string_builder_patterns("StringBuilder"),
+        "StringBuffer": _string_builder_patterns("StringBuffer"),
+    }
+    for class_name in LIST_STORES:
+        by_class[class_name] = _list_patterns(class_name)
+    for class_name in SET_STORES:
+        by_class[class_name] = _set_patterns(class_name)
+    for class_name in MAP_CLASSES:
+        by_class[class_name] = _map_patterns(class_name)
+    if class_names is not None:
+        wanted = set(class_names)
+        by_class = {name: patterns for name, patterns in by_class.items() if name in wanted}
+    return by_class
+
+
+def ground_truth_fsa(class_names: Optional[Sequence[str]] = None) -> FSA:
+    """The ground-truth specification language as a single automaton."""
+    all_patterns: List[SpecPattern] = []
+    for patterns in ground_truth_patterns(class_names).values():
+        all_patterns.extend(patterns)
+    return patterns_to_fsa(all_patterns)
+
+
+def ground_truth_program(
+    interface: LibraryInterface,
+    class_names: Optional[Sequence[str]] = None,
+) -> Program:
+    """The ground-truth code-fragment specification program (Appendix A translation)."""
+    return generate_code_fragments(ground_truth_fsa(class_names), interface)

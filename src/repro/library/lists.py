@@ -1,0 +1,381 @@
+"""List-like collection classes.
+
+The class hierarchy deliberately mirrors the structure that makes the real
+Java Collections hard to analyze statically:
+
+* ``AbstractCollection`` provides ``addAll``, ``contains`` and ``toArray``
+  shared by *every* collection class (a single set of parameter nodes for all
+  callers -- the context-insensitivity pain point of Section 6.2);
+* ``AbstractList`` provides a shared iterator class (``ListItr``) allocated
+  at a single site for all list classes;
+* ``ArrayList``/``Vector`` go through several layers of internal helpers
+  (``ensureCapacity``/``elementData``) before touching storage;
+* ``Vector``/``Stack``/``toArray`` use the native ``System.arraycopy``.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.lang.builder import ClassBuilder
+from repro.lang.program import ClassDef
+from repro.lang.types import BOOLEAN, INT, OBJECT
+
+
+def build_abstract_collection_class() -> ClassDef:
+    cls = ClassBuilder("AbstractCollection", is_library=True)
+    cls.add_method(cls.constructor())
+    cls.add_method(
+        cls.method(
+            "addAll",
+            [("source", "AbstractCollection")],
+            return_type=BOOLEAN,
+            doc="copy the elements of source into this collection (shared helper)",
+        )
+        .call("it", "source", "iterator")
+        .call("element", "it", "next")
+        .call(None, "this", "add", "element")
+        .const("changed", True)
+        .ret("changed")
+    )
+    cls.add_method(
+        cls.method(
+            "contains",
+            [("element", OBJECT)],
+            return_type=BOOLEAN,
+            doc="membership test (heap effects only: iterates the collection)",
+        )
+        .call("it", "this", "iterator")
+        .call("probe", "it", "next")
+        .const("found", True)
+        .ret("found")
+    )
+    cls.add_method(
+        cls.method(
+            "toArray",
+            return_type="ObjectArray",
+            doc="generic copy-to-array via the shared iterator",
+        )
+        .new("copy", "ObjectArray")
+        .call("it", "this", "iterator")
+        .call("element", "it", "next")
+        .call(None, "copy", "aappend", "element")
+        .ret("copy")
+    )
+    cls.add_method(
+        cls.method("isEmpty", return_type=BOOLEAN, doc="emptiness stub").const("r", True).ret("r")
+    )
+    cls.add_method(
+        cls.method("size", return_type=INT, doc="size stub").const("n", 0).ret("n")
+    )
+    return cls.build()
+
+
+def build_abstract_list_class() -> ClassDef:
+    cls = ClassBuilder("AbstractList", superclass="AbstractCollection", is_library=True)
+    cls.add_method(cls.constructor())
+    cls.add_method(
+        cls.method(
+            "iterator",
+            return_type="Iterator",
+            doc="shared iterator allocation site for every list class",
+        )
+        .new("it", "ListItr")
+        .store("it", "owner", "this")
+        .ret("it")
+    )
+    cls.add_method(
+        cls.method(
+            "indexOf",
+            [("element", OBJECT)],
+            return_type=INT,
+            doc="index lookup (heap effects only)",
+        )
+        .const("index", 0)
+        .ret("index")
+    )
+    return cls.build()
+
+
+def build_list_iterator_class() -> ClassDef:
+    cls = ClassBuilder("ListItr", superclass="Iterator", is_library=True)
+    cls.field("owner")
+    cls.add_method(cls.constructor())
+    cls.add_method(
+        cls.method("next", return_type=OBJECT, doc="read the current element from the owning list")
+        .load("list", "this", "owner")
+        .const("position", 0)
+        .call("element", "list", "get", "position")
+        .ret("element")
+    )
+    cls.add_method(
+        cls.method("hasNext", return_type=BOOLEAN, doc="has-next stub").const("more", True).ret("more")
+    )
+    return cls.build()
+
+
+def build_linked_node_class() -> ClassDef:
+    cls = ClassBuilder("LinkedNode", is_library=True)
+    cls.field("item")
+    cls.field("next")
+    cls.field("prev")
+    cls.add_method(cls.constructor())
+    return cls.build()
+
+
+def build_array_list_class() -> ClassDef:
+    cls = ClassBuilder("ArrayList", superclass="AbstractList", is_library=True)
+    cls.field("elems", "ObjectArray")
+    cls.add_method(cls.constructor().new("storage", "ObjectArray").store("this", "elems", "storage"))
+    cls.add_method(
+        cls.method("add", [("element", OBJECT)], return_type=BOOLEAN, doc="append an element")
+        .call(None, "this", "ensureCapacity")
+        .load("storage", "this", "elems")
+        .call(None, "storage", "aappend", "element")
+        .const("changed", True)
+        .ret("changed")
+    )
+    cls.add_method(
+        cls.method("ensureCapacity", doc="capacity check helper (deep call chain filler)")
+        .load("storage", "this", "elems")
+        .call("length", "storage", "alength")
+    )
+    cls.add_method(
+        cls.method("elementData", [("index", INT)], return_type=OBJECT, doc="raw storage read")
+        .load("storage", "this", "elems")
+        .call("element", "storage", "aget", "index")
+        .ret("element")
+    )
+    cls.add_method(
+        cls.method("get", [("index", INT)], return_type=OBJECT, doc="read the element at index")
+        .call("element", "this", "elementData", "index")
+        .ret("element")
+    )
+    cls.add_method(
+        cls.method(
+            "set",
+            [("index", INT), ("element", OBJECT)],
+            return_type=OBJECT,
+            doc="replace the element at index, returning the previous one",
+        )
+        .call("previous", "this", "elementData", "index")
+        .load("storage", "this", "elems")
+        .call(None, "storage", "aset", "index", "element")
+        .ret("previous")
+    )
+    cls.add_method(
+        cls.method("remove", [("index", INT)], return_type=OBJECT, doc="remove and return element")
+        .load("storage", "this", "elems")
+        .call("removed", "storage", "aremove", "index")
+        .ret("removed")
+    )
+    cls.add_method(
+        cls.method(
+            "subList",
+            [("start", INT), ("end", INT)],
+            return_type="ArrayList",
+            doc="a view of part of the list (copied storage)",
+        )
+        .new("view", "ArrayList")
+        .load("storage", "this", "elems")
+        .call("slice", "storage", "arange", "start", "end")
+        .store("view", "elems", "slice")
+        .ret("view")
+    )
+    cls.add_method(
+        cls.method(
+            "toArray",
+            return_type="ObjectArray",
+            doc="copy-to-array through the native arraycopy (statically invisible)",
+        )
+        .load("storage", "this", "elems")
+        .new("copy", "ObjectArray")
+        .call(None, None, "System.arraycopy", "storage", "copy")
+        .ret("copy")
+    )
+    cls.add_method(
+        cls.method("clear", doc="drop the storage").new("fresh", "ObjectArray").store("this", "elems", "fresh")
+    )
+    return cls.build()
+
+
+def build_linked_list_class() -> ClassDef:
+    cls = ClassBuilder("LinkedList", superclass="AbstractList", is_library=True)
+    cls.field("first")
+    cls.field("last")
+    cls.add_method(cls.constructor())
+    cls.add_method(
+        cls.method("linkLast", [("element", OBJECT)], doc="internal node creation helper")
+        .new("node", "LinkedNode")
+        .store("node", "item", "element")
+        .load("tail", "this", "last")
+        .store("node", "prev", "tail")
+        .store("this", "last", "node")
+        .store("this", "first", "node")
+    )
+    cls.add_method(
+        cls.method("add", [("element", OBJECT)], return_type=BOOLEAN, doc="append an element")
+        .call(None, "this", "linkLast", "element")
+        .const("changed", True)
+        .ret("changed")
+    )
+    cls.add_method(
+        cls.method("addFirst", [("element", OBJECT)], doc="prepend an element")
+        .call(None, "this", "linkLast", "element")
+    )
+    cls.add_method(
+        cls.method("addLast", [("element", OBJECT)], doc="append an element")
+        .call(None, "this", "linkLast", "element")
+    )
+    cls.add_method(
+        cls.method("get", [("index", INT)], return_type=OBJECT, doc="read an element")
+        .load("node", "this", "first")
+        .load("element", "node", "item")
+        .ret("element")
+    )
+    cls.add_method(
+        cls.method("getFirst", return_type=OBJECT, doc="first element")
+        .load("node", "this", "first")
+        .load("element", "node", "item")
+        .ret("element")
+    )
+    cls.add_method(
+        cls.method("getLast", return_type=OBJECT, doc="last element")
+        .load("node", "this", "last")
+        .load("element", "node", "item")
+        .ret("element")
+    )
+    cls.add_method(
+        cls.method("removeFirst", return_type=OBJECT, doc="remove and return the first element")
+        .load("node", "this", "first")
+        .load("element", "node", "item")
+        .load("successor", "node", "next")
+        .store("this", "first", "successor")
+        .ret("element")
+    )
+    cls.add_method(
+        cls.method("peek", return_type=OBJECT, doc="queue peek")
+        .call("element", "this", "getFirst")
+        .ret("element")
+    )
+    cls.add_method(
+        cls.method("poll", return_type=OBJECT, doc="queue poll")
+        .call("element", "this", "removeFirst")
+        .ret("element")
+    )
+    cls.add_method(
+        cls.method("offer", [("element", OBJECT)], return_type=BOOLEAN, doc="queue offer")
+        .call(None, "this", "linkLast", "element")
+        .const("changed", True)
+        .ret("changed")
+    )
+    cls.add_method(
+        cls.method("element", return_type=OBJECT, doc="queue element")
+        .call("head", "this", "getFirst")
+        .ret("head")
+    )
+    return cls.build()
+
+
+def build_vector_class() -> ClassDef:
+    cls = ClassBuilder("Vector", superclass="AbstractList", is_library=True)
+    cls.field("elementData", "ObjectArray")
+    cls.add_method(
+        cls.constructor().new("storage", "ObjectArray").store("this", "elementData", "storage")
+    )
+    cls.add_method(
+        cls.method("ensureCapacityHelper", doc="capacity helper (deep call chain filler)")
+        .load("storage", "this", "elementData")
+        .call("length", "storage", "alength")
+    )
+    cls.add_method(
+        cls.method("addElement", [("element", OBJECT)], doc="legacy append")
+        .call(None, "this", "ensureCapacityHelper")
+        .load("storage", "this", "elementData")
+        .call(None, "storage", "aappend", "element")
+    )
+    cls.add_method(
+        cls.method("add", [("element", OBJECT)], return_type=BOOLEAN, doc="append an element")
+        .call(None, "this", "addElement", "element")
+        .const("changed", True)
+        .ret("changed")
+    )
+    cls.add_method(
+        cls.method("elementAt", [("index", INT)], return_type=OBJECT, doc="read the element at index")
+        .load("storage", "this", "elementData")
+        .call("element", "storage", "aget", "index")
+        .ret("element")
+    )
+    cls.add_method(
+        cls.method("get", [("index", INT)], return_type=OBJECT, doc="read the element at index")
+        .call("element", "this", "elementAt", "index")
+        .ret("element")
+    )
+    cls.add_method(
+        cls.method("firstElement", return_type=OBJECT, doc="first element")
+        .const("index", 0)
+        .call("element", "this", "elementAt", "index")
+        .ret("element")
+    )
+    cls.add_method(
+        cls.method("lastElement", return_type=OBJECT, doc="last element")
+        .load("storage", "this", "elementData")
+        .call("element", "storage", "alast")
+        .ret("element")
+    )
+    cls.add_method(
+        cls.method(
+            "copyInto",
+            [("destination", "ObjectArray")],
+            doc="legacy copy through the native arraycopy (statically invisible)",
+        )
+        .load("storage", "this", "elementData")
+        .call(None, None, "System.arraycopy", "storage", "destination")
+    )
+    cls.add_method(
+        cls.method(
+            "toArray",
+            return_type="ObjectArray",
+            doc="copy-to-array through the native arraycopy (statically invisible)",
+        )
+        .new("copy", "ObjectArray")
+        .call(None, "this", "copyInto", "copy")
+        .ret("copy")
+    )
+    return cls.build()
+
+
+def build_stack_class() -> ClassDef:
+    cls = ClassBuilder("Stack", superclass="Vector", is_library=True)
+    cls.add_method(cls.constructor().new("storage", "ObjectArray").store("this", "elementData", "storage"))
+    cls.add_method(
+        cls.method("push", [("element", OBJECT)], return_type=OBJECT, doc="push, returning the element")
+        .call(None, "this", "addElement", "element")
+        .ret("element")
+    )
+    cls.add_method(
+        cls.method("peek", return_type=OBJECT, doc="read the top of the stack")
+        .load("storage", "this", "elementData")
+        .call("top", "storage", "alast")
+        .ret("top")
+    )
+    cls.add_method(
+        cls.method("pop", return_type=OBJECT, doc="remove and return the top of the stack")
+        .load("storage", "this", "elementData")
+        .call("top", "storage", "aremovelast")
+        .ret("top")
+    )
+    return cls.build()
+
+
+def build_list_classes() -> List[ClassDef]:
+    return [
+        build_abstract_collection_class(),
+        build_abstract_list_class(),
+        build_list_iterator_class(),
+        build_linked_node_class(),
+        build_array_list_class(),
+        build_linked_list_class(),
+        build_vector_class(),
+        build_stack_class(),
+    ]

@@ -1,0 +1,158 @@
+"""Map classes: ``AbstractMap``, ``HashMap``, ``Hashtable``, ``TreeMap``.
+
+All maps store ``MapEntry`` objects in a collapsed-array table.  ``putAll``
+lives on the shared ``AbstractMap`` superclass (a conflation point for the
+implementation analysis), and the view methods (``keySet``, ``values``,
+``entrySet``) return ordinary collections whose declared types drive the
+spec-side allocations.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.lang.builder import ClassBuilder
+from repro.lang.program import ClassDef
+from repro.lang.types import BOOLEAN, INT, OBJECT
+
+
+def build_abstract_map_class() -> ClassDef:
+    cls = ClassBuilder("AbstractMap", is_library=True)
+    cls.add_method(cls.constructor())
+    cls.add_method(
+        cls.method(
+            "putAll",
+            [("source", "AbstractMap")],
+            doc="copy every entry of source into this map (shared helper)",
+        )
+        .call("entries", "source", "entrySet")
+        .call("it", "entries", "iterator")
+        .call("entry", "it", "next")
+        .call("key", "entry", "getKey")
+        .call("value", "entry", "getValue")
+        .call(None, "this", "put", "key", "value")
+    )
+    cls.add_method(
+        cls.method("isEmpty", return_type=BOOLEAN, doc="emptiness stub").const("r", True).ret("r")
+    )
+    cls.add_method(cls.method("size", return_type=INT, doc="size stub").const("n", 0).ret("n"))
+    return cls.build()
+
+
+def _add_map_members(cls: ClassBuilder) -> ClassBuilder:
+    """Members shared (structurally) by the concrete map classes."""
+    cls.field("table", "ObjectArray")
+    cls.add_method(cls.constructor().new("storage", "ObjectArray").store("this", "table", "storage"))
+    cls.add_method(
+        cls.method(
+            "put",
+            [("key", OBJECT), ("value", OBJECT)],
+            return_type=OBJECT,
+            doc="associate value with key; returns the previous value (null here)",
+        )
+        .new("entry", "MapEntry")
+        .store("entry", "key", "key")
+        .store("entry", "value", "value")
+        .load("storage", "this", "table")
+        .call(None, "storage", "aappend", "entry")
+        .const("previous", None)
+        .ret("previous")
+    )
+    cls.add_method(
+        cls.method("getEntry", [("key", OBJECT)], return_type="MapEntry", doc="entry lookup helper")
+        .load("storage", "this", "table")
+        .const("position", 0)
+        .call("entry", "storage", "aget", "position")
+        .ret("entry")
+    )
+    cls.add_method(
+        cls.method("get", [("key", OBJECT)], return_type=OBJECT, doc="value associated with key")
+        .call("entry", "this", "getEntry", "key")
+        .load("value", "entry", "value")
+        .ret("value")
+    )
+    cls.add_method(
+        cls.method("remove", [("key", OBJECT)], return_type=OBJECT, doc="remove key, returning its value")
+        .load("storage", "this", "table")
+        .const("position", 0)
+        .call("entry", "storage", "aremove", "position")
+        .load("value", "entry", "value")
+        .ret("value")
+    )
+    cls.add_method(
+        cls.method("containsKey", [("key", OBJECT)], return_type=BOOLEAN, doc="key membership stub")
+        .call("entry", "this", "getEntry", "key")
+        .const("found", True)
+        .ret("found")
+    )
+    cls.add_method(
+        cls.method("keySet", return_type="HashSet", doc="the set of keys")
+        .new("keys", "HashSet")
+        .const("nokey", None)
+        .call("entry", "this", "getEntry", "nokey")
+        .call("key", "entry", "getKey")
+        .call(None, "keys", "add", "key")
+        .ret("keys")
+    )
+    cls.add_method(
+        cls.method("values", return_type="ArrayList", doc="the collection of values")
+        .new("result", "ArrayList")
+        .const("nokey", None)
+        .call("entry", "this", "getEntry", "nokey")
+        .call("value", "entry", "getValue")
+        .call(None, "result", "add", "value")
+        .ret("result")
+    )
+    cls.add_method(
+        cls.method("entrySet", return_type="HashSet", doc="the set of entries")
+        .new("entries", "HashSet")
+        .const("nokey", None)
+        .call("entry", "this", "getEntry", "nokey")
+        .call(None, "entries", "add", "entry")
+        .ret("entries")
+    )
+    return cls
+
+
+def build_hash_map_class() -> ClassDef:
+    return _add_map_members(ClassBuilder("HashMap", superclass="AbstractMap", is_library=True)).build()
+
+
+def build_hashtable_class() -> ClassDef:
+    cls = _add_map_members(ClassBuilder("Hashtable", superclass="AbstractMap", is_library=True))
+    cls.add_method(
+        cls.method("elements", return_type="Iterator", doc="legacy enumeration of the values")
+        .call("result", "this", "values")
+        .call("it", "result", "iterator")
+        .ret("it")
+    )
+    return cls.build()
+
+
+def build_tree_map_class() -> ClassDef:
+    cls = _add_map_members(ClassBuilder("TreeMap", superclass="AbstractMap", is_library=True))
+    cls.add_method(
+        cls.method("firstKey", return_type=OBJECT, doc="smallest key")
+        .load("storage", "this", "table")
+        .const("position", 0)
+        .call("entry", "storage", "aget", "position")
+        .load("key", "entry", "key")
+        .ret("key")
+    )
+    cls.add_method(
+        cls.method("lastKey", return_type=OBJECT, doc="largest key")
+        .load("storage", "this", "table")
+        .call("entry", "storage", "alast")
+        .load("key", "entry", "key")
+        .ret("key")
+    )
+    return cls.build()
+
+
+def build_map_classes() -> List[ClassDef]:
+    return [
+        build_abstract_map_class(),
+        build_hash_map_class(),
+        build_hashtable_class(),
+        build_tree_map_class(),
+    ]

@@ -1,0 +1,161 @@
+"""Core classes: ``Object``, ``ObjectArray``, ``System``, ``Iterator``, ``MapEntry``.
+
+``ObjectArray`` is the collapsed-array abstraction: its IR bodies read and
+write a single ``$elem`` pseudo-field (what the static analysis sees), while
+the interpreter overrides them with real indexed storage (see
+:mod:`repro.interp.natives`).  ``System.arraycopy`` is a true native: no IR
+body at all, so static flows through it are lost.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.lang.builder import ClassBuilder
+from repro.lang.program import ClassDef
+from repro.lang.types import BOOLEAN, INT, OBJECT
+
+
+def build_object_class() -> ClassDef:
+    cls = ClassBuilder("Object", superclass=None, is_library=True)
+    cls.add_method(cls.constructor(doc="java.lang.Object()"))
+    cls.add_method(
+        cls.method("equals", [("other", OBJECT)], return_type=BOOLEAN, doc="reference equality stub")
+        .const("r", True)
+        .ret("r")
+    )
+    cls.add_method(
+        cls.method("hashCode", return_type=INT, doc="identity hash stub").const("r", 0).ret("r")
+    )
+    return cls.build()
+
+
+def build_object_array_class() -> ClassDef:
+    """The collapsed-array class.
+
+    Every method has an IR body over the single ``$elem`` field (the
+    abstraction analyzed statically) and a realistic intrinsic registered in
+    :func:`repro.interp.natives.default_natives`.
+    """
+    cls = ClassBuilder("ObjectArray", is_library=True)
+    cls.field("$elem")
+    cls.add_method(cls.constructor())
+    cls.add_method(
+        cls.method("aget", [("index", INT)], return_type=OBJECT, doc="array read (collapsed)")
+        .load("r", "this", "$elem")
+        .ret("r")
+    )
+    cls.add_method(
+        cls.method("aset", [("index", INT), ("value", OBJECT)], doc="array write (collapsed)")
+        .store("this", "$elem", "value")
+    )
+    cls.add_method(
+        cls.method("aappend", [("value", OBJECT)], doc="append (collapsed)")
+        .store("this", "$elem", "value")
+    )
+    cls.add_method(
+        cls.method("ainsert", [("index", INT), ("value", OBJECT)], doc="insert (collapsed)")
+        .store("this", "$elem", "value")
+    )
+    cls.add_method(
+        cls.method("aremove", [("index", INT)], return_type=OBJECT, doc="remove at index (collapsed)")
+        .load("r", "this", "$elem")
+        .ret("r")
+    )
+    cls.add_method(
+        cls.method("alast", [], return_type=OBJECT, doc="last element (collapsed)")
+        .load("r", "this", "$elem")
+        .ret("r")
+    )
+    cls.add_method(
+        cls.method("aremovelast", [], return_type=OBJECT, doc="remove last element (collapsed)")
+        .load("r", "this", "$elem")
+        .ret("r")
+    )
+    cls.add_method(
+        cls.method("alength", return_type=INT, doc="length (collapsed)").const("n", 0).ret("n")
+    )
+    cls.add_method(
+        cls.method("arange", [("start", INT), ("end", INT)], return_type="ObjectArray", doc="slice")
+        .new("copy", "ObjectArray")
+        .load("t", "this", "$elem")
+        .store("copy", "$elem", "t")
+        .ret("copy")
+    )
+    return cls.build()
+
+
+def build_system_class() -> ClassDef:
+    """``System``: the true native methods (unsoundness source)."""
+    cls = ClassBuilder("System", is_library=True)
+    cls.add_method(
+        cls.method(
+            "arraycopy",
+            [("source", "ObjectArray"), ("destination", "ObjectArray")],
+            is_static=True,
+            is_native=True,
+            doc="native array copy; invisible to the static analysis",
+        )
+    )
+    return cls.build()
+
+
+def build_iterator_class() -> ClassDef:
+    """The declared iterator type; concrete iterators extend it."""
+    cls = ClassBuilder("Iterator", is_library=True)
+    cls.add_method(cls.constructor())
+    cls.add_method(
+        cls.method("next", return_type=OBJECT, doc="base iterator: no element").const("r", None).ret("r")
+    )
+    cls.add_method(
+        cls.method("hasNext", return_type=BOOLEAN, doc="base iterator: nothing to iterate")
+        .const("r", False)
+        .ret("r")
+    )
+    cls.add_method(cls.method("remove", doc="base iterator: no-op"))
+    return cls.build()
+
+
+def build_map_entry_class() -> ClassDef:
+    """A key/value pair, shared by all map implementations."""
+    cls = ClassBuilder("MapEntry", is_library=True)
+    cls.field("key")
+    cls.field("value")
+    cls.add_method(cls.constructor())
+    cls.add_method(
+        cls.method("getKey", return_type=OBJECT, doc="entry key").load("r", "this", "key").ret("r")
+    )
+    cls.add_method(
+        cls.method("getValue", return_type=OBJECT, doc="entry value").load("r", "this", "value").ret("r")
+    )
+    cls.add_method(
+        cls.method("setValue", [("value", OBJECT)], return_type=OBJECT, doc="replace the value")
+        .load("old", "this", "value")
+        .store("this", "value", "value")
+        .ret("old")
+    )
+    return cls.build()
+
+
+def build_string_class() -> ClassDef:
+    cls = ClassBuilder("String", is_library=True)
+    cls.add_method(cls.constructor())
+    cls.add_method(
+        cls.method("toString", return_type="String", doc="a string is its own string form")
+        .ret("this")
+    )
+    cls.add_method(
+        cls.method("length", return_type=INT, doc="length stub").const("n", 0).ret("n")
+    )
+    return cls.build()
+
+
+def build_core_classes() -> List[ClassDef]:
+    return [
+        build_object_class(),
+        build_object_array_class(),
+        build_system_class(),
+        build_iterator_class(),
+        build_map_entry_class(),
+        build_string_class(),
+    ]

@@ -1,0 +1,137 @@
+"""Registry of the modelled library: programs, interface, class groupings."""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence, Tuple
+
+from repro.lang.program import CONSTRUCTOR, Program
+from repro.library.box import build_box_classes
+from repro.library.lists import build_list_classes
+from repro.library.maps import build_map_classes
+from repro.library.objects import build_core_classes
+from repro.library.sets import build_set_classes
+from repro.library.strings import build_string_classes
+from repro.specs.variables import LibraryInterface
+
+#: Classes that are always present in an analyzed program, whichever
+#: specification set is in use (they are never replaced by specifications).
+CORE_CLASSES: Tuple[str, ...] = ("Object", "ObjectArray", "System", "String")
+
+#: Concrete classes exposed through the library interface (the classes Atlas
+#: infers specifications for).
+CONCRETE_CLASSES: Tuple[str, ...] = (
+    "Box",
+    "StrangeBox",
+    "ArrayList",
+    "LinkedList",
+    "Vector",
+    "Stack",
+    "HashMap",
+    "Hashtable",
+    "TreeMap",
+    "HashSet",
+    "LinkedHashSet",
+    "TreeSet",
+    "StringBuilder",
+    "StringBuffer",
+    "Iterator",
+    "MapEntry",
+)
+
+#: The "Collections API" classes used for the ground-truth comparison
+#: (the analogue of the 12 most frequently used collection classes of §6.2).
+COLLECTION_CLASSES: Tuple[str, ...] = (
+    "ArrayList",
+    "LinkedList",
+    "Vector",
+    "Stack",
+    "HashMap",
+    "Hashtable",
+    "TreeMap",
+    "HashSet",
+    "LinkedHashSet",
+    "TreeSet",
+    "Iterator",
+    "MapEntry",
+)
+
+#: Internal helper methods that would be private in the real library and are
+#: therefore not part of the inference interface.
+INTERFACE_EXCLUDED_METHODS: Tuple[str, ...] = (
+    CONSTRUCTOR,
+    "equals",
+    "hashCode",
+    "ensureCapacity",
+    "ensureCapacityHelper",
+    "elementData",
+    "linkLast",
+    "getEntry",
+)
+
+#: Groups of classes whose methods plausibly appear together in one path
+#: specification.  Sampling candidates within a cluster keeps the alphabet
+#: (and hence the sampling budget needed for good coverage) manageable; this
+#: stands in for the paper's 12-million-sample budget over the full library.
+SPEC_CLASS_CLUSTERS: Tuple[Tuple[str, ...], ...] = (
+    ("Box",),
+    ("StrangeBox",),
+    ("ArrayList", "Iterator"),
+    ("LinkedList", "Iterator"),
+    ("Vector", "Iterator"),
+    ("Stack", "Iterator"),
+    ("HashSet", "Iterator"),
+    ("LinkedHashSet", "Iterator"),
+    ("TreeSet", "Iterator"),
+    ("HashMap", "HashSet", "ArrayList", "Iterator", "MapEntry"),
+    ("Hashtable", "HashSet", "ArrayList", "Iterator", "MapEntry"),
+    ("TreeMap", "HashSet", "ArrayList", "Iterator", "MapEntry"),
+    ("StringBuilder",),
+    ("StringBuffer",),
+    ("MapEntry",),
+)
+
+
+def build_library_program() -> Program:
+    """The full library implementation (every modelled class)."""
+    classes = []
+    classes.extend(build_core_classes())
+    classes.extend(build_box_classes())
+    classes.extend(build_list_classes())
+    classes.extend(build_map_classes())
+    classes.extend(build_set_classes())
+    classes.extend(build_string_classes())
+    return Program(classes)
+
+
+def core_program(library: Optional[Program] = None) -> Program:
+    """The always-present core classes (never replaced by specifications)."""
+    library = library if library is not None else build_library_program()
+    return library.restricted_to(CORE_CLASSES)
+
+
+def replaceable_library(library: Optional[Program] = None) -> Program:
+    """The part of the library that specifications stand in for."""
+    library = library if library is not None else build_library_program()
+    return library.without_classes(CORE_CLASSES)
+
+
+def build_interface(
+    program: Optional[Program] = None,
+    class_names: Sequence[str] = CONCRETE_CLASSES,
+    exclude_methods: Sequence[str] = INTERFACE_EXCLUDED_METHODS,
+) -> LibraryInterface:
+    """The library interface over the given concrete classes."""
+    program = program if program is not None else build_library_program()
+    return LibraryInterface.from_program(program, class_names, exclude_methods)
+
+
+def cluster_interfaces(
+    program: Optional[Program] = None,
+    clusters: Sequence[Sequence[str]] = SPEC_CLASS_CLUSTERS,
+) -> Dict[Tuple[str, ...], LibraryInterface]:
+    """One sub-interface per specification cluster."""
+    program = program if program is not None else build_library_program()
+    return {
+        tuple(cluster): build_interface(program, class_names=tuple(cluster))
+        for cluster in clusters
+    }

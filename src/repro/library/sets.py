@@ -1,0 +1,104 @@
+"""Set classes: ``AbstractSet``, ``HashSet``, ``LinkedHashSet``, ``TreeSet``.
+
+``HashSet`` is backed by a ``HashMap`` (as in OpenJDK), so every set
+operation goes through two more layers of library code; ``TreeSet`` is backed
+by an ``ArrayList`` to keep an ordered view with ``first``/``last``.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.lang.builder import ClassBuilder
+from repro.lang.program import ClassDef
+from repro.lang.types import BOOLEAN, OBJECT
+
+
+def build_abstract_set_class() -> ClassDef:
+    cls = ClassBuilder("AbstractSet", superclass="AbstractCollection", is_library=True)
+    cls.add_method(cls.constructor())
+    return cls.build()
+
+
+def build_hash_set_class() -> ClassDef:
+    cls = ClassBuilder("HashSet", superclass="AbstractSet", is_library=True)
+    cls.field("map", "HashMap")
+    cls.add_method(cls.constructor().new("backing", "HashMap").store("this", "map", "backing"))
+    cls.add_method(
+        cls.method("add", [("element", OBJECT)], return_type=BOOLEAN, doc="insert an element")
+        .load("backing", "this", "map")
+        .call(None, "backing", "put", "element", "element")
+        .const("changed", True)
+        .ret("changed")
+    )
+    cls.add_method(
+        cls.method("remove", [("element", OBJECT)], return_type=BOOLEAN, doc="remove an element")
+        .load("backing", "this", "map")
+        .call("previous", "backing", "remove", "element")
+        .const("changed", True)
+        .ret("changed")
+    )
+    cls.add_method(
+        cls.method("iterator", return_type="Iterator", doc="iterate over the elements")
+        .load("backing", "this", "map")
+        .call("elements", "backing", "values")
+        .call("it", "elements", "iterator")
+        .ret("it")
+    )
+    return cls.build()
+
+
+def build_linked_hash_set_class() -> ClassDef:
+    cls = ClassBuilder("LinkedHashSet", superclass="HashSet", is_library=True)
+    cls.add_method(cls.constructor().new("backing", "HashMap").store("this", "map", "backing"))
+    return cls.build()
+
+
+def build_tree_set_class() -> ClassDef:
+    cls = ClassBuilder("TreeSet", superclass="AbstractSet", is_library=True)
+    cls.field("backing", "ArrayList")
+    cls.add_method(cls.constructor().new("storage", "ArrayList").store("this", "backing", "storage"))
+    cls.add_method(
+        cls.method("add", [("element", OBJECT)], return_type=BOOLEAN, doc="insert an element")
+        .load("storage", "this", "backing")
+        .call(None, "storage", "add", "element")
+        .const("changed", True)
+        .ret("changed")
+    )
+    cls.add_method(
+        cls.method("first", return_type=OBJECT, doc="smallest element")
+        .load("storage", "this", "backing")
+        .const("position", 0)
+        .call("element", "storage", "get", "position")
+        .ret("element")
+    )
+    cls.add_method(
+        cls.method("last", return_type=OBJECT, doc="largest element")
+        .load("storage", "this", "backing")
+        .load("raw", "storage", "elems")
+        .call("element", "raw", "alast")
+        .ret("element")
+    )
+    cls.add_method(
+        cls.method("iterator", return_type="Iterator", doc="iterate over the elements")
+        .load("storage", "this", "backing")
+        .call("it", "storage", "iterator")
+        .ret("it")
+    )
+    cls.add_method(
+        cls.method("pollFirst", return_type=OBJECT, doc="remove and return the smallest element")
+        .load("storage", "this", "backing")
+        .const("position", 0)
+        .call("element", "storage", "remove", "position")
+        .ret("element")
+    )
+    return cls.build()
+
+
+def build_set_classes() -> List[ClassDef]:
+    return [
+        build_abstract_set_class(),
+        build_hash_set_class(),
+        build_linked_hash_set_class(),
+        build_tree_set_class(),
+    ]

@@ -1,0 +1,55 @@
+"""String builders.
+
+The information-flow client (like the paper's) resolves flows through the
+heap with points-to facts only, so the string classes are modelled so that
+data flows survive the common append/toString idiom: ``append`` stores its
+argument into the builder's collapsed parts array and returns the builder,
+and ``toString`` returns a stored part (an abstraction of "the result string
+is derived from the appended parts").
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.lang.builder import ClassBuilder
+from repro.lang.program import ClassDef
+from repro.lang.types import INT, OBJECT
+
+
+def build_string_builder_class() -> ClassDef:
+    cls = ClassBuilder("StringBuilder", is_library=True)
+    cls.field("parts", "ObjectArray")
+    cls.add_method(cls.constructor().new("storage", "ObjectArray").store("this", "parts", "storage"))
+    cls.add_method(
+        cls.method(
+            "append",
+            [("piece", OBJECT)],
+            return_type="StringBuilder",
+            doc="append a piece and return this builder (fluent style)",
+        )
+        .load("storage", "this", "parts")
+        .call(None, "storage", "aappend", "piece")
+        .ret("this")
+    )
+    cls.add_method(
+        cls.method("toString", return_type=OBJECT, doc="the built value (derived from the parts)")
+        .load("storage", "this", "parts")
+        .const("position", 0)
+        .call("piece", "storage", "aget", "position")
+        .ret("piece")
+    )
+    cls.add_method(
+        cls.method("length", return_type=INT, doc="length stub").const("n", 0).ret("n")
+    )
+    return cls.build()
+
+
+def build_string_buffer_class() -> ClassDef:
+    cls = ClassBuilder("StringBuffer", superclass="StringBuilder", is_library=True)
+    cls.add_method(cls.constructor().new("storage", "ObjectArray").store("this", "parts", "storage"))
+    return cls.build()
+
+
+def build_string_classes() -> List[ClassDef]:
+    return [build_string_builder_class(), build_string_buffer_class()]

@@ -1,0 +1,113 @@
+"""The points-to grammar ``Cpt`` (Figure 3), in normalized (binary) form.
+
+The grammar of the paper is::
+
+    Transfer    -> eps | Transfer Assign | Transfer Store[f] Alias Load[f]
+    TransferBar -> eps | AssignBar TransferBar | LoadBar[f] Alias StoreBar[f] TransferBar
+    Alias       -> TransferBar NewBar New Transfer
+    FlowsTo     -> New Transfer
+
+The CFL-reachability solver consumes productions with at most two symbols on
+the right-hand side, so the long productions are normalized with helper
+nonterminals parameterized by the field name.  Epsilon productions for
+``Transfer`` / ``TransferBar`` are realized by the solver as self-loops on
+every graph node.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Sequence, Tuple
+
+from repro.pointsto.labels import (
+    ALIAS,
+    ASSIGN,
+    ASSIGN_BAR,
+    FLOWS_TO,
+    NEW,
+    NEW_BAR,
+    Symbol,
+    TRANSFER,
+    TRANSFER_BAR,
+    load,
+    load_bar,
+    store,
+    store_bar,
+)
+
+
+@dataclass(frozen=True)
+class Production:
+    """A normalized production ``lhs -> rhs`` with ``len(rhs)`` in {1, 2}."""
+
+    lhs: Symbol
+    rhs: Tuple[Symbol, ...]
+
+    def __post_init__(self) -> None:
+        if not 1 <= len(self.rhs) <= 2:
+            raise ValueError("normalized productions must have one or two RHS symbols")
+
+    def __str__(self) -> str:  # pragma: no cover - debugging helper
+        return f"{self.lhs} -> {' '.join(str(s) for s in self.rhs)}"
+
+
+#: Nonterminals that derive the empty string (realized as self-loops).
+NULLABLE = (TRANSFER, TRANSFER_BAR)
+
+
+def build_cpt_grammar(fields: Iterable[str]) -> List[Production]:
+    """Instantiate the normalized ``Cpt`` grammar for the given field names.
+
+    Field-parameterized productions are expanded per field; helper
+    nonterminals carry the field so that stores and loads only match when
+    they access the same field (field sensitivity).
+    """
+    productions: List[Production] = []
+
+    # Transfer -> Transfer Assign
+    productions.append(Production(TRANSFER, (TRANSFER, ASSIGN)))
+    # TransferBar -> AssignBar TransferBar
+    productions.append(Production(TRANSFER_BAR, (ASSIGN_BAR, TRANSFER_BAR)))
+
+    # Alias -> TransferBar NewBar New Transfer
+    #   AliasL -> TransferBar NewBar ;  AliasR -> New Transfer ;  Alias -> AliasL AliasR
+    alias_left = Symbol("AliasL")
+    alias_right = Symbol("AliasR")
+    productions.append(Production(alias_left, (TRANSFER_BAR, NEW_BAR)))
+    productions.append(Production(alias_right, (NEW, TRANSFER)))
+    productions.append(Production(ALIAS, (alias_left, alias_right)))
+
+    # FlowsTo -> New Transfer
+    productions.append(Production(FLOWS_TO, (NEW, TRANSFER)))
+
+    for field_name in sorted(set(fields)):
+        # Transfer -> Transfer Store[f] Alias Load[f]
+        #   StoreAlias[f] -> Store[f] Alias ;  Heap[f] -> StoreAlias[f] Load[f]
+        #   Transfer -> Transfer Heap[f]
+        store_alias = Symbol("StoreAlias", field_name)
+        heap_step = Symbol("Heap", field_name)
+        productions.append(Production(store_alias, (store(field_name), ALIAS)))
+        productions.append(Production(heap_step, (store_alias, load(field_name))))
+        productions.append(Production(TRANSFER, (TRANSFER, heap_step)))
+
+        # TransferBar -> LoadBar[f] Alias StoreBar[f] TransferBar
+        #   AliasStoreBar[f] -> Alias StoreBar[f] ;  HeapBar[f] -> LoadBar[f] AliasStoreBar[f]
+        #   TransferBar -> HeapBar[f] TransferBar
+        alias_store_bar = Symbol("AliasStoreBar", field_name)
+        heap_bar_step = Symbol("HeapBar", field_name)
+        productions.append(Production(alias_store_bar, (ALIAS, store_bar(field_name))))
+        productions.append(Production(heap_bar_step, (load_bar(field_name), alias_store_bar)))
+        productions.append(Production(TRANSFER_BAR, (heap_bar_step, TRANSFER_BAR)))
+
+    return productions
+
+
+def grammar_fields(productions: Sequence[Production]) -> Tuple[str, ...]:
+    """Field names mentioned by a normalized grammar (useful for debugging)."""
+    names = {
+        symbol.field
+        for production in productions
+        for symbol in (production.lhs, *production.rhs)
+        if symbol.field is not None
+    }
+    return tuple(sorted(names))

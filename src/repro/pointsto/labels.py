@@ -1,0 +1,87 @@
+"""Edge labels (terminals) and nonterminals of the points-to grammar.
+
+Terminals follow Figure 2 of the paper: ``Assign``, ``New``, ``Store[f]``,
+``Load[f]`` and their "barred" (reversed-edge) counterparts.  Nonterminals
+follow Figure 3: ``Transfer``, the backwards ``TransferBar``, ``Alias`` and
+the start symbol ``FlowsTo``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+
+@dataclass(frozen=True)
+class Symbol:
+    """A grammar symbol, optionally parameterized by a field name.
+
+    ``Store`` and ``Load`` terminals (and the helper nonterminals introduced
+    during normalization) carry the field they access; all other symbols have
+    ``field is None``.
+    """
+
+    name: str
+    field: Optional[str] = None
+
+    def __str__(self) -> str:  # pragma: no cover - debugging helper
+        if self.field is None:
+            return self.name
+        return f"{self.name}[{self.field}]"
+
+
+# Terminals ------------------------------------------------------------------
+ASSIGN = Symbol("Assign")
+ASSIGN_BAR = Symbol("AssignBar")
+NEW = Symbol("New")
+NEW_BAR = Symbol("NewBar")
+
+
+def store(field: str) -> Symbol:
+    """``Store[f]``: the label of an edge ``x --Store[f]--> y`` for ``y.f <- x``."""
+    return Symbol("Store", field)
+
+
+def store_bar(field: str) -> Symbol:
+    return Symbol("StoreBar", field)
+
+
+def load(field: str) -> Symbol:
+    """``Load[f]``: the label of an edge ``x --Load[f]--> y`` for ``y <- x.f``."""
+    return Symbol("Load", field)
+
+
+def load_bar(field: str) -> Symbol:
+    return Symbol("LoadBar", field)
+
+
+_BAR_PAIRS = {
+    "Assign": "AssignBar",
+    "AssignBar": "Assign",
+    "New": "NewBar",
+    "NewBar": "New",
+    "Store": "StoreBar",
+    "StoreBar": "Store",
+    "Load": "LoadBar",
+    "LoadBar": "Load",
+}
+
+
+def barred(symbol: Symbol) -> Symbol:
+    """The reversed-edge counterpart of a terminal symbol."""
+    if symbol.name not in _BAR_PAIRS:
+        raise ValueError(f"symbol {symbol} has no barred counterpart")
+    return Symbol(_BAR_PAIRS[symbol.name], symbol.field)
+
+
+# Nonterminals ---------------------------------------------------------------
+TRANSFER = Symbol("Transfer")
+TRANSFER_BAR = Symbol("TransferBar")
+ALIAS = Symbol("Alias")
+FLOWS_TO = Symbol("FlowsTo")
+
+TERMINAL_NAMES = frozenset(_BAR_PAIRS)
+
+
+def is_terminal(symbol: Symbol) -> bool:
+    return symbol.name in TERMINAL_NAMES

@@ -1,0 +1,105 @@
+"""Query API over a completed points-to closure."""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterator, Set, Tuple
+
+from repro.lang.program import Program
+from repro.pointsto.cfl import CFLSolver
+from repro.pointsto.graph import ObjNode, PointsToGraph, VarNode
+from repro.pointsto.labels import ALIAS, FLOWS_TO, TRANSFER, TRANSFER_BAR
+
+
+class PointsToResult:
+    """The transitive closure ``G~`` of the paper, with convenience queries.
+
+    The metrics of Section 6 only consider relations between *program*
+    variables (variables of non-library classes); the ``program_*`` helpers
+    apply that restriction.
+    """
+
+    def __init__(self, program: Program, graph: PointsToGraph, solver: CFLSolver):
+        self.program = program
+        self.graph = graph
+        self.solver = solver
+
+    # ------------------------------------------------------------------ raw queries
+    def points_to(self, variable: VarNode) -> Set[ObjNode]:
+        """Abstract objects *variable* may point to."""
+        return {
+            node
+            for node in self.solver.predecessors(variable, FLOWS_TO)
+            if isinstance(node, ObjNode)
+        }
+
+    def aliased(self, left: VarNode, right: VarNode) -> bool:
+        """Whether *left* and *right* may point to a common object."""
+        return self.solver.has_edge(left, ALIAS, right)
+
+    def transfer(self, source: VarNode, target: VarNode) -> bool:
+        """Whether *source* may be (indirectly) assigned to *target*."""
+        return self.solver.has_edge(source, TRANSFER, target)
+
+    def transfer_bar(self, source: VarNode, target: VarNode) -> bool:
+        return self.solver.has_edge(source, TRANSFER_BAR, target)
+
+    def transfer_targets(self, source: VarNode) -> Set[VarNode]:
+        """All variables *source* may transfer to."""
+        return {
+            node
+            for node in self.solver.successors(source, TRANSFER)
+            if isinstance(node, VarNode)
+        }
+
+    # ------------------------------------------------------------------ edge sets
+    def points_to_edges(self) -> Set[Tuple[VarNode, ObjNode]]:
+        """All points-to edges ``x -> o`` in the closure."""
+        return {
+            (target, source)
+            for source, target in self.solver.edges(FLOWS_TO)
+            if isinstance(source, ObjNode) and isinstance(target, VarNode)
+        }
+
+    def is_program_variable(self, node: object) -> bool:
+        return (
+            isinstance(node, VarNode)
+            and self.program.has_class(node.class_name)
+            and not self.program.class_def(node.class_name).is_library
+        )
+
+    def is_program_object(self, node: object) -> bool:
+        """Whether *node* is an abstract object allocated by client (non-library) code."""
+        return (
+            isinstance(node, ObjNode)
+            and self.program.has_class(node.class_name)
+            and not self.program.class_def(node.class_name).is_library
+        )
+
+    def program_points_to_edges(self) -> FrozenSet[Tuple[VarNode, ObjNode]]:
+        """Points-to edges between client variables and client-allocated objects.
+
+        This is the relation the paper's ``R_pt`` metric is computed over
+        (Section 6, "Evaluating computed relations"): relations involving
+        variables or abstract objects that live inside library code or inside
+        code-fragment specifications are omitted.
+        """
+        return frozenset(
+            (variable, obj)
+            for variable, obj in self.points_to_edges()
+            if self.is_program_variable(variable) and self.is_program_object(obj)
+        )
+
+    def program_variables(self) -> Set[VarNode]:
+        return {node for node in self.graph.nodes if self.is_program_variable(node)}
+
+    # ------------------------------------------------------------------ debugging
+    def points_to_map(self) -> Dict[VarNode, Set[ObjNode]]:
+        mapping: Dict[VarNode, Set[ObjNode]] = {}
+        for variable, obj in self.points_to_edges():
+            mapping.setdefault(variable, set()).add(obj)
+        return mapping
+
+    def iter_alias_pairs(self) -> Iterator[Tuple[VarNode, VarNode]]:
+        for source, target in self.solver.edges(ALIAS):
+            if isinstance(source, VarNode) and isinstance(target, VarNode):
+                yield source, target

@@ -1,0 +1,52 @@
+"""Path specifications (Section 4 of the paper) and their machinery.
+
+This package contains the representation of path specifications, the
+finite-state-automaton machinery used to describe (possibly infinite) regular
+sets of them, a small pattern DSL for writing ground-truth specification
+languages by hand, and the Appendix-A translation from regular sets of path
+specifications to ghost-field code fragments consumable by the static
+points-to analysis.
+"""
+
+from repro.specs.variables import (
+    LibraryInterface,
+    MethodSignature,
+    SpecVariable,
+    param,
+    receiver,
+    ret,
+)
+from repro.specs.path_spec import (
+    EdgeKind,
+    ExternalEdge,
+    PathSpec,
+    PathSpecError,
+    is_valid_word,
+)
+from repro.specs.fsa import FSA, prefix_tree_acceptor
+from repro.specs.regular import SpecPattern, Segment, patterns_to_fsa
+from repro.specs.codegen import generate_code_fragments
+from repro.specs.semantics import conclusion_holds, premise_holds, spec_variable_node
+
+__all__ = [
+    "EdgeKind",
+    "ExternalEdge",
+    "FSA",
+    "LibraryInterface",
+    "MethodSignature",
+    "PathSpec",
+    "PathSpecError",
+    "Segment",
+    "SpecPattern",
+    "SpecVariable",
+    "conclusion_holds",
+    "generate_code_fragments",
+    "is_valid_word",
+    "param",
+    "patterns_to_fsa",
+    "prefix_tree_acceptor",
+    "premise_holds",
+    "receiver",
+    "ret",
+    "spec_variable_node",
+]

@@ -1,0 +1,295 @@
+"""Appendix A: converting regular sets of path specifications to code fragments.
+
+Given an automaton ``M`` describing a (possibly infinite) regular set of path
+specifications, this module generates *code-fragment specifications*: IR
+classes with ghost fields that a standard points-to analysis can analyze in
+place of the (possibly unavailable) library implementation.
+
+Each automaton state ``q`` gets a fresh ghost field ``$g<q>``; a pair of
+consecutive transitions ``p --z--> q --w--> r`` whose symbols belong to the
+same library method contributes statements to that method's fragment
+following the rules of Figure 11.  Transition pairs are recognized by state
+parity (distance mod 2 from the initial state), so that the first transition
+always plays the ``z_i`` role.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.lang.builder import ClassBuilder, MethodBuilder
+from repro.lang.program import CONSTRUCTOR, Program, RECEIVER
+from repro.lang.statements import Assign, Load, New, Return, Statement, Store
+from repro.lang.types import OBJECT, VOID, is_reference
+from repro.specs.fsa import FSA
+from repro.specs.variables import LibraryInterface, MethodSignature, SpecVariable
+
+
+def ghost_field(state: int) -> str:
+    """Name of the ghost field associated with automaton state *state*."""
+    return f"$g{state}"
+
+
+@dataclass(frozen=True)
+class _TransitionPair:
+    """A ``p --z--> q --w--> r`` pair where ``z`` and ``w`` share a method."""
+
+    before: int
+    z: SpecVariable
+    middle: int
+    w: SpecVariable
+    after: int
+
+
+def _collect_pairs(fsa: FSA) -> List[_TransitionPair]:
+    parities = fsa.state_parities()
+    pairs: List[_TransitionPair] = []
+    seen: Set[_TransitionPair] = set()
+    for before, z, middle in fsa.transitions():
+        if 0 not in parities.get(before, set()):
+            continue  # the first transition of a pair starts at even parity
+        for symbol, after in fsa.outgoing(middle):
+            w = symbol
+            if not isinstance(w, SpecVariable) or not isinstance(z, SpecVariable):
+                continue
+            if z.method_key != w.method_key:
+                continue
+            pair = _TransitionPair(before, z, middle, w, after)
+            if pair not in seen:
+                seen.add(pair)
+                pairs.append(pair)
+    return pairs
+
+
+class _FragmentMethod:
+    """Accumulates the statements generated for one library method."""
+
+    def __init__(self, signature: MethodSignature):
+        self.signature = signature
+        self.statements: List[Statement] = []
+        self._existing: Set[Statement] = set()
+        self._fresh = 0
+
+    def fresh(self, prefix: str) -> str:
+        self._fresh += 1
+        return f"${prefix}{self._fresh}"
+
+    def emit(self, statement: Statement) -> None:
+        if statement not in self._existing:
+            self._existing.add(statement)
+            self.statements.append(statement)
+
+    def variable_for(self, spec_var: SpecVariable, allocations: Dict[SpecVariable, str]) -> str:
+        """IR variable name standing for *spec_var* inside this fragment."""
+        if spec_var.is_param:
+            return spec_var.name
+        return allocations.setdefault(spec_var, self.fresh("ret"))
+
+
+def _return_class(signature: MethodSignature) -> str:
+    return signature.return_type if is_reference(signature.return_type) else OBJECT
+
+
+def generate_code_fragments(
+    fsa: FSA,
+    interface: LibraryInterface,
+    include_uncovered_methods: bool = False,
+) -> Program:
+    """Generate the code-fragment specification program for *fsa*.
+
+    The returned program contains one class per library class mentioned by
+    the automaton (or by the whole interface when
+    ``include_uncovered_methods`` is true), each marked ``is_library`` and
+    carrying the ghost fields and fragment methods.  Constructors from the
+    interface are regenerated as no-ops so that client allocations still
+    resolve.
+    """
+    pairs = _collect_pairs(fsa)
+    accepting = set(fsa.accepting)
+    initial = fsa.initial
+
+    methods: Dict[Tuple[str, str], _FragmentMethod] = {}
+    fields_by_class: Dict[str, Set[str]] = {}
+
+    def fragment(signature: MethodSignature) -> _FragmentMethod:
+        return methods.setdefault(signature.key, _FragmentMethod(signature))
+
+    for pair in pairs:
+        signature = interface.method(pair.z.class_name, pair.z.method_name)
+        method = fragment(signature)
+        _emit_pair(method, pair, initial, accepting, fields_by_class)
+
+    if include_uncovered_methods:
+        for signature in interface.methods():
+            fragment(signature)
+
+    return _assemble_program(methods, fields_by_class, interface)
+
+
+# --------------------------------------------------------------------------- rules
+def _emit_pair(
+    method: _FragmentMethod,
+    pair: _TransitionPair,
+    initial: int,
+    accepting: Set[int],
+    fields_by_class: Dict[str, Set[str]],
+) -> None:
+    signature = method.signature
+    class_name = signature.class_name
+    return_class = _return_class(signature)
+    is_initial = pair.before == initial
+    is_final = pair.after in accepting
+
+    allocations: Dict[SpecVariable, str] = {}
+
+    def declare(state: int) -> str:
+        name = ghost_field(state)
+        fields_by_class.setdefault(class_name, set()).add(name)
+        return name
+
+    z, w = pair.z, pair.w
+    f_before = ghost_field(pair.before)
+    f_after = ghost_field(pair.after)
+
+    if is_initial and is_final:
+        # (initial final): w <- z, i.e. the method returns its argument.
+        z_var = method.variable_for(z, allocations)
+        if w.is_return:
+            method.emit(Return(z_var))
+        else:
+            method.emit(Assign(w.name, z_var))
+        return
+
+    if is_initial:
+        if z.is_param:
+            # (initial parameter): w.f_after <- z
+            declare(pair.after)
+            z_var = z.name
+            if w.is_return:
+                w_var = method.variable_for(w, allocations)
+                method.emit(New(w_var, return_class))
+                method.emit(Store(w_var, f_after, z_var))
+                method.emit(Return(w_var))
+            else:
+                method.emit(Store(w.name, f_after, z_var))
+        else:
+            # (initial return): t <- X(); z <- t; w.f_after <- t
+            declare(pair.after)
+            t_var = method.fresh("tmp")
+            method.emit(New(t_var, return_class))
+            method.emit(Return(t_var))
+            target = t_var if w.is_return else w.name
+            method.emit(Store(target, f_after, t_var))
+        return
+
+    if is_final:
+        if z.is_param and w.is_return:
+            # (final parameter): w <- z.f_before
+            declare(pair.before)
+            w_var = method.variable_for(w, allocations)
+            method.emit(Load(w_var, z.name, f_before))
+            method.emit(Return(w_var))
+            return
+        if z.is_return:
+            # (final return): t <- X(); z.f_before <- t; w <- t
+            declare(pair.before)
+            z_var = method.variable_for(z, allocations)
+            method.emit(New(z_var, return_class))
+            method.emit(Return(z_var))
+            t_var = method.fresh("tmp")
+            method.emit(New(t_var, OBJECT))
+            method.emit(Store(z_var, f_before, t_var))
+            if w.is_return:
+                method.emit(Return(t_var))
+            else:
+                method.emit(Assign(w.name, t_var))
+            return
+        # z param, w param but final: fall through to the aliasing rule below.
+
+    # Middle-of-path rules.
+    if z.is_param and w.is_param:
+        # (Alias): t <- z.f_before ; w.f_after <- t
+        declare(pair.before)
+        declare(pair.after)
+        t_var = method.fresh("tmp")
+        method.emit(Load(t_var, z.name, f_before))
+        method.emit(Store(w.name, f_after, t_var))
+    elif z.is_param and w.is_return:
+        # (Transfer): w <- X() ; t <- z.f_before ; w.f_after <- t
+        declare(pair.before)
+        declare(pair.after)
+        w_var = method.variable_for(w, allocations)
+        method.emit(New(w_var, return_class))
+        t_var = method.fresh("tmp")
+        method.emit(Load(t_var, z.name, f_before))
+        method.emit(Store(w_var, f_after, t_var))
+        method.emit(Return(w_var))
+    elif z.is_return and w.is_param:
+        # (TransferBar): z <- X() ; t <- w.f_after ; z.f_before <- t
+        declare(pair.before)
+        declare(pair.after)
+        z_var = method.variable_for(z, allocations)
+        method.emit(New(z_var, return_class))
+        method.emit(Return(z_var))
+        t_var = method.fresh("tmp")
+        method.emit(Load(t_var, w.name, f_after))
+        method.emit(Store(z_var, f_before, t_var))
+    else:
+        # z return, w return: keep the returned object's fields connected.
+        declare(pair.before)
+        declare(pair.after)
+        zw_var = method.variable_for(z, allocations)
+        method.emit(New(zw_var, return_class))
+        method.emit(Return(zw_var))
+        t_var = method.fresh("tmp")
+        method.emit(Load(t_var, zw_var, f_before))
+        method.emit(Store(zw_var, f_after, t_var))
+
+
+# --------------------------------------------------------------------------- assembly
+def _assemble_program(
+    methods: Dict[Tuple[str, str], _FragmentMethod],
+    fields_by_class: Dict[str, Set[str]],
+    interface: LibraryInterface,
+) -> Program:
+    classes: Dict[str, ClassBuilder] = {}
+
+    def builder(class_name: str) -> ClassBuilder:
+        if class_name not in classes:
+            cls = ClassBuilder(class_name, superclass=OBJECT, is_library=True)
+            classes[class_name] = cls
+        return classes[class_name]
+
+    covered_classes = {key[0] for key in methods} | set(fields_by_class)
+    for class_name in covered_classes:
+        cls = builder(class_name)
+        for field_name in sorted(fields_by_class.get(class_name, ())):
+            cls.field(field_name)
+        # Regenerate constructors as no-ops so that client allocations resolve.
+        constructors = interface.constructors(class_name)
+        if constructors:
+            longest = max(constructors, key=lambda c: len(c.params))
+            cls.add_method(MethodBuilder(CONSTRUCTOR, params=longest.params))
+        else:
+            cls.add_method(MethodBuilder(CONSTRUCTOR))
+
+    for (class_name, _method_name), fragment in methods.items():
+        signature = fragment.signature
+        method = MethodBuilder(
+            signature.method_name,
+            params=signature.params,
+            return_type=signature.return_type,
+            is_static=signature.is_static,
+            doc="generated code-fragment specification",
+        )
+        method.extend(fragment.statements)
+        if signature.returns_reference() and not any(
+            isinstance(s, Return) for s in fragment.statements
+        ):
+            method.const("$null", None)
+            method.ret("$null")
+        builder(class_name).add_method(method)
+
+    program_classes = [cls.build() for cls in classes.values()]
+    return Program(program_classes)

@@ -1,0 +1,277 @@
+"""Finite state automata over specification variables.
+
+Regular sets of path specifications are represented as (nondeterministic)
+finite state automata whose alphabet is ``V_path`` (Section 4, "Regular sets
+of path specifications").  The language-inference algorithm of Section 5.3
+starts from the prefix tree acceptor of the positive examples and repeatedly
+merges states; :meth:`FSA.merge` and :meth:`FSA.difference_words` provide the
+operations it needs.
+
+Transitions are stored per source state so that the word enumeration used by
+the merge check (thousands of enumerations per inference run) stays cheap.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, FrozenSet, Hashable, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+
+Symbol = Hashable
+Word = Tuple[Symbol, ...]
+
+
+class FSA:
+    """A nondeterministic finite state automaton with integer states."""
+
+    def __init__(
+        self,
+        num_states: int = 1,
+        initial: int = 0,
+        accepting: Iterable[int] = (),
+    ):
+        self._num_states = num_states
+        self.initial = initial
+        self.accepting: Set[int] = set(accepting)
+        #: transitions indexed by source state: state -> symbol -> set of targets
+        self._delta: Dict[int, Dict[Symbol, Set[int]]] = {}
+
+    # ------------------------------------------------------------------ construction
+    def add_state(self) -> int:
+        state = self._num_states
+        self._num_states += 1
+        return state
+
+    def add_transition(self, source: int, symbol: Symbol, target: int) -> None:
+        self._delta.setdefault(source, {}).setdefault(symbol, set()).add(target)
+        self._num_states = max(self._num_states, source + 1, target + 1)
+
+    def mark_accepting(self, state: int) -> None:
+        self.accepting.add(state)
+
+    def copy(self) -> "FSA":
+        duplicate = FSA(num_states=self._num_states, initial=self.initial, accepting=self.accepting)
+        duplicate._delta = {
+            state: {symbol: set(targets) for symbol, targets in symbols.items()}
+            for state, symbols in self._delta.items()
+        }
+        return duplicate
+
+    # ------------------------------------------------------------------ inspection
+    @property
+    def num_states(self) -> int:
+        return len(self.states())
+
+    def states(self) -> Tuple[int, ...]:
+        """States that actually occur (reachable or not)."""
+        present: Set[int] = {self.initial}
+        present.update(self.accepting)
+        for state, symbols in self._delta.items():
+            present.add(state)
+            for targets in symbols.values():
+                present.update(targets)
+        return tuple(sorted(present))
+
+    def alphabet(self) -> Tuple[Symbol, ...]:
+        symbols: Set[Symbol] = set()
+        for transitions in self._delta.values():
+            symbols.update(transitions)
+        return tuple(symbols)
+
+    def transitions(self) -> Iterator[Tuple[int, Symbol, int]]:
+        for source, symbols in self._delta.items():
+            for symbol, targets in symbols.items():
+                for target in targets:
+                    yield source, symbol, target
+
+    def successors(self, state: int, symbol: Symbol) -> FrozenSet[int]:
+        return frozenset(self._delta.get(state, {}).get(symbol, ()))
+
+    def outgoing(self, state: int) -> Iterator[Tuple[Symbol, int]]:
+        for symbol, targets in self._delta.get(state, {}).items():
+            for target in targets:
+                yield symbol, target
+
+    def outgoing_map(self, state: int) -> Dict[Symbol, Set[int]]:
+        return self._delta.get(state, {})
+
+    def num_transitions(self) -> int:
+        return sum(
+            len(targets) for symbols in self._delta.values() for targets in symbols.values()
+        )
+
+    # ------------------------------------------------------------------ language
+    def accepts(self, word: Sequence[Symbol]) -> bool:
+        current = {self.initial}
+        for symbol in word:
+            following: Set[int] = set()
+            for state in current:
+                following.update(self._delta.get(state, {}).get(symbol, ()))
+            if not following:
+                return False
+            current = following
+        return bool(current & self.accepting)
+
+    def enumerate_words(self, max_length: int, limit: Optional[int] = None) -> Iterator[Word]:
+        """Yield accepted words of length at most *max_length* (breadth-first).
+
+        The enumeration is over distinct words (two accepting paths spelling
+        the same word yield it once).  *limit* caps the number of yielded
+        words.
+        """
+        yielded = 0
+        seen: Set[Word] = set()
+        queue: deque = deque()
+        queue.append(((), frozenset({self.initial})))
+        while queue:
+            word, states = queue.popleft()
+            if states & self.accepting and word not in seen:
+                seen.add(word)
+                yield word
+                yielded += 1
+                if limit is not None and yielded >= limit:
+                    return
+            if len(word) >= max_length:
+                continue
+            by_symbol: Dict[Symbol, Set[int]] = {}
+            for state in states:
+                for symbol, targets in self._delta.get(state, {}).items():
+                    by_symbol.setdefault(symbol, set()).update(targets)
+            for symbol, targets in by_symbol.items():
+                queue.append((word + (symbol,), frozenset(targets)))
+
+    def difference_words(
+        self,
+        other: "FSA",
+        max_length: int,
+        limit: Optional[int] = None,
+        max_enumerated: int = 20_000,
+    ) -> List[Word]:
+        """Words of length <= *max_length* accepted by ``self`` but not *other*.
+
+        *limit* caps the number of returned words; *max_enumerated* bounds the
+        total enumeration effort (a safety valve for merges that create very
+        dense cycles).
+        """
+        result: List[Word] = []
+        for word in self.enumerate_words(max_length, limit=max_enumerated):
+            if not other.accepts(word):
+                result.append(word)
+                if limit is not None and len(result) >= limit:
+                    break
+        return result
+
+    def is_empty(self) -> bool:
+        """Whether the language is empty (checked exactly via reachability)."""
+        for state in self.reachable_states():
+            if state in self.accepting:
+                return False
+        return True
+
+    # ------------------------------------------------------------------ merging
+    def merge(self, state: int, into: int) -> "FSA":
+        """Return a new FSA with *state* merged into *into* (Section 5.3).
+
+        All transitions entering or leaving *state* are redirected to *into*;
+        *into* becomes accepting if *state* was.  The initial state cannot be
+        merged away.
+        """
+        if state == self.initial:
+            raise ValueError("cannot merge away the initial state")
+        if state == into:
+            return self.copy()
+
+        def rename(s: int) -> int:
+            return into if s == state else s
+
+        merged = FSA(num_states=self._num_states, initial=self.initial)
+        merged.accepting = {rename(s) for s in self.accepting}
+        for source, symbol, target in self.transitions():
+            merged.add_transition(rename(source), symbol, rename(target))
+        return merged
+
+    # ------------------------------------------------------------------ misc
+    def reachable_states(self) -> Set[int]:
+        reachable = {self.initial}
+        frontier = [self.initial]
+        while frontier:
+            state = frontier.pop()
+            for _symbol, target in self.outgoing(state):
+                if target not in reachable:
+                    reachable.add(target)
+                    frontier.append(target)
+        return reachable
+
+    def trimmed(self) -> "FSA":
+        """Restrict to states reachable from the initial state."""
+        reachable = self.reachable_states()
+        trimmed = FSA(num_states=self._num_states, initial=self.initial)
+        trimmed.accepting = {s for s in self.accepting if s in reachable}
+        for source, symbol, target in self.transitions():
+            if source in reachable and target in reachable:
+                trimmed.add_transition(source, symbol, target)
+        return trimmed
+
+    def state_parities(self) -> Dict[int, Set[int]]:
+        """Distance-mod-2 of each reachable state from the initial state.
+
+        Used by the code-fragment generator to decide whether a transition
+        plays the ``z_i`` (even) or ``w_i`` (odd) role.
+        """
+        parities: Dict[int, Set[int]] = {self.initial: {0}}
+        queue = deque([(self.initial, 0)])
+        while queue:
+            state, parity = queue.popleft()
+            for _symbol, target in self.outgoing(state):
+                next_parity = 1 - parity
+                known = parities.setdefault(target, set())
+                if next_parity not in known:
+                    known.add(next_parity)
+                    queue.append((target, next_parity))
+        return parities
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return (
+            f"FSA(states={self.num_states}, transitions={self.num_transitions()}, "
+            f"accepting={len(self.accepting)})"
+        )
+
+
+def fsa_union(automata: Sequence[FSA]) -> FSA:
+    """The union of several automata (their initial states are identified).
+
+    Languages of path specifications never contain the empty word, so
+    identifying the initial states (rather than adding epsilon transitions,
+    which the representation does not support) preserves the union exactly
+    for the automata produced in this project.
+    """
+    union = FSA(num_states=1, initial=0)
+    for automaton in automata:
+        offsets: Dict[int, int] = {automaton.initial: union.initial}
+
+        def renamed(state: int, offsets=offsets) -> int:
+            if state not in offsets:
+                offsets[state] = union.add_state()
+            return offsets[state]
+
+        for source, symbol, target in automaton.transitions():
+            union.add_transition(renamed(source), symbol, renamed(target))
+        for state in automaton.accepting:
+            union.mark_accepting(renamed(state))
+    return union
+
+
+def prefix_tree_acceptor(words: Iterable[Sequence[Symbol]]) -> FSA:
+    """Build the prefix tree acceptor of *words* (the RPNI starting point)."""
+    fsa = FSA(num_states=1, initial=0)
+    for word in words:
+        state = fsa.initial
+        for symbol in word:
+            successors = fsa.successors(state, symbol)
+            if successors:
+                state = min(successors)
+            else:
+                new_state = fsa.add_state()
+                fsa.add_transition(state, symbol, new_state)
+                state = new_state
+        fsa.mark_accepting(state)
+    return fsa

@@ -1,0 +1,166 @@
+r"""Path specifications (Section 4).
+
+A path specification is a sequence of specification variables
+
+    z1 w1 z2 w2 ... zk wk          (zi, wi in V_{m_i})
+
+subject to the constraints of the paper:
+
+* ``zi`` and ``wi`` belong to the same library method ``m_i``;
+* ``wi`` and ``z_{i+1}`` are not both return values;
+* ``wk`` is a return value.
+
+Its semantics is the implication
+
+    (/\_i  wi --A_i--> z_{i+1})  =>  (z1 --A--> wk)
+
+where the nonterminals ``A_i`` and ``A`` are determined by whether the
+variables are parameters or return values (the tables in Section 4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Iterable, List, Sequence, Tuple
+
+from repro.specs.variables import SpecVariable
+
+
+class PathSpecError(ValueError):
+    """Raised when a word over ``V_path`` is not a valid path specification."""
+
+
+class EdgeKind(Enum):
+    """Nonterminal labels that can appear in premises / conclusions."""
+
+    TRANSFER = "Transfer"
+    TRANSFER_BAR = "TransferBar"
+    ALIAS = "Alias"
+
+
+@dataclass(frozen=True)
+class ExternalEdge:
+    """An edge ``w_i --A_i--> z_{i+1}`` of a path specification's premise."""
+
+    source: SpecVariable
+    kind: EdgeKind
+    target: SpecVariable
+
+
+@dataclass(frozen=True)
+class InternalEdge:
+    """A (dashed) edge ``z_i ~~> w_i`` summarizing a library-internal path."""
+
+    source: SpecVariable
+    target: SpecVariable
+
+    @property
+    def method_key(self) -> Tuple[str, str]:
+        return self.source.method_key
+
+
+def _external_kind(w: SpecVariable, z: SpecVariable) -> EdgeKind:
+    if w.is_return and z.is_param:
+        return EdgeKind.TRANSFER
+    if w.is_param and z.is_param:
+        return EdgeKind.ALIAS
+    if w.is_param and z.is_return:
+        return EdgeKind.TRANSFER_BAR
+    raise PathSpecError("consecutive variables w_i and z_{i+1} cannot both be return values")
+
+
+class PathSpec:
+    """An immutable, validated path specification."""
+
+    def __init__(self, variables: Sequence[SpecVariable]):
+        word = tuple(variables)
+        _validate(word)
+        self._word = word
+
+    # ------------------------------------------------------------------ basics
+    @property
+    def word(self) -> Tuple[SpecVariable, ...]:
+        """The specification as a word over ``V_path``."""
+        return self._word
+
+    def __len__(self) -> int:
+        return len(self._word)
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, PathSpec) and self._word == other._word
+
+    def __hash__(self) -> int:
+        return hash(self._word)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return "PathSpec(" + " ".join(str(v) for v in self._word) + ")"
+
+    @property
+    def num_calls(self) -> int:
+        """The number of library functions the specification spans (``k``)."""
+        return len(self._word) // 2
+
+    # ------------------------------------------------------------------ structure
+    def pairs(self) -> Tuple[Tuple[SpecVariable, SpecVariable], ...]:
+        """The per-function pairs ``(z_i, w_i)``."""
+        word = self._word
+        return tuple((word[i], word[i + 1]) for i in range(0, len(word), 2))
+
+    def internal_edges(self) -> Tuple[InternalEdge, ...]:
+        """The dashed (library-side) edges ``z_i ~~> w_i``."""
+        return tuple(InternalEdge(z, w) for z, w in self.pairs())
+
+    def external_edges(self) -> Tuple[ExternalEdge, ...]:
+        """The premise edges ``w_i --A_i--> z_{i+1}``."""
+        word = self._word
+        edges: List[ExternalEdge] = []
+        for i in range(1, len(word) - 1, 2):
+            w, z = word[i], word[i + 1]
+            edges.append(ExternalEdge(w, _external_kind(w, z), z))
+        return tuple(edges)
+
+    def conclusion(self) -> ExternalEdge:
+        """The conclusion edge ``z_1 --A--> w_k``."""
+        first, last = self._word[0], self._word[-1]
+        kind = EdgeKind.TRANSFER if first.is_param else EdgeKind.ALIAS
+        return ExternalEdge(first, kind, last)
+
+    def methods(self) -> Tuple[Tuple[str, str], ...]:
+        """The sequence of library methods ``m_1 ... m_k`` (with repetitions)."""
+        return tuple(z.method_key for z, _ in self.pairs())
+
+    def classes(self) -> Tuple[str, ...]:
+        """The distinct library classes this specification touches."""
+        return tuple(sorted({key[0] for key in self.methods()}))
+
+    # ------------------------------------------------------------------ factories
+    @classmethod
+    def from_word(cls, word: Iterable[SpecVariable]) -> "PathSpec":
+        return cls(tuple(word))
+
+
+def _validate(word: Tuple[SpecVariable, ...]) -> None:
+    if len(word) < 2 or len(word) % 2 != 0:
+        raise PathSpecError("a path specification has an even number (>= 2) of variables")
+    for i in range(0, len(word), 2):
+        z, w = word[i], word[i + 1]
+        if z.method_key != w.method_key:
+            raise PathSpecError(
+                f"variables {z} and {w} at positions {i}, {i + 1} belong to different methods"
+            )
+    for i in range(1, len(word) - 1, 2):
+        w, z = word[i], word[i + 1]
+        if w.is_return and z.is_return:
+            raise PathSpecError("w_i and z_{i+1} may not both be return values")
+    if not word[-1].is_return:
+        raise PathSpecError("the last variable w_k must be a return value")
+
+
+def is_valid_word(word: Sequence[SpecVariable]) -> bool:
+    """Whether *word* is a structurally valid path specification."""
+    try:
+        _validate(tuple(word))
+    except PathSpecError:
+        return False
+    return True

@@ -1,0 +1,117 @@
+"""A small pattern DSL for writing regular sets of path specifications by hand.
+
+Ground-truth and handwritten specification sets (Section 6.2) are easiest to
+express as patterns such as::
+
+    ob ~> this_set  ( -> this_clone ~> r_clone )*  -> this_get ~> r_get
+
+A :class:`SpecPattern` is a sequence of :class:`Segment` objects; each segment
+contributes one or more ``(z_i, w_i)`` pairs and may be starred (repeatable
+zero or more times).  Patterns compile to the :class:`~repro.specs.fsa.FSA`
+representation used everywhere else.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Sequence, Tuple
+
+from repro.specs.fsa import FSA
+from repro.specs.path_spec import PathSpecError, is_valid_word
+from repro.specs.variables import SpecVariable
+
+
+@dataclass(frozen=True)
+class Segment:
+    """A run of specification variables, optionally starred.
+
+    The variables must come in ``(z, w)`` pairs (even length).  A starred
+    segment may repeat any number of times (including zero).
+    """
+
+    variables: Tuple[SpecVariable, ...]
+    starred: bool = False
+
+    def __post_init__(self) -> None:
+        if len(self.variables) == 0 or len(self.variables) % 2 != 0:
+            raise PathSpecError("a segment must contain a positive, even number of variables")
+
+
+@dataclass(frozen=True)
+class SpecPattern:
+    """A concatenation of segments describing a regular family of path specs."""
+
+    segments: Tuple[Segment, ...]
+
+    @classmethod
+    def simple(cls, *variables: SpecVariable) -> "SpecPattern":
+        """A pattern denoting exactly one path specification."""
+        return cls((Segment(tuple(variables)),))
+
+    @classmethod
+    def of(cls, *segments: Segment) -> "SpecPattern":
+        return cls(tuple(segments))
+
+    def shortest_word(self) -> Tuple[SpecVariable, ...]:
+        """The shortest path specification in the pattern (starred segments skipped)."""
+        word: List[SpecVariable] = []
+        for segment in self.segments:
+            if not segment.starred:
+                word.extend(segment.variables)
+        return tuple(word)
+
+
+def seg(*variables: SpecVariable) -> Segment:
+    """Shorthand for a non-starred segment."""
+    return Segment(tuple(variables))
+
+
+def star(*variables: SpecVariable) -> Segment:
+    """Shorthand for a starred segment."""
+    return Segment(tuple(variables), starred=True)
+
+
+def patterns_to_fsa(patterns: Iterable[SpecPattern]) -> FSA:
+    """Compile a collection of patterns into a single automaton (their union).
+
+    All patterns share the automaton's initial state, so a pattern may not
+    *start* with a starred segment (the loop would sit on the shared initial
+    state and create spurious cross-pattern words).  ``(P)* P`` and
+    ``P (P)*`` denote the same language, so callers can always reorder.
+    """
+    fsa = FSA(num_states=1, initial=0)
+    for pattern in patterns:
+        if pattern.segments and pattern.segments[0].starred:
+            raise PathSpecError(
+                "a pattern may not start with a starred segment; "
+                "rewrite (P)* Q as a non-starred prefix followed by the star"
+            )
+        current = fsa.initial
+        for segment in pattern.segments:
+            if segment.starred:
+                # Loop from `current` back to `current` through fresh states.
+                previous = current
+                for index, variable in enumerate(segment.variables):
+                    is_last = index == len(segment.variables) - 1
+                    target = current if is_last else fsa.add_state()
+                    fsa.add_transition(previous, variable, target)
+                    previous = target
+            else:
+                for variable in segment.variables:
+                    target = fsa.add_state()
+                    fsa.add_transition(current, variable, target)
+                    current = target
+        fsa.mark_accepting(current)
+    return fsa
+
+
+def check_pattern_language(fsa: FSA, max_length: int = 8, limit: int = 2000) -> List[Tuple[SpecVariable, ...]]:
+    """Return any invalid words (not valid path specifications) in the language.
+
+    Used by tests to sanity-check hand-written pattern sets.
+    """
+    invalid: List[Tuple[SpecVariable, ...]] = []
+    for word in fsa.enumerate_words(max_length, limit=limit):
+        if not is_valid_word(word):
+            invalid.append(tuple(word))
+    return invalid

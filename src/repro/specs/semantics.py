@@ -1,0 +1,42 @@
+"""Semantics of path specifications against a points-to closure.
+
+A path specification's premise and conclusion are edges between library
+interface variables.  These helpers map specification variables to the graph
+nodes of :mod:`repro.pointsto` and check whether the corresponding relations
+hold in a computed closure -- useful for testing and for reasoning about the
+witness property.
+"""
+
+from __future__ import annotations
+
+from repro.pointsto.graph import RETURN_VARIABLE, VarNode
+from repro.pointsto.relations import PointsToResult
+from repro.specs.path_spec import EdgeKind, ExternalEdge, PathSpec
+from repro.specs.variables import SpecVariable
+
+
+def spec_variable_node(variable: SpecVariable) -> VarNode:
+    """The points-to graph node corresponding to a specification variable."""
+    name = RETURN_VARIABLE if variable.is_return else variable.name
+    return VarNode(variable.class_name, variable.method_name, name)
+
+
+def edge_holds(edge: ExternalEdge, result: PointsToResult) -> bool:
+    """Whether a premise/conclusion edge holds in the closure *result*."""
+    source = spec_variable_node(edge.source)
+    target = spec_variable_node(edge.target)
+    if edge.kind is EdgeKind.TRANSFER:
+        return result.transfer(source, target)
+    if edge.kind is EdgeKind.TRANSFER_BAR:
+        return result.transfer_bar(source, target)
+    return result.aliased(source, target)
+
+
+def premise_holds(spec: PathSpec, result: PointsToResult) -> bool:
+    """Whether every premise edge of *spec* holds in *result*."""
+    return all(edge_holds(edge, result) for edge in spec.external_edges())
+
+
+def conclusion_holds(spec: PathSpec, result: PointsToResult) -> bool:
+    """Whether the conclusion edge of *spec* holds in *result*."""
+    return edge_holds(spec.conclusion(), result)

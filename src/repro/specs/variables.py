@@ -1,0 +1,225 @@
+"""Specification variables and the library interface.
+
+A *specification variable* is a variable at the library interface
+(``V_path`` in the paper): a parameter (including the receiver) or the return
+value of a library function.  The *library interface* is the first input of
+the inference algorithm (Section 5.1): the type signature of every function
+in the library, with no access to implementations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.lang.program import CONSTRUCTOR, Program, RECEIVER
+from repro.lang.types import OBJECT, is_reference
+
+PARAM = "param"
+RETURN = "return"
+
+
+@dataclass(frozen=True)
+class SpecVariable:
+    """A variable at the library interface.
+
+    ``kind`` is ``"param"`` for parameters (the receiver is treated as a
+    parameter named ``this``, exactly as ``this_set`` is in the paper) or
+    ``"return"`` for return values (named ``@return``).
+    """
+
+    class_name: str
+    method_name: str
+    kind: str
+    name: str
+
+    @property
+    def is_param(self) -> bool:
+        return self.kind == PARAM
+
+    @property
+    def is_return(self) -> bool:
+        return self.kind == RETURN
+
+    @property
+    def method_key(self) -> Tuple[str, str]:
+        return (self.class_name, self.method_name)
+
+    def __str__(self) -> str:  # pragma: no cover - debugging helper
+        if self.is_return:
+            return f"r_{self.class_name}.{self.method_name}"
+        return f"{self.name}_{self.class_name}.{self.method_name}"
+
+
+def receiver(class_name: str, method_name: str) -> SpecVariable:
+    """The receiver variable of a library method (``this_m``)."""
+    return SpecVariable(class_name, method_name, PARAM, RECEIVER)
+
+
+def param(class_name: str, method_name: str, name: str) -> SpecVariable:
+    """A named reference parameter of a library method."""
+    return SpecVariable(class_name, method_name, PARAM, name)
+
+
+def ret(class_name: str, method_name: str) -> SpecVariable:
+    """The return value of a library method (``r_m``)."""
+    return SpecVariable(class_name, method_name, RETURN, "@return")
+
+
+@dataclass(frozen=True)
+class MethodSignature:
+    """The type signature of one library method as seen by the inference algorithm."""
+
+    class_name: str
+    method_name: str
+    params: Tuple[Tuple[str, str], ...]  # (name, type) pairs, excluding the receiver
+    return_type: str
+    is_static: bool = False
+
+    @property
+    def key(self) -> Tuple[str, str]:
+        return (self.class_name, self.method_name)
+
+    def returns_reference(self) -> bool:
+        return is_reference(self.return_type)
+
+    def reference_params(self) -> Tuple[Tuple[str, str], ...]:
+        return tuple((name, type_name) for name, type_name in self.params if is_reference(type_name))
+
+    def variables(self) -> Tuple[SpecVariable, ...]:
+        """All specification variables of this method (receiver, reference params, return)."""
+        variables: List[SpecVariable] = []
+        if not self.is_static:
+            variables.append(receiver(self.class_name, self.method_name))
+        for name, type_name in self.params:
+            if is_reference(type_name):
+                variables.append(param(self.class_name, self.method_name, name))
+        if self.returns_reference():
+            variables.append(ret(self.class_name, self.method_name))
+        return tuple(variables)
+
+
+@dataclass(frozen=True)
+class ConstructorSignature:
+    """A constructor signature, used by the unit-test synthesizer to build objects."""
+
+    class_name: str
+    params: Tuple[Tuple[str, str], ...]
+
+
+class LibraryInterface:
+    """The library interface: method signatures, constructors and ``V_path``.
+
+    Methods are attributed to the *concrete* class they are callable on
+    (inherited public methods are flattened onto each concrete class), which
+    is how the original tool sees a Java class's API.
+    """
+
+    def __init__(
+        self,
+        methods: Iterable[MethodSignature],
+        constructors: Iterable[ConstructorSignature] = (),
+    ):
+        self._methods: Dict[Tuple[str, str], MethodSignature] = {}
+        for signature in methods:
+            self._methods[signature.key] = signature
+        self._constructors: Dict[str, List[ConstructorSignature]] = {}
+        for constructor in constructors:
+            self._constructors.setdefault(constructor.class_name, []).append(constructor)
+
+    # ------------------------------------------------------------------ construction
+    @classmethod
+    def from_program(
+        cls,
+        program: Program,
+        class_names: Optional[Sequence[str]] = None,
+        exclude_methods: Sequence[str] = (CONSTRUCTOR,),
+    ) -> "LibraryInterface":
+        """Build the interface of the library classes of *program*.
+
+        *class_names* restricts the interface to the given concrete classes
+        (defaulting to every library class); inherited methods are flattened
+        onto each listed class.
+        """
+        if class_names is None:
+            class_names = [c.name for c in program if c.is_library]
+        excluded = set(exclude_methods)
+
+        signatures: List[MethodSignature] = []
+        constructors: List[ConstructorSignature] = []
+        for class_name in class_names:
+            if not program.has_class(class_name):
+                raise KeyError(f"unknown class {class_name!r}")
+            seen = set()
+            for ancestor in program.superclass_chain(class_name):
+                if not program.has_class(ancestor):
+                    continue
+                for method in program.class_def(ancestor).methods.values():
+                    if method.name in seen:
+                        continue
+                    seen.add(method.name)
+                    if method.name == CONSTRUCTOR:
+                        if ancestor == class_name:
+                            constructors.append(
+                                ConstructorSignature(
+                                    class_name,
+                                    tuple((p.name, p.type) for p in method.params),
+                                )
+                            )
+                        continue
+                    if method.name in excluded:
+                        continue
+                    signatures.append(
+                        MethodSignature(
+                            class_name=class_name,
+                            method_name=method.name,
+                            params=tuple((p.name, p.type) for p in method.params),
+                            return_type=method.return_type,
+                            is_static=method.is_static,
+                        )
+                    )
+        return cls(signatures, constructors)
+
+    # ------------------------------------------------------------------ queries
+    def methods(self) -> Tuple[MethodSignature, ...]:
+        return tuple(self._methods.values())
+
+    def method(self, class_name: str, method_name: str) -> MethodSignature:
+        try:
+            return self._methods[(class_name, method_name)]
+        except KeyError:
+            raise KeyError(f"no interface method {class_name}.{method_name}") from None
+
+    def has_method(self, class_name: str, method_name: str) -> bool:
+        return (class_name, method_name) in self._methods
+
+    def class_names(self) -> Tuple[str, ...]:
+        return tuple(sorted({signature.class_name for signature in self._methods.values()}))
+
+    def constructors(self, class_name: str) -> Tuple[ConstructorSignature, ...]:
+        return tuple(self._constructors.get(class_name, ()))
+
+    def all_constructors(self) -> Tuple[ConstructorSignature, ...]:
+        return tuple(c for group in self._constructors.values() for c in group)
+
+    def variables(self) -> Tuple[SpecVariable, ...]:
+        """The alphabet ``V_path``: all specification variables of all methods."""
+        variables: List[SpecVariable] = []
+        for signature in self._methods.values():
+            variables.extend(signature.variables())
+        return tuple(variables)
+
+    def variables_of(self, variable: SpecVariable) -> Tuple[SpecVariable, ...]:
+        """All specification variables of the method *variable* belongs to."""
+        return self.method(variable.class_name, variable.method_name).variables()
+
+    def restricted_to(self, class_names: Sequence[str]) -> "LibraryInterface":
+        """A sub-interface containing only the methods of the given classes."""
+        wanted = set(class_names)
+        return LibraryInterface(
+            (s for s in self._methods.values() if s.class_name in wanted),
+            (c for group in self._constructors.values() for c in group if c.class_name in wanted),
+        )
+
+    def __len__(self) -> int:
+        return len(self._methods)

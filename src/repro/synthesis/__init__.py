@@ -1,0 +1,40 @@
+"""Unit test synthesis (Section 5.4 and Appendix B).
+
+Given a candidate path specification, this package synthesizes a *potential
+witness*: a small program that calls the specification's library functions
+with arguments arranged so that exactly the premise's external edges hold,
+and whose final object-identity check corresponds to the specification's
+conclusion.  The noisy oracle executes these witnesses with the interpreter.
+"""
+
+from repro.synthesis.skeleton import CallSkeleton, Hole, SkeletonCall, build_skeleton
+from repro.synthesis.holes import HoleAssignment, partition_holes
+from repro.synthesis.hypergraph import ConstructionPlan, ConstructorHypergraph
+from repro.synthesis.initialization import (
+    InitializationStrategy,
+    InstantiationInitialization,
+    NullInitialization,
+    make_initialization,
+)
+from repro.synthesis.scheduling import SchedulingError, schedule_calls
+from repro.synthesis.unit_test import SynthesisError, UnitTest, UnitTestSynthesizer
+
+__all__ = [
+    "CallSkeleton",
+    "ConstructionPlan",
+    "ConstructorHypergraph",
+    "Hole",
+    "HoleAssignment",
+    "InitializationStrategy",
+    "InstantiationInitialization",
+    "NullInitialization",
+    "SchedulingError",
+    "SkeletonCall",
+    "SynthesisError",
+    "UnitTest",
+    "UnitTestSynthesizer",
+    "build_skeleton",
+    "make_initialization",
+    "partition_holes",
+    "schedule_calls",
+]

@@ -1,0 +1,145 @@
+"""Hole filling (Appendix B.2).
+
+The external edges of the candidate specification dictate which holes must be
+filled with the *same* variable:
+
+* ``Transfer``    (``w`` return, ``z`` param): the return value of call *i*
+  is passed to call *i+1*;
+* ``TransferBar`` (``w`` param, ``z`` return): the argument of call *i* is the
+  value returned by call *i+1*;
+* ``Alias``       (both params): the two arguments are the same freshly
+  allocated object.
+
+Holes are partitioned into connected components (aliasing is transitive); one
+fresh variable is chosen per component, and components containing no return
+hole need an allocation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.lang.types import OBJECT
+from repro.specs.path_spec import PathSpec
+from repro.synthesis.skeleton import CallSkeleton, Hole
+
+
+@dataclass
+class HoleComponent:
+    """A set of holes that must share one concrete variable."""
+
+    holes: Tuple[Hole, ...]
+    variable: str
+    needs_allocation: bool
+    allocation_class: Optional[str] = None
+    defining_call: Optional[int] = None  # call whose return defines the variable
+
+
+@dataclass
+class HoleAssignment:
+    """The result of hole partitioning: a variable per hole plus component metadata."""
+
+    components: List[HoleComponent]
+    variable_of: Dict[Hole, str] = field(default_factory=dict)
+
+    def component_of(self, hole: Hole) -> HoleComponent:
+        for component in self.components:
+            if hole in component.holes:
+                return component
+        raise KeyError(f"hole {hole} not assigned")
+
+
+class _UnionFind:
+    def __init__(self) -> None:
+        self._parent: Dict[Hole, Hole] = {}
+
+    def add(self, item: Hole) -> None:
+        self._parent.setdefault(item, item)
+
+    def find(self, item: Hole) -> Hole:
+        parent = self._parent[item]
+        if parent is item:
+            return item
+        root = self.find(parent)
+        self._parent[item] = root
+        return root
+
+    def union(self, left: Hole, right: Hole) -> None:
+        self.add(left)
+        self.add(right)
+        left_root, right_root = self.find(left), self.find(right)
+        if left_root is not right_root:
+            self._parent[left_root] = right_root
+
+
+def _allocation_class(holes: Tuple[Hole, ...]) -> str:
+    """Choose the class to allocate for a component with no defining return.
+
+    Receiver holes carry the concrete class, so they take priority; otherwise
+    any declared reference type other than plain ``Object`` is preferred.
+    """
+    for hole in holes:
+        if hole.is_receiver:
+            return hole.type_name
+    for hole in holes:
+        if not hole.is_return and hole.type_name != OBJECT:
+            return hole.type_name
+    return OBJECT
+
+
+def partition_holes(spec: PathSpec, skeleton: CallSkeleton) -> HoleAssignment:
+    """Partition the spec-relevant holes and assign one fresh variable per component.
+
+    Only holes corresponding to specification variables participate; holes for
+    parameters the specification does not mention are left to the
+    initialization strategy (Appendix B.3).
+    """
+    union = _UnionFind()
+    mentioned: List[Hole] = []
+    for index, (z, w) in enumerate(spec.pairs()):
+        call = skeleton.calls[index]
+        for variable in (z, w):
+            hole = call.hole_for(variable)
+            union.add(hole)
+            if hole not in mentioned:
+                mentioned.append(hole)
+
+    # Connect holes related by the premise's external edges.  Internal edges
+    # z_i ~> w_i need no action: when they relate the same parameter the two
+    # ends already share a hole, and when they relate different variables the
+    # library (not the test) is responsible for establishing the flow.
+    for index, edge in enumerate(spec.external_edges()):
+        source_call = skeleton.calls[index]
+        target_call = skeleton.calls[index + 1]
+        union.union(source_call.hole_for(edge.source), target_call.hole_for(edge.target))
+
+    groups: Dict[Hole, List[Hole]] = {}
+    for hole in mentioned:
+        groups.setdefault(union.find(hole), []).append(hole)
+
+    assignment = HoleAssignment(components=[])
+    counter = 0
+    for holes in groups.values():
+        ordered = tuple(sorted(holes, key=lambda h: (h.call_index, h.role)))
+        counter += 1
+        variable = f"v{counter}"
+        return_holes = [hole for hole in ordered if hole.is_return]
+        if return_holes:
+            component = HoleComponent(
+                holes=ordered,
+                variable=variable,
+                needs_allocation=False,
+                defining_call=min(hole.call_index for hole in return_holes),
+            )
+        else:
+            component = HoleComponent(
+                holes=ordered,
+                variable=variable,
+                needs_allocation=True,
+                allocation_class=_allocation_class(ordered),
+            )
+        assignment.components.append(component)
+        for hole in ordered:
+            assignment.variable_of[hole] = variable
+    return assignment

@@ -1,0 +1,117 @@
+"""Constructor search as directed hypergraph reachability (Appendix B.3).
+
+To instantiate an object of some class, the synthesizer may need to call a
+constructor whose parameters themselves need to be constructed.  Classes are
+hypergraph vertices and constructors are hyperedges from a class to the list
+of its parameter types; the cheapest construction of a class is the shortest
+hyperpath, computed by the standard fixpoint over edge costs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.lang.statements import Const, New, Statement
+from repro.lang.types import default_primitive_value, is_primitive
+from repro.specs.variables import ConstructorSignature, LibraryInterface
+
+
+@dataclass(frozen=True)
+class ConstructionPlan:
+    """How to build a value of one type: the constructor to call and the plans for its arguments."""
+
+    type_name: str
+    cost: int
+    argument_plans: Tuple["ConstructionPlan", ...] = ()
+    is_primitive: bool = False
+
+
+class ConstructorHypergraph:
+    """Shortest-hyperpath constructor search over a library interface."""
+
+    def __init__(self, interface: LibraryInterface, default_constructible: Sequence[str] = ("Object",)):
+        self._constructors: Dict[str, List[ConstructorSignature]] = {}
+        for constructor in interface.all_constructors():
+            self._constructors.setdefault(constructor.class_name, []).append(constructor)
+        for class_name in default_constructible:
+            self._constructors.setdefault(class_name, []).append(ConstructorSignature(class_name, ()))
+        self._plans: Dict[str, Optional[ConstructionPlan]] = {}
+        self._solve()
+
+    # ------------------------------------------------------------------ fixpoint
+    def _solve(self) -> None:
+        costs: Dict[str, int] = {}
+        choices: Dict[str, ConstructorSignature] = {}
+
+        changed = True
+        while changed:
+            changed = False
+            for class_name, constructors in self._constructors.items():
+                for constructor in constructors:
+                    cost = 1
+                    feasible = True
+                    for _name, type_name in constructor.params:
+                        if is_primitive(type_name):
+                            continue
+                        if type_name not in costs:
+                            feasible = False
+                            break
+                        cost += costs[type_name]
+                    if feasible and cost < costs.get(class_name, 1_000_000_000):
+                        costs[class_name] = cost
+                        choices[class_name] = constructor
+                        changed = True
+
+        for class_name, constructor in choices.items():
+            self._plans[class_name] = self._build_plan(class_name, constructor, choices, costs)
+
+    def _build_plan(
+        self,
+        class_name: str,
+        constructor: ConstructorSignature,
+        choices: Dict[str, ConstructorSignature],
+        costs: Dict[str, int],
+    ) -> ConstructionPlan:
+        argument_plans: List[ConstructionPlan] = []
+        for _name, type_name in constructor.params:
+            if is_primitive(type_name):
+                argument_plans.append(ConstructionPlan(type_name, 0, is_primitive=True))
+            else:
+                argument_plans.append(
+                    self._build_plan(type_name, choices[type_name], choices, costs)
+                )
+        return ConstructionPlan(class_name, costs[class_name], tuple(argument_plans))
+
+    # ------------------------------------------------------------------ queries
+    def constructible(self, class_name: str) -> bool:
+        return class_name in self._plans
+
+    def plan(self, class_name: str) -> Optional[ConstructionPlan]:
+        """The cheapest construction plan for *class_name*, or ``None``.
+
+        Classes with no reachable constructor (e.g. abstract helpers) are
+        still given a bare-allocation plan: the IR allows allocating any
+        class, mirroring how the paper falls back to the smallest possible
+        initialization.
+        """
+        if class_name in self._plans:
+            return self._plans[class_name]
+        return ConstructionPlan(class_name, 1)
+
+    def emit(self, plan: ConstructionPlan, target: str, fresh) -> List[Statement]:
+        """Statements that build *plan* into the variable *target*.
+
+        *fresh* is a callable producing fresh variable names.
+        """
+        statements: List[Statement] = []
+        argument_names: List[str] = []
+        for argument in plan.argument_plans:
+            name = fresh()
+            if argument.is_primitive:
+                statements.append(Const(name, default_primitive_value(argument.type_name)))
+            else:
+                statements.extend(self.emit(argument, name, fresh))
+            argument_names.append(name)
+        statements.append(New(target, plan.type_name, tuple(argument_names)))
+        return statements

@@ -1,0 +1,65 @@
+"""Variable initialization strategies (Appendix B.3).
+
+Two strategies are compared in the paper's Section 6.3:
+
+* **Null** -- reference parameters not constrained by the specification are
+  initialized to ``null``.  This guarantees the witness property
+  (Theorem 5.2) but makes many library functions throw, rejecting correct
+  specifications.
+* **Instantiation** -- unconstrained reference parameters are instantiated
+  through the cheapest constructor found by hypergraph search.  This finds
+  ~50% more specifications in the paper at no observed cost in precision.
+
+Primitive parameters are always initialized with the default values of
+:func:`repro.lang.types.default_primitive_value`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List
+
+from repro.lang.statements import Const, Statement
+from repro.specs.variables import LibraryInterface
+from repro.synthesis.hypergraph import ConstructorHypergraph
+
+FreshNamer = Callable[[], str]
+
+
+class InitializationStrategy:
+    """Produces the statements that give a value to one unconstrained reference variable."""
+
+    name = "abstract"
+
+    def initialize_reference(self, target: str, type_name: str, fresh: FreshNamer) -> List[Statement]:
+        raise NotImplementedError
+
+
+class NullInitialization(InitializationStrategy):
+    """Initialize unconstrained reference variables to ``null``."""
+
+    name = "null"
+
+    def initialize_reference(self, target: str, type_name: str, fresh: FreshNamer) -> List[Statement]:
+        return [Const(target, None)]
+
+
+class InstantiationInitialization(InitializationStrategy):
+    """Initialize unconstrained reference variables with freshly constructed objects."""
+
+    name = "instantiation"
+
+    def __init__(self, interface: LibraryInterface):
+        self._hypergraph = ConstructorHypergraph(interface)
+
+    def initialize_reference(self, target: str, type_name: str, fresh: FreshNamer) -> List[Statement]:
+        plan = self._hypergraph.plan(type_name)
+        return self._hypergraph.emit(plan, target, fresh)
+
+
+def make_initialization(name: str, interface: LibraryInterface) -> InitializationStrategy:
+    """Factory: ``"null"`` or ``"instantiation"`` (the paper's default)."""
+    if name == "null":
+        return NullInitialization()
+    if name == "instantiation":
+        return InstantiationInitialization(interface)
+    raise ValueError(f"unknown initialization strategy {name!r}")

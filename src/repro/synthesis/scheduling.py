@@ -1,0 +1,50 @@
+"""Statement scheduling (Appendix B.4).
+
+Hard constraints come from ``Transfer``/``TransferBar`` premise edges (a call
+whose return value is consumed by another call must run first); the soft
+constraint prefers the order in which the functions appear in the
+specification.  The schedule is built greedily: at each step, among the calls
+whose hard predecessors have all been scheduled, pick the one with the
+smallest specification index.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Dict, Iterable, List, Sequence, Set, Tuple
+
+
+class SchedulingError(Exception):
+    """Raised when the hard constraints are cyclic (no valid schedule exists)."""
+
+
+def schedule_calls(
+    num_calls: int,
+    hard_edges: Iterable[Tuple[int, int]],
+) -> List[int]:
+    """Order call indices ``0..num_calls-1`` subject to *hard_edges*.
+
+    Each hard edge ``(a, b)`` requires call *a* to be scheduled before call
+    *b*.  Among the available calls, the smallest index is always chosen
+    (the soft constraint of the paper).
+    """
+    successors: Dict[int, Set[int]] = {i: set() for i in range(num_calls)}
+    indegree: Dict[int, int] = {i: 0 for i in range(num_calls)}
+    for before, after in hard_edges:
+        if after not in successors[before]:
+            successors[before].add(after)
+            indegree[after] += 1
+
+    ready = [index for index in range(num_calls) if indegree[index] == 0]
+    heapq.heapify(ready)
+    order: List[int] = []
+    while ready:
+        index = heapq.heappop(ready)
+        order.append(index)
+        for successor in sorted(successors[index]):
+            indegree[successor] -= 1
+            if indegree[successor] == 0:
+                heapq.heappush(ready, successor)
+    if len(order) != num_calls:
+        raise SchedulingError("hard scheduling constraints are cyclic")
+    return order

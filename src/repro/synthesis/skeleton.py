@@ -1,0 +1,87 @@
+"""Skeleton construction (Appendix B.1).
+
+A witness for ``z1 w1 ... zk wk`` must call each library function
+``m_1 ... m_k`` once.  The skeleton is that sequence of calls with *holes*
+(``??`` in the paper) for every receiver, reference parameter and return
+value, to be filled by the later steps.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.lang.program import RECEIVER
+from repro.specs.path_spec import PathSpec
+from repro.specs.variables import LibraryInterface, MethodSignature, SpecVariable
+
+#: Role names for holes.
+ROLE_RECEIVER = RECEIVER
+ROLE_RETURN = "@return"
+
+
+@dataclass(frozen=True)
+class Hole:
+    """One fillable slot of the skeleton: a receiver, parameter or return value."""
+
+    call_index: int
+    role: str  # "this", a parameter name, or "@return"
+    type_name: str
+
+    @property
+    def is_return(self) -> bool:
+        return self.role == ROLE_RETURN
+
+    @property
+    def is_receiver(self) -> bool:
+        return self.role == ROLE_RECEIVER
+
+
+@dataclass
+class SkeletonCall:
+    """One call of the skeleton, with its holes."""
+
+    index: int
+    signature: MethodSignature
+    holes: Dict[str, Hole]
+
+    def hole_for(self, variable: SpecVariable) -> Hole:
+        """The hole corresponding to a specification variable of this call's method."""
+        role = ROLE_RETURN if variable.is_return else variable.name
+        try:
+            return self.holes[role]
+        except KeyError:
+            raise KeyError(
+                f"call {self.index} to {self.signature.class_name}.{self.signature.method_name} "
+                f"has no hole for {variable}"
+            ) from None
+
+
+@dataclass
+class CallSkeleton:
+    """The full skeleton: one :class:`SkeletonCall` per specification pair."""
+
+    spec: PathSpec
+    calls: List[SkeletonCall]
+
+    def all_holes(self) -> Tuple[Hole, ...]:
+        holes: List[Hole] = []
+        for call in self.calls:
+            holes.extend(call.holes.values())
+        return tuple(holes)
+
+
+def build_skeleton(spec: PathSpec, interface: LibraryInterface) -> CallSkeleton:
+    """Construct the call skeleton for *spec* using the library interface."""
+    calls: List[SkeletonCall] = []
+    for index, (z, _w) in enumerate(spec.pairs()):
+        signature = interface.method(z.class_name, z.method_name)
+        holes: Dict[str, Hole] = {}
+        if not signature.is_static:
+            holes[ROLE_RECEIVER] = Hole(index, ROLE_RECEIVER, signature.class_name)
+        for name, type_name in signature.params:
+            holes[name] = Hole(index, name, type_name)
+        if signature.returns_reference():
+            holes[ROLE_RETURN] = Hole(index, ROLE_RETURN, signature.return_type)
+        calls.append(SkeletonCall(index=index, signature=signature, holes=holes))
+    return CallSkeleton(spec=spec, calls=calls)

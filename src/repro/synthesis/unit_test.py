@@ -1,0 +1,186 @@
+"""Assembly of synthesized unit tests (potential witnesses).
+
+The synthesizer chains the steps of Appendix B: skeleton construction, hole
+filling, variable initialization and scheduling, and produces a
+:class:`UnitTest` -- a straight-line IR method plus the pair of variables
+whose object identity encodes the specification's conclusion.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple, Union
+
+from repro.lang.builder import MethodBuilder
+from repro.lang.program import ClassDef, Program
+from repro.lang.statements import Call, Const, Statement
+from repro.lang.types import BOOLEAN, default_primitive_value, is_primitive
+from repro.specs.path_spec import EdgeKind, PathSpec
+from repro.specs.variables import LibraryInterface
+from repro.synthesis.holes import HoleAssignment, partition_holes
+from repro.synthesis.hypergraph import ConstructorHypergraph
+from repro.synthesis.initialization import (
+    InitializationStrategy,
+    InstantiationInitialization,
+    make_initialization,
+)
+from repro.synthesis.scheduling import SchedulingError, schedule_calls
+from repro.synthesis.skeleton import ROLE_RECEIVER, ROLE_RETURN, CallSkeleton, build_skeleton
+
+#: Name of the class and method the witness is packaged into.
+WITNESS_CLASS = "AtlasWitness"
+WITNESS_METHOD = "test"
+
+
+class SynthesisError(Exception):
+    """Raised when no potential witness can be synthesized for a candidate."""
+
+
+@dataclass
+class UnitTest:
+    """A synthesized potential witness.
+
+    Executing the statements and then checking whether *check_left* and
+    *check_right* hold the same object decides whether the candidate
+    specification is witnessed (Section 5.4).
+    """
+
+    spec: PathSpec
+    statements: Tuple[Statement, ...]
+    check_left: str
+    check_right: str
+    call_order: Tuple[int, ...]
+
+    def to_program(self, class_name: str = WITNESS_CLASS) -> Program:
+        """Package the witness as a program with a single static ``test`` method."""
+        method = MethodBuilder(WITNESS_METHOD, return_type=BOOLEAN, is_static=True)
+        method.extend(self.statements)
+        cls = ClassDef(name=class_name, methods={WITNESS_METHOD: method.build()}, is_library=False)
+        return Program([cls])
+
+
+class UnitTestSynthesizer:
+    """Synthesizes potential witnesses for candidate path specifications."""
+
+    def __init__(
+        self,
+        interface: LibraryInterface,
+        initialization: Union[str, InitializationStrategy] = "instantiation",
+    ):
+        self.interface = interface
+        if isinstance(initialization, str):
+            initialization = make_initialization(initialization, interface)
+        self.initialization = initialization
+        self._hypergraph = ConstructorHypergraph(interface)
+
+    # ------------------------------------------------------------------ public API
+    def synthesize(self, spec: PathSpec) -> UnitTest:
+        try:
+            skeleton = build_skeleton(spec, self.interface)
+        except KeyError as error:
+            raise SynthesisError(str(error)) from error
+        assignment = partition_holes(spec, skeleton)
+        order = self._schedule(spec, assignment, skeleton)
+        statements, targets = self._assemble(skeleton, assignment, order)
+        check_left = assignment.variable_of[skeleton.calls[0].hole_for(spec.word[0])]
+        check_right = assignment.variable_of[skeleton.calls[-1].hole_for(spec.word[-1])]
+        return UnitTest(
+            spec=spec,
+            statements=tuple(statements),
+            check_left=check_left,
+            check_right=check_right,
+            call_order=tuple(order),
+        )
+
+    # ------------------------------------------------------------------ scheduling
+    def _schedule(
+        self, spec: PathSpec, assignment: HoleAssignment, skeleton: CallSkeleton
+    ) -> List[int]:
+        hard_edges: List[Tuple[int, int]] = []
+        for component in assignment.components:
+            if component.defining_call is None:
+                continue
+            for hole in component.holes:
+                if not hole.is_return and hole.call_index != component.defining_call:
+                    hard_edges.append((component.defining_call, hole.call_index))
+        try:
+            return schedule_calls(len(skeleton.calls), hard_edges)
+        except SchedulingError as error:
+            raise SynthesisError(str(error)) from error
+
+    # ------------------------------------------------------------------ assembly
+    def _assemble(
+        self,
+        skeleton: CallSkeleton,
+        assignment: HoleAssignment,
+        order: List[int],
+    ) -> Tuple[List[Statement], Dict[int, Optional[str]]]:
+        counter = 0
+
+        def fresh(prefix: str = "t") -> str:
+            nonlocal counter
+            counter += 1
+            return f"{prefix}{counter}"
+
+        initialization: List[Statement] = []
+
+        # Allocate one object per component that is not defined by a return value.
+        for component in assignment.components:
+            if not component.needs_allocation:
+                continue
+            plan = self._hypergraph.plan(component.allocation_class or "Object")
+            initialization.extend(self._hypergraph.emit(plan, component.variable, lambda: fresh("c")))
+
+        # Initialize the holes the specification does not constrain.
+        free_values: Dict[Tuple[int, str], str] = {}
+        for call in skeleton.calls:
+            for role, hole in call.holes.items():
+                if hole in assignment.variable_of or hole.is_return:
+                    continue
+                variable = fresh("a")
+                free_values[(call.index, role)] = variable
+                if is_primitive(hole.type_name):
+                    initialization.append(Const(variable, default_primitive_value(hole.type_name)))
+                else:
+                    initialization.extend(
+                        self.initialization.initialize_reference(variable, hole.type_name, lambda: fresh("c"))
+                    )
+            # Primitive parameters are not holes of reference kind but still need values.
+            for name, type_name in call.signature.params:
+                if name in call.holes:
+                    continue
+                variable = fresh("a")
+                free_values[(call.index, name)] = variable
+                initialization.append(Const(variable, default_primitive_value(type_name)))
+
+        # Emit the calls in scheduled order.
+        calls: List[Statement] = []
+        targets: Dict[int, Optional[str]] = {}
+        for index in order:
+            call = skeleton.calls[index]
+            signature = call.signature
+
+            def value_of(role: str) -> str:
+                hole = call.holes.get(role)
+                if hole is not None and hole in assignment.variable_of:
+                    return assignment.variable_of[hole]
+                return free_values[(call.index, role)]
+
+            receiver = None if signature.is_static else value_of(ROLE_RECEIVER)
+            arguments = tuple(value_of(name) for name, _type in signature.params)
+
+            return_hole = call.holes.get(ROLE_RETURN)
+            if return_hole is not None and return_hole in assignment.variable_of:
+                target: Optional[str] = assignment.variable_of[return_hole]
+            elif signature.returns_reference():
+                target = fresh("r")
+            else:
+                target = None
+            targets[index] = target
+
+            method_name = signature.method_name
+            if signature.is_static:
+                method_name = f"{signature.class_name}.{signature.method_name}"
+            calls.append(Call(target, receiver, method_name, arguments))
+
+        return initialization + calls, targets

@@ -1,0 +1,51 @@
+"""Shared fixtures for the test suite.
+
+The expensive artifacts (library program, interface, oracle) are built once
+per session; everything that needs mutation builds its own copies.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+
+import pytest
+
+# Allow running the tests from a source checkout without installation.
+_SRC = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)
+
+from repro.client.sources_sinks import build_framework_program  # noqa: E402
+from repro.learn.oracle import WitnessOracle  # noqa: E402
+from repro.library.registry import build_interface, build_library_program, core_program  # noqa: E402
+
+
+@pytest.fixture(scope="session")
+def library_program():
+    return build_library_program()
+
+
+@pytest.fixture(scope="session")
+def interface(library_program):
+    return build_interface(library_program)
+
+
+@pytest.fixture(scope="session")
+def framework_program():
+    return build_framework_program()
+
+
+@pytest.fixture(scope="session")
+def core(library_program):
+    return core_program(library_program)
+
+
+@pytest.fixture(scope="session")
+def oracle(library_program, interface):
+    return WitnessOracle(library_program, interface)
+
+
+@pytest.fixture(scope="session")
+def null_oracle(library_program, interface):
+    return WitnessOracle(library_program, interface, initialization="null")

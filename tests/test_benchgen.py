@@ -1,0 +1,87 @@
+"""Tests for the synthetic benchmark app generator."""
+
+import pytest
+
+from repro.benchgen import AppGenerator, AppProfile, benchmark_suite
+from repro.lang import validate_program
+from repro.pointsto import analyze
+
+
+def _profile(**overrides):
+    defaults = dict(name="TestApp", seed=99, target_statements=80, category="utility")
+    defaults.update(overrides)
+    return AppProfile(**defaults)
+
+
+def test_generation_is_deterministic():
+    first = AppGenerator(_profile()).generate()
+    second = AppGenerator(_profile()).generate()
+    assert first.program.loc() == second.program.loc()
+    assert [m.body for _c, m in first.program.iter_methods()] == [
+        m.body for _c, m in second.program.iter_methods()
+    ]
+
+
+def test_different_seeds_differ():
+    first = AppGenerator(_profile(seed=1)).generate()
+    second = AppGenerator(_profile(seed=2)).generate()
+    assert [m.body for _c, m in first.program.iter_methods()] != [
+        m.body for _c, m in second.program.iter_methods()
+    ]
+
+
+def test_app_meets_target_size():
+    app = AppGenerator(_profile(target_statements=120)).generate()
+    assert app.statements >= 120
+    assert app.loc >= app.statements
+
+
+def test_generated_app_is_structurally_valid(library_program, framework_program, core):
+    app = AppGenerator(_profile()).generate()
+    full = app.program.merged_with(core).merged_with(framework_program).merged_with(
+        library_program.without_classes(core.class_names())
+    )
+    validate_program(full)
+
+
+def test_generated_app_is_analyzable(framework_program, core):
+    app = AppGenerator(_profile(target_statements=60)).generate()
+    program = app.program.merged_with(core).merged_with(framework_program)
+    result = analyze(program)
+    assert result.program_points_to_edges()
+
+
+def test_benign_profile_has_no_planted_leaks():
+    app = AppGenerator(_profile(malicious=False, category="benign")).generate()
+    assert app.planted_leaks == 0
+
+
+def test_malicious_profiles_usually_leak():
+    app = AppGenerator(_profile(target_statements=200)).generate()
+    assert app.planted_leaks >= 1
+
+
+def test_suite_size_and_ordering():
+    suite = benchmark_suite(count=10, seed=5, max_statements=120, min_statements=30)
+    assert len(suite) == 10
+    sizes = suite.sizes()
+    assert sizes[0] >= sizes[-1]
+    assert suite.by_name("App03").name == "App03"
+    with pytest.raises(KeyError):
+        suite.by_name("Nope")
+
+
+def test_suite_is_deterministic():
+    first = benchmark_suite(count=6, seed=7, max_statements=80, min_statements=30)
+    second = benchmark_suite(count=6, seed=7, max_statements=80, min_statements=30)
+    assert first.sizes() == second.sizes()
+    assert [a.planted_leaks for a in first] == [a.planted_leaks for a in second]
+
+
+def test_suite_mixes_categories():
+    suite = benchmark_suite(count=12, seed=3, max_statements=100, min_statements=30)
+    categories = {app.profile.category for app in suite}
+    assert {"utility", "game", "benign"} <= categories
+    legacy_apps = [app for app in suite if app.profile.category == "legacy"]
+    for app in legacy_apps:
+        assert set(app.container_classes_used) & {"Vector", "Stack", "StringBuffer", "Hashtable"}

@@ -1,0 +1,100 @@
+"""Tests for the information-flow client."""
+
+import pytest
+
+from repro.client import InformationFlowAnalysis, build_framework_program
+from repro.client.sources_sinks import SINK_METHODS, SOURCE_METHODS
+from repro.lang import ClassBuilder, Program, validate_program
+from repro.library import ground_truth_program
+from repro.library.registry import core_program, replaceable_library
+
+
+def _leaky_app(through_collection: bool = True):
+    app = ClassBuilder("LeakApp")
+    method = app.method("onCreate", is_static=True)
+    method.new("telephony", "TelephonyManager")
+    method.call("secret", "telephony", "getDeviceId")
+    if through_collection:
+        method.new("cache", "ArrayList")
+        method.call(None, "cache", "add", "secret")
+        method.const("zero", 0)
+        method.call("payload", "cache", "get", "zero")
+    else:
+        method.assign("payload", "secret")
+    method.new("sms", "SmsManager")
+    method.call(None, "sms", "sendTextMessage", "payload")
+    # benign flow to the same sink
+    method.new("resources", "ResourceManager")
+    method.call("label", "resources", "getString")
+    method.call(None, "sms", "sendTextMessage", "label")
+    app.add_method(method)
+    return Program([app.build()])
+
+
+def _analyze(app, specs, framework, core):
+    program = app.merged_with(core).merged_with(framework).merged_with(specs)
+    return InformationFlowAnalysis(program).run()
+
+
+def test_framework_program_is_valid(framework_program, core):
+    validate_program(framework_program.merged_with(core))
+    for class_name, _method in list(SOURCE_METHODS) + list(SINK_METHODS):
+        assert framework_program.has_class(class_name)
+
+
+def test_direct_leak_found_without_specs(framework_program, core):
+    report = _analyze(_leaky_app(through_collection=False), Program([]), framework_program, core)
+    assert report.flow_count() == 1
+    (flow,) = report.flows
+    assert flow.source_class == "TelephonyManager"
+    assert flow.sink_class == "SmsManager"
+
+
+def test_collection_leak_requires_specs(framework_program, core, interface):
+    app = _leaky_app(through_collection=True)
+    without = _analyze(app, Program([]), framework_program, core)
+    assert without.flow_count() == 0
+    with_specs = _analyze(app, ground_truth_program(interface), framework_program, core)
+    assert with_specs.flow_count() == 1
+
+
+def test_collection_leak_found_with_implementation(framework_program, core, library_program):
+    app = _leaky_app(through_collection=True)
+    report = _analyze(app, replaceable_library(library_program), framework_program, core)
+    assert report.flow_count() == 1
+
+
+def test_benign_data_is_not_reported(framework_program, core, interface):
+    app = ClassBuilder("BenignApp")
+    method = app.method("onCreate", is_static=True)
+    method.new("resources", "ResourceManager")
+    method.call("label", "resources", "getString")
+    method.new("sms", "SmsManager")
+    method.call(None, "sms", "sendTextMessage", "label")
+    app.add_method(method)
+    report = _analyze(
+        Program([app.build()]), ground_truth_program(interface), framework_program, core
+    )
+    assert report.flow_count() == 0
+
+
+def test_flow_identity_and_description(framework_program, core):
+    report = _analyze(_leaky_app(False), Program([]), framework_program, core)
+    (flow,) = report.flows
+    assert "TelephonyManager.getDeviceId" in flow.describe()
+    assert flow.sink_caller_class == "LeakApp"
+
+
+def test_flows_are_deduplicated_per_call_site(framework_program, core):
+    app = ClassBuilder("App")
+    method = app.method("onCreate", is_static=True)
+    method.new("telephony", "TelephonyManager")
+    method.call("a", "telephony", "getDeviceId")
+    method.call("b", "telephony", "getDeviceId")
+    method.new("sms", "SmsManager")
+    method.call(None, "sms", "sendTextMessage", "a")
+    method.call(None, "sms", "sendTextMessage", "b")
+    app.add_method(method)
+    report = _analyze(Program([app.build()]), Program([]), framework_program, core)
+    # two sink call sites, one source method -> two flows
+    assert report.flow_count() == 2

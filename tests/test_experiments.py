@@ -1,0 +1,157 @@
+"""Tests for the experiment metrics and drivers (smoke-level for the heavy ones)."""
+
+import pytest
+
+from repro.experiments import design_choices, fig8, fig9a, fig9b, fig9c, ground_truth_eval, spec_counts
+from repro.experiments.config import FULL_CONFIG, QUICK_CONFIG, ExperimentConfig, preset_from_environment
+from repro.experiments.context import ExperimentContext
+from repro.experiments.metrics import ratio, summarize_ratios
+from repro.experiments.spec_metrics import canonicalize_word, compare_languages, covered_functions
+from repro.learn.pipeline import AtlasConfig
+from repro.library.ground_truth import ground_truth_fsa
+from repro.library.handwritten import handwritten_fsa
+from repro.specs.variables import param, receiver, ret
+
+
+# ---------------------------------------------------------------- metrics
+def test_ratio_handles_zero_denominator():
+    assert ratio(3, 0) is None
+    assert ratio(3, 2) == 1.5
+
+
+def test_ratio_summary_statistics():
+    summary = summarize_ratios("test", [("a", 1.0), ("b", 3.0), ("c", None), ("d", 2.0)])
+    assert summary.mean == 2.0
+    assert summary.median == 2.0
+    assert summary.count_at_least(2.0) == 2
+    assert summary.count_below(2.0) == 1
+    assert summary.sorted_descending()[0] == ("b", 3.0)
+    assert "mean" in summary.format_rows()
+
+
+def test_compare_languages_recall_and_precision():
+    truth = ground_truth_fsa(["Box"])
+    hand = handwritten_fsa(["Box"])
+    comparison = compare_languages(hand, truth, max_length=8)
+    assert comparison.precision == 1.0  # handwritten is a subset of ground truth
+    assert comparison.recall < 1.0
+    reverse = compare_languages(truth, hand, max_length=8)
+    assert reverse.recall == 1.0
+
+
+def test_canonicalize_word_drops_identity_pairs():
+    word = (
+        param("Box", "set", "ob"),
+        receiver("Box", "set"),
+        receiver("Box", "get"),
+        receiver("Box", "get"),
+        receiver("Box", "get"),
+        ret("Box", "get"),
+    )
+    canonical = canonicalize_word(word)
+    assert len(canonical) == 4
+    assert canonical[-1] == ret("Box", "get")
+
+
+def test_covered_functions_counts_methods():
+    functions = covered_functions(ground_truth_fsa(["Box"]))
+    assert functions == {("Box", "set"), ("Box", "get"), ("Box", "clone")}
+
+
+# ---------------------------------------------------------------- configs
+def test_presets_are_sane():
+    assert QUICK_CONFIG.num_apps < FULL_CONFIG.num_apps
+    assert QUICK_CONFIG.atlas.enumeration_budget <= FULL_CONFIG.atlas.enumeration_budget
+    scaled = QUICK_CONFIG.scaled(num_apps=3)
+    assert scaled.num_apps == 3 and QUICK_CONFIG.num_apps != 3
+
+
+def test_preset_from_environment(monkeypatch):
+    monkeypatch.setenv("REPRO_PRESET", "full")
+    assert preset_from_environment().name == "full"
+    monkeypatch.setenv("REPRO_PRESET", "quick")
+    assert preset_from_environment().name == "quick"
+    monkeypatch.delenv("REPRO_PRESET")
+    assert preset_from_environment(FULL_CONFIG).name == "full"
+
+
+# ---------------------------------------------------------------- experiment drivers
+@pytest.fixture(scope="module")
+def tiny_context():
+    """A very small configuration so the drivers run in seconds."""
+    config = ExperimentConfig(
+        name="tiny",
+        num_apps=3,
+        app_max_statements=60,
+        app_min_statements=30,
+        seed=2018,
+        atlas=AtlasConfig(
+            clusters=[("Box",), ("ArrayList", "Iterator")],
+            enumeration_budget=4000,
+            samples_per_cluster=0,
+            seed=2018,
+        ),
+        design_choice_samples=400,
+        design_choice_clusters=(("Box",),),
+    )
+    return ExperimentContext(config)
+
+
+def test_fig8_reports_sizes(tiny_context):
+    result = fig8.run(tiny_context)
+    assert len(result.rows) == 3
+    assert result.total_loc > 0
+    assert "Figure 8" in result.format_table()
+
+
+def test_fig9a_flow_comparison(tiny_context):
+    result = fig9a.run(tiny_context)
+    assert len(result.per_app_counts) == 3
+    assert result.total_atlas_flows >= result.total_handwritten_flows
+    assert "Figure 9(a)" in result.format_table()
+
+
+def test_fig9b_precision_against_ground_truth(tiny_context):
+    result = fig9b.run(tiny_context)
+    assert result.apps_with_false_positives == 0
+    for _name, atlas_count, truth_count, fp in result.per_app_counts:
+        assert atlas_count <= truth_count
+        assert fp == 0
+    assert "Figure 9(b)" in result.format_table()
+
+
+def test_fig9c_implementation_comparison(tiny_context):
+    result = fig9c.run(tiny_context)
+    assert len(result.per_app_counts) == 3
+    for _name, impl_count, truth_count, _fp, _fn in result.per_app_counts:
+        assert impl_count >= 0 and truth_count >= 0
+    assert "Figure 9(c)" in result.format_table()
+
+
+def test_spec_counts_driver(tiny_context):
+    result = spec_counts.run(tiny_context)
+    assert result.atlas_functions
+    assert result.initial_fsa_states >= result.final_fsa_states
+    assert "Section 6.1" in result.format_table()
+
+
+def test_ground_truth_eval_driver(tiny_context):
+    result = ground_truth_eval.run(tiny_context)
+    assert 0.0 <= result.function_level_recall <= 1.0
+    assert 0.0 <= result.checked_precision <= 1.0
+    assert "Section 6.2" in result.format_table()
+
+
+def test_design_choices_driver(tiny_context):
+    result = design_choices.run(tiny_context)
+    assert result.initialization.passed_with_instantiation >= result.initialization.passed_with_null
+    assert result.sampling.samples > 0
+    assert "Section 6.3" in result.format_table()
+
+
+def test_context_caches_spec_programs(tiny_context):
+    first = tiny_context.spec_program("ground_truth")
+    second = tiny_context.spec_program("ground_truth")
+    assert first is second
+    with pytest.raises(ValueError):
+        tiny_context.spec_program("bogus")

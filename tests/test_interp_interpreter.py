@@ -1,0 +1,192 @@
+"""Tests for the IR interpreter."""
+
+import pytest
+
+from repro.interp import (
+    CallDepthExceeded,
+    IndexOutOfBounds,
+    Interpreter,
+    InterpreterError,
+    NullPointerError,
+    StepLimitExceeded,
+    UnknownMethodError,
+)
+from repro.interp.heap import HeapObject
+from repro.lang import ClassBuilder, Program
+
+
+def _driver(body_builder, extra_classes=(), return_type="Object"):
+    """Build a program with a static Driver.run method assembled by *body_builder*."""
+    driver = ClassBuilder("Driver")
+    method = driver.method("run", is_static=True, return_type=return_type)
+    body_builder(method)
+    driver.add_method(method)
+    classes = [driver.build()]
+    classes.extend(extra_classes)
+    return Program(classes)
+
+
+def test_allocation_and_field_round_trip(library_program):
+    def body(m):
+        m.new("box", "Box").new("value", "Object")
+        m.call(None, "box", "set", "value")
+        m.call("out", "box", "get")
+        m.ret("out")
+
+    program = library_program.merged_with(_driver(body))
+    result = Interpreter(program).execute_static("Driver", "run")
+    assert isinstance(result.value, HeapObject)
+    assert result.value is result.environment["value"]
+
+
+def test_environment_contains_locals(library_program):
+    def body(m):
+        m.new("a", "Object").assign("b", "a")
+
+    program = library_program.merged_with(_driver(body, return_type="void"))
+    result = Interpreter(program).execute_static("Driver", "run")
+    assert result.environment["a"] is result.environment["b"]
+
+
+def test_constants_and_null(library_program):
+    def body(m):
+        m.const("i", 3).const("flag", True).const("nothing", None)
+
+    program = library_program.merged_with(_driver(body, return_type="void"))
+    env = Interpreter(program).execute_static("Driver", "run").environment
+    assert env["i"] == 3 and env["flag"] is True and env["nothing"] is None
+
+
+def test_dynamic_dispatch_picks_runtime_class(library_program):
+    def body(m):
+        m.new("stack", "Stack").new("value", "Object")
+        m.call(None, "stack", "add", "value")  # Vector.add via Stack
+        m.call("out", "stack", "pop")
+        m.ret("out")
+
+    program = library_program.merged_with(_driver(body))
+    result = Interpreter(program).execute_static("Driver", "run")
+    assert result.value is result.environment["value"]
+
+
+def test_call_on_null_raises(library_program):
+    def body(m):
+        m.const("nothing", None).call("x", "nothing", "get")
+
+    program = library_program.merged_with(_driver(body, return_type="void"))
+    with pytest.raises(NullPointerError):
+        Interpreter(program).execute_static("Driver", "run")
+
+
+def test_field_access_on_null_raises(library_program):
+    def body(m):
+        m.const("nothing", None).load("x", "nothing", "f")
+
+    program = library_program.merged_with(_driver(body, return_type="void"))
+    with pytest.raises(NullPointerError):
+        Interpreter(program).execute_static("Driver", "run")
+
+
+def test_unknown_method_raises(library_program):
+    def body(m):
+        m.new("box", "Box").call("x", "box", "doesNotExist")
+
+    program = library_program.merged_with(_driver(body, return_type="void"))
+    with pytest.raises(UnknownMethodError):
+        Interpreter(program).execute_static("Driver", "run")
+
+
+def test_undefined_variable_read_raises(library_program):
+    def body(m):
+        m.assign("a", "ghost")
+
+    program = library_program.merged_with(_driver(body, return_type="void"))
+    with pytest.raises(InterpreterError):
+        Interpreter(program).execute_static("Driver", "run")
+
+
+def test_execute_static_requires_static_method(library_program):
+    with pytest.raises(InterpreterError):
+        Interpreter(library_program).execute_static("Box", "get")
+
+
+def test_missing_static_method_raises(library_program):
+    with pytest.raises(UnknownMethodError):
+        Interpreter(library_program).execute_static("Box", "nope")
+
+
+def test_step_limit_guards_against_runaway_recursion():
+    looper = ClassBuilder("Looper")
+    looper.add_method(looper.constructor())
+    method = looper.method("spin").call(None, "this", "spin")
+    looper.add_method(method)
+
+    def body(m):
+        m.new("x", "Looper").call(None, "x", "spin")
+
+    program = _driver(body, extra_classes=[looper.build()], return_type="void")
+    with pytest.raises((StepLimitExceeded, CallDepthExceeded)):
+        Interpreter(program, max_steps=500, max_depth=50).execute_static("Driver", "run")
+
+
+def test_constructor_runs_on_allocation(library_program):
+    def body(m):
+        m.new("list", "ArrayList")
+        m.ret("list")
+
+    program = library_program.merged_with(_driver(body))
+    result = Interpreter(program).execute_static("Driver", "run")
+    storage = result.value.get_field("elems")
+    assert storage is not None and storage.array_elements == []
+
+
+def test_allocate_and_call_helpers(library_program):
+    interpreter = Interpreter(library_program)
+    box = interpreter.allocate("Box")
+    value = interpreter.allocate("Object")
+    interpreter.call(box, "set", [value])
+    assert interpreter.call(box, "get") is value
+
+
+def test_collections_round_trip(library_program):
+    interpreter = Interpreter(library_program)
+    items = interpreter.allocate("ArrayList")
+    value = interpreter.allocate("Object")
+    interpreter.call(items, "add", [value])
+    assert interpreter.call(items, "get", [0]) is value
+    iterator = interpreter.call(items, "iterator")
+    assert interpreter.call(iterator, "next") is value
+
+
+def test_empty_list_get_raises(library_program):
+    interpreter = Interpreter(library_program)
+    items = interpreter.allocate("ArrayList")
+    with pytest.raises(IndexOutOfBounds):
+        interpreter.call(items, "get", [0])
+
+
+def test_map_put_get_round_trip(library_program):
+    interpreter = Interpreter(library_program)
+    table = interpreter.allocate("HashMap")
+    key = interpreter.allocate("Object")
+    value = interpreter.allocate("Object")
+    interpreter.call(table, "put", [key, value])
+    assert interpreter.call(table, "get", [key]) is value
+
+
+def test_hash_set_iteration(library_program):
+    interpreter = Interpreter(library_program)
+    values = interpreter.allocate("HashSet")
+    element = interpreter.allocate("Object")
+    interpreter.call(values, "add", [element])
+    iterator = interpreter.call(values, "iterator")
+    assert interpreter.call(iterator, "next") is element
+
+
+def test_string_builder_round_trip(library_program):
+    interpreter = Interpreter(library_program)
+    builder = interpreter.allocate("StringBuilder")
+    piece = interpreter.allocate("String")
+    returned = interpreter.call(builder, "append", [piece])
+    assert returned is builder
+    assert interpreter.call(builder, "toString") is piece

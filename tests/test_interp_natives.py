@@ -1,0 +1,107 @@
+"""Tests for native hooks / intrinsics (collapsed arrays, arraycopy)."""
+
+import pytest
+
+from repro.interp import IndexOutOfBounds, Interpreter, NullPointerError
+from repro.interp.heap import Heap, HeapObject
+from repro.interp.natives import NativeRegistry, default_natives
+
+
+def test_heap_allocates_sequential_ids():
+    heap = Heap()
+    first, second = heap.allocate("A"), heap.allocate("B")
+    assert (first.object_id, second.object_id) == (0, 1)
+    assert len(heap) == 2
+
+
+def test_heap_object_fields_default_to_null():
+    obj = HeapObject(0, "A")
+    assert obj.get_field("missing") is None
+    obj.set_field("f", 42)
+    assert obj.get_field("f") == 42
+
+
+def test_array_allocation_and_append(library_program):
+    interpreter = Interpreter(library_program)
+    array = interpreter.allocate("ObjectArray")
+    value = interpreter.allocate("Object")
+    interpreter.call(array, "aappend", [value])
+    assert interpreter.call(array, "alength") == 1
+    assert interpreter.call(array, "aget", [0]) is value
+
+
+def test_array_set_and_bounds(library_program):
+    interpreter = Interpreter(library_program)
+    array = interpreter.allocate("ObjectArray")
+    value = interpreter.allocate("Object")
+    interpreter.call(array, "aappend", [value])
+    other = interpreter.allocate("Object")
+    interpreter.call(array, "aset", [0, other])
+    assert interpreter.call(array, "aget", [0]) is other
+    with pytest.raises(IndexOutOfBounds):
+        interpreter.call(array, "aget", [5])
+    with pytest.raises(IndexOutOfBounds):
+        interpreter.call(array, "aset", [1, other])
+
+
+def test_array_remove_and_last(library_program):
+    interpreter = Interpreter(library_program)
+    array = interpreter.allocate("ObjectArray")
+    first = interpreter.allocate("Object")
+    second = interpreter.allocate("Object")
+    interpreter.call(array, "aappend", [first])
+    interpreter.call(array, "aappend", [second])
+    assert interpreter.call(array, "alast") is second
+    assert interpreter.call(array, "aremovelast") is second
+    assert interpreter.call(array, "aremove", [0]) is first
+    with pytest.raises(IndexOutOfBounds):
+        interpreter.call(array, "alast")
+
+
+def test_array_range_copies_slice(library_program):
+    interpreter = Interpreter(library_program)
+    array = interpreter.allocate("ObjectArray")
+    first = interpreter.allocate("Object")
+    second = interpreter.allocate("Object")
+    interpreter.call(array, "aappend", [first])
+    interpreter.call(array, "aappend", [second])
+    sliced = interpreter.call(array, "arange", [0, 1])
+    assert sliced.array_elements == [first]
+    with pytest.raises(IndexOutOfBounds):
+        interpreter.call(array, "arange", [0, 5])
+
+
+def test_arraycopy_extends_destination(library_program):
+    interpreter = Interpreter(library_program)
+    source = interpreter.allocate("ObjectArray")
+    destination = interpreter.allocate("ObjectArray")
+    value = interpreter.allocate("Object")
+    interpreter.call(source, "aappend", [value])
+    interpreter._invoke_static("System", "arraycopy", [source, destination], depth=0)
+    assert destination.array_elements == [value]
+
+
+def test_arraycopy_null_argument_raises(library_program):
+    interpreter = Interpreter(library_program)
+    destination = interpreter.allocate("ObjectArray")
+    with pytest.raises(NullPointerError):
+        interpreter._invoke_static("System", "arraycopy", [None, destination], depth=0)
+
+
+def test_registry_lookup_and_copy():
+    registry = default_natives()
+    assert registry.lookup("ObjectArray", "aget") is not None
+    assert registry.lookup("ObjectArray", "nope") is None
+    duplicate = registry.copy()
+    duplicate.register("X", "y", lambda interp, recv, args: None)
+    assert registry.lookup("X", "y") is None
+    assert duplicate.lookup("X", "y") is not None
+
+
+def test_native_method_without_hook_raises(library_program):
+    interpreter = Interpreter(library_program, natives=NativeRegistry())
+    array = interpreter.allocate("ObjectArray")
+    # Without intrinsics the IR body is used instead, which still works.
+    value = interpreter.allocate("Object")
+    interpreter.call(array, "aappend", [value])
+    assert interpreter.call(array, "aget", [0]) is value

@@ -1,0 +1,92 @@
+"""Tests for the fluent builders and the pretty printer."""
+
+import pytest
+
+from repro.lang import (
+    Assign,
+    ClassBuilder,
+    MethodBuilder,
+    ProgramBuilder,
+    pretty_class,
+    pretty_method,
+    pretty_program,
+    pretty_statement,
+)
+from repro.lang.statements import Call, Const, Load, New, Return, Store
+
+
+def test_method_builder_collects_statements_in_order():
+    method = (
+        MethodBuilder("m", [("x", "Object")], return_type="Object")
+        .new("box", "Box")
+        .store("box", "f", "x")
+        .load("out", "box", "f")
+        .ret("out")
+        .build()
+    )
+    assert [type(s) for s in method.body] == [New, Store, Load, Return]
+    assert method.params[0].name == "x"
+    assert method.return_type == "Object"
+
+
+def test_method_builder_accepts_string_params_as_object():
+    method = MethodBuilder("m", ["value"]).build()
+    assert method.params[0].type == "Object"
+
+
+def test_class_builder_rejects_duplicate_methods():
+    builder = ClassBuilder("C")
+    builder.add_method(builder.method("m"))
+    with pytest.raises(ValueError):
+        builder.add_method(builder.method("m"))
+
+
+def test_class_builder_constructor_name():
+    builder = ClassBuilder("C")
+    constructor = builder.constructor().build()
+    assert constructor.is_constructor
+
+
+def test_program_builder_builds_program():
+    program = ProgramBuilder().add_class(ClassBuilder("A")).add_class(ClassBuilder("B")).build()
+    assert set(program.class_names()) == {"A", "B"}
+
+
+# ---------------------------------------------------------------- pretty printer
+def test_pretty_statement_forms():
+    assert pretty_statement(Assign("a", "b")) == "a = b;"
+    assert pretty_statement(New("x", "Box", ("a",))) == "x = new Box(a);"
+    assert pretty_statement(Store("x", "f", "v")) == "x.f = v;"
+    assert pretty_statement(Load("v", "x", "f")) == "v = x.f;"
+    assert pretty_statement(Call("r", "x", "m", ("a", "b"))) == "r = x.m(a, b);"
+    assert pretty_statement(Call(None, "x", "m", ())) == "x.m();"
+    assert pretty_statement(Call(None, None, "System.arraycopy", ("a", "b"))) == "System.arraycopy(a, b);"
+    assert pretty_statement(Return("x")) == "return x;"
+    assert pretty_statement(Return()) == "return;"
+    assert pretty_statement(Const("i", 0)) == "i = 0;"
+    assert pretty_statement(Const("b", True)) == "b = true;"
+    assert pretty_statement(Const("c", "a")) == "c = 'a';"
+    assert pretty_statement(Const("n", None)) == "n = null;"
+
+
+def test_pretty_method_includes_signature_and_body():
+    method = MethodBuilder("get", [("i", "int")], return_type="Object").load("r", "this", "f").ret("r").build()
+    text = pretty_method(method)
+    assert "Object get(int i)" in text
+    assert "r = this.f;" in text
+    assert text.strip().endswith("}")
+
+
+def test_pretty_native_method_has_no_body():
+    method = MethodBuilder("arraycopy", is_static=True, is_native=True).build()
+    text = pretty_method(method)
+    assert text.endswith(";")
+    assert "native" in text
+
+
+def test_pretty_class_and_program(library_program):
+    box = pretty_class(library_program.class_def("Box"))
+    assert "library class Box" in box
+    assert "this.f = ob;" in box
+    full = pretty_program(library_program.restricted_to(["Box", "Object"]))
+    assert "class Object" in full and "class Box" in full

@@ -1,0 +1,117 @@
+"""Tests for program structure: classes, methods, resolution, merging."""
+
+import pytest
+
+from repro.lang import ClassBuilder, ClassDef, Field, MethodDef, Parameter, Program
+from repro.lang.program import MethodRef
+
+
+def _simple_class(name, superclass="Object", methods=(), fields=(), is_library=False):
+    return ClassDef(
+        name=name,
+        superclass=superclass,
+        fields=tuple(fields),
+        methods={m.name: m for m in methods},
+        is_library=is_library,
+    )
+
+
+def test_program_add_and_lookup():
+    program = Program([_simple_class("A")])
+    assert program.has_class("A")
+    assert not program.has_class("B")
+    assert program.class_def("A").name == "A"
+    with pytest.raises(KeyError):
+        program.class_def("B")
+
+
+def test_duplicate_class_rejected():
+    program = Program([_simple_class("A")])
+    with pytest.raises(ValueError):
+        program.add_class(_simple_class("A"))
+
+
+def test_superclass_chain_walks_to_object():
+    program = Program([
+        _simple_class("Object", superclass=None),
+        _simple_class("A"),
+        _simple_class("B", superclass="A"),
+    ])
+    assert program.superclass_chain("B") == ("B", "A", "Object")
+
+
+def test_superclass_chain_detects_cycles():
+    program = Program([
+        _simple_class("A", superclass="B"),
+        _simple_class("B", superclass="A"),
+    ])
+    with pytest.raises(ValueError):
+        program.superclass_chain("A")
+
+
+def test_method_resolution_prefers_subclass():
+    base_method = MethodDef("run")
+    override = MethodDef("run")
+    program = Program([
+        _simple_class("Base", methods=[base_method]),
+        _simple_class("Derived", superclass="Base", methods=[override]),
+    ])
+    assert program.resolve_method("Derived", "run") == MethodRef("Derived", "run")
+    assert program.resolve_method("Base", "run") == MethodRef("Base", "run")
+
+
+def test_method_resolution_walks_up():
+    method = MethodDef("helper")
+    program = Program([
+        _simple_class("Base", methods=[method]),
+        _simple_class("Derived", superclass="Base"),
+    ])
+    assert program.resolve_method("Derived", "helper") == MethodRef("Base", "helper")
+    assert program.resolve_method("Derived", "missing") is None
+
+
+def test_all_fields_include_inherited_without_duplicates():
+    program = Program([
+        _simple_class("Base", fields=[Field("f"), Field("g")]),
+        _simple_class("Derived", superclass="Base", fields=[Field("f"), Field("h")]),
+    ])
+    names = [field.name for field in program.all_fields("Derived")]
+    assert sorted(names) == ["f", "g", "h"]
+
+
+def test_merged_with_shadows_classes():
+    original = Program([_simple_class("A"), _simple_class("B")])
+    replacement = Program([_simple_class("B", is_library=True)])
+    merged = original.merged_with(replacement)
+    assert merged.class_def("B").is_library
+    assert not original.class_def("B").is_library  # original untouched
+    assert merged.has_class("A")
+
+
+def test_without_and_restricted_to():
+    program = Program([_simple_class("A"), _simple_class("B"), _simple_class("C")])
+    assert set(program.without_classes(["B"]).class_names()) == {"A", "C"}
+    assert set(program.restricted_to(["B"]).class_names()) == {"B"}
+
+
+def test_loc_and_statement_count(library_program):
+    assert library_program.statement_count() > 100
+    assert library_program.loc() > library_program.statement_count()
+
+
+def test_method_def_reference_helpers():
+    method = MethodDef(
+        "m",
+        params=(Parameter("a", "Object"), Parameter("i", "int")),
+        return_type="Object",
+    )
+    assert [p.name for p in method.reference_parameters()] == ["a"]
+    assert method.returns_reference()
+    assert not MethodDef("v", return_type="void").returns_reference()
+
+
+def test_class_builder_with_method_replaces():
+    cls = ClassBuilder("X").build()
+    updated = cls.with_method(MethodDef("m"))
+    assert "m" in updated.methods
+    assert "m" not in cls.methods

@@ -1,0 +1,70 @@
+"""Tests for the IR statement forms."""
+
+import pytest
+
+from repro.lang import Assign, Call, Const, Load, New, Return, Store
+
+
+def test_assign_defines_and_uses():
+    statement = Assign("y", "x")
+    assert statement.defined_variable() == "y"
+    assert statement.used_variables() == ("x",)
+
+
+def test_new_defines_target_and_uses_args():
+    statement = New("box", "Box", ("a", "b"))
+    assert statement.defined_variable() == "box"
+    assert statement.used_variables() == ("a", "b")
+    assert statement.class_name == "Box"
+
+
+def test_new_without_args_uses_nothing():
+    assert New("x", "Object").used_variables() == ()
+
+
+def test_store_uses_base_and_source():
+    statement = Store("box", "f", "value")
+    assert statement.defined_variable() is None
+    assert statement.used_variables() == ("box", "value")
+
+
+def test_load_defines_target():
+    statement = Load("out", "box", "f")
+    assert statement.defined_variable() == "out"
+    assert statement.used_variables() == ("box",)
+
+
+def test_call_uses_receiver_and_args():
+    statement = Call("result", "list", "add", ("item",))
+    assert statement.defined_variable() == "result"
+    assert statement.used_variables() == ("list", "item")
+
+
+def test_static_call_has_no_receiver_use():
+    statement = Call(None, None, "System.arraycopy", ("src", "dst"))
+    assert statement.defined_variable() is None
+    assert statement.used_variables() == ("src", "dst")
+
+
+def test_return_with_and_without_value():
+    assert Return("x").used_variables() == ("x",)
+    assert Return().used_variables() == ()
+    assert Return().value is None
+
+
+def test_const_defines_target_and_uses_nothing():
+    statement = Const("i", 0)
+    assert statement.defined_variable() == "i"
+    assert statement.used_variables() == ()
+
+
+def test_statements_are_hashable_and_comparable():
+    assert Assign("a", "b") == Assign("a", "b")
+    assert Assign("a", "b") != Assign("a", "c")
+    assert len({Store("x", "f", "y"), Store("x", "f", "y"), Store("x", "g", "y")}) == 2
+
+
+def test_statements_are_immutable():
+    statement = Assign("a", "b")
+    with pytest.raises(Exception):
+        statement.target = "c"

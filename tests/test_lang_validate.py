@@ -1,0 +1,106 @@
+"""Tests for structural program validation."""
+
+import pytest
+
+from repro.lang import ClassBuilder, Program, ValidationError, validate_program
+
+
+def _program_with_method(method_builder, fields=(), class_name="C"):
+    cls = ClassBuilder(class_name)
+    for field in fields:
+        cls.field(field)
+    cls.add_method(method_builder)
+    return Program([cls.build()])
+
+
+def test_valid_program_passes(library_program):
+    validate_program(library_program)
+
+
+def test_use_before_definition_is_reported():
+    cls = ClassBuilder("C")
+    method = cls.method("m").assign("x", "undefined_variable")
+    program = _program_with_method(method)
+    with pytest.raises(ValidationError) as excinfo:
+        validate_program(program)
+    assert "undefined" in str(excinfo.value)
+
+
+def test_parameters_and_receiver_count_as_defined():
+    cls = ClassBuilder("C")
+    cls.field("f")
+    method = cls.method("m", [("x", "Object")]).store("this", "f", "x")
+    cls.add_method(method)
+    validate_program(Program([cls.build()]))
+
+
+def test_undeclared_field_on_receiver_is_reported():
+    cls = ClassBuilder("C")
+    method = cls.method("m", [("x", "Object")]).store("this", "nonexistent", "x")
+    program = _program_with_method(method)
+    with pytest.raises(ValidationError) as excinfo:
+        validate_program(program)
+    assert "undeclared field" in str(excinfo.value)
+
+
+def test_inherited_fields_are_visible():
+    base = ClassBuilder("Base")
+    base.field("f")
+    base.add_method(base.constructor())
+    derived = ClassBuilder("Derived", superclass="Base")
+    method = derived.method("m", [("x", "Object")]).store("this", "f", "x")
+    derived.add_method(method)
+    validate_program(Program([base.build(), derived.build()]))
+
+
+def test_allocation_of_unknown_class_is_reported():
+    cls = ClassBuilder("C")
+    method = cls.method("m").new("x", "MissingClass")
+    program = _program_with_method(method)
+    with pytest.raises(ValidationError) as excinfo:
+        validate_program(program)
+    assert "unknown class" in str(excinfo.value)
+
+
+def test_void_method_returning_value_is_reported():
+    cls = ClassBuilder("C")
+    method = cls.method("m", [("x", "Object")]).ret("x")
+    program = _program_with_method(method)
+    with pytest.raises(ValidationError):
+        validate_program(program)
+
+
+def test_non_void_method_with_bare_return_is_reported():
+    cls = ClassBuilder("C")
+    method = cls.method("m", return_type="Object").ret()
+    program = _program_with_method(method)
+    with pytest.raises(ValidationError):
+        validate_program(program)
+
+
+def test_unknown_superclass_is_reported():
+    cls = ClassBuilder("C", superclass="Ghost")
+    program = Program([cls.build()])
+    with pytest.raises(ValidationError) as excinfo:
+        validate_program(program)
+    assert "superclass" in str(excinfo.value)
+
+
+def test_check_calls_flag_reports_unresolvable_calls():
+    cls = ClassBuilder("C")
+    method = cls.method("m").new("x", "C").call(None, "x", "missingMethod")
+    cls.add_method(method)
+    cls.add_method(cls.constructor())
+    program = Program([cls.build()])
+    validate_program(program)  # lenient by default
+    with pytest.raises(ValidationError):
+        validate_program(program, check_calls=True)
+
+
+def test_all_errors_are_collected():
+    cls = ClassBuilder("C")
+    method = cls.method("m").assign("a", "ghost1").assign("b", "ghost2")
+    program = _program_with_method(method)
+    with pytest.raises(ValidationError) as excinfo:
+        validate_program(program)
+    assert len(excinfo.value.errors) == 2

@@ -1,0 +1,77 @@
+"""End-to-end tests for the Atlas pipeline on small clusters."""
+
+import pytest
+
+from repro.learn import Atlas, AtlasConfig
+from repro.library.ground_truth import ground_truth_fsa
+from repro.specs.variables import param, receiver, ret
+
+
+@pytest.fixture(scope="module")
+def box_result(library_program, interface):
+    config = AtlasConfig(clusters=[("Box",)], seed=7)
+    return Atlas(library_program, interface, config).run()
+
+
+def test_pipeline_recovers_box_ground_truth(box_result):
+    truth = ground_truth_fsa(["Box"])
+    for word in truth.enumerate_words(8):
+        assert box_result.fsa.accepts(word), f"missing {word}"
+
+
+def test_pipeline_learns_the_clone_star(box_result):
+    base = (param("Box", "set", "ob"), receiver("Box", "set"))
+    clone = (receiver("Box", "clone"), ret("Box", "clone"))
+    get = (receiver("Box", "get"), ret("Box", "get"))
+    assert box_result.fsa.accepts(base + clone + clone + clone + get)
+
+
+def test_pipeline_compresses_the_automaton(box_result):
+    assert box_result.final_fsa_states < box_result.initial_fsa_states
+
+
+def test_pipeline_generates_spec_program(box_result):
+    program = box_result.spec_program
+    assert program.has_class("Box")
+    box = program.class_def("Box")
+    assert box.is_library
+    assert box.method("set") is not None and box.method("get") is not None
+
+
+def test_pipeline_reports_covered_functions(box_result):
+    covered = box_result.covered_functions()
+    assert ("Box", "set") in covered and ("Box", "get") in covered and ("Box", "clone") in covered
+
+
+def test_pipeline_tracks_stats(box_result):
+    assert box_result.oracle_stats.queries > 0
+    assert len(box_result.positives) >= 2
+    assert box_result.elapsed_seconds >= 0
+    assert len(box_result.clusters) == 1
+    assert box_result.clusters[0].enumeration_stats is not None
+
+
+def test_sampling_strategy_pipeline(library_program, interface):
+    config = AtlasConfig(strategy="mcts", samples_per_cluster=800, clusters=[("Box",)], seed=3)
+    result = Atlas(library_program, interface, config).run()
+    assert result.clusters[0].sampling_stats.samples == 800
+
+
+def test_unknown_strategy_rejected(library_program, interface):
+    config = AtlasConfig(strategy="bogus", clusters=[("Box",)])
+    with pytest.raises(ValueError):
+        Atlas(library_program, interface, config).run()
+
+
+def test_unknown_sampler_rejected(library_program, interface):
+    # The top-up sampler of the enumeration strategy goes through the sampler factory.
+    config = AtlasConfig(
+        strategy="enumerate",
+        sampler="bogus",
+        samples_per_cluster=10,
+        enumeration_budget=50,
+        clusters=[("Box",)],
+    )
+    atlas = Atlas(library_program, interface, config)
+    with pytest.raises(ValueError):
+        atlas.run()

@@ -1,0 +1,151 @@
+"""Tests for phase one (samplers, enumeration) and phase two (RPNI)."""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.learn.enumerate import CandidateEnumerator, TypeCompatibility
+from repro.learn.mcts import MCTSSampler
+from repro.learn.rpni import learn_fsa
+from repro.learn.sampler import RandomSampler, sample_positive_examples
+from repro.specs.path_spec import is_valid_word
+from repro.specs.variables import param, receiver, ret
+
+
+def _box_interface(interface):
+    return interface.restricted_to(["Box"])
+
+
+# ---------------------------------------------------------------- samplers
+def test_random_sampler_produces_valid_words(interface):
+    sampler = RandomSampler(_box_interface(interface), seed=1)
+    words = [sampler.sample() for _ in range(300)]
+    produced = [w for w in words if w is not None]
+    assert produced, "expected at least some complete candidates"
+    assert all(is_valid_word(w) for w in produced)
+
+
+def test_random_sampler_is_deterministic_per_seed(interface):
+    first = RandomSampler(_box_interface(interface), seed=42)
+    second = RandomSampler(_box_interface(interface), seed=42)
+    assert [first.sample() for _ in range(50)] == [second.sample() for _ in range(50)]
+
+
+def test_sampler_respects_max_calls(interface):
+    sampler = RandomSampler(_box_interface(interface), max_calls=2, seed=3)
+    for _ in range(200):
+        word = sampler.sample()
+        if word is not None:
+            assert len(word) <= 4
+
+
+def test_mcts_scores_move_toward_outcomes(interface):
+    sampler = MCTSSampler(_box_interface(interface), seed=5)
+    word = (
+        param("Box", "set", "ob"),
+        receiver("Box", "set"),
+        receiver("Box", "get"),
+        ret("Box", "get"),
+    )
+    sampler.observe(word, True)
+    assert sampler.score((), word[0]) == 0.5
+    sampler.observe(word, True)
+    assert sampler.score((), word[0]) == 0.75
+    sampler.observe(word, False)
+    assert sampler.score((), word[0]) == 0.375
+    assert sampler.num_tracked_choices() > 0
+
+
+def test_mcts_finds_at_least_as_many_positives_as_random(interface, oracle):
+    box = _box_interface(interface)
+    random_positives, _ = sample_positive_examples(RandomSampler(box, seed=9), oracle, 1500)
+    mcts_positives, _ = sample_positive_examples(MCTSSampler(box, seed=9), oracle, 1500)
+    assert len(mcts_positives) >= len(random_positives)
+    assert len(mcts_positives) >= 1
+
+
+def test_sampling_stats_are_consistent(interface, oracle):
+    box = _box_interface(interface)
+    positives, stats = sample_positive_examples(RandomSampler(box, seed=11), oracle, 500)
+    assert stats.samples == 500
+    assert stats.candidates + stats.aborted == 500
+    assert stats.distinct_positives == len(positives)
+    assert stats.positives >= stats.distinct_positives
+
+
+# ---------------------------------------------------------------- enumeration
+def test_enumerator_finds_box_ground_truth(interface, oracle, library_program):
+    enumerator = CandidateEnumerator(
+        _box_interface(interface), library_program=library_program, budget=5000
+    )
+    positives, stats = enumerator.run(oracle)
+    expected = (
+        param("Box", "set", "ob"),
+        receiver("Box", "set"),
+        receiver("Box", "get"),
+        ret("Box", "get"),
+    )
+    assert expected in positives
+    assert stats.candidates > 0 and not stats.budget_exhausted
+    assert all(is_valid_word(w) for w in positives)
+
+
+def test_enumerator_respects_budget(interface, oracle, library_program):
+    enumerator = CandidateEnumerator(
+        interface.restricted_to(["ArrayList", "Iterator"]),
+        library_program=library_program,
+        budget=50,
+    )
+    _positives, stats = enumerator.run(oracle)
+    assert stats.candidates <= 50
+    assert stats.budget_exhausted
+
+
+def test_type_compatibility(library_program):
+    types = TypeCompatibility(library_program)
+    assert types.compatible("ArrayList", "ArrayList")
+    assert types.compatible("ArrayList", "AbstractCollection")  # subclass relation
+    assert types.compatible("Object", "ArrayList")
+    assert not types.compatible("ArrayList", "HashMap")
+    assert types.compatible("Mystery", "ArrayList")  # unknown types never pruned
+
+
+# ---------------------------------------------------------------- RPNI
+def test_rpni_generalizes_clone_chains_to_a_loop(interface, oracle):
+    """The Section 5.3 example: set (clone)* get is learned from two examples."""
+    base = (param("Box", "set", "ob"), receiver("Box", "set"))
+    clone = (receiver("Box", "clone"), ret("Box", "clone"))
+    get = (receiver("Box", "get"), ret("Box", "get"))
+    positives = [base + get, base + clone + get]
+    fsa, stats = learn_fsa(positives, oracle)
+    assert fsa.accepts(base + get)
+    assert fsa.accepts(base + clone + get)
+    assert fsa.accepts(base + clone + clone + get)
+    assert fsa.accepts(base + clone + clone + clone + get)
+    assert stats.final_states < stats.initial_states
+    assert stats.merges_accepted >= 1
+
+
+def test_rpni_does_not_accept_imprecise_generalizations(interface, oracle):
+    """Merges that would add the imprecise set->clone spec are rejected."""
+    base = (param("Box", "set", "ob"), receiver("Box", "set"))
+    clone = (receiver("Box", "clone"), ret("Box", "clone"))
+    get = (receiver("Box", "get"), ret("Box", "get"))
+    positives = [base + get, base + clone + get]
+    fsa, _stats = learn_fsa(positives, oracle)
+    assert not fsa.accepts(base + clone)  # set ~> clone alone is imprecise
+
+
+def test_rpni_with_empty_positives(oracle):
+    fsa, stats = learn_fsa([], oracle)
+    assert fsa.is_empty()
+    assert stats.initial_states == 1
+
+
+def test_rpni_language_contains_all_positives(interface, oracle, library_program):
+    enumerator = CandidateEnumerator(
+        _box_interface(interface), library_program=library_program, budget=5000
+    )
+    positives, _ = enumerator.run(oracle)
+    fsa, _ = learn_fsa(positives, oracle)
+    for word in positives:
+        assert fsa.accepts(word)

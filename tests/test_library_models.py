@@ -1,0 +1,154 @@
+"""Tests for the modelled library: structure, interface, and dynamic behaviour."""
+
+import pytest
+
+from repro.interp import Interpreter
+from repro.lang import validate_program
+from repro.library.registry import (
+    COLLECTION_CLASSES,
+    CONCRETE_CLASSES,
+    SPEC_CLASS_CLUSTERS,
+    build_interface,
+    build_library_program,
+    cluster_interfaces,
+    core_program,
+    replaceable_library,
+)
+
+
+def test_library_program_validates(library_program):
+    validate_program(library_program)
+
+
+def test_expected_classes_are_present(library_program):
+    for name in CONCRETE_CLASSES:
+        assert library_program.has_class(name), name
+    for name in ("Object", "ObjectArray", "System", "AbstractCollection", "AbstractList"):
+        assert library_program.has_class(name), name
+
+
+def test_collection_classes_are_twelve():
+    assert len(COLLECTION_CLASSES) == 12
+    assert set(COLLECTION_CLASSES) <= set(CONCRETE_CLASSES)
+
+
+def test_core_and_replaceable_partition(library_program):
+    core = core_program(library_program)
+    replaceable = replaceable_library(library_program)
+    assert set(core.class_names()) & set(replaceable.class_names()) == set()
+    assert set(core.class_names()) | set(replaceable.class_names()) == set(library_program.class_names())
+
+
+def test_interface_flattens_inherited_methods(interface):
+    # addAll is defined on AbstractCollection but exposed on every concrete collection.
+    assert interface.has_method("ArrayList", "addAll")
+    assert interface.has_method("HashSet", "addAll")
+    assert interface.has_method("Stack", "elementAt")  # inherited from Vector
+    assert not interface.has_method("ArrayList", "<init>")
+    assert not interface.has_method("ArrayList", "ensureCapacity")  # internal helper
+
+
+def test_interface_variables_and_constructors(interface):
+    variables = interface.variables()
+    assert len(variables) > 150
+    assert all(v.class_name in CONCRETE_CLASSES for v in variables)
+    assert interface.constructors("ArrayList")
+    restricted = interface.restricted_to(["Box"])
+    assert set(s.class_name for s in restricted.methods()) == {"Box"}
+
+
+def test_clusters_cover_all_collection_classes():
+    clustered = {name for cluster in SPEC_CLASS_CLUSTERS for name in cluster}
+    assert set(COLLECTION_CLASSES) <= clustered
+    interfaces = cluster_interfaces()
+    assert len(interfaces) == len(SPEC_CLASS_CLUSTERS)
+
+
+def test_native_methods_exist(library_program):
+    system = library_program.class_def("System")
+    assert system.method("arraycopy").is_native
+
+
+# ---------------------------------------------------------------- dynamic behaviour
+@pytest.fixture(scope="module")
+def interp(library_program):
+    return Interpreter(library_program, max_steps=200_000)
+
+
+def test_linked_list_round_trip(interp):
+    items = interp.allocate("LinkedList")
+    value = interp.allocate("Object")
+    interp.call(items, "add", [value])
+    assert interp.call(items, "getFirst") is value
+    assert interp.call(items, "peek") is value
+    assert interp.call(items, "removeFirst") is value
+
+
+def test_vector_and_stack_round_trip(interp):
+    stack = interp.allocate("Stack")
+    value = interp.allocate("Object")
+    assert interp.call(stack, "push", [value]) is value
+    assert interp.call(stack, "peek") is value
+    assert interp.call(stack, "pop") is value
+
+    vector = interp.allocate("Vector")
+    interp.call(vector, "addElement", [value])
+    assert interp.call(vector, "elementAt", [0]) is value
+    assert interp.call(vector, "firstElement") is value
+
+
+def test_add_all_copies_elements(interp):
+    source = interp.allocate("ArrayList")
+    value = interp.allocate("Object")
+    interp.call(source, "add", [value])
+    target = interp.allocate("ArrayList")
+    interp.call(target, "addAll", [source])
+    assert interp.call(target, "get", [0]) is value
+
+
+def test_tree_map_and_tree_set(interp):
+    table = interp.allocate("TreeMap")
+    key = interp.allocate("Object")
+    value = interp.allocate("Object")
+    interp.call(table, "put", [key, value])
+    assert interp.call(table, "firstKey") is key
+    assert interp.call(table, "get", [key]) is value
+
+    ordered = interp.allocate("TreeSet")
+    interp.call(ordered, "add", [value])
+    assert interp.call(ordered, "first") is value
+    iterator = interp.call(ordered, "iterator")
+    assert interp.call(iterator, "next") is value
+
+
+def test_map_views(interp):
+    table = interp.allocate("HashMap")
+    key = interp.allocate("Object")
+    value = interp.allocate("Object")
+    interp.call(table, "put", [key, value])
+    values = interp.call(table, "values")
+    assert interp.call(values, "get", [0]) is value
+    keys = interp.call(table, "keySet")
+    key_iterator = interp.call(keys, "iterator")
+    assert interp.call(key_iterator, "next") is key
+
+
+def test_map_entry_behaviour(interp):
+    table = interp.allocate("Hashtable")
+    key = interp.allocate("Object")
+    value = interp.allocate("Object")
+    interp.call(table, "put", [key, value])
+    entries = interp.call(table, "entrySet")
+    iterator = interp.call(entries, "iterator")
+    entry = interp.call(iterator, "next")
+    assert interp.call(entry, "getKey") is key
+    assert interp.call(entry, "getValue") is value
+    replacement = interp.allocate("Object")
+    assert interp.call(entry, "setValue", [replacement]) is value
+
+
+def test_strange_box_sequential_behaviour(interp):
+    box = interp.allocate("StrangeBox")
+    value = interp.allocate("Object")
+    interp.call(box, "set", [value])
+    assert interp.call(box, "get") is None  # the field was overwritten with null

@@ -1,0 +1,184 @@
+"""Tests for the Andersen points-to analysis (graph extraction + closure + dispatch)."""
+
+import pytest
+
+from repro.lang import ClassBuilder, Program
+from repro.pointsto import analyze
+from repro.pointsto.andersen import AndersenAnalysis
+from repro.pointsto.graph import ObjNode, VarNode
+
+
+def _client(body_builder, name="Main"):
+    cls = ClassBuilder(name)
+    method = cls.method("main", is_static=True)
+    body_builder(method)
+    cls.add_method(method)
+    return cls.build()
+
+
+def _box_program(extra_client=None):
+    from repro.library.box import build_box_class
+    from repro.library.objects import build_object_class
+
+    classes = [build_object_class(), build_box_class()]
+    if extra_client is not None:
+        classes.append(extra_client)
+    return Program(classes)
+
+
+def var(name, cls="Main", method="main"):
+    return VarNode(cls, method, name)
+
+
+def test_assignment_chain_points_to():
+    def body(m):
+        m.new("a", "Object").assign("b", "a").assign("c", "b")
+
+    program = _box_program(_client(body))
+    result = analyze(program)
+    objects = result.points_to(var("c"))
+    assert len(objects) == 1
+    assert next(iter(objects)).allocated_class == "Object"
+    assert result.aliased(var("a"), var("c"))
+
+
+def test_field_sensitivity_distinguishes_fields():
+    holder = ClassBuilder("Holder")
+    holder.field("f").field("g")
+    holder.add_method(holder.constructor())
+
+    def body(m):
+        m.new("h", "Holder").new("x", "Object").new("y", "Object")
+        m.store("h", "f", "x").store("h", "g", "y")
+        m.load("fromF", "h", "f").load("fromG", "h", "g")
+
+    program = Program([holder.build(), _client(body)])
+    from repro.library.objects import build_object_class
+
+    program.add_class(build_object_class())
+    result = analyze(program)
+    assert result.points_to(var("fromF")) == result.points_to(var("x"))
+    assert result.points_to(var("fromG")) == result.points_to(var("y"))
+    assert not result.aliased(var("fromF"), var("fromG"))
+
+
+def test_box_set_get_flow_through_library():
+    def body(m):
+        m.new("value", "Object").new("box", "Box")
+        m.call(None, "box", "set", "value")
+        m.call("out", "box", "get")
+
+    result = analyze(_box_program(_client(body)))
+    assert result.aliased(var("value"), var("out"))
+    assert result.transfer(var("value"), var("out"))
+
+
+def test_separate_boxes_not_conflated_by_fields_alone():
+    def body(m):
+        m.new("v1", "Object").new("v2", "Object")
+        m.new("b1", "Box").new("b2", "Box")
+        m.store("b1", "f", "v1").store("b2", "f", "v2")
+        m.load("o1", "b1", "f").load("o2", "b2", "f")
+
+    result = analyze(_box_program(_client(body)))
+    assert result.aliased(var("o1"), var("v1"))
+    assert not result.aliased(var("o1"), var("v2"))
+
+
+def test_dispatch_uses_receiver_points_to(library_program):
+    # A call to get() on an ArrayList must not flow through LinkedList.get.
+    def body(m):
+        m.new("value", "Object").new("list", "ArrayList")
+        m.call(None, "list", "add", "value")
+        m.const("zero", 0)
+        m.call("out", "list", "get", "zero")
+
+    program = library_program.merged_with(Program([_client(body)]))
+    result = analyze(program)
+    assert result.aliased(var("value"), var("out"))
+    # The LinkedList.get return node must not see the value.
+    linked_get_return = VarNode("LinkedList", "get", "@return")
+    assert not result.transfer(var("value"), linked_get_return)
+
+
+def test_unresolvable_calls_are_treated_as_no_ops():
+    def body(m):
+        m.new("value", "Object").new("box", "Box")
+        m.call(None, "box", "set", "value")
+        m.call("out", "box", "get")
+
+    # Remove the Box class: calls cannot resolve, so no flow is computed.
+    from repro.library.objects import build_object_class
+
+    program = Program([build_object_class(), _client(body)])
+    result = analyze(program)
+    assert not result.aliased(var("value"), var("out"))
+
+
+def test_native_methods_lose_flows(library_program):
+    # toArray goes through System.arraycopy (native): flow is lost statically.
+    def body(m):
+        m.new("value", "Object").new("vector", "Vector")
+        m.call(None, "vector", "add", "value")
+        m.call("array", "vector", "toArray")
+        m.const("zero", 0)
+        m.call("out", "array", "aget", "zero")
+
+    program = library_program.merged_with(Program([_client(body)]))
+    result = analyze(program)
+    assert not result.aliased(var("value"), var("out"))
+
+
+def test_constructor_arguments_flow_into_fields():
+    holder = ClassBuilder("Holder")
+    holder.field("f")
+    holder.add_method(holder.constructor([("value", "Object")]).store("this", "f", "value"))
+
+    def body(m):
+        m.new("x", "Object")
+        m.new("h", "Holder", "x")
+        m.load("out", "h", "f")
+
+    from repro.library.objects import build_object_class
+
+    program = Program([build_object_class(), holder.build(), _client(body)])
+    result = analyze(program)
+    assert result.aliased(var("x"), var("out"))
+
+
+def test_program_points_to_edges_exclude_library(library_program):
+    def body(m):
+        m.new("value", "Object").new("list", "ArrayList")
+        m.call(None, "list", "add", "value")
+
+    program = library_program.merged_with(Program([_client(body)]))
+    result = analyze(program)
+    edges = result.program_points_to_edges()
+    assert edges, "client variables should have points-to edges"
+    for variable, obj in edges:
+        assert variable.class_name == "Main"
+        assert obj.class_name == "Main"
+
+
+def test_stats_are_populated(library_program):
+    def body(m):
+        m.new("list", "ArrayList").new("x", "Object")
+        m.call(None, "list", "add", "x")
+
+    program = library_program.merged_with(Program([_client(body)]))
+    analysis = AndersenAnalysis(program)
+    analysis.run()
+    assert analysis.stats.nodes > 0
+    assert analysis.stats.base_edges > 0
+    assert analysis.stats.dispatch_rounds >= 1
+    assert analysis.stats.resolved_call_targets >= 2
+
+
+def test_points_to_map_and_alias_pairs():
+    def body(m):
+        m.new("a", "Object").assign("b", "a")
+
+    result = analyze(_box_program(_client(body)))
+    mapping = result.points_to_map()
+    assert var("b") in mapping
+    assert any(x == var("a") and y == var("b") for x, y in result.iter_alias_pairs())

@@ -1,0 +1,100 @@
+"""Tests for the generic CFL-reachability solver."""
+
+from repro.pointsto.cfl import CFLSolver
+from repro.pointsto.grammar import Production
+from repro.pointsto.labels import Symbol
+
+A = Symbol("A")
+B = Symbol("B")
+C = Symbol("C")
+S = Symbol("S")
+
+
+def test_single_symbol_production():
+    solver = CFLSolver([Production(S, (A,))], nullable=())
+    solver.add_edge(1, A, 2)
+    solver.solve()
+    assert solver.has_edge(1, S, 2)
+    assert not solver.has_edge(2, S, 1)
+
+
+def test_binary_production_composes_edges():
+    solver = CFLSolver([Production(S, (A, B))], nullable=())
+    solver.add_edge(1, A, 2)
+    solver.add_edge(2, B, 3)
+    solver.solve()
+    assert solver.has_edge(1, S, 3)
+    assert not solver.has_edge(1, S, 2)
+
+
+def test_transitive_closure_via_recursion():
+    # S -> A | S S  computes reachability over A edges.
+    solver = CFLSolver([Production(S, (A,)), Production(S, (S, S))], nullable=())
+    for left, right in [(1, 2), (2, 3), (3, 4)]:
+        solver.add_edge(left, A, right)
+    solver.solve()
+    assert solver.has_edge(1, S, 4)
+    assert solver.has_edge(2, S, 4)
+    assert not solver.has_edge(4, S, 1)
+
+
+def test_nullable_symbols_add_self_loops():
+    solver = CFLSolver([Production(S, (S, A))], nullable=(S,))
+    solver.add_edge(7, A, 8)
+    solver.solve()
+    assert solver.has_edge(7, S, 7)  # epsilon
+    assert solver.has_edge(7, S, 8)  # epsilon then A
+
+
+def test_incremental_edges_continue_from_fixpoint():
+    solver = CFLSolver([Production(S, (A, B))], nullable=())
+    solver.add_edge(1, A, 2)
+    solver.solve()
+    assert not solver.has_edge(1, S, 3)
+    solver.add_edge(2, B, 3)
+    solver.solve()
+    assert solver.has_edge(1, S, 3)
+
+
+def test_matched_parentheses_language():
+    # S -> A B | A S1 ; S1 -> S B   recognizes A^n B^n paths.
+    S1 = Symbol("S1")
+    productions = [Production(S, (A, B)), Production(S, (A, S1)), Production(S1, (S, B))]
+    solver = CFLSolver(productions, nullable=())
+    # path: 0 -A-> 1 -A-> 2 -B-> 3 -B-> 4, plus an unbalanced edge 4 -B-> 5
+    solver.add_edge(0, A, 1)
+    solver.add_edge(1, A, 2)
+    solver.add_edge(2, B, 3)
+    solver.add_edge(3, B, 4)
+    solver.add_edge(4, B, 5)
+    solver.solve()
+    assert solver.has_edge(1, S, 3)  # A B
+    assert solver.has_edge(0, S, 4)  # A A B B
+    assert not solver.has_edge(0, S, 5)  # A A B B B is unbalanced
+    assert not solver.has_edge(0, S, 3)
+
+
+def test_queries_on_unknown_nodes_and_symbols():
+    solver = CFLSolver([Production(S, (A,))], nullable=())
+    assert not solver.has_edge(1, S, 2)
+    assert solver.successors(1, S) == set()
+    assert solver.predecessors(2, S) == set()
+    assert list(solver.edges(Symbol("Nope"))) == []
+    assert solver.edge_count(S) == 0
+
+
+def test_edges_and_counts():
+    solver = CFLSolver([Production(S, (A,))], nullable=())
+    solver.add_edge("x", A, "y")
+    solver.add_edge("y", A, "z")
+    solver.solve()
+    assert set(solver.edges(S)) == {("x", "y"), ("y", "z")}
+    assert solver.edge_count(S) == 2
+    assert solver.total_edges == 4
+    assert set(solver.nodes()) == {"x", "y", "z"}
+
+
+def test_duplicate_edges_are_ignored():
+    solver = CFLSolver([Production(S, (A,))], nullable=())
+    assert solver.add_edge(1, A, 2)
+    assert not solver.add_edge(1, A, 2)

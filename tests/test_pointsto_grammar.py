@@ -1,0 +1,76 @@
+"""Tests for the points-to grammar and edge labels."""
+
+import pytest
+
+from repro.pointsto.grammar import NULLABLE, Production, build_cpt_grammar, grammar_fields
+from repro.pointsto.labels import (
+    ALIAS,
+    ASSIGN,
+    ASSIGN_BAR,
+    FLOWS_TO,
+    NEW,
+    NEW_BAR,
+    Symbol,
+    TRANSFER,
+    TRANSFER_BAR,
+    barred,
+    is_terminal,
+    load,
+    load_bar,
+    store,
+    store_bar,
+)
+
+
+def test_symbols_are_field_parametric():
+    assert store("f") == Symbol("Store", "f")
+    assert store("f") != store("g")
+    assert load("f").field == "f"
+    assert str(store("f")) == "Store[f]"
+    assert str(TRANSFER) == "Transfer"
+
+
+def test_barred_round_trip():
+    assert barred(ASSIGN) == ASSIGN_BAR
+    assert barred(ASSIGN_BAR) == ASSIGN
+    assert barred(NEW) == NEW_BAR
+    assert barred(store("f")) == store_bar("f")
+    assert barred(load_bar("f")) == load("f")
+    with pytest.raises(ValueError):
+        barred(TRANSFER)
+
+
+def test_is_terminal():
+    assert is_terminal(ASSIGN) and is_terminal(store("f"))
+    assert not is_terminal(TRANSFER) and not is_terminal(ALIAS)
+
+
+def test_production_arity_validation():
+    with pytest.raises(ValueError):
+        Production(TRANSFER, ())
+    with pytest.raises(ValueError):
+        Production(TRANSFER, (ASSIGN, ASSIGN, ASSIGN))
+
+
+def test_grammar_contains_core_productions():
+    productions = build_cpt_grammar([])
+    rules = {(p.lhs, p.rhs) for p in productions}
+    assert (TRANSFER, (TRANSFER, ASSIGN)) in rules
+    assert (TRANSFER_BAR, (ASSIGN_BAR, TRANSFER_BAR)) in rules
+    assert (FLOWS_TO, (NEW, TRANSFER)) in rules
+    assert any(p.lhs == ALIAS for p in productions)
+
+
+def test_grammar_instantiates_per_field():
+    productions = build_cpt_grammar(["f", "g"])
+    assert set(grammar_fields(productions)) == {"f", "g"}
+    heap_rules = [p for p in productions if p.lhs == TRANSFER and p.rhs[0] == TRANSFER and p.rhs[1].name == "Heap"]
+    assert {p.rhs[1].field for p in heap_rules} == {"f", "g"}
+
+
+def test_duplicate_fields_deduplicated():
+    assert len(build_cpt_grammar(["f", "f"])) == len(build_cpt_grammar(["f"]))
+
+
+def test_nullable_symbols():
+    assert TRANSFER in NULLABLE and TRANSFER_BAR in NULLABLE

@@ -1,0 +1,122 @@
+"""Property-based tests for the points-to analysis invariants."""
+
+import hypothesis.strategies as st
+from hypothesis import HealthCheck, given, settings
+
+from repro.lang import ClassBuilder, Program
+from repro.lang.statements import Assign, Load, New, Store
+from repro.pointsto import analyze
+from repro.pointsto.graph import ObjNode, VarNode
+
+
+VARIABLES = [f"v{i}" for i in range(6)]
+FIELDS = ["f", "g"]
+
+
+def _random_statements(draw_data):
+    return draw_data
+
+
+@st.composite
+def straight_line_method(draw):
+    """A random straight-line method over a small holder class."""
+    statements = []
+    defined = set()
+    # Always start with a couple of allocations so later statements have material.
+    for name in ("v0", "v1"):
+        statements.append(New(name, draw(st.sampled_from(["Object", "Holder"]))))
+        defined.add(name)
+    count = draw(st.integers(min_value=0, max_value=10))
+    for _ in range(count):
+        kind = draw(st.sampled_from(["assign", "new", "store", "load"]))
+        target = draw(st.sampled_from(VARIABLES))
+        if kind == "assign":
+            source = draw(st.sampled_from(sorted(defined)))
+            statements.append(Assign(target, source))
+            defined.add(target)
+        elif kind == "new":
+            statements.append(New(target, draw(st.sampled_from(["Object", "Holder"]))))
+            defined.add(target)
+        elif kind == "store":
+            base = draw(st.sampled_from(sorted(defined)))
+            source = draw(st.sampled_from(sorted(defined)))
+            statements.append(Store(base, draw(st.sampled_from(FIELDS)), source))
+        else:
+            base = draw(st.sampled_from(sorted(defined)))
+            statements.append(Load(target, base, draw(st.sampled_from(FIELDS))))
+            defined.add(target)
+    return statements
+
+
+def _program_for(statements):
+    holder = ClassBuilder("Holder")
+    holder.field("f").field("g")
+    holder.add_method(holder.constructor())
+    obj = ClassBuilder("Object", superclass=None)
+    obj.add_method(obj.constructor())
+    client = ClassBuilder("Main")
+    method = client.method("main", is_static=True)
+    method.extend(statements)
+    client.add_method(method)
+    return Program([obj.build(), holder.build(), client.build()])
+
+
+def _client_vars(result):
+    return [n for n in result.graph.nodes if isinstance(n, VarNode) and n.class_name == "Main"]
+
+
+@settings(max_examples=40, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(straight_line_method())
+def test_alias_relation_is_symmetric(statements):
+    result = analyze(_program_for(statements))
+    variables = _client_vars(result)
+    for left in variables:
+        for right in variables:
+            assert result.aliased(left, right) == result.aliased(right, left)
+
+
+@settings(max_examples=40, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(straight_line_method())
+def test_variables_pointing_to_common_object_are_aliased(statements):
+    result = analyze(_program_for(statements))
+    variables = _client_vars(result)
+    for left in variables:
+        for right in variables:
+            common = result.points_to(left) & result.points_to(right)
+            if common:
+                assert result.aliased(left, right)
+
+
+@settings(max_examples=40, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(straight_line_method())
+def test_transfer_implies_points_to_superset(statements):
+    """If x transfers to y, everything x points to must be pointed to by y."""
+    result = analyze(_program_for(statements))
+    variables = _client_vars(result)
+    for source in variables:
+        for target in result.transfer_targets(source):
+            if target in variables:
+                assert result.points_to(source) <= result.points_to(target)
+
+
+@settings(max_examples=30, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(straight_line_method())
+def test_direct_allocation_always_points_to_its_site(statements):
+    result = analyze(_program_for(statements))
+    allocations = {}
+    for index, statement in enumerate(statements):
+        if isinstance(statement, New):
+            allocations[statement.target] = index  # later allocations shadow earlier ones
+    for name, index in allocations.items():
+        node = VarNode("Main", "main", name)
+        sites = {obj.index for obj in result.points_to(node)}
+        assert index in sites
+
+
+@settings(max_examples=30, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(straight_line_method())
+def test_analysis_is_deterministic(statements):
+    program = _program_for(statements)
+    first = analyze(program).program_points_to_edges()
+    second = analyze(program).program_points_to_edges()
+    assert first == second

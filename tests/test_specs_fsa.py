@@ -1,0 +1,134 @@
+"""Tests (including property-based) for the FSA machinery."""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.specs.fsa import FSA, fsa_union, prefix_tree_acceptor
+
+ALPHABET = ["a", "b", "c"]
+words_strategy = st.lists(
+    st.lists(st.sampled_from(ALPHABET), min_size=1, max_size=6).map(tuple),
+    min_size=1,
+    max_size=12,
+).map(lambda ws: [tuple(w) for w in ws])
+
+
+def test_prefix_tree_accepts_exactly_its_words():
+    words = [("a", "b"), ("a", "c"), ("b",)]
+    pta = prefix_tree_acceptor(words)
+    for word in words:
+        assert pta.accepts(word)
+    assert not pta.accepts(("a",))
+    assert not pta.accepts(("a", "b", "c"))
+    assert not pta.accepts(("c",))
+
+
+def test_prefix_tree_shares_prefixes():
+    pta = prefix_tree_acceptor([("a", "b"), ("a", "c")])
+    assert pta.num_states == 4  # root, a, ab, ac
+
+
+def test_enumerate_words_is_bounded_and_complete():
+    pta = prefix_tree_acceptor([("a",), ("a", "b"), ("b", "c", "a")])
+    words = set(pta.enumerate_words(3))
+    assert words == {("a",), ("a", "b"), ("b", "c", "a")}
+    assert set(pta.enumerate_words(1)) == {("a",)}
+    assert len(list(pta.enumerate_words(3, limit=2))) == 2
+
+
+def test_merge_redirects_transitions_and_accepting():
+    # a single chain a -> b; merging the last state into the first creates a loop
+    pta = prefix_tree_acceptor([("a", "b")])
+    last = 2
+    merged = pta.merge(last, 0)
+    assert merged.accepts(("a", "b"))
+    assert merged.accepts(("a", "b", "a", "b"))
+    assert not merged.accepts(("a",))
+
+
+def test_merge_cannot_remove_initial_state():
+    pta = prefix_tree_acceptor([("a",)])
+    try:
+        pta.merge(pta.initial, 1)
+        assert False, "expected ValueError"
+    except ValueError:
+        pass
+
+
+def test_difference_words():
+    small = prefix_tree_acceptor([("a",)])
+    large = prefix_tree_acceptor([("a",), ("b",), ("a", "a")])
+    difference = large.difference_words(small, max_length=3)
+    assert set(difference) == {("b",), ("a", "a")}
+    assert small.difference_words(large, max_length=3) == []
+
+
+def test_union_accepts_both_languages():
+    first = prefix_tree_acceptor([("a", "b")])
+    second = prefix_tree_acceptor([("c",)])
+    union = fsa_union([first, second])
+    assert union.accepts(("a", "b"))
+    assert union.accepts(("c",))
+    assert not union.accepts(("a",))
+
+
+def test_trimmed_removes_unreachable_states():
+    fsa = FSA()
+    s1 = fsa.add_state()
+    s2 = fsa.add_state()
+    fsa.add_transition(fsa.initial, "a", s1)
+    fsa.mark_accepting(s1)
+    fsa.mark_accepting(s2)  # unreachable accepting state
+    trimmed = fsa.trimmed()
+    assert s2 not in trimmed.states()
+    assert trimmed.accepts(("a",))
+
+
+def test_state_parities():
+    pta = prefix_tree_acceptor([("a", "b"), ("a", "b", "c", "d")])
+    parities = pta.state_parities()
+    assert parities[pta.initial] == {0}
+    # states after one symbol have parity 1, after two have parity 0, ...
+    (after_a,) = pta.successors(pta.initial, "a")
+    assert parities[after_a] == {1}
+
+
+def test_is_empty_and_reachability():
+    empty = FSA()
+    assert empty.is_empty()
+    nonempty = prefix_tree_acceptor([("a",)])
+    assert not nonempty.is_empty()
+
+
+# ---------------------------------------------------------------- property-based
+@settings(max_examples=60, deadline=None)
+@given(words_strategy)
+def test_pta_language_equals_word_set(words):
+    pta = prefix_tree_acceptor(words)
+    expected = {tuple(word) for word in words}
+    assert set(pta.enumerate_words(6)) == expected
+    for word in expected:
+        assert pta.accepts(word)
+
+
+@settings(max_examples=60, deadline=None)
+@given(words_strategy, st.integers(min_value=0, max_value=10))
+def test_merge_only_grows_the_language(words, merge_choice):
+    pta = prefix_tree_acceptor(words)
+    states = [s for s in pta.states() if s != pta.initial]
+    if not states:
+        return
+    state = states[merge_choice % len(states)]
+    target_options = [s for s in pta.states() if s != state]
+    target = target_options[merge_choice % len(target_options)]
+    merged = pta.merge(state, target)
+    for word in {tuple(w) for w in words}:
+        assert merged.accepts(word)
+
+
+@settings(max_examples=60, deadline=None)
+@given(words_strategy)
+def test_union_with_self_preserves_language(words):
+    pta = prefix_tree_acceptor(words)
+    union = fsa_union([pta, pta])
+    assert set(union.enumerate_words(6)) == set(pta.enumerate_words(6))

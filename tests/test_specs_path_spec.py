@@ -1,0 +1,113 @@
+"""Tests for path specification syntax, constraints and semantics mapping."""
+
+import pytest
+
+from repro.specs import EdgeKind, PathSpec, PathSpecError, is_valid_word
+from repro.specs.variables import param, receiver, ret
+
+
+def _sbox():
+    return PathSpec(
+        [param("Box", "set", "ob"), receiver("Box", "set"), receiver("Box", "get"), ret("Box", "get")]
+    )
+
+
+def test_spec_variables_properties():
+    this = receiver("Box", "set")
+    value = param("Box", "set", "ob")
+    result = ret("Box", "get")
+    assert this.is_param and value.is_param and result.is_return
+    assert this.method_key == ("Box", "set")
+    assert result.method_key == ("Box", "get")
+
+
+def test_valid_spec_round_trip():
+    spec = _sbox()
+    assert len(spec) == 4
+    assert spec.num_calls == 2
+    assert spec.methods() == (("Box", "set"), ("Box", "get"))
+    assert spec.classes() == ("Box",)
+    assert PathSpec.from_word(spec.word) == spec
+    assert hash(PathSpec.from_word(spec.word)) == hash(spec)
+
+
+def test_odd_length_rejected():
+    with pytest.raises(PathSpecError):
+        PathSpec([param("Box", "set", "ob"), receiver("Box", "set"), receiver("Box", "get")])
+
+
+def test_empty_rejected():
+    with pytest.raises(PathSpecError):
+        PathSpec([])
+
+
+def test_pair_must_share_method():
+    with pytest.raises(PathSpecError):
+        PathSpec([param("Box", "set", "ob"), receiver("Box", "get")])
+
+
+def test_last_variable_must_be_return():
+    with pytest.raises(PathSpecError):
+        PathSpec([param("Box", "set", "ob"), receiver("Box", "set")])
+
+
+def test_consecutive_returns_rejected():
+    word = [
+        param("Box", "set", "ob"),
+        ret("Box", "set"),
+        ret("Box", "get"),
+        ret("Box", "get"),
+    ]
+    assert not is_valid_word(word)
+    with pytest.raises(PathSpecError):
+        PathSpec(word)
+
+
+def test_external_edge_kinds():
+    spec = _sbox()
+    (edge,) = spec.external_edges()
+    assert edge.kind is EdgeKind.ALIAS  # this_set (param) -> this_get (param)
+
+    transfer_spec = PathSpec(
+        [
+            param("Box", "set", "ob"),
+            receiver("Box", "set"),
+            receiver("Box", "clone"),
+            ret("Box", "clone"),
+            receiver("Box", "get"),
+            ret("Box", "get"),
+        ]
+    )
+    kinds = [edge.kind for edge in transfer_spec.external_edges()]
+    assert kinds == [EdgeKind.ALIAS, EdgeKind.TRANSFER]
+
+
+def test_transfer_bar_external_edge():
+    spec = PathSpec(
+        [
+            param("StringBuilder", "append", "piece"),
+            receiver("StringBuilder", "append"),
+            ret("StringBuilder", "append"),
+            ret("StringBuilder", "append"),
+        ]
+    )
+    (edge,) = spec.external_edges()
+    assert edge.kind is EdgeKind.TRANSFER_BAR
+
+
+def test_conclusion_kind_depends_on_first_variable():
+    assert _sbox().conclusion().kind is EdgeKind.TRANSFER
+    alias_spec = PathSpec(
+        [ret("Box", "clone"), ret("Box", "clone"), receiver("Box", "get"), ret("Box", "get")]
+    )
+    assert alias_spec.conclusion().kind is EdgeKind.ALIAS
+
+
+def test_internal_edges_and_pairs():
+    spec = _sbox()
+    assert [(e.source, e.target) for e in spec.internal_edges()] == list(spec.pairs())
+
+
+def test_is_valid_word_matches_constructor():
+    assert is_valid_word(_sbox().word)
+    assert not is_valid_word([param("Box", "set", "ob")])

@@ -1,0 +1,131 @@
+"""Tests for the pattern DSL and the Appendix-A code-fragment generator."""
+
+import pytest
+
+from repro.lang import Program, validate_program
+from repro.lang.statements import Load, New, Return, Store
+from repro.pointsto import analyze
+from repro.pointsto.graph import VarNode
+from repro.specs import PathSpecError, generate_code_fragments
+from repro.specs.regular import SpecPattern, Segment, check_pattern_language, patterns_to_fsa, seg, star
+from repro.specs.variables import param, receiver, ret
+
+
+def _box_star_pattern():
+    return SpecPattern.of(
+        seg(param("Box", "set", "ob"), receiver("Box", "set")),
+        star(receiver("Box", "clone"), ret("Box", "clone")),
+        seg(receiver("Box", "get"), ret("Box", "get")),
+    )
+
+
+def test_segment_requires_even_positive_length():
+    with pytest.raises(PathSpecError):
+        Segment((receiver("Box", "set"),))
+    with pytest.raises(PathSpecError):
+        Segment(())
+
+
+def test_simple_pattern_language_is_singleton():
+    pattern = SpecPattern.simple(
+        param("Box", "set", "ob"), receiver("Box", "set"), receiver("Box", "get"), ret("Box", "get")
+    )
+    fsa = patterns_to_fsa([pattern])
+    words = list(fsa.enumerate_words(8))
+    assert words == [pattern.shortest_word()]
+
+
+def test_star_pattern_generates_unbounded_family():
+    fsa = patterns_to_fsa([_box_star_pattern()])
+    base = (param("Box", "set", "ob"), receiver("Box", "set"))
+    clone = (receiver("Box", "clone"), ret("Box", "clone"))
+    get = (receiver("Box", "get"), ret("Box", "get"))
+    assert fsa.accepts(base + get)
+    assert fsa.accepts(base + clone + get)
+    assert fsa.accepts(base + clone + clone + get)
+    assert not fsa.accepts(base + clone)
+    assert check_pattern_language(fsa, max_length=10) == []
+
+
+def test_pattern_shortest_word_skips_stars():
+    pattern = _box_star_pattern()
+    assert len(pattern.shortest_word()) == 4
+
+
+# ---------------------------------------------------------------- code generation
+def test_generated_box_fragment_matches_figure_1(interface):
+    fsa = patterns_to_fsa([_box_star_pattern()])
+    program = generate_code_fragments(fsa, interface)
+    validate_program(program)
+    box = program.class_def("Box")
+    assert box.is_library
+
+    set_body = box.method("set").body
+    assert any(isinstance(s, Store) for s in set_body)
+
+    get_body = box.method("get").body
+    assert any(isinstance(s, Load) for s in get_body)
+    assert any(isinstance(s, Return) for s in get_body)
+
+    clone_body = box.method("clone").body
+    assert any(isinstance(s, New) and s.class_name == "Box" for s in clone_body)
+    # clone copies the same ghost field it loads from (the self-loop).
+    stores = [s for s in clone_body if isinstance(s, Store)]
+    loads = [s for s in clone_body if isinstance(s, Load)]
+    assert stores and loads
+    assert stores[0].field_name == loads[0].field_name
+
+
+def test_generated_fragments_reproduce_flow(interface, core, library_program):
+    """Analyzing a client against generated Box fragments derives the Figure 4 edge."""
+    from repro.lang import ClassBuilder
+
+    fsa = patterns_to_fsa([_box_star_pattern()])
+    specs = generate_code_fragments(fsa, interface)
+
+    client = ClassBuilder("Main")
+    method = client.method("main", is_static=True)
+    method.new("value", "Object").new("box", "Box")
+    method.call(None, "box", "set", "value")
+    method.call("clone1", "box", "clone")
+    method.call("clone2", "clone1", "clone")
+    method.call("out", "clone2", "get")
+    client.add_method(method)
+
+    program = Program([client.build()]).merged_with(core).merged_with(specs)
+    result = analyze(program)
+    value = VarNode("Main", "main", "value")
+    out = VarNode("Main", "main", "out")
+    assert result.transfer(value, out)
+    assert result.aliased(value, out)
+
+
+def test_generated_fragments_declare_ghost_fields(interface):
+    fsa = patterns_to_fsa([_box_star_pattern()])
+    program = generate_code_fragments(fsa, interface)
+    fields = program.class_def("Box").field_names()
+    assert fields and all(name.startswith("$g") for name in fields)
+
+
+def test_constructors_are_regenerated(interface):
+    fsa = patterns_to_fsa([_box_star_pattern()])
+    program = generate_code_fragments(fsa, interface)
+    assert program.class_def("Box").method("<init>") is not None
+
+
+def test_include_uncovered_methods_generates_stubs(interface):
+    fsa = patterns_to_fsa([_box_star_pattern()])
+    program = generate_code_fragments(fsa, interface, include_uncovered_methods=True)
+    # Every interface method exists, even if its fragment is a stub.
+    for signature in interface.methods():
+        assert program.has_class(signature.class_name)
+        assert program.class_def(signature.class_name).method(signature.method_name) is not None
+
+
+def test_ground_truth_program_is_valid_and_analysis_ready(interface, core):
+    from repro.library import ground_truth_program
+
+    program = ground_truth_program(interface)
+    validate_program(program.merged_with(core))
+    for cls in program:
+        assert cls.is_library

@@ -1,0 +1,83 @@
+"""Tests for spec-variable/interface helpers and spec semantics against closures."""
+
+import pytest
+
+from repro.lang import ClassBuilder, Program
+from repro.pointsto import analyze
+from repro.specs import PathSpec, conclusion_holds, premise_holds, spec_variable_node
+from repro.specs.variables import LibraryInterface, MethodSignature, param, receiver, ret
+
+
+def test_method_signature_variables(interface):
+    signature = interface.method("ArrayList", "add")
+    variables = signature.variables()
+    names = {(v.kind, v.name) for v in variables}
+    assert ("param", "this") in names and ("param", "element") in names
+    # add returns boolean, so there is no return variable
+    assert not any(v.is_return for v in variables)
+
+    get_signature = interface.method("ArrayList", "get")
+    assert any(v.is_return for v in get_signature.variables())
+    # the int index parameter is not a specification variable
+    assert all(v.name != "index" for v in get_signature.variables())
+
+
+def test_interface_lookup_errors(interface):
+    with pytest.raises(KeyError):
+        interface.method("ArrayList", "doesNotExist")
+    with pytest.raises(KeyError):
+        LibraryInterface.from_program(Program([]), ["Ghost"])
+
+
+def test_variables_of_returns_same_method_variables(interface):
+    variable = receiver("Box", "set")
+    same_method = interface.variables_of(variable)
+    assert all(v.method_key == ("Box", "set") for v in same_method)
+
+
+def test_spec_variable_node_mapping():
+    assert spec_variable_node(receiver("Box", "get")).name == "this"
+    assert spec_variable_node(ret("Box", "get")).name == "@return"
+    assert spec_variable_node(param("Box", "set", "ob")).name == "ob"
+    assert spec_variable_node(ret("Box", "get")).class_name == "Box"
+
+
+def test_premise_and_conclusion_against_closure(library_program):
+    # Build the Figure 1 client and check the sbox premise/conclusion semantics.
+    client = ClassBuilder("Main")
+    method = client.method("main", is_static=True)
+    method.new("value", "Object").new("box", "Box")
+    method.call(None, "box", "set", "value")
+    method.call("out", "box", "get")
+    client.add_method(method)
+    program = library_program.merged_with(Program([client.build()]))
+    result = analyze(program)
+
+    sbox = PathSpec(
+        [param("Box", "set", "ob"), receiver("Box", "set"), receiver("Box", "get"), ret("Box", "get")]
+    )
+    assert premise_holds(sbox, result)
+    assert conclusion_holds(sbox, result)
+
+    unrelated = PathSpec(
+        [
+            param("StrangeBox", "set", "ob"),
+            receiver("StrangeBox", "set"),
+            receiver("StrangeBox", "get"),
+            ret("StrangeBox", "get"),
+        ]
+    )
+    assert not premise_holds(unrelated, result)
+
+
+def test_runner_main_executes_single_experiment(capsys):
+    from repro.experiments.runner import run_experiments
+    from repro.experiments.config import QUICK_CONFIG
+    from repro.experiments.context import ExperimentContext
+    import io
+
+    stream = io.StringIO()
+    # fig8 only touches the benchmark generator, so it is cheap.
+    run_experiments(["fig8"], QUICK_CONFIG.scaled(num_apps=2), stream=stream)
+    output = stream.getvalue()
+    assert "Figure 8" in output and "completed" in output
