@@ -19,21 +19,28 @@ _SRC = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
 if _SRC not in sys.path:
     sys.path.insert(0, _SRC)
 
-from repro.experiments.config import FULL_CONFIG, QUICK_CONFIG  # noqa: E402
+from repro.experiments.config import FULL_CONFIG, QUICK_CONFIG, apply_engine_environment  # noqa: E402
 from repro.experiments.context import ExperimentContext  # noqa: E402
 
 
 def _bench_config():
     preset = os.environ.get("REPRO_PRESET", "").strip().lower()
     if preset == "full":
-        return FULL_CONFIG
-    # Benchmark preset: the quick configuration with a slightly smaller suite.
-    return QUICK_CONFIG.scaled(name="bench", num_apps=10)
+        config = FULL_CONFIG
+    else:
+        # Benchmark preset: the quick configuration with a slightly smaller suite.
+        config = QUICK_CONFIG.scaled(name="bench", num_apps=10)
+    # REPRO_CACHE_DIR / REPRO_WORKERS route the whole harness through one
+    # persistent oracle cache and/or parallel cluster inference.
+    return apply_engine_environment(config)
 
 
 @pytest.fixture(scope="session")
 def context():
-    return ExperimentContext(_bench_config())
+    context = ExperimentContext(_bench_config())
+    yield context
+    # persist any oracle answers accumulated by context-built oracles
+    context.flush_oracle_caches()
 
 
 def emit(title: str, text: str) -> None:

@@ -1,19 +1,27 @@
 """Inspect inferred specifications for the collection classes.
 
-Runs Atlas on a few collection clusters, prints the inferred path
-specification language, compares it against the ground truth, and shows the
-generated code fragments for one class.
+Runs Atlas on a few collection clusters through the execution engine,
+prints the inferred path specification language, compares it against the
+ground truth, and shows the generated code fragments for one class.
+
+Inference runs through :class:`repro.engine.InferenceEngine`: set
+``REPRO_CACHE_DIR`` to persist oracle answers across invocations (a re-run
+with an unchanged library executes zero witnesses) and ``REPRO_WORKERS`` to
+fan cluster inference out to worker processes.
 
 Run with::
 
     python examples/inspect_specifications.py [ArrayList LinkedList ...]
+    REPRO_CACHE_DIR=.repro-cache python examples/inspect_specifications.py
 """
 
 import sys
 
+from repro.engine import InferenceEngine, StreamSink
+from repro.experiments.config import engine_overrides_from_environment
 from repro.experiments.spec_metrics import compare_languages, covered_functions
 from repro.lang import pretty_class
-from repro.learn import Atlas, AtlasConfig
+from repro.learn import AtlasConfig
 from repro.library import build_interface, build_library_program, ground_truth_fsa
 
 
@@ -24,9 +32,20 @@ def main() -> None:
 
     clusters = [(name, "Iterator") for name in classes]
     config = AtlasConfig(clusters=clusters, enumeration_budget=15_000, seed=11)
-    result = Atlas(library, interface, config).run()
+    overrides = engine_overrides_from_environment()
+    engine = InferenceEngine(
+        cache_dir=overrides.get("cache_dir"),
+        workers=overrides.get("workers", 0),
+        events=StreamSink(sys.stderr),
+    )
+    result = engine.run(config, library_program=library, interface=interface)
 
     print(f"inference over clusters {clusters}")
+    stats = result.oracle_stats
+    print(
+        f"  oracle: {stats.queries} queries, {stats.executions} witness executions, "
+        f"{100 * stats.hit_rate:.1f}% cache hits"
+    )
     print(f"  positive examples: {len(result.positives)}")
     print(f"  FSA states: {result.initial_fsa_states} -> {result.final_fsa_states}")
     print(f"  functions covered: {len(result.covered_functions())}")

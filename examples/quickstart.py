@@ -8,8 +8,12 @@ Run with::
     python examples/quickstart.py
 """
 
+import os
+import tempfile
+
+from repro.engine import InferenceEngine, fsa_equal, load_atlas_result, save_atlas_result
 from repro.lang import pretty_class, pretty_statement
-from repro.learn import Atlas, AtlasConfig, WitnessOracle
+from repro.learn import AtlasConfig, WitnessOracle
 from repro.library import build_interface, build_library_program
 from repro.specs import PathSpec
 from repro.specs.variables import param, receiver, ret
@@ -48,9 +52,12 @@ def main() -> None:
     # ---------------------------------------------------------------- full inference
     # Phase one enumerates candidates for the Box cluster, phase two
     # generalizes them with oracle-guided RPNI (learning the (clone)* family),
-    # and the result is translated to code-fragment specifications.
+    # and the result is translated to code-fragment specifications.  The
+    # execution engine drives the run; give it a cache_dir to persist oracle
+    # answers across invocations, or workers=N to run clusters in parallel.
     config = AtlasConfig(clusters=[("Box",)], seed=7)
-    result = Atlas(library, interface, config).run()
+    engine = InferenceEngine()
+    result = engine.run(config, library_program=library, interface=interface)
 
     print("\n== inferred specification language ==")
     print(f"positive examples: {len(result.positives)}")
@@ -60,6 +67,15 @@ def main() -> None:
 
     print("\n== generated code-fragment specification for Box ==")
     print(pretty_class(result.spec_program.class_def("Box")))
+
+    # ---------------------------------------------------------------- persistence
+    # Learned results serialize to JSON for warm-starting later experiments.
+    with tempfile.TemporaryDirectory() as tmp:
+        path = os.path.join(tmp, "box-specs.json")
+        save_atlas_result(result, path)
+        reloaded = load_atlas_result(path, interface=interface)
+        assert fsa_equal(result.fsa, reloaded.fsa)
+        print(f"\n== saved and reloaded the learned result ({os.path.getsize(path)} bytes of JSON) ==")
 
 
 if __name__ == "__main__":

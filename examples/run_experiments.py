@@ -2,13 +2,16 @@
 
 Thin wrapper over :mod:`repro.experiments.runner`; the quick preset finishes
 in a few minutes, the full preset regenerates the numbers recorded in
-``EXPERIMENTS.md``.
+``EXPERIMENTS.md``.  All experiments share one :class:`ExperimentContext`,
+so with ``--cache-dir`` (or ``REPRO_CACHE_DIR``) the whole evaluation shares
+one persistent oracle cache and a second run executes zero witnesses.
 
 Run with::
 
     python examples/run_experiments.py                  # quick preset
     python examples/run_experiments.py --preset full    # full evaluation
     python examples/run_experiments.py fig9a fig9c      # a subset
+    python examples/run_experiments.py --cache-dir .repro-cache --workers 4 --progress
 """
 
 import sys

@@ -1,0 +1,172 @@
+"""Structured progress and telemetry events for the execution engine.
+
+Every stage of an engine run emits a typed event (run started, cluster
+started/finished, cache flushed, run finished) to a pluggable *sink*.  Sinks
+are deliberately tiny -- a single ``emit`` method -- so telemetry can be
+routed anywhere: collected in memory for tests, rendered to a terminal for
+progress display, or fanned out to several consumers at once.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import IO, List, Optional, Tuple
+
+
+# ---------------------------------------------------------------------- events
+@dataclass(frozen=True)
+class EngineEvent:
+    """Base class of all engine telemetry events."""
+
+
+@dataclass(frozen=True)
+class RunStarted(EngineEvent):
+    """Emitted once when ``Atlas.run`` begins."""
+
+    num_clusters: int
+    executor: str
+    cache_entries: int  # warm-start size of the oracle cache
+
+
+@dataclass(frozen=True)
+class ClusterStarted(EngineEvent):
+    """Emitted when a cluster is dispatched to its executor.
+
+    For the serial executor this is the moment inference begins; for the
+    parallel executor it is enqueue time -- all clusters are dispatched up
+    front and a worker may pick the job up later.  ``ClusterFinished``
+    carries the actual per-cluster wall time either way.
+    """
+
+    index: int
+    classes: Tuple[str, ...]
+
+
+@dataclass(frozen=True)
+class ClusterFinished(EngineEvent):
+    """Emitted when a cluster's inference completes."""
+
+    index: int
+    classes: Tuple[str, ...]
+    elapsed_seconds: float
+    positives: int
+    fsa_states: int
+    oracle_queries: int  # queries attributable to this cluster
+    cache_hits: int
+
+
+@dataclass(frozen=True)
+class CacheFlushed(EngineEvent):
+    """Emitted when a persistent cache writes its pending entries to disk."""
+
+    path: str
+    entries_written: int
+    total_entries: int
+
+
+@dataclass(frozen=True)
+class RunFinished(EngineEvent):
+    """Emitted once when ``Atlas.run`` completes."""
+
+    num_clusters: int
+    elapsed_seconds: float
+    oracle_queries: int
+    cache_hits: int
+    hit_rate: float
+    witnesses_executed: int
+
+
+# ----------------------------------------------------------------------- sinks
+class EventSink:
+    """Receives engine events; implementations must not raise."""
+
+    def emit(self, event: EngineEvent) -> None:
+        raise NotImplementedError
+
+
+class NullSink(EventSink):
+    """Discards every event (the default when no sink is configured)."""
+
+    def emit(self, event: EngineEvent) -> None:
+        pass
+
+
+class CollectingSink(EventSink):
+    """Stores events in a list -- used by tests and post-run inspection."""
+
+    def __init__(self) -> None:
+        self.events: List[EngineEvent] = []
+
+    def emit(self, event: EngineEvent) -> None:
+        self.events.append(event)
+
+    def of_type(self, event_type) -> List[EngineEvent]:
+        return [event for event in self.events if isinstance(event, event_type)]
+
+
+class StreamSink(EventSink):
+    """Renders events as human-readable progress lines on a text stream."""
+
+    def __init__(self, stream: IO[str], prefix: str = "[engine] "):
+        self.stream = stream
+        self.prefix = prefix
+
+    def emit(self, event: EngineEvent) -> None:
+        line = _format_event(event)
+        if line is not None:
+            self.stream.write(f"{self.prefix}{line}\n")
+            self.stream.flush()
+
+
+class FanOutSink(EventSink):
+    """Broadcasts each event to several sinks."""
+
+    def __init__(self, sinks: List[EventSink]):
+        self.sinks = list(sinks)
+
+    def emit(self, event: EngineEvent) -> None:
+        for sink in self.sinks:
+            sink.emit(event)
+
+
+def _format_event(event: EngineEvent) -> Optional[str]:
+    """One progress line per event type (``None`` suppresses the event)."""
+    if isinstance(event, RunStarted):
+        return (
+            f"run started: {event.num_clusters} clusters, executor={event.executor}, "
+            f"warm cache entries={event.cache_entries}"
+        )
+    if isinstance(event, ClusterStarted):
+        return f"cluster {event.index} started: {'+'.join(event.classes)}"
+    if isinstance(event, ClusterFinished):
+        return (
+            f"cluster {event.index} finished: {'+'.join(event.classes)} "
+            f"in {event.elapsed_seconds:.2f}s "
+            f"({event.positives} positives, {event.fsa_states} states, "
+            f"{event.oracle_queries} queries, {event.cache_hits} hits)"
+        )
+    if isinstance(event, CacheFlushed):
+        return f"cache flushed: {event.entries_written} new entries -> {event.path} ({event.total_entries} total)"
+    if isinstance(event, RunFinished):
+        return (
+            f"run finished: {event.num_clusters} clusters in {event.elapsed_seconds:.2f}s, "
+            f"{event.oracle_queries} oracle queries, "
+            f"{100 * event.hit_rate:.1f}% cache hits, "
+            f"{event.witnesses_executed} witnesses executed"
+        )
+    return None
+
+
+__all__ = [
+    "CacheFlushed",
+    "ClusterFinished",
+    "ClusterStarted",
+    "CollectingSink",
+    "EngineEvent",
+    "EventSink",
+    "FanOutSink",
+    "NullSink",
+    "RunFinished",
+    "RunStarted",
+    "StreamSink",
+]

@@ -1,0 +1,189 @@
+"""JSON persistence for learned artifacts.
+
+Serializes :class:`~repro.specs.fsa.FSA` automata and whole
+:class:`~repro.learn.pipeline.AtlasResult` runs so that experiments can be
+warm-started (load yesterday's learned specifications instead of re-running
+inference) and learned specs can be inspected or diffed outside the process
+that produced them.
+
+The FSA encoding is *canonical* -- states, accepting sets, and transitions
+are sorted -- so two structurally identical automata serialize to identical
+dictionaries, which is what the serial-vs-parallel equivalence tests compare.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict
+from typing import Dict, List, Optional, Union
+
+from repro.engine.cache import decode_variable, decode_word, encode_variable, encode_word
+from repro.lang.program import Program
+from repro.specs.fsa import FSA
+from repro.specs.variables import LibraryInterface, SpecVariable
+
+_VARIABLE_PREFIX = "v:"
+_STRING_PREFIX = "s:"
+_INT_PREFIX = "i:"
+
+
+# --------------------------------------------------------------------- symbols
+def encode_symbol(symbol) -> str:
+    """Encode one FSA alphabet symbol (spec variable, string, or int)."""
+    if isinstance(symbol, SpecVariable):
+        return _VARIABLE_PREFIX + encode_variable(symbol)
+    if isinstance(symbol, str):
+        return _STRING_PREFIX + symbol
+    if isinstance(symbol, int):
+        return _INT_PREFIX + str(symbol)
+    raise TypeError(f"cannot serialize FSA symbol of type {type(symbol).__name__}")
+
+
+def decode_symbol(text: str):
+    if text.startswith(_VARIABLE_PREFIX):
+        return decode_variable(text[len(_VARIABLE_PREFIX):])
+    if text.startswith(_STRING_PREFIX):
+        return text[len(_STRING_PREFIX):]
+    if text.startswith(_INT_PREFIX):
+        return int(text[len(_INT_PREFIX):])
+    raise ValueError(f"unknown symbol encoding {text!r}")
+
+
+# ------------------------------------------------------------------------- FSA
+def fsa_to_dict(fsa: FSA) -> Dict:
+    """A canonical (sorted) dictionary encoding of an automaton."""
+    return {
+        "initial": fsa.initial,
+        "accepting": sorted(fsa.accepting),
+        "transitions": sorted(
+            [source, encode_symbol(symbol), target]
+            for source, symbol, target in fsa.transitions()
+        ),
+    }
+
+
+def fsa_from_dict(data: Dict) -> FSA:
+    fsa = FSA(initial=data["initial"], accepting=data["accepting"])
+    for source, symbol, target in data["transitions"]:
+        fsa.add_transition(source, decode_symbol(symbol), target)
+    return fsa
+
+
+def fsa_equal(left: FSA, right: FSA) -> bool:
+    """Structural equality via the canonical encoding."""
+    return fsa_to_dict(left) == fsa_to_dict(right)
+
+
+def save_fsa(fsa: FSA, path: str) -> None:
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(fsa_to_dict(fsa), handle, indent=1)
+
+
+def load_fsa(path: str) -> FSA:
+    with open(path, "r", encoding="utf-8") as handle:
+        return fsa_from_dict(json.load(handle))
+
+
+# ----------------------------------------------------------------- AtlasResult
+def atlas_result_to_dict(result) -> Dict:
+    """Encode a full inference run (config, per-cluster outcomes, automaton)."""
+    config = asdict(result.config)
+    config["clusters"] = [list(cluster) for cluster in result.config.clusters]
+    return {
+        "format": "repro.engine.atlas-result/1",
+        "config": config,
+        "elapsed_seconds": result.elapsed_seconds,
+        "oracle_stats": asdict(result.oracle_stats),
+        "fsa": fsa_to_dict(result.fsa),
+        "positives": sorted(list(encode_word(word)) for word in result.positives),
+        "clusters": [
+            {
+                "classes": list(cluster.classes),
+                "positives": sorted(list(encode_word(word)) for word in cluster.positives),
+                "fsa": fsa_to_dict(cluster.fsa),
+                "sampling_stats": asdict(cluster.sampling_stats),
+                "rpni_stats": asdict(cluster.rpni_stats),
+                "enumeration_stats": (
+                    asdict(cluster.enumeration_stats)
+                    if cluster.enumeration_stats is not None
+                    else None
+                ),
+            }
+            for cluster in result.clusters
+        ],
+    }
+
+
+def atlas_result_from_dict(data: Dict, interface: Optional[LibraryInterface] = None):
+    """Rebuild an :class:`AtlasResult` from its dictionary encoding.
+
+    When *interface* is given the code-fragment specification program is
+    regenerated from the loaded automaton (generation is deterministic);
+    otherwise ``spec_program`` is left empty.
+    """
+    from repro.learn.enumerate import EnumerationStats
+    from repro.learn.oracle import OracleStats
+    from repro.learn.pipeline import AtlasConfig, AtlasResult, ClusterResult
+    from repro.learn.rpni import RPNIStats
+    from repro.learn.sampler import SamplingStats
+    from repro.specs.codegen import generate_code_fragments
+
+    config_data = dict(data["config"])
+    config_data["clusters"] = tuple(tuple(cluster) for cluster in config_data["clusters"])
+    config = AtlasConfig(**config_data)
+
+    clusters = []
+    for entry in data["clusters"]:
+        clusters.append(
+            ClusterResult(
+                classes=tuple(entry["classes"]),
+                positives={decode_word(word) for word in entry["positives"]},
+                fsa=fsa_from_dict(entry["fsa"]),
+                sampling_stats=SamplingStats(**entry["sampling_stats"]),
+                rpni_stats=RPNIStats(**entry["rpni_stats"]),
+                enumeration_stats=(
+                    EnumerationStats(**entry["enumeration_stats"])
+                    if entry["enumeration_stats"] is not None
+                    else None
+                ),
+            )
+        )
+
+    fsa = fsa_from_dict(data["fsa"])
+    spec_program = (
+        generate_code_fragments(fsa, interface) if interface is not None else Program([])
+    )
+    return AtlasResult(
+        config=config,
+        clusters=clusters,
+        fsa=fsa,
+        spec_program=spec_program,
+        oracle_stats=OracleStats(**data["oracle_stats"]),
+        positives={decode_word(word) for word in data["positives"]},
+        elapsed_seconds=data["elapsed_seconds"],
+    )
+
+
+def save_atlas_result(result, path: str) -> None:
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(atlas_result_to_dict(result), handle, indent=1)
+
+
+def load_atlas_result(path: str, interface: Optional[LibraryInterface] = None):
+    with open(path, "r", encoding="utf-8") as handle:
+        return atlas_result_from_dict(json.load(handle), interface=interface)
+
+
+__all__ = [
+    "atlas_result_from_dict",
+    "atlas_result_to_dict",
+    "decode_symbol",
+    "encode_symbol",
+    "fsa_equal",
+    "fsa_from_dict",
+    "fsa_to_dict",
+    "load_atlas_result",
+    "load_fsa",
+    "save_atlas_result",
+    "save_fsa",
+]

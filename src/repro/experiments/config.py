@@ -35,6 +35,12 @@ class ExperimentConfig:
     atlas: AtlasConfig
     design_choice_samples: int = 20_000
     design_choice_clusters: Tuple[Tuple[str, ...], ...] = (("Stack", "Iterator"),)
+    #: directory of the persistent oracle cache (``None`` = in-memory only);
+    #: every experiment of one evaluation shares this cache, so re-runs with
+    #: an unchanged library answer oracle queries without executing witnesses
+    cache_dir: Optional[str] = None
+    #: worker processes for cluster inference (``<= 1`` = serial)
+    workers: int = 0
 
     def scaled(self, **overrides) -> "ExperimentConfig":
         return replace(self, **overrides)
@@ -71,11 +77,43 @@ FULL_CONFIG = ExperimentConfig(
 )
 
 
+def engine_overrides_from_environment() -> dict:
+    """Engine knobs from the environment: ``REPRO_CACHE_DIR``, ``REPRO_WORKERS``."""
+    overrides = {}
+    cache_dir = os.environ.get("REPRO_CACHE_DIR", "").strip()
+    if cache_dir:
+        overrides["cache_dir"] = cache_dir
+    workers = os.environ.get("REPRO_WORKERS", "").strip()
+    if workers:
+        try:
+            overrides["workers"] = int(workers)
+        except ValueError:
+            import sys
+
+            sys.stderr.write(
+                f"warning: ignoring unparseable REPRO_WORKERS={workers!r} (expected an integer); "
+                "running serially\n"
+            )
+    return overrides
+
+
+def apply_engine_environment(config: ExperimentConfig) -> ExperimentConfig:
+    """Overlay ``REPRO_CACHE_DIR``/``REPRO_WORKERS`` onto *config* (if set)."""
+    overrides = engine_overrides_from_environment()
+    return config.scaled(**overrides) if overrides else config
+
+
 def preset_from_environment(default: Optional[ExperimentConfig] = None) -> ExperimentConfig:
-    """Pick a preset based on ``REPRO_PRESET`` (``quick`` unless set to ``full``)."""
+    """Pick a preset based on ``REPRO_PRESET`` (``quick`` unless set to ``full``).
+
+    ``REPRO_CACHE_DIR`` and ``REPRO_WORKERS`` overlay persistent-cache and
+    parallelism settings onto whichever preset is selected.
+    """
     value = os.environ.get("REPRO_PRESET", "").strip().lower()
     if value == "full":
-        return FULL_CONFIG
-    if value == "quick":
-        return QUICK_CONFIG
-    return default if default is not None else QUICK_CONFIG
+        config = FULL_CONFIG
+    elif value == "quick":
+        config = QUICK_CONFIG
+    else:
+        config = default if default is not None else QUICK_CONFIG
+    return apply_engine_environment(config)

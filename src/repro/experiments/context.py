@@ -16,9 +16,11 @@ from repro.benchgen.generator import GeneratedApp
 from repro.benchgen.suite import BenchmarkSuite, benchmark_suite
 from repro.client.sources_sinks import build_framework_program
 from repro.client.taint import InformationFlowAnalysis, InformationFlowReport
+from repro.engine import EventSink, InferenceEngine, PersistentCache
 from repro.experiments.config import ExperimentConfig, QUICK_CONFIG
+from repro.learn.oracle import WitnessOracle
 from repro.lang.program import Program
-from repro.learn.pipeline import Atlas, AtlasResult
+from repro.learn.pipeline import AtlasResult
 from repro.library.ground_truth import ground_truth_fsa, ground_truth_program
 from repro.library.handwritten import handwritten_fsa, handwritten_program
 from repro.library.registry import build_interface, build_library_program, core_program, replaceable_library
@@ -34,14 +36,16 @@ SPEC_MODES = ("empty", "handwritten", "atlas", "ground_truth", "implementation")
 class ExperimentContext:
     """Lazily builds and caches every artifact the experiments need."""
 
-    def __init__(self, config: Optional[ExperimentConfig] = None):
+    def __init__(self, config: Optional[ExperimentConfig] = None, events: Optional[EventSink] = None):
         self.config = config if config is not None else QUICK_CONFIG
+        self.events = events
         self._library: Optional[Program] = None
         self._interface: Optional[LibraryInterface] = None
         self._framework: Optional[Program] = None
         self._core: Optional[Program] = None
         self._suite: Optional[BenchmarkSuite] = None
         self._atlas_result: Optional[AtlasResult] = None
+        self._oracle_caches: Dict[str, PersistentCache] = {}
         self._spec_programs: Dict[str, Program] = {}
         self._analyses: Dict[Tuple[str, str], PointsToResult] = {}
         self._flow_reports: Dict[Tuple[str, str], InformationFlowReport] = {}
@@ -83,11 +87,56 @@ class ExperimentContext:
         return self._suite
 
     # ------------------------------------------------------------------ specification sets
+    def engine(self) -> InferenceEngine:
+        """The execution engine configured for this evaluation run."""
+        return InferenceEngine(
+            cache_dir=self.config.cache_dir,
+            workers=self.config.workers,
+            events=self.events,
+        )
+
+    def oracle_cache(self, initialization: str = "instantiation") -> Optional[PersistentCache]:
+        """The shared persistent oracle cache for *initialization* (or ``None``)."""
+        if self.config.cache_dir is None:
+            return None
+        if initialization not in self._oracle_caches:
+            self._oracle_caches[initialization] = self.engine().open_cache(
+                self.library, initialization
+            )
+        return self._oracle_caches[initialization]
+
+    def oracle(self, initialization: str = "instantiation") -> WitnessOracle:
+        """A witness oracle wired to this evaluation's persistent cache.
+
+        Experiments that query the oracle directly (e.g. the §6.3 design
+        choices) must build it here rather than constructing
+        :class:`WitnessOracle` by hand, so their answers share the
+        evaluation-wide cache and warm re-runs stay execution-free.
+        """
+        cache = self.oracle_cache(initialization)
+        return WitnessOracle(
+            self.library,
+            self.interface,
+            initialization=initialization,
+            cache=cache if cache is not None else True,
+        )
+
+    def flush_oracle_caches(self) -> None:
+        """Write any pending oracle answers of context-built oracles to disk."""
+        for cache in self._oracle_caches.values():
+            cache.flush()
+
     @property
     def atlas_result(self) -> AtlasResult:
         if self._atlas_result is None:
-            atlas = Atlas(self.library, self.interface, self.config.atlas)
-            self._atlas_result = atlas.run()
+            # share the context-wide cache instance: a second instance on the
+            # same file would not see this run's unflushed in-memory entries
+            self._atlas_result = self.engine().run(
+                self.config.atlas,
+                library_program=self.library,
+                interface=self.interface,
+                cache=self.oracle_cache(self.config.atlas.initialization),
+            )
         return self._atlas_result
 
     def atlas_fsa(self) -> FSA:

@@ -16,7 +16,6 @@ from typing import Dict, List, Sequence, Set, Tuple
 
 from repro.experiments.context import ExperimentContext
 from repro.learn.mcts import MCTSSampler
-from repro.learn.oracle import WitnessOracle
 from repro.learn.sampler import RandomSampler, sample_positive_examples
 from repro.specs.variables import SpecVariable
 
@@ -89,7 +88,7 @@ def _sampling_comparison(context: ExperimentContext) -> SamplingComparison:
     for index, cluster in enumerate(config.design_choice_clusters):
         cluster_interface = context.interface.restricted_to(cluster)
         for sampler_cls, bucket in ((RandomSampler, "random"), (MCTSSampler, "mcts")):
-            oracle = WitnessOracle(context.library, context.interface)
+            oracle = context.oracle()
             sampler = sampler_cls(cluster_interface, seed=config.seed + index)
             positives, stats = sample_positive_examples(sampler, oracle, samples)
             totals[bucket] += stats.positives
@@ -106,8 +105,8 @@ def _sampling_comparison(context: ExperimentContext) -> SamplingComparison:
 def _initialization_comparison(context: ExperimentContext) -> InitializationComparison:
     """Check every inferred positive example under both initialization strategies."""
     candidates: Set[Word] = set(context.atlas_result.positives)
-    null_oracle = WitnessOracle(context.library, context.interface, initialization="null")
-    inst_oracle = WitnessOracle(context.library, context.interface, initialization="instantiation")
+    null_oracle = context.oracle(initialization="null")
+    inst_oracle = context.oracle(initialization="instantiation")
     passed_null = sum(1 for word in candidates if null_oracle(word))
     passed_inst = sum(1 for word in candidates if inst_oracle(word))
     return InitializationComparison(
@@ -118,7 +117,10 @@ def _initialization_comparison(context: ExperimentContext) -> InitializationComp
 
 
 def run(context: ExperimentContext) -> DesignChoicesResult:
-    return DesignChoicesResult(
-        sampling=_sampling_comparison(context),
-        initialization=_initialization_comparison(context),
-    )
+    try:
+        return DesignChoicesResult(
+            sampling=_sampling_comparison(context),
+            initialization=_initialization_comparison(context),
+        )
+    finally:
+        context.flush_oracle_caches()

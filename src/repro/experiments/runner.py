@@ -5,6 +5,13 @@ Usage::
     python -m repro.experiments.runner                 # quick preset, all experiments
     python -m repro.experiments.runner --preset full   # full 46-app evaluation
     python -m repro.experiments.runner fig9a fig9c     # only selected experiments
+    python -m repro.experiments.runner --cache-dir .repro-cache --workers 4 --progress
+
+``--cache-dir`` persists oracle answers across runs (a re-run with an
+unchanged library executes zero witnesses); ``--workers N`` fans cluster
+inference out to N worker processes; ``--progress`` streams engine telemetry
+to stderr.  The same knobs are honored from the environment as
+``REPRO_CACHE_DIR`` and ``REPRO_WORKERS``.
 """
 
 from __future__ import annotations
@@ -12,10 +19,16 @@ from __future__ import annotations
 import argparse
 import sys
 import time
-from typing import Callable, Dict, List
+from typing import Callable, Dict, List, Optional
 
+from repro.engine import EventSink, StreamSink
 from repro.experiments import design_choices, fig8, fig9a, fig9b, fig9c, ground_truth_eval, spec_counts
-from repro.experiments.config import FULL_CONFIG, QUICK_CONFIG, ExperimentConfig
+from repro.experiments.config import (
+    FULL_CONFIG,
+    QUICK_CONFIG,
+    ExperimentConfig,
+    apply_engine_environment,
+)
 from repro.experiments.context import ExperimentContext
 
 EXPERIMENTS: Dict[str, Callable[[ExperimentContext], object]] = {
@@ -29,17 +42,26 @@ EXPERIMENTS: Dict[str, Callable[[ExperimentContext], object]] = {
 }
 
 
-def run_experiments(names: List[str], config: ExperimentConfig, stream=sys.stdout) -> None:
-    context = ExperimentContext(config)
-    for name in names:
-        runner = EXPERIMENTS[name]
-        started = time.time()
-        result = runner(context)
-        elapsed = time.time() - started
-        stream.write("\n" + "=" * 72 + "\n")
-        stream.write(result.format_table())
-        stream.write(f"\n({name} completed in {elapsed:.1f}s, preset {config.name!r})\n")
-        stream.flush()
+def run_experiments(
+    names: List[str],
+    config: ExperimentConfig,
+    stream=sys.stdout,
+    events: Optional[EventSink] = None,
+) -> None:
+    context = ExperimentContext(config, events=events)
+    try:
+        for name in names:
+            runner = EXPERIMENTS[name]
+            started = time.perf_counter()
+            result = runner(context)
+            elapsed = time.perf_counter() - started
+            stream.write("\n" + "=" * 72 + "\n")
+            stream.write(result.format_table())
+            stream.write(f"\n({name} completed in {elapsed:.1f}s, preset {config.name!r})\n")
+            stream.flush()
+    finally:
+        # the context owns the shared oracle caches, so it persists them
+        context.flush_oracle_caches()
 
 
 def main(argv: List[str] = None) -> int:
@@ -51,11 +73,34 @@ def main(argv: List[str] = None) -> int:
         help="experiments to run (default: all)",
     )
     parser.add_argument("--preset", choices=["quick", "full"], default="quick")
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        help="directory of the persistent oracle cache (default: $REPRO_CACHE_DIR, else in-memory)",
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="worker processes for cluster inference (default: $REPRO_WORKERS, else serial)",
+    )
+    parser.add_argument(
+        "--progress",
+        action="store_true",
+        help="stream engine progress events to stderr",
+    )
     args = parser.parse_args(argv)
 
-    config = FULL_CONFIG if args.preset == "full" else QUICK_CONFIG
+    config = apply_engine_environment(FULL_CONFIG if args.preset == "full" else QUICK_CONFIG)
+    # explicit CLI flags win over the environment
+    if args.cache_dir is not None:
+        config = config.scaled(cache_dir=args.cache_dir)
+    if args.workers is not None:
+        config = config.scaled(workers=args.workers)
+
+    events = StreamSink(sys.stderr) if args.progress else None
     names = list(args.experiments) or list(EXPERIMENTS)
-    run_experiments(names, config)
+    run_experiments(names, config, events=events)
     return 0
 
 

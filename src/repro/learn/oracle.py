@@ -11,7 +11,7 @@ underapproximations -- which is exactly why the oracle is "noisy".
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Optional, Sequence, Tuple, Union
+from typing import Dict, Iterable, Iterator, Mapping, Optional, Sequence, Tuple, Union
 
 from repro.interp.errors import InterpreterError
 from repro.interp.heap import HeapObject
@@ -24,18 +24,72 @@ from repro.synthesis.unit_test import SynthesisError, UnitTest, UnitTestSynthesi
 
 Word = Tuple[SpecVariable, ...]
 
+#: Default interpreter step budget for witness execution.  Part of the
+#: persistent-cache key: exceeding the budget makes a witness "fail", so a
+#: different budget can produce a different oracle answer.
+DEFAULT_MAX_STEPS = 20_000
+
 
 @dataclass
 class OracleStats:
-    """Counters describing the oracle's activity."""
+    """Counters describing the oracle's activity.
+
+    ``queries`` counts every oracle invocation (cache hits included), so
+    ``cache_hits / queries`` is a true hit rate; ``executions`` counts only
+    the invocations that actually ran the checking machinery (cache misses).
+    """
 
     queries: int = 0
     cache_hits: int = 0
+    executions: int = 0
     invalid_candidates: int = 0
     synthesis_failures: int = 0
     execution_failures: int = 0
     witnesses_passed: int = 0
     witnesses_failed: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of queries answered from the cache."""
+        return self.cache_hits / self.queries if self.queries else 0.0
+
+    def merge(self, other: "OracleStats") -> None:
+        """Accumulate the counters of *other* (used to fold in worker stats)."""
+        self.queries += other.queries
+        self.cache_hits += other.cache_hits
+        self.executions += other.executions
+        self.invalid_candidates += other.invalid_candidates
+        self.synthesis_failures += other.synthesis_failures
+        self.execution_failures += other.execution_failures
+        self.witnesses_passed += other.witnesses_passed
+        self.witnesses_failed += other.witnesses_failed
+
+
+class DictCache:
+    """The default in-memory oracle cache backend.
+
+    Any object with the same ``get``/``put``/``items`` interface can be passed
+    to :class:`WitnessOracle` instead -- :mod:`repro.engine.cache` provides a
+    persistent, content-addressed implementation.
+    """
+
+    def __init__(self, initial: Optional[Mapping[Word, bool]] = None):
+        self._data: Dict[Word, bool] = dict(initial or {})
+
+    def get(self, word: Word) -> Optional[bool]:
+        return self._data.get(word)
+
+    def put(self, word: Word, result: bool) -> None:
+        self._data[word] = result
+
+    def items(self) -> Iterator[Tuple[Word, bool]]:
+        return iter(self._data.items())
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def __contains__(self, word: Word) -> bool:
+        return word in self._data
 
 
 class WitnessOracle:
@@ -46,29 +100,37 @@ class WitnessOracle:
         library_program: Program,
         interface: LibraryInterface,
         initialization: Union[str, InitializationStrategy] = "instantiation",
-        max_steps: int = 20_000,
-        cache: bool = True,
+        max_steps: int = DEFAULT_MAX_STEPS,
+        cache: Union[bool, "DictCache", object] = True,
     ):
         self.library_program = library_program
         self.interface = interface
         self.synthesizer = UnitTestSynthesizer(interface, initialization=initialization)
         self.max_steps = max_steps
         self.stats = OracleStats()
-        self._cache: Optional[Dict[Word, bool]] = {} if cache else None
+        if cache is True:
+            self._cache = DictCache()
+        elif cache is False or cache is None:
+            self._cache = None
+        else:
+            self._cache = cache  # any backend with get/put/items
 
     # ------------------------------------------------------------------ main entry
     def __call__(self, candidate: Union[PathSpec, Sequence[SpecVariable]]) -> bool:
         word = tuple(candidate.word if isinstance(candidate, PathSpec) else candidate)
-        if self._cache is not None and word in self._cache:
-            self.stats.cache_hits += 1
-            return self._cache[word]
+        self.stats.queries += 1
+        if self._cache is not None:
+            cached = self._cache.get(word)
+            if cached is not None:
+                self.stats.cache_hits += 1
+                return cached
         result = self._check(word, candidate)
         if self._cache is not None:
-            self._cache[word] = result
+            self._cache.put(word, result)
         return result
 
     def _check(self, word: Word, candidate: Union[PathSpec, Sequence[SpecVariable]]) -> bool:
-        self.stats.queries += 1
+        self.stats.executions += 1
         try:
             spec = candidate if isinstance(candidate, PathSpec) else PathSpec(word)
         except PathSpecError:
@@ -112,4 +174,24 @@ class WitnessOracle:
 
     # ------------------------------------------------------------------ utilities
     def cached_results(self) -> Dict[Word, bool]:
-        return dict(self._cache or {})
+        return dict(self._cache.items()) if self._cache is not None else {}
+
+    def cache_size(self) -> int:
+        """Number of cached answers (without copying the cache)."""
+        if self._cache is None:
+            return 0
+        try:
+            return len(self._cache)
+        except TypeError:  # backend implements only the get/put/items contract
+            return sum(1 for _ in self._cache.items())
+
+    def seed_cache(self, entries: Mapping[Word, bool]) -> int:
+        """Pre-populate the cache with known answers; returns how many were new."""
+        if self._cache is None:
+            return 0
+        added = 0
+        for word, result in entries.items():
+            if self._cache.get(word) is None:
+                self._cache.put(word, result)
+                added += 1
+        return added

@@ -107,6 +107,7 @@ class Atlas:
         library_program: Optional[Program] = None,
         interface: Optional[LibraryInterface] = None,
         config: Optional[AtlasConfig] = None,
+        cache=True,
     ):
         self.library_program = library_program if library_program is not None else build_library_program()
         self.interface = interface if interface is not None else build_interface(self.library_program)
@@ -115,6 +116,7 @@ class Atlas:
             self.library_program,
             self.interface,
             initialization=self.config.initialization,
+            cache=cache,
         )
 
     # ------------------------------------------------------------------ phases
@@ -173,12 +175,36 @@ class Atlas:
             enumeration_stats=enumeration_stats,
         )
 
-    def run(self) -> AtlasResult:
-        """Run the full pipeline over every configured cluster."""
-        start = time.time()
-        clusters: List[ClusterResult] = []
-        for index, cluster in enumerate(self.config.clusters):
-            clusters.append(self.run_cluster(cluster, seed=self.config.seed + index))
+    def run(self, executor=None, events=None) -> AtlasResult:
+        """Run the full pipeline over every configured cluster.
+
+        Clusters are driven through an :mod:`repro.engine.executor` strategy
+        (serial by default); *events* is an optional
+        :class:`repro.engine.events.EventSink` receiving structured progress
+        telemetry.  Per-cluster seeds are derived from the run seed and the
+        cluster index, never from scheduling order, so every executor
+        produces the same automaton.
+        """
+        from repro.engine.events import NullSink, RunFinished, RunStarted
+        from repro.engine.executor import ClusterJob, SerialExecutor
+
+        executor = executor if executor is not None else SerialExecutor()
+        events = events if events is not None else NullSink()
+
+        start = time.perf_counter()
+        jobs = [
+            ClusterJob(index=index, classes=tuple(cluster), seed=self.config.seed + index)
+            for index, cluster in enumerate(self.config.clusters)
+        ]
+        events.emit(
+            RunStarted(
+                num_clusters=len(jobs),
+                executor=executor.name,
+                cache_entries=self.oracle.cache_size(),
+            )
+        )
+        outcomes = executor.run(self, jobs, events)
+        clusters: List[ClusterResult] = [outcome.result for outcome in outcomes]
 
         combined = fsa_union([cluster.fsa for cluster in clusters])
         spec_program = generate_code_fragments(combined, self.interface)
@@ -186,6 +212,17 @@ class Atlas:
         for cluster in clusters:
             positives.update(cluster.positives)
 
+        elapsed = time.perf_counter() - start
+        events.emit(
+            RunFinished(
+                num_clusters=len(jobs),
+                elapsed_seconds=elapsed,
+                oracle_queries=self.oracle.stats.queries,
+                cache_hits=self.oracle.stats.cache_hits,
+                hit_rate=self.oracle.stats.hit_rate,
+                witnesses_executed=self.oracle.stats.executions,
+            )
+        )
         return AtlasResult(
             config=self.config,
             clusters=clusters,
@@ -193,7 +230,7 @@ class Atlas:
             spec_program=spec_program,
             oracle_stats=self.oracle.stats,
             positives=positives,
-            elapsed_seconds=time.time() - start,
+            elapsed_seconds=elapsed,
         )
 
 

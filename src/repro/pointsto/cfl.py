@@ -55,6 +55,9 @@ class CFLSolver:
         self._edges: Set[Tuple[int, int, int]] = set()
         self._out: Dict[Tuple[int, int], Set[int]] = {}
         self._in: Dict[Tuple[int, int], Set[int]] = {}
+        #: per-symbol edge index: symbol id -> {(source, target)}, so that
+        #: ``edges``/``edge_count`` queries do not scan the whole edge set
+        self._by_symbol: Dict[int, Set[Tuple[int, int]]] = {}
         self._worklist: deque = deque()
 
     # ------------------------------------------------------------------ interning
@@ -149,15 +152,14 @@ class CFLSolver:
         nodes = self._nodes
         return (
             (nodes[source], nodes[target])
-            for (source, sym, target) in self._edges
-            if sym == symbol_id
+            for (source, target) in self._by_symbol.get(symbol_id, ())
         )
 
     def edge_count(self, symbol: Symbol) -> int:
         symbol_id = self._symbol_ids.get(symbol)
         if symbol_id is None:
             return 0
-        return sum(1 for (_, sym, _) in self._edges if sym == symbol_id)
+        return len(self._by_symbol.get(symbol_id, ()))
 
     @property
     def total_edges(self) -> int:
@@ -174,5 +176,6 @@ class CFLSolver:
         self._edges.add(edge)
         self._out.setdefault((source, symbol), set()).add(target)
         self._in.setdefault((target, symbol), set()).add(source)
+        self._by_symbol.setdefault(symbol, set()).add((source, target))
         self._worklist.append(edge)
         return True

@@ -1,0 +1,77 @@
+"""Tests for engine telemetry events and sinks."""
+
+import io
+
+from repro.engine.events import (
+    CacheFlushed,
+    ClusterFinished,
+    ClusterStarted,
+    CollectingSink,
+    FanOutSink,
+    NullSink,
+    RunFinished,
+    RunStarted,
+    StreamSink,
+)
+
+
+def _sample_events():
+    return [
+        RunStarted(num_clusters=2, executor="serial", cache_entries=10),
+        ClusterStarted(index=0, classes=("Box",)),
+        ClusterFinished(
+            index=0,
+            classes=("Box",),
+            elapsed_seconds=0.5,
+            positives=3,
+            fsa_states=4,
+            oracle_queries=20,
+            cache_hits=5,
+        ),
+        CacheFlushed(path="/tmp/cache.jsonl", entries_written=15, total_entries=40),
+        RunFinished(
+            num_clusters=2,
+            elapsed_seconds=1.5,
+            oracle_queries=40,
+            cache_hits=10,
+            hit_rate=0.25,
+            witnesses_executed=30,
+        ),
+    ]
+
+
+def test_null_sink_swallows_everything():
+    sink = NullSink()
+    for event in _sample_events():
+        sink.emit(event)  # must not raise
+
+
+def test_collecting_sink_records_and_filters():
+    sink = CollectingSink()
+    for event in _sample_events():
+        sink.emit(event)
+    assert len(sink.events) == 5
+    assert len(sink.of_type(ClusterFinished)) == 1
+    assert sink.of_type(RunStarted)[0].executor == "serial"
+
+
+def test_stream_sink_renders_one_line_per_event():
+    stream = io.StringIO()
+    sink = StreamSink(stream, prefix="> ")
+    for event in _sample_events():
+        sink.emit(event)
+    lines = stream.getvalue().strip().splitlines()
+    assert len(lines) == 5
+    assert all(line.startswith("> ") for line in lines)
+    assert "2 clusters" in lines[0]
+    assert "Box" in lines[1]
+    assert "25.0% cache hits" in lines[-1]
+
+
+def test_fan_out_sink_broadcasts():
+    first, second = CollectingSink(), CollectingSink()
+    fan_out = FanOutSink([first, second])
+    for event in _sample_events():
+        fan_out.emit(event)
+    assert first.events == second.events
+    assert len(first.events) == 5

@@ -1,0 +1,120 @@
+"""Tests for JSON persistence of learned automata and inference runs."""
+
+import pytest
+
+from repro.engine.persist import (
+    atlas_result_from_dict,
+    atlas_result_to_dict,
+    decode_symbol,
+    encode_symbol,
+    fsa_equal,
+    fsa_from_dict,
+    fsa_to_dict,
+    load_atlas_result,
+    load_fsa,
+    save_atlas_result,
+    save_fsa,
+)
+from repro.lang.pretty import pretty_program
+from repro.learn import Atlas, AtlasConfig
+from repro.specs.fsa import FSA
+from repro.specs.variables import param, receiver, ret
+
+
+@pytest.fixture(scope="module")
+def box_result(library_program, interface):
+    config = AtlasConfig(clusters=[("Box",)], seed=7, enumeration_budget=2_000)
+    return Atlas(library_program, interface, config).run()
+
+
+# --------------------------------------------------------------------- symbols
+def test_symbol_codec_round_trip():
+    variable = param("Box", "set", "ob")
+    for symbol in (variable, "plain-string", 42):
+        assert decode_symbol(encode_symbol(symbol)) == symbol
+
+
+def test_symbol_codec_rejects_unknown_types():
+    with pytest.raises(TypeError):
+        encode_symbol(3.14)
+    with pytest.raises(ValueError):
+        decode_symbol("x:whatever")
+
+
+# ------------------------------------------------------------------------- FSA
+def test_fsa_round_trip_with_spec_variables(box_result):
+    data = fsa_to_dict(box_result.fsa)
+    rebuilt = fsa_from_dict(data)
+    assert fsa_equal(box_result.fsa, rebuilt)
+    assert set(rebuilt.enumerate_words(8)) == set(box_result.fsa.enumerate_words(8))
+
+
+def test_fsa_round_trip_with_plain_symbols(tmp_path):
+    fsa = FSA(initial=0, accepting=[2])
+    fsa.add_transition(0, "a", 1)
+    fsa.add_transition(1, "b", 2)
+    fsa.add_transition(1, "b", 1)
+    path = str(tmp_path / "fsa.json")
+    save_fsa(fsa, path)
+    loaded = load_fsa(path)
+    assert fsa_equal(fsa, loaded)
+    assert loaded.accepts(("a", "b"))
+    assert not loaded.accepts(("a",))
+
+
+def test_fsa_encoding_is_canonical(box_result):
+    # two structurally identical automata encode identically
+    assert fsa_to_dict(box_result.fsa) == fsa_to_dict(box_result.fsa.copy())
+
+
+# ----------------------------------------------------------------- AtlasResult
+def test_atlas_result_round_trip(tmp_path, box_result, interface):
+    path = str(tmp_path / "result.json")
+    save_atlas_result(box_result, path)
+    loaded = load_atlas_result(path, interface=interface)
+
+    assert fsa_equal(box_result.fsa, loaded.fsa)
+    assert loaded.positives == box_result.positives
+    assert loaded.config.clusters == (("Box",),)
+    assert loaded.config.seed == box_result.config.seed
+    assert loaded.oracle_stats == box_result.oracle_stats
+    assert loaded.elapsed_seconds == box_result.elapsed_seconds
+    assert len(loaded.clusters) == 1
+    cluster = loaded.clusters[0]
+    assert cluster.classes == ("Box",)
+    assert cluster.positives == box_result.clusters[0].positives
+    assert cluster.rpni_stats == box_result.clusters[0].rpni_stats
+    assert cluster.enumeration_stats == box_result.clusters[0].enumeration_stats
+
+
+def test_atlas_result_regenerates_spec_program(tmp_path, box_result, interface):
+    path = str(tmp_path / "result.json")
+    save_atlas_result(box_result, path)
+    loaded = load_atlas_result(path, interface=interface)
+    # Codegen emits fragments in FSA-transition order, which canonical
+    # serialization normalizes -- so compare structure, not rendered text.
+    original = box_result.spec_program
+    regenerated = loaded.spec_program
+    assert sorted(cls.name for cls in regenerated) == sorted(cls.name for cls in original)
+    for cls in original:
+        assert set(regenerated.class_def(cls.name).methods) == set(cls.methods)
+    # regenerating from the same loaded automaton is deterministic
+    from repro.specs.codegen import generate_code_fragments
+
+    again = generate_code_fragments(loaded.fsa, interface)
+    assert pretty_program(again) == pretty_program(regenerated)
+
+
+def test_atlas_result_without_interface_has_empty_spec_program(tmp_path, box_result):
+    path = str(tmp_path / "result.json")
+    save_atlas_result(box_result, path)
+    loaded = load_atlas_result(path)
+    assert len(list(loaded.spec_program)) == 0
+    assert fsa_equal(box_result.fsa, loaded.fsa)
+
+
+def test_atlas_result_dict_is_json_shaped(box_result):
+    data = atlas_result_to_dict(box_result)
+    assert data["format"] == "repro.engine.atlas-result/1"
+    rebuilt = atlas_result_from_dict(data)
+    assert fsa_equal(box_result.fsa, rebuilt.fsa)

@@ -99,9 +99,42 @@ def test_oracle_caches_results(library_program, interface):
         param("Box", "set", "ob"), receiver("Box", "set"), receiver("Box", "get"), ret("Box", "get")
     )
     assert oracle(word) and oracle(word)
-    assert oracle.stats.queries == 1
+    # Every __call__ counts as a query (cache hits included); only the first
+    # call actually executes the checking machinery.
+    assert oracle.stats.queries == 2
     assert oracle.stats.cache_hits == 1
+    assert oracle.stats.executions == 1
     assert word in oracle.cached_results()
+
+
+def test_hit_rate_counts_every_call_as_a_query(library_program, interface):
+    """Regression: queries used to count only misses, over-reporting hit rate."""
+    oracle = WitnessOracle(library_program, interface)
+    word = _word(
+        param("Box", "set", "ob"), receiver("Box", "set"), receiver("Box", "get"), ret("Box", "get")
+    )
+    for _ in range(4):
+        oracle(word)
+    assert oracle.stats.queries == 4
+    assert oracle.stats.cache_hits == 3
+    assert oracle.stats.executions == 1
+    assert oracle.stats.hit_rate == 0.75
+    # hit rate can never exceed 1, which the old accounting allowed
+    assert 0.0 <= oracle.stats.hit_rate <= 1.0
+
+
+def test_seed_cache_answers_without_execution(library_program, interface):
+    source = WitnessOracle(library_program, interface)
+    word = _word(
+        param("Box", "set", "ob"), receiver("Box", "set"), receiver("Box", "get"), ret("Box", "get")
+    )
+    assert source(word) is True
+
+    warmed = WitnessOracle(library_program, interface)
+    assert warmed.seed_cache(source.cached_results()) == 1
+    assert warmed(word) is True
+    assert warmed.stats.executions == 0
+    assert warmed.stats.cache_hits == 1
 
 
 def test_null_initialization_rejects_more(library_program, interface):

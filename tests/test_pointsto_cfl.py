@@ -98,3 +98,39 @@ def test_duplicate_edges_are_ignored():
     solver = CFLSolver([Production(S, (A,))], nullable=())
     assert solver.add_edge(1, A, 2)
     assert not solver.add_edge(1, A, 2)
+
+
+def test_per_symbol_index_matches_full_edge_scan():
+    """edges()/edge_count() use a per-symbol index; results must match a full scan."""
+    S1 = Symbol("S1")
+    solver = CFLSolver(
+        [Production(S, (A,)), Production(S, (S, S)), Production(S1, (A, B))], nullable=()
+    )
+    for left, right in [(0, 1), (1, 2), (2, 3)]:
+        solver.add_edge(left, A, right)
+    solver.add_edge(3, B, 4)
+    solver.solve()
+
+    symbols = [A, B, S, S1, C]
+    nodes = solver.nodes()
+    for symbol in symbols:
+        expected = {
+            (source, target)
+            for source in nodes
+            for target in nodes
+            if solver.has_edge(source, symbol, target)
+        }
+        assert set(solver.edges(symbol)) == expected
+        assert solver.edge_count(symbol) == len(expected)
+    assert solver.total_edges == sum(solver.edge_count(symbol) for symbol in symbols)
+
+
+def test_per_symbol_index_tracks_incremental_edges():
+    solver = CFLSolver([Production(S, (A,))], nullable=())
+    solver.add_edge("x", A, "y")
+    solver.solve()
+    assert solver.edge_count(S) == 1
+    solver.add_edge("y", A, "z")
+    solver.solve()
+    assert set(solver.edges(S)) == {("x", "y"), ("y", "z")}
+    assert solver.edge_count(S) == 2

@@ -132,3 +132,11 @@ def test_union_with_self_preserves_language(words):
     pta = prefix_tree_acceptor(words)
     union = fsa_union([pta, pta])
     assert set(union.enumerate_words(6)) == set(pta.enumerate_words(6))
+
+
+def test_union_of_no_automata_is_empty():
+    union = fsa_union([])
+    assert union.is_empty()
+    assert not union.accepts(())
+    assert union.num_states == 1
+    assert union.num_transitions() == 0
