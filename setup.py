@@ -10,9 +10,15 @@ from setuptools import find_packages, setup
 
 setup(
     name="repro",
-    version="0.1.0",
+    version="0.2.0",
     description="Reproduction of 'Active Learning of Points-To Specifications' (Atlas, PLDI 2018)",
     package_dir={"": "src"},
     packages=find_packages(where="src"),
     python_requires=">=3.10",
+    entry_points={
+        "console_scripts": [
+            # learn / analyze / serve-batch / experiments / compact-cache
+            "repro = repro.cli:main",
+        ]
+    },
 )

@@ -1,0 +1,217 @@
+"""The ``repro`` command: the installable entry point of the whole system.
+
+Subcommands cover the serving path end to end, plus the evaluation driver::
+
+    repro learn --store .repro-specs [--cache-dir .repro-cache --workers 4]
+    repro analyze --store .repro-specs --count 20 --workers 4
+    repro serve-batch --store .repro-specs --request request.json
+    repro experiments fig9a --preset quick        # -> repro.experiments.runner
+    repro compact-cache --cache-dir .repro-cache
+
+``learn`` runs Atlas inference (through the execution engine, so the oracle
+cache and worker knobs apply) and stores the result as the next version in a
+:class:`~repro.service.store.SpecStore`.  ``analyze`` and ``serve-batch``
+answer batch taint queries against stored specifications -- ``analyze``
+builds the request from flags, ``serve-batch`` reads an
+:class:`~repro.service.api.AnalyzeRequest` JSON document (``-`` for stdin).
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+import json
+import sys
+from typing import List, Optional
+
+from repro.engine import InferenceEngine, StreamSink
+from repro.engine.cache import compact_cache_file
+
+
+def _events(progress: bool):
+    return StreamSink(sys.stderr) if progress else None
+
+
+def apply_atlas_overrides(config, clusters=None, budget=None, seed=None):
+    """Overlay CLI-style knobs onto an :class:`AtlasConfig`.
+
+    *clusters* is a list of comma-separated class lists (one string per
+    cluster).  Shared by ``repro learn`` and ``examples/serve_flows.py`` so
+    both derive identical configs -- and therefore identical store keys --
+    from identical flags.
+    """
+    overrides = {}
+    if clusters:
+        overrides["clusters"] = tuple(
+            tuple(name.strip() for name in cluster.split(",") if name.strip())
+            for cluster in clusters
+        )
+    if budget is not None:
+        overrides["enumeration_budget"] = budget
+    if seed is not None:
+        overrides["seed"] = seed
+    return dataclasses.replace(config, **overrides) if overrides else config
+
+
+def _atlas_config(args):
+    from repro.experiments.config import FULL_CONFIG, QUICK_CONFIG
+
+    config = (FULL_CONFIG if args.preset == "full" else QUICK_CONFIG).atlas
+    return apply_atlas_overrides(
+        config, clusters=args.cluster, budget=args.budget, seed=args.seed
+    )
+
+
+# ------------------------------------------------------------------ subcommands
+def cmd_learn(args) -> int:
+    from repro.library.registry import build_interface, build_library_program
+    from repro.service.store import SpecStore
+
+    library = build_library_program()
+    interface = build_interface(library)
+    engine = InferenceEngine(
+        cache_dir=args.cache_dir, workers=args.workers, events=_events(args.progress)
+    )
+    result = engine.run(_atlas_config(args), library_program=library, interface=interface)
+    record = SpecStore(args.store).put(result, library_program=library)
+    print(json.dumps(record.to_dict(), sort_keys=True, indent=1))
+    return 0
+
+
+def cmd_analyze(args) -> int:
+    from repro.service.api import AnalyzeRequest, SuiteSpec, handle_request
+    from repro.service.store import SpecStore
+
+    request = AnalyzeRequest(
+        suite=SuiteSpec(
+            count=args.count,
+            seed=args.seed,
+            max_statements=args.max_statements,
+            min_statements=args.min_statements,
+        ),
+        spec_id=args.spec,
+        workers=args.workers,
+        apps=tuple(args.apps.split(",")) if args.apps else (),
+        include_timing=not args.no_timing,
+    )
+    response = handle_request(request, SpecStore(args.store), events=_events(args.progress))
+    _write_json(response.to_dict(), args.out)
+    result = response.result
+    sys.stderr.write(
+        f"analyzed {len(result.reports)} programs in {result.elapsed_seconds:.2f}s "
+        f"({result.executor}, workers={result.workers}): {result.total_flows} flows\n"
+    )
+    return 0
+
+
+def cmd_serve_batch(args) -> int:
+    from repro.service.api import AnalyzeRequest, handle_request
+    from repro.service.store import SpecStore
+
+    if args.request == "-":
+        data = json.load(sys.stdin)
+    else:
+        with open(args.request, "r", encoding="utf-8") as handle:
+            data = json.load(handle)
+    request = AnalyzeRequest.from_dict(data)
+    response = handle_request(request, SpecStore(args.store), events=_events(args.progress))
+    _write_json(response.to_dict(), args.out)
+    return 0
+
+
+def cmd_compact_cache(args) -> int:
+    import os
+
+    from repro.engine import CacheCompacted
+
+    path = os.path.join(args.cache_dir, InferenceEngine.CACHE_FILENAME)
+    stats = compact_cache_file(path)
+    # telemetry goes to stderr, like every other engine event
+    StreamSink(sys.stderr).emit(CacheCompacted.from_stats(stats))
+    return 0
+
+
+def _write_json(payload, out: Optional[str]) -> None:
+    if out and out != "-":
+        with open(out, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=1)
+            handle.write("\n")
+    else:
+        json.dump(payload, sys.stdout, indent=1)
+        sys.stdout.write("\n")
+
+
+# ------------------------------------------------------------------ arg parsing
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Learn points-to specifications once, then serve taint analyses from them.",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    learn = commands.add_parser("learn", help="run Atlas inference and store the result")
+    learn.add_argument("--store", required=True, help="SpecStore directory")
+    learn.add_argument("--cache-dir", default=None, help="persistent oracle cache directory")
+    learn.add_argument("--workers", type=int, default=0, help="cluster-inference worker processes")
+    learn.add_argument("--preset", choices=["quick", "full"], default="quick")
+    learn.add_argument(
+        "--cluster",
+        action="append",
+        default=None,
+        metavar="A,B,...",
+        help="restrict inference to these clusters (repeatable, comma-separated classes)",
+    )
+    learn.add_argument("--budget", type=int, default=None, help="enumeration budget override")
+    learn.add_argument("--seed", type=int, default=None, help="inference seed override")
+    learn.add_argument("--progress", action="store_true", help="stream engine events to stderr")
+    learn.set_defaults(func=cmd_learn)
+
+    analyze = commands.add_parser("analyze", help="batch-analyze a generated corpus")
+    analyze.add_argument("--store", required=True, help="SpecStore directory")
+    analyze.add_argument("--spec", default=None, help="spec id (default: latest for the library)")
+    analyze.add_argument("--count", type=int, default=20, help="number of generated programs")
+    analyze.add_argument("--seed", type=int, default=2018, help="corpus generation seed")
+    analyze.add_argument("--max-statements", type=int, default=120)
+    analyze.add_argument("--min-statements", type=int, default=30)
+    analyze.add_argument("--workers", type=int, default=0, help="analysis worker processes")
+    analyze.add_argument("--apps", default=None, help="comma-separated app-name subset")
+    analyze.add_argument("--out", default=None, help="write the JSON response here (default stdout)")
+    analyze.add_argument("--no-timing", action="store_true", help="omit per-request timing")
+    analyze.add_argument("--progress", action="store_true", help="stream analysis events to stderr")
+    analyze.set_defaults(func=cmd_analyze)
+
+    serve = commands.add_parser("serve-batch", help="answer an AnalyzeRequest JSON document")
+    serve.add_argument("--store", required=True, help="SpecStore directory")
+    serve.add_argument("--request", required=True, help="request JSON file ('-' for stdin)")
+    serve.add_argument("--out", default=None, help="write the JSON response here (default stdout)")
+    serve.add_argument("--progress", action="store_true", help="stream analysis events to stderr")
+    serve.set_defaults(func=cmd_serve_batch)
+
+    # help-only stub: main() forwards "experiments ..." to the runner before
+    # parsing, so this subparser exists purely for the --help listing
+    commands.add_parser(
+        "experiments", help="regenerate paper tables/figures (repro.experiments.runner)"
+    )
+
+    compact = commands.add_parser("compact-cache", help="compact the oracle cache file")
+    compact.add_argument("--cache-dir", required=True, help="cache directory to compact")
+    compact.set_defaults(func=cmd_compact_cache)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    argv = list(sys.argv[1:]) if argv is None else list(argv)
+    # ``experiments`` forwards everything verbatim: argparse.REMAINDER only
+    # starts capturing at the first positional, so flag-first invocations
+    # like ``repro experiments --preset full`` must bypass the subparser
+    if argv and argv[0] == "experiments":
+        from repro.experiments.runner import main as runner_main
+
+        return runner_main(argv[1:])
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - CLI entry point
+    raise SystemExit(main())

@@ -103,11 +103,10 @@ class InformationFlowAnalysis:
 
         flows: Set[Flow] = set()
         for sink_class, sink_method, caller_class, caller_method, index, argument in self._sink_call_sites():
-            reachable = result.points_to(argument)
-            for obj in reachable:
-                source = secrets.get(obj)
-                if source is None:
-                    continue
+            # bulk query: filter the known secret objects against the sink
+            # argument instead of materializing its full points-to set
+            for obj in result.points_to_among(argument, secrets):
+                source = secrets[obj]
                 flows.add(
                     Flow(
                         source_class=source[0],

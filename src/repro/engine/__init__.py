@@ -25,12 +25,19 @@ from __future__ import annotations
 from typing import Optional
 
 from repro.engine.cache import (
+    CompactionStats,
     InMemoryCache,
     PersistentCache,
+    compact_cache_file,
     open_oracle_cache,
     program_fingerprint,
 )
 from repro.engine.events import (
+    AnalysisFinished,
+    AnalysisStarted,
+    BatchFinished,
+    BatchStarted,
+    CacheCompacted,
     CacheFlushed,
     ClusterFinished,
     ClusterStarted,
@@ -48,8 +55,12 @@ from repro.engine.executor import (
     ClusterJob,
     ClusterOutcome,
     ParallelExecutor,
+    ParallelTaskExecutor,
     SerialExecutor,
+    SerialTaskExecutor,
+    TaskExecutor,
     make_executor,
+    make_task_executor,
 )
 from repro.engine.persist import (
     fsa_equal,
@@ -140,6 +151,11 @@ class InferenceEngine:
 
 
 __all__ = [
+    "AnalysisFinished",
+    "AnalysisStarted",
+    "BatchFinished",
+    "BatchStarted",
+    "CacheCompacted",
     "CacheFlushed",
     "ClusterExecutor",
     "ClusterFinished",
@@ -147,6 +163,7 @@ __all__ = [
     "ClusterOutcome",
     "ClusterStarted",
     "CollectingSink",
+    "CompactionStats",
     "EngineEvent",
     "EventSink",
     "FanOutSink",
@@ -154,17 +171,22 @@ __all__ = [
     "InferenceEngine",
     "NullSink",
     "ParallelExecutor",
+    "ParallelTaskExecutor",
     "PersistentCache",
     "RunFinished",
     "RunStarted",
     "SerialExecutor",
+    "SerialTaskExecutor",
     "StreamSink",
+    "TaskExecutor",
+    "compact_cache_file",
     "fsa_equal",
     "fsa_from_dict",
     "fsa_to_dict",
     "load_atlas_result",
     "load_fsa",
     "make_executor",
+    "make_task_executor",
     "open_oracle_cache",
     "program_fingerprint",
     "save_atlas_result",

@@ -19,6 +19,8 @@ from __future__ import annotations
 import hashlib
 import json
 import os
+import tempfile
+from dataclasses import dataclass
 from typing import Dict, Iterator, Mapping, Optional, Tuple
 
 from repro.lang.pretty import pretty_program
@@ -171,12 +173,102 @@ class PersistentCache:
     def pending_entries(self) -> int:
         return len(self._pending)
 
+    def compact(self) -> "CompactionStats":
+        """Flush pending writes, then compact the backing file in place."""
+        self.flush()
+        return compact_cache_file(self.path)
+
     # ---------------------------------------------------------- context manager
     def __enter__(self) -> "PersistentCache":
         return self
 
     def __exit__(self, exc_type, exc_value, traceback) -> None:
         self.close()
+
+
+# ------------------------------------------------------------------ compaction
+@dataclass(frozen=True)
+class CompactionStats:
+    """What a cache-file compaction did."""
+
+    path: str
+    lines_before: int
+    lines_after: int
+    malformed_dropped: int
+    superseded_dropped: int
+
+    @property
+    def lines_dropped(self) -> int:
+        return self.lines_before - self.lines_after
+
+
+def compact_cache_file(path: str) -> CompactionStats:
+    """Rewrite an append-only JSON-lines cache file without superseded lines.
+
+    An append-only store accumulates one line per ``put``; a key written twice
+    (or a line corrupted by an interrupted run) leaves dead weight that every
+    subsequent load must scan.  Compaction keeps the *last* entry per key
+    ``(fingerprint, initialization, max_steps, word)`` -- matching the
+    load-time semantics, where later lines win -- preserves first-seen key
+    order, and replaces the file atomically (write to a temporary file in the
+    same directory, then ``os.replace``) so a crash mid-compaction never
+    loses data.  Entries of every fingerprint sharing the file are preserved.
+
+    Compaction is safe against crashes, not against concurrent *writers*:
+    lines appended by another process between the read pass and the replace
+    are lost.  Run it when no other run is flushing this cache (the runner's
+    ``--compact-cache`` therefore compacts after its experiments finish).
+    """
+    if not os.path.exists(path):
+        return CompactionStats(
+            path=path, lines_before=0, lines_after=0, malformed_dropped=0, superseded_dropped=0
+        )
+
+    lines_before = 0
+    malformed = 0
+    entries: Dict[Tuple, str] = {}
+    with open(path, "r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            lines_before += 1
+            try:
+                entry = json.loads(line)
+                key = (
+                    entry["fp"],
+                    entry["init"],
+                    entry["steps"],
+                    tuple(entry["word"]),
+                )
+                bool(entry["result"])
+            except (json.JSONDecodeError, KeyError, TypeError):
+                malformed += 1
+                continue
+            # the last line for a key wins, but the key keeps its first-seen
+            # position in the rewritten file (dict update preserves insertion)
+            entries[key] = line
+
+    directory = os.path.dirname(path) or "."
+    descriptor, temp_path = tempfile.mkstemp(
+        prefix=os.path.basename(path) + ".compact-", dir=directory
+    )
+    try:
+        with os.fdopen(descriptor, "w", encoding="utf-8") as handle:
+            for line in entries.values():
+                handle.write(line + "\n")
+        os.replace(temp_path, path)
+    except BaseException:
+        if os.path.exists(temp_path):
+            os.unlink(temp_path)
+        raise
+    return CompactionStats(
+        path=path,
+        lines_before=lines_before,
+        lines_after=len(entries),
+        malformed_dropped=malformed,
+        superseded_dropped=lines_before - malformed - len(entries),
+    )
 
 
 def open_oracle_cache(
@@ -195,8 +287,10 @@ def open_oracle_cache(
 
 
 __all__ = [
+    "CompactionStats",
     "InMemoryCache",
     "PersistentCache",
+    "compact_cache_file",
     "decode_variable",
     "decode_word",
     "encode_variable",

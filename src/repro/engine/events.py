@@ -76,6 +76,71 @@ class RunFinished(EngineEvent):
     witnesses_executed: int
 
 
+@dataclass(frozen=True)
+class CacheCompacted(EngineEvent):
+    """Emitted when an append-only cache file is compacted in place."""
+
+    path: str
+    lines_before: int
+    lines_after: int
+    superseded_dropped: int = 0
+    malformed_dropped: int = 0
+
+    @classmethod
+    def from_stats(cls, stats) -> "CacheCompacted":
+        """Build the event from a :class:`repro.engine.cache.CompactionStats`."""
+        return cls(
+            path=stats.path,
+            lines_before=stats.lines_before,
+            lines_after=stats.lines_after,
+            superseded_dropped=stats.superseded_dropped,
+            malformed_dropped=stats.malformed_dropped,
+        )
+
+
+@dataclass(frozen=True)
+class BatchStarted(EngineEvent):
+    """Emitted once when a batch analysis begins."""
+
+    num_programs: int
+    executor: str
+    workers: int
+
+
+@dataclass(frozen=True)
+class AnalysisStarted(EngineEvent):
+    """Emitted when one client program is dispatched for analysis.
+
+    As with :class:`ClusterStarted`, the parallel scheduler dispatches every
+    program up front; :class:`AnalysisFinished` carries the per-request wall
+    time measured inside the worker.
+    """
+
+    index: int
+    program: str
+
+
+@dataclass(frozen=True)
+class AnalysisFinished(EngineEvent):
+    """Emitted when one client program's flow report is ready."""
+
+    index: int
+    program: str
+    elapsed_seconds: float
+    flows: int
+    andersen_seconds: float
+    taint_seconds: float
+
+
+@dataclass(frozen=True)
+class BatchFinished(EngineEvent):
+    """Emitted once when a batch analysis completes."""
+
+    num_programs: int
+    elapsed_seconds: float
+    total_flows: int
+
+
 # ----------------------------------------------------------------------- sinks
 class EventSink:
     """Receives engine events; implementations must not raise."""
@@ -147,6 +212,30 @@ def _format_event(event: EngineEvent) -> Optional[str]:
         )
     if isinstance(event, CacheFlushed):
         return f"cache flushed: {event.entries_written} new entries -> {event.path} ({event.total_entries} total)"
+    if isinstance(event, CacheCompacted):
+        return (
+            f"cache compacted: {event.path}: {event.lines_before} -> {event.lines_after} lines "
+            f"({event.superseded_dropped} superseded, {event.malformed_dropped} malformed)"
+        )
+    if isinstance(event, BatchStarted):
+        return (
+            f"batch started: {event.num_programs} programs, "
+            f"executor={event.executor}, workers={event.workers}"
+        )
+    if isinstance(event, AnalysisStarted):
+        return f"analysis {event.index} started: {event.program}"
+    if isinstance(event, AnalysisFinished):
+        return (
+            f"analysis {event.index} finished: {event.program} "
+            f"in {event.elapsed_seconds:.3f}s "
+            f"({event.flows} flows, andersen {event.andersen_seconds:.3f}s, "
+            f"taint {event.taint_seconds:.3f}s)"
+        )
+    if isinstance(event, BatchFinished):
+        return (
+            f"batch finished: {event.num_programs} programs in "
+            f"{event.elapsed_seconds:.2f}s, {event.total_flows} flows"
+        )
     if isinstance(event, RunFinished):
         return (
             f"run finished: {event.num_clusters} clusters in {event.elapsed_seconds:.2f}s, "
@@ -158,6 +247,11 @@ def _format_event(event: EngineEvent) -> Optional[str]:
 
 
 __all__ = [
+    "AnalysisFinished",
+    "AnalysisStarted",
+    "BatchFinished",
+    "BatchStarted",
+    "CacheCompacted",
     "CacheFlushed",
     "ClusterFinished",
     "ClusterStarted",

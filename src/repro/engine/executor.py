@@ -214,6 +214,102 @@ class ParallelExecutor(ClusterExecutor):
         return ordered
 
 
+# ------------------------------------------------------------- generic mapping
+# The cluster executors above are specific to Atlas inference.  The service
+# layer (batch client analysis) needs the same serial/process-pool split for a
+# different unit of work, so the generic strategy lives here too: run a
+# picklable function over a list of payloads, sharing one heavy payload across
+# workers, and return results in payload order regardless of completion order.
+
+_TASK_STATE: dict = {}
+
+
+def _init_task_worker(fn, shared) -> None:
+    """Per-process initializer: ship the task function and shared state once."""
+    _TASK_STATE["fn"] = fn
+    _TASK_STATE["shared"] = shared
+
+
+def _run_task(index: int, payload):
+    return index, _TASK_STATE["fn"](_TASK_STATE["shared"], payload)
+
+
+class TaskExecutor:
+    """Strategy interface: map ``fn(shared, payload)`` over payloads in order.
+
+    ``on_result(index, result)`` fires as results arrive (completion order for
+    the parallel strategy); the returned list is always in payload order, so
+    downstream merging is deterministic either way.
+    """
+
+    name = "abstract"
+
+    def map(self, fn, shared, payloads: Sequence, on_result=None) -> List:
+        raise NotImplementedError
+
+
+class SerialTaskExecutor(TaskExecutor):
+    """Run every task in order on the calling process."""
+
+    name = "serial"
+
+    def map(self, fn, shared, payloads: Sequence, on_result=None) -> List:
+        results = []
+        for index, payload in enumerate(payloads):
+            result = fn(shared, payload)
+            if on_result is not None:
+                on_result(index, result)
+            results.append(result)
+        return results
+
+
+class ParallelTaskExecutor(TaskExecutor):
+    """Fan tasks out to a pool of worker processes.
+
+    *fn* must be a module-level function and *shared*/payloads/results must be
+    picklable; the shared state is shipped once per worker process via the
+    pool initializer rather than once per task.
+    """
+
+    name = "parallel"
+
+    def __init__(self, max_workers: Optional[int] = None):
+        self.max_workers = max_workers
+
+    def _pool_size(self, num_tasks: int) -> int:
+        workers = self.max_workers if self.max_workers else (os.cpu_count() or 1)
+        return max(1, min(workers, num_tasks))
+
+    def map(self, fn, shared, payloads: Sequence, on_result=None) -> List:
+        if not payloads:
+            return []
+        results: Dict[int, object] = {}
+        with ProcessPoolExecutor(
+            max_workers=self._pool_size(len(payloads)),
+            initializer=_init_task_worker,
+            initargs=(fn, shared),
+        ) as pool:
+            pending = {
+                pool.submit(_run_task, index, payload)
+                for index, payload in enumerate(payloads)
+            }
+            while pending:
+                done, pending = wait(pending, return_when=FIRST_COMPLETED)
+                for future in done:
+                    index, result = future.result()
+                    if on_result is not None:
+                        on_result(index, result)
+                    results[index] = result
+        return [results[index] for index in range(len(payloads))]
+
+
+def make_task_executor(workers: int = 0) -> TaskExecutor:
+    """Factory: ``workers <= 1`` selects the serial strategy."""
+    if workers and workers > 1:
+        return ParallelTaskExecutor(max_workers=workers)
+    return SerialTaskExecutor()
+
+
 def make_executor(workers: int = 0, max_workers: Optional[int] = None) -> ClusterExecutor:
     """Factory: ``workers <= 1`` selects the serial strategy."""
     if max_workers is None:
@@ -228,7 +324,11 @@ __all__ = [
     "ClusterJob",
     "ClusterOutcome",
     "ParallelExecutor",
+    "ParallelTaskExecutor",
     "SerialExecutor",
+    "SerialTaskExecutor",
+    "TaskExecutor",
     "make_executor",
+    "make_task_executor",
     "run_cluster_job",
 ]

@@ -41,6 +41,11 @@ class ExperimentConfig:
     cache_dir: Optional[str] = None
     #: worker processes for cluster inference (``<= 1`` = serial)
     workers: int = 0
+    #: directory of a :class:`repro.service.store.SpecStore`; when set, the
+    #: evaluation loads the latest stored specification matching the library
+    #: fingerprint and Atlas config instead of re-learning, and stores a
+    #: freshly learned result for the next run
+    spec_store_dir: Optional[str] = None
 
     def scaled(self, **overrides) -> "ExperimentConfig":
         return replace(self, **overrides)
@@ -78,11 +83,15 @@ FULL_CONFIG = ExperimentConfig(
 
 
 def engine_overrides_from_environment() -> dict:
-    """Engine knobs from the environment: ``REPRO_CACHE_DIR``, ``REPRO_WORKERS``."""
+    """Engine knobs from the environment: ``REPRO_CACHE_DIR``, ``REPRO_WORKERS``,
+    ``REPRO_SPEC_STORE``."""
     overrides = {}
     cache_dir = os.environ.get("REPRO_CACHE_DIR", "").strip()
     if cache_dir:
         overrides["cache_dir"] = cache_dir
+    spec_store = os.environ.get("REPRO_SPEC_STORE", "").strip()
+    if spec_store:
+        overrides["spec_store_dir"] = spec_store
     workers = os.environ.get("REPRO_WORKERS", "").strip()
     if workers:
         try:

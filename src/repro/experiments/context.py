@@ -126,9 +126,35 @@ class ExperimentContext:
         for cache in self._oracle_caches.values():
             cache.flush()
 
+    def spec_store(self):
+        """The configured :class:`~repro.service.store.SpecStore` (or ``None``)."""
+        if self.config.spec_store_dir is None:
+            return None
+        from repro.service.store import SpecStore  # deferred: service sits above us
+
+        return SpecStore(self.config.spec_store_dir)
+
+    def _stored_atlas_result(self, store) -> Optional[AtlasResult]:
+        """The latest stored result matching this evaluation's exact key."""
+        from repro.engine.cache import program_fingerprint
+        from repro.service.store import config_digest
+
+        record = store.latest(
+            fingerprint=program_fingerprint(self.library),
+            config_digest=config_digest(self.config.atlas),
+        )
+        if record is None:
+            return None
+        return store.get(record.spec_id, interface=self.interface)
+
     @property
     def atlas_result(self) -> AtlasResult:
         if self._atlas_result is None:
+            store = self.spec_store()
+            if store is not None:
+                self._atlas_result = self._stored_atlas_result(store)
+                if self._atlas_result is not None:
+                    return self._atlas_result
             # share the context-wide cache instance: a second instance on the
             # same file would not see this run's unflushed in-memory entries
             self._atlas_result = self.engine().run(
@@ -137,6 +163,8 @@ class ExperimentContext:
                 interface=self.interface,
                 cache=self.oracle_cache(self.config.atlas.initialization),
             )
+            if store is not None:
+                store.put(self._atlas_result, library_program=self.library)
         return self._atlas_result
 
     def atlas_fsa(self) -> FSA:

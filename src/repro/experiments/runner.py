@@ -10,18 +10,26 @@ Usage::
 ``--cache-dir`` persists oracle answers across runs (a re-run with an
 unchanged library executes zero witnesses); ``--workers N`` fans cluster
 inference out to N worker processes; ``--progress`` streams engine telemetry
-to stderr.  The same knobs are honored from the environment as
-``REPRO_CACHE_DIR`` and ``REPRO_WORKERS``.
+to stderr; ``--spec-store DIR`` loads learned specifications from (and stores
+them into) a :class:`repro.service.store.SpecStore`, so a second evaluation
+skips inference entirely.  The same knobs are honored from the environment as
+``REPRO_CACHE_DIR``, ``REPRO_WORKERS``, and ``REPRO_SPEC_STORE``.
+
+``--compact-cache`` rewrites the append-only oracle cache file without
+superseded or malformed lines -- after the selected experiments, or as the
+only action when no experiments are named.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 import time
 from typing import Callable, Dict, List, Optional
 
-from repro.engine import EventSink, StreamSink
+from repro.engine import CacheCompacted, EventSink, InferenceEngine, StreamSink
+from repro.engine.cache import compact_cache_file
 from repro.experiments import design_choices, fig8, fig9a, fig9b, fig9c, ground_truth_eval, spec_counts
 from repro.experiments.config import (
     FULL_CONFIG,
@@ -89,6 +97,16 @@ def main(argv: List[str] = None) -> int:
         action="store_true",
         help="stream engine progress events to stderr",
     )
+    parser.add_argument(
+        "--spec-store",
+        default=None,
+        help="SpecStore directory to load/store learned specifications (default: $REPRO_SPEC_STORE)",
+    )
+    parser.add_argument(
+        "--compact-cache",
+        action="store_true",
+        help="compact the oracle cache file (after the run, or alone when no experiments are named)",
+    )
     args = parser.parse_args(argv)
 
     config = apply_engine_environment(FULL_CONFIG if args.preset == "full" else QUICK_CONFIG)
@@ -97,10 +115,23 @@ def main(argv: List[str] = None) -> int:
         config = config.scaled(cache_dir=args.cache_dir)
     if args.workers is not None:
         config = config.scaled(workers=args.workers)
+    if args.spec_store is not None:
+        config = config.scaled(spec_store_dir=args.spec_store)
 
-    events = StreamSink(sys.stderr) if args.progress else None
-    names = list(args.experiments) or list(EXPERIMENTS)
-    run_experiments(names, config, events=events)
+    compact_only = args.compact_cache and not args.experiments
+    if not compact_only:
+        events = StreamSink(sys.stderr) if args.progress else None
+        names = list(args.experiments) or list(EXPERIMENTS)
+        run_experiments(names, config, events=events)
+
+    if args.compact_cache:
+        if config.cache_dir is None:
+            sys.stderr.write("--compact-cache: no cache directory configured, nothing to do\n")
+            # a compact-only invocation did nothing useful; a completed
+            # experiment run should not be turned into a failure
+            return 1 if compact_only else 0
+        stats = compact_cache_file(os.path.join(config.cache_dir, InferenceEngine.CACHE_FILENAME))
+        StreamSink(sys.stderr).emit(CacheCompacted.from_stats(stats))
     return 0
 
 

@@ -144,6 +144,44 @@ class CFLSolver:
             return set()
         return {self._nodes[s] for s in self._in.get((target_id, symbol_id), ())}
 
+    def reachable(self, source: Hashable, symbol: Symbol) -> Iterator[Hashable]:
+        """Lazily iterate nodes reachable from *source* via *symbol*.
+
+        Unlike :meth:`successors` this materializes no intermediate set --
+        callers that only scan (or early-exit) pay for exactly what they
+        consume.
+        """
+        source_id = self._node_ids.get(source)
+        symbol_id = self._symbol_ids.get(symbol)
+        if source_id is None or symbol_id is None:
+            return iter(())
+        nodes = self._nodes
+        return (nodes[t] for t in self._out.get((source_id, symbol_id), ()))
+
+    def reaching_sources(
+        self, target: Hashable, symbol: Symbol, candidates: Iterable[Hashable]
+    ) -> Iterator[Hashable]:
+        """Bulk query: which *candidates* have a *symbol* edge into *target*?
+
+        Filters the (typically small) candidate collection against the
+        per-``(target, symbol)`` incoming-id index, so a caller asking "do any
+        of these N nodes reach this target" never materializes the target's
+        full predecessor set.
+        """
+        target_id = self._node_ids.get(target)
+        symbol_id = self._symbol_ids.get(symbol)
+        if target_id is None or symbol_id is None:
+            return iter(())
+        incoming = self._in.get((target_id, symbol_id))
+        if not incoming:
+            return iter(())
+        node_ids = self._node_ids
+        return (
+            candidate
+            for candidate in candidates
+            if node_ids.get(candidate) in incoming
+        )
+
     def edges(self, symbol: Symbol) -> Iterator[Tuple[Hashable, Hashable]]:
         """Iterate over all ``(source, target)`` pairs related by *symbol*."""
         symbol_id = self._symbol_ids.get(symbol)

@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, Iterator, Set, Tuple
+from typing import Dict, FrozenSet, Iterable, Iterator, Set, Tuple
 
 from repro.lang.program import Program
 from repro.pointsto.cfl import CFLSolver
@@ -31,6 +31,19 @@ class PointsToResult:
             for node in self.solver.predecessors(variable, FLOWS_TO)
             if isinstance(node, ObjNode)
         }
+
+    def points_to_among(
+        self, variable: VarNode, candidates: Iterable[ObjNode]
+    ) -> Iterator[ObjNode]:
+        """The subset of *candidates* that *variable* may point to.
+
+        A bulk query for clients that track a known (small) object population
+        -- e.g. the taint client's secret objects -- and repeatedly ask which
+        of them reach some variable: the candidates are filtered against the
+        solver's per-symbol edge index instead of materializing the
+        variable's full points-to set per query.
+        """
+        return self.solver.reaching_sources(variable, FLOWS_TO, candidates)
 
     def aliased(self, left: VarNode, right: VarNode) -> bool:
         """Whether *left* and *right* may point to a common object."""

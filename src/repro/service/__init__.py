@@ -1,0 +1,58 @@
+"""The specification-serving layer: learn once, analyze many programs.
+
+The paper's end product is the static information-flow analysis the learned
+specifications unlock (Figure 9a), and that analysis is cheap next to the
+learning that feeds it.  This subsystem splits the two halves so the
+expensive artifact is paid for once and queried many times:
+
+* :mod:`repro.service.store` -- :class:`SpecStore`, a versioned persistent
+  registry of learned results keyed by ``(library fingerprint, learner-config
+  digest)``, with checksum-verified loads.
+* :mod:`repro.service.analyzer` -- :class:`ClientAnalyzer`, which compiles a
+  stored specification to code fragments once and answers per-program taint
+  queries with per-request timing.
+* :mod:`repro.service.batch` -- :class:`BatchAnalysisScheduler`, which fans a
+  corpus across the engine's serial/process-pool task executors with
+  deterministic merge order and structured telemetry.
+* :mod:`repro.service.api` -- the JSON request/response surface
+  (:class:`AnalyzeRequest` -> per-program :class:`FlowReport` s) shared by the
+  ``repro`` CLI and ``examples/serve_flows.py``.
+"""
+
+from repro.service.analyzer import (
+    ClientAnalyzer,
+    FlowReport,
+    RequestTiming,
+    flow_from_dict,
+    flow_to_dict,
+)
+from repro.service.api import AnalyzeRequest, AnalyzeResponse, SuiteSpec, handle_request
+from repro.service.batch import BatchAnalysisScheduler, BatchResult
+from repro.service.store import (
+    SpecIntegrityError,
+    SpecNotFoundError,
+    SpecRecord,
+    SpecStore,
+    SpecStoreError,
+    config_digest,
+)
+
+__all__ = [
+    "AnalyzeRequest",
+    "AnalyzeResponse",
+    "BatchAnalysisScheduler",
+    "BatchResult",
+    "ClientAnalyzer",
+    "FlowReport",
+    "RequestTiming",
+    "SpecIntegrityError",
+    "SpecNotFoundError",
+    "SpecRecord",
+    "SpecStore",
+    "SpecStoreError",
+    "SuiteSpec",
+    "config_digest",
+    "flow_from_dict",
+    "flow_to_dict",
+    "handle_request",
+]

@@ -1,0 +1,203 @@
+"""Per-program client analysis against a fixed, precompiled specification set.
+
+The :class:`ClientAnalyzer` is the query-answering half of the service: it
+loads a learned specification once (typically from a :class:`SpecStore`),
+merges the analysis-invariant parts of every request -- core library stubs,
+the source/sink framework, the code-fragment specifications -- into one base
+program up front, and then answers "what are the information flows of this
+client program?" requests by running Andersen + the taint client per program
+with per-request timing.
+
+Flow reports are canonical: flows are sorted, and the :meth:`FlowReport.canonical`
+encoding excludes timing, so two reports for the same program under the same
+specs compare equal regardless of which process (or how many workers)
+produced them.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Dict, Iterable, Optional, Tuple
+
+from repro.benchgen.generator import GeneratedApp
+from repro.client.sources_sinks import build_framework_program
+from repro.client.taint import Flow, InformationFlowAnalysis
+from repro.lang.program import Program
+from repro.library.registry import build_interface, build_library_program, core_program
+from repro.pointsto.andersen import AndersenAnalysis
+
+_FLOW_FIELDS = (
+    "source_class",
+    "source_method",
+    "sink_class",
+    "sink_method",
+    "sink_caller_class",
+    "sink_caller_method",
+    "sink_statement_index",
+)
+
+
+def flow_to_dict(flow: Flow) -> Dict:
+    return {name: getattr(flow, name) for name in _FLOW_FIELDS}
+
+
+def flow_from_dict(data: Dict) -> Flow:
+    return Flow(**{name: data[name] for name in _FLOW_FIELDS})
+
+
+def _flow_sort_key(flow: Flow) -> Tuple:
+    return tuple(getattr(flow, name) for name in _FLOW_FIELDS)
+
+
+@dataclass(frozen=True)
+class RequestTiming:
+    """Wall-clock breakdown of one analysis request."""
+
+    andersen_seconds: float
+    taint_seconds: float
+    total_seconds: float
+
+
+@dataclass(frozen=True)
+class FlowReport:
+    """The service's answer for one client program."""
+
+    program: str
+    flows: Tuple[Flow, ...]  # canonically sorted
+    timing: RequestTiming
+    spec_id: Optional[str] = None
+
+    @property
+    def num_flows(self) -> int:
+        return len(self.flows)
+
+    def canonical(self) -> Dict:
+        """The timing-free encoding two equivalent analyses share bit-for-bit."""
+        return {
+            "program": self.program,
+            "spec_id": self.spec_id,
+            "flows": [flow_to_dict(flow) for flow in self.flows],
+        }
+
+    def to_dict(self, include_timing: bool = True) -> Dict:
+        payload = self.canonical()
+        if include_timing:
+            payload["timing"] = {
+                "andersen_seconds": self.timing.andersen_seconds,
+                "taint_seconds": self.timing.taint_seconds,
+                "total_seconds": self.timing.total_seconds,
+            }
+        return payload
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "FlowReport":
+        timing = data.get("timing") or {}
+        return cls(
+            program=data["program"],
+            flows=tuple(
+                sorted((flow_from_dict(entry) for entry in data["flows"]), key=_flow_sort_key)
+            ),
+            timing=RequestTiming(
+                andersen_seconds=float(timing.get("andersen_seconds", 0.0)),
+                taint_seconds=float(timing.get("taint_seconds", 0.0)),
+                total_seconds=float(timing.get("total_seconds", 0.0)),
+            ),
+            spec_id=data.get("spec_id"),
+        )
+
+
+class ClientAnalyzer:
+    """Answers taint queries for client programs under one specification set."""
+
+    def __init__(
+        self,
+        spec_program: Program,
+        library_program: Optional[Program] = None,
+        framework: Optional[Program] = None,
+        spec_id: Optional[str] = None,
+    ):
+        library = library_program if library_program is not None else build_library_program()
+        framework = framework if framework is not None else build_framework_program()
+        # everything that does not vary per request is merged exactly once
+        self.base_program = (
+            core_program(library).merged_with(framework).merged_with(spec_program)
+        )
+        self.spec_id = spec_id
+
+    @classmethod
+    def from_store(
+        cls,
+        store,
+        spec_id: Optional[str] = None,
+        library_program: Optional[Program] = None,
+        interface=None,
+        config=None,
+    ) -> "ClientAnalyzer":
+        """Build an analyzer from a stored specification.
+
+        Without *spec_id* the latest record for *library_program*'s
+        fingerprint is used (the common "current specs for this library"
+        case) -- note that this matches *any* learner config, so a store
+        shared between, say, full-preset learns and small smoke learns
+        serves whichever was stored last; pass *config* (an
+        :class:`AtlasConfig`) to restrict the lookup to that config's
+        digest, or an explicit *spec_id* to pin a version exactly.  The
+        stored automaton is compiled to code-fragment specifications here,
+        once, not per analyzed program.
+        """
+        from repro.engine.cache import program_fingerprint
+        from repro.service.store import SpecNotFoundError, config_digest
+
+        library = library_program if library_program is not None else build_library_program()
+        if spec_id is None:
+            record = store.latest(
+                fingerprint=program_fingerprint(library),
+                config_digest=config_digest(config) if config is not None else None,
+            )
+            if record is None:
+                raise SpecNotFoundError(
+                    f"no stored specification for this library in {store.root}"
+                )
+            spec_id = record.spec_id
+        if interface is None:
+            interface = build_interface(library)
+        result = store.get(spec_id, interface=interface)
+        return cls(result.spec_program, library_program=library, spec_id=spec_id)
+
+    # ---------------------------------------------------------------- analysis
+    def analyze_program(self, program: Program, name: str) -> FlowReport:
+        """Run Andersen + the taint client on one client program."""
+        started = time.perf_counter()
+        merged = program.merged_with(self.base_program)
+        points_to = AndersenAnalysis(merged).run()
+        after_andersen = time.perf_counter()
+        report = InformationFlowAnalysis(merged).run(points_to=points_to)
+        finished = time.perf_counter()
+        return FlowReport(
+            program=name,
+            flows=tuple(sorted(report.flows, key=_flow_sort_key)),
+            timing=RequestTiming(
+                andersen_seconds=after_andersen - started,
+                taint_seconds=finished - after_andersen,
+                total_seconds=finished - started,
+            ),
+            spec_id=self.spec_id,
+        )
+
+    def analyze_app(self, app: GeneratedApp) -> FlowReport:
+        return self.analyze_program(app.program, app.name)
+
+    def analyze_apps(self, apps: Iterable[GeneratedApp]):
+        for app in apps:
+            yield self.analyze_app(app)
+
+
+__all__ = [
+    "ClientAnalyzer",
+    "Flow",
+    "FlowReport",
+    "RequestTiming",
+    "flow_from_dict",
+    "flow_to_dict",
+]

@@ -1,0 +1,147 @@
+"""JSON request/response API over the spec store and batch analyzer.
+
+One request shape covers the whole serving path: pick a stored specification
+(explicitly by id, or "latest for this library"), name a corpus of client
+programs (a seeded :mod:`repro.benchgen` suite, optionally filtered to
+specific apps), choose a worker count, and get back one
+:class:`FlowReport` per program plus batch-level totals.  Everything is
+plain-dict serializable, so requests can live in files, travel over a wire,
+or be built programmatically -- :func:`handle_request` is the single entry
+point the CLI, the examples, and the tests all share.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from repro.benchgen.suite import benchmark_suite
+from repro.engine.events import EventSink
+from repro.library.registry import build_library_program
+from repro.service.analyzer import ClientAnalyzer
+from repro.service.batch import BatchAnalysisScheduler, BatchResult
+from repro.service.store import SpecStore
+
+REQUEST_FORMAT = "repro.service.analyze-request/1"
+RESPONSE_FORMAT = "repro.service.analyze-response/1"
+
+
+@dataclass(frozen=True)
+class SuiteSpec:
+    """The corpus half of a request: a deterministic generated suite."""
+
+    count: int = 20
+    seed: int = 2018
+    max_statements: int = 120
+    min_statements: int = 30
+
+    def to_dict(self) -> Dict:
+        return {
+            "count": self.count,
+            "seed": self.seed,
+            "max_statements": self.max_statements,
+            "min_statements": self.min_statements,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "SuiteSpec":
+        defaults = cls()
+        return cls(
+            count=int(data.get("count", defaults.count)),
+            seed=int(data.get("seed", defaults.seed)),
+            max_statements=int(data.get("max_statements", defaults.max_statements)),
+            min_statements=int(data.get("min_statements", defaults.min_statements)),
+        )
+
+
+@dataclass(frozen=True)
+class AnalyzeRequest:
+    """One batch-analysis request.
+
+    ``spec_id=None`` selects the latest stored specification for the
+    library; ``apps`` (names from the generated suite) restricts the corpus;
+    ``workers`` picks serial (``<= 1``) or process-pool execution.
+    """
+
+    suite: SuiteSpec = SuiteSpec()
+    spec_id: Optional[str] = None
+    workers: int = 0
+    apps: Tuple[str, ...] = ()
+    include_timing: bool = True
+
+    def to_dict(self) -> Dict:
+        return {
+            "format": REQUEST_FORMAT,
+            "suite": self.suite.to_dict(),
+            "spec_id": self.spec_id,
+            "workers": self.workers,
+            "apps": list(self.apps),
+            "include_timing": self.include_timing,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "AnalyzeRequest":
+        declared = data.get("format", REQUEST_FORMAT)
+        if declared != REQUEST_FORMAT:
+            raise ValueError(f"unsupported request format {declared!r}")
+        return cls(
+            suite=SuiteSpec.from_dict(data.get("suite") or {}),
+            spec_id=data.get("spec_id"),
+            workers=int(data.get("workers", 0)),
+            apps=tuple(data.get("apps") or ()),
+            include_timing=bool(data.get("include_timing", True)),
+        )
+
+
+@dataclass
+class AnalyzeResponse:
+    """The answer to one :class:`AnalyzeRequest`."""
+
+    spec_id: str
+    request: AnalyzeRequest
+    result: BatchResult
+
+    def to_dict(self) -> Dict:
+        payload = self.result.to_dict(include_timing=self.request.include_timing)
+        payload["format"] = RESPONSE_FORMAT
+        payload["spec_id"] = self.spec_id
+        payload["request"] = self.request.to_dict()
+        return payload
+
+
+def handle_request(
+    request: AnalyzeRequest,
+    store: SpecStore,
+    events: Optional[EventSink] = None,
+    library_program=None,
+    interface=None,
+) -> AnalyzeResponse:
+    """Serve one request end to end: resolve specs, build corpus, analyze."""
+    library = library_program if library_program is not None else build_library_program()
+    analyzer = ClientAnalyzer.from_store(
+        store, spec_id=request.spec_id, library_program=library, interface=interface
+    )
+    suite = benchmark_suite(
+        count=request.suite.count,
+        seed=request.suite.seed,
+        max_statements=request.suite.max_statements,
+        min_statements=request.suite.min_statements,
+    )
+    apps = list(suite)
+    if request.apps:
+        wanted = set(request.apps)
+        unknown = wanted - {app.name for app in apps}
+        if unknown:
+            raise KeyError(f"unknown apps in request: {sorted(unknown)}")
+        apps = [app for app in apps if app.name in wanted]
+    scheduler = BatchAnalysisScheduler(analyzer, workers=request.workers, events=events)
+    result = scheduler.analyze_apps(apps)
+    return AnalyzeResponse(spec_id=analyzer.spec_id, request=request, result=result)
+
+
+__all__ = [
+    "AnalyzeRequest",
+    "AnalyzeResponse",
+    "SuiteSpec",
+    "handle_request",
+]

@@ -1,0 +1,299 @@
+"""A versioned, persistent registry of learned specifications.
+
+Learning specifications is the expensive half of the paper's pipeline; the
+static client that consumes them is cheap.  The :class:`SpecStore` separates
+the two: a completed :class:`~repro.learn.pipeline.AtlasResult` is persisted
+once (via the canonical :mod:`repro.engine.persist` encoding) under a key of
+``(library fingerprint, learner-config digest)``, and any number of later
+analysis runs -- other processes, other machines sharing the directory --
+load it back without re-deriving anything.
+
+Store layout (everything under one root directory)::
+
+    <root>/index.jsonl          append-only records, one JSON object per line
+    <root>/specs/<spec_id>.json full atlas-result payloads
+
+Each ``put`` for the same key allocates the next version number, so a
+re-learned specification never overwrites its predecessor; ``latest`` answers
+the common "current specs for this library" query.  Every record carries the
+SHA-256 of its payload file, and ``get`` verifies it by default, so silent
+payload corruption (or a payload edited by hand) is detected at load time
+rather than as mysteriously wrong analysis results.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+import time
+from dataclasses import asdict, dataclass
+from typing import Dict, List, Optional
+
+from repro.engine.cache import program_fingerprint
+from repro.engine.persist import atlas_result_from_dict, atlas_result_to_dict
+from repro.lang.program import Program
+from repro.specs.variables import LibraryInterface
+
+INDEX_FILENAME = "index.jsonl"
+SPECS_DIRNAME = "specs"
+RECORD_FORMAT = "repro.service.spec-record/1"
+
+
+class SpecStoreError(Exception):
+    """Base class of store failures."""
+
+
+class SpecNotFoundError(SpecStoreError, KeyError):
+    """No record (or payload) exists for the requested specification."""
+
+
+class SpecIntegrityError(SpecStoreError):
+    """A payload file does not match the checksum recorded at ``put`` time."""
+
+
+def config_digest(config) -> str:
+    """A stable content hash of an :class:`AtlasConfig`.
+
+    Two configs with the same knob values digest identically regardless of
+    object identity; any change to a knob (budget, seed, clusters, strategy)
+    produces a new digest and therefore a new store key.
+    """
+    payload = asdict(config)
+    payload["clusters"] = [list(cluster) for cluster in config.clusters]
+    rendered = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(rendered.encode("utf-8")).hexdigest()
+
+
+@dataclass(frozen=True)
+class SpecRecord:
+    """One index entry: the metadata of one stored specification version."""
+
+    spec_id: str
+    fingerprint: str
+    config_digest: str
+    version: int
+    sha256: str
+    fsa_states: int
+    fsa_transitions: int
+    num_positives: int
+    created_at: float
+
+    def to_dict(self) -> Dict:
+        payload = asdict(self)
+        payload["format"] = RECORD_FORMAT
+        return payload
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "SpecRecord":
+        return cls(
+            spec_id=data["spec_id"],
+            fingerprint=data["fingerprint"],
+            config_digest=data["config_digest"],
+            version=int(data["version"]),
+            sha256=data["sha256"],
+            fsa_states=int(data["fsa_states"]),
+            fsa_transitions=int(data["fsa_transitions"]),
+            num_positives=int(data["num_positives"]),
+            created_at=float(data["created_at"]),
+        )
+
+
+def _spec_id(fingerprint: str, digest: str, version: int) -> str:
+    return f"{fingerprint[:12]}-{digest[:12]}-v{version}"
+
+
+def _sha256_bytes(payload: bytes) -> str:
+    return hashlib.sha256(payload).hexdigest()
+
+
+class SpecStore:
+    """Registry of learned specifications under one root directory.
+
+    The index is append-only JSON lines (same durability story as the oracle
+    cache: a truncated trailing line from an interrupted ``put`` is skipped on
+    load) and is re-read on every query, so several processes can share one
+    store -- a ``put`` in one process is visible to a ``latest`` in another.
+    """
+
+    def __init__(self, root: str):
+        self.root = str(root)
+
+    # ----------------------------------------------------------------- layout
+    @property
+    def index_path(self) -> str:
+        return os.path.join(self.root, INDEX_FILENAME)
+
+    def spec_path(self, spec_id: str) -> str:
+        return os.path.join(self.root, SPECS_DIRNAME, f"{spec_id}.json")
+
+    # ------------------------------------------------------------------ index
+    def records(self) -> List[SpecRecord]:
+        """Every index record, in ``put`` order (oldest first)."""
+        if not os.path.exists(self.index_path):
+            return []
+        records: List[SpecRecord] = []
+        with open(self.index_path, "r", encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    data = json.loads(line)
+                    record = SpecRecord.from_dict(data)
+                except (json.JSONDecodeError, KeyError, TypeError, ValueError):
+                    continue  # truncated trailing line from an interrupted put
+                records.append(record)
+        return records
+
+    def list(
+        self,
+        fingerprint: Optional[str] = None,
+        config_digest: Optional[str] = None,
+    ) -> List[SpecRecord]:
+        """Records filtered by library fingerprint and/or config digest."""
+        return [
+            record
+            for record in self.records()
+            if (fingerprint is None or record.fingerprint == fingerprint)
+            and (config_digest is None or record.config_digest == config_digest)
+        ]
+
+    def latest(
+        self,
+        fingerprint: Optional[str] = None,
+        config_digest: Optional[str] = None,
+    ) -> Optional[SpecRecord]:
+        """The most recently stored record matching the filters (or ``None``)."""
+        matching = self.list(fingerprint=fingerprint, config_digest=config_digest)
+        return matching[-1] if matching else None
+
+    def record(self, spec_id: str) -> SpecRecord:
+        for entry in self.records():
+            if entry.spec_id == spec_id:
+                return entry
+        raise SpecNotFoundError(spec_id)
+
+    def __len__(self) -> int:
+        return len(self.records())
+
+    # -------------------------------------------------------------------- put
+    def put(
+        self,
+        result,
+        library_program: Optional[Program] = None,
+        fingerprint: Optional[str] = None,
+    ) -> SpecRecord:
+        """Store *result* as the next version of its ``(library, config)`` key.
+
+        The key's library half comes from *library_program* (fingerprinted
+        here) or a precomputed *fingerprint*; exactly one must be given.  The
+        payload file is written atomically before the index line is appended,
+        so a crash between the two leaves an orphaned payload, never a
+        dangling index entry.  The version number is claimed by linking the
+        payload into place with an exclusive ``os.link`` (which fails if the
+        target exists), so two concurrent ``put``s for the same key get
+        distinct versions instead of overwriting each other.
+        """
+        if (library_program is None) == (fingerprint is None):
+            raise ValueError("put() needs exactly one of library_program or fingerprint")
+        if fingerprint is None:
+            fingerprint = program_fingerprint(library_program)
+        digest = config_digest(result.config)
+
+        versions = [
+            record.version
+            for record in self.list(fingerprint=fingerprint, config_digest=digest)
+        ]
+        version = max(versions, default=0) + 1
+
+        payload = json.dumps(atlas_result_to_dict(result), indent=1).encode("utf-8")
+        specs_dir = os.path.join(self.root, SPECS_DIRNAME)
+        os.makedirs(specs_dir, exist_ok=True)
+        descriptor, temp_path = tempfile.mkstemp(prefix=".put-", dir=specs_dir)
+        try:
+            with os.fdopen(descriptor, "wb") as handle:
+                handle.write(payload)
+            while True:
+                spec_id = _spec_id(fingerprint, digest, version)
+                try:
+                    os.link(temp_path, self.spec_path(spec_id))
+                    break
+                except FileExistsError:  # a concurrent put claimed this version
+                    version += 1
+        finally:
+            if os.path.exists(temp_path):
+                os.unlink(temp_path)
+
+        record = SpecRecord(
+            spec_id=spec_id,
+            fingerprint=fingerprint,
+            config_digest=digest,
+            version=version,
+            sha256=_sha256_bytes(payload),
+            fsa_states=result.fsa.num_states,
+            fsa_transitions=result.fsa.num_transitions(),
+            num_positives=len(result.positives),
+            created_at=time.time(),
+        )
+        os.makedirs(self.root, exist_ok=True)
+        with open(self.index_path, "a", encoding="utf-8") as handle:
+            handle.write(json.dumps(record.to_dict(), sort_keys=True) + "\n")
+        return record
+
+    # -------------------------------------------------------------------- get
+    def _read_payload(self, record: SpecRecord, verify: bool) -> Dict:
+        path = self.spec_path(record.spec_id)
+        if not os.path.exists(path):
+            raise SpecNotFoundError(f"{record.spec_id} (payload file missing: {path})")
+        with open(path, "rb") as handle:
+            payload = handle.read()
+        if verify:
+            actual = _sha256_bytes(payload)
+            if actual != record.sha256:
+                raise SpecIntegrityError(
+                    f"{record.spec_id}: payload checksum mismatch "
+                    f"(index {record.sha256[:12]}…, file {actual[:12]}…)"
+                )
+        return json.loads(payload.decode("utf-8"))
+
+    def get(
+        self,
+        spec_id: str,
+        interface: Optional[LibraryInterface] = None,
+        verify: bool = True,
+    ):
+        """Load the stored :class:`AtlasResult` for *spec_id*.
+
+        With *interface* the code-fragment specification program is
+        regenerated deterministically from the stored automaton (see
+        :func:`repro.engine.persist.atlas_result_from_dict`); *verify*
+        checks the payload against the recorded checksum first.
+        """
+        record = self.record(spec_id)
+        data = self._read_payload(record, verify=verify)
+        return atlas_result_from_dict(data, interface=interface)
+
+    # ------------------------------------------------------------------ verify
+    def verify(self) -> List[str]:
+        """Integrity-check every record; returns a list of problem strings."""
+        problems: List[str] = []
+        for record in self.records():
+            try:
+                self._read_payload(record, verify=True)
+            except SpecStoreError as error:
+                problems.append(str(error))
+            except json.JSONDecodeError as error:
+                problems.append(f"{record.spec_id}: unparseable payload ({error})")
+        return problems
+
+
+__all__ = [
+    "SpecIntegrityError",
+    "SpecNotFoundError",
+    "SpecRecord",
+    "SpecStore",
+    "SpecStoreError",
+    "config_digest",
+]

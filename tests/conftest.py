@@ -49,3 +49,13 @@ def oracle(library_program, interface):
 @pytest.fixture(scope="session")
 def null_oracle(library_program, interface):
     return WitnessOracle(library_program, interface, initialization="null")
+
+
+@pytest.fixture(scope="session")
+def tiny_atlas_result(library_program, interface):
+    """A cheap end-to-end inference result (Box cluster only) for service tests."""
+    from repro.engine import InferenceEngine
+    from repro.learn import AtlasConfig
+
+    config = AtlasConfig(clusters=[("Box",)], seed=7, enumeration_budget=2_000)
+    return InferenceEngine().run(config, library_program=library_program, interface=interface)

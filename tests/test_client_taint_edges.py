@@ -1,0 +1,140 @@
+"""Edge-case tests for the information-flow client.
+
+The happy paths live in ``test_client_flows.py``; these pin down the corners:
+programs with no sources or no sinks at all, a method that is registered as
+both source and sink, and flows threaded through *nested* collections (a list
+stored inside a map).
+"""
+
+import pytest
+
+import repro.client.taint as taint_module
+from repro.client.taint import InformationFlowAnalysis
+from repro.lang import ClassBuilder, Program, validate_program
+from repro.lang.types import OBJECT
+from repro.library import ground_truth_program
+from repro.library.registry import replaceable_library
+
+
+def _analyze(app, specs, framework, core):
+    program = app.merged_with(core).merged_with(framework).merged_with(specs)
+    return InformationFlowAnalysis(program).run()
+
+
+# ------------------------------------------------------------------ no sources
+def test_program_with_no_sources_reports_nothing(framework_program, core, interface):
+    app = ClassBuilder("NoSourceApp")
+    method = app.method("onCreate", is_static=True)
+    method.new("resources", "ResourceManager")
+    method.call("label", "resources", "getString")
+    method.new("cache", "ArrayList")
+    method.call(None, "cache", "add", "label")
+    method.const("zero", 0)
+    method.call("loaded", "cache", "get", "zero")
+    method.new("sms", "SmsManager")
+    method.call(None, "sms", "sendTextMessage", "loaded")
+    app.add_method(method)
+    report = _analyze(
+        Program([app.build()]), ground_truth_program(interface), framework_program, core
+    )
+    assert report.flow_count() == 0
+
+
+# -------------------------------------------------------------------- no sinks
+def test_program_with_no_sinks_reports_nothing(framework_program, core, interface):
+    app = ClassBuilder("NoSinkApp")
+    method = app.method("onCreate", is_static=True)
+    method.new("telephony", "TelephonyManager")
+    method.call("secret", "telephony", "getDeviceId")
+    method.new("cache", "ArrayList")
+    method.call(None, "cache", "add", "secret")
+    method.const("zero", 0)
+    method.call("loaded", "cache", "get", "zero")  # retrieved but never leaked
+    app.add_method(method)
+    report = _analyze(
+        Program([app.build()]), ground_truth_program(interface), framework_program, core
+    )
+    assert report.flow_count() == 0
+
+
+def test_empty_program_reports_nothing(framework_program, core, interface):
+    report = _analyze(Program([]), ground_truth_program(interface), framework_program, core)
+    assert report.flow_count() == 0
+
+
+# ------------------------------------------------------------- source == sink
+def test_method_registered_as_both_source_and_sink(core, monkeypatch):
+    # Echo.process allocates its result (a source) *and* consumes its
+    # argument (a sink): feeding its output back in must report a flow whose
+    # source and sink are the same method.
+    echo = ClassBuilder("Echo", is_library=True)
+    echo.add_method(echo.constructor())
+    process = echo.method("process", [("data", OBJECT)], return_type="String")
+    process.new("out", "String")
+    process.ret("out")
+    echo.add_method(process)
+    framework = Program([echo.build()])
+
+    monkeypatch.setattr(taint_module, "SOURCE_METHODS", {("Echo", "process"): "echoed value"})
+    monkeypatch.setattr(taint_module, "SINK_METHODS", {("Echo", "process"): "data"})
+
+    app = ClassBuilder("EchoApp")
+    method = app.method("onCreate", is_static=True)
+    method.new("echo", "Echo")
+    method.new("seed", "Object")
+    method.call("first", "echo", "process", "seed")
+    method.call(None, "echo", "process", "first")  # the source's output hits the sink
+    app.add_method(method)
+
+    report = _analyze(Program([app.build()]), Program([]), framework, core)
+    assert report.flow_count() == 1
+    (flow,) = report.flows
+    assert (flow.source_class, flow.source_method) == ("Echo", "process")
+    assert (flow.sink_class, flow.sink_method) == ("Echo", "process")
+    assert flow.sink_statement_index == 3
+
+
+# ------------------------------------------------------- nested collections
+@pytest.fixture
+def nested_app():
+    app = ClassBuilder("NestedApp")
+    method = app.method("onCreate", is_static=True)
+    method.new("telephony", "TelephonyManager")
+    method.call("secret", "telephony", "getDeviceId")
+    # secret -> inner list -> outer map -> retrieved list -> retrieved element
+    method.new("inner", "ArrayList")
+    method.call(None, "inner", "add", "secret")
+    method.new("outer", "HashMap")
+    method.new("key", "Object")
+    method.call(None, "outer", "put", "key", "inner")
+    method.call("fetched", "outer", "get", "key")
+    method.const("zero", 0)
+    method.call("leaked", "fetched", "get", "zero")
+    method.new("sms", "SmsManager")
+    method.call(None, "sms", "sendTextMessage", "leaked")
+    app.add_method(method)
+    return Program([app.build()])
+
+
+def test_nested_collection_flow_needs_specs(nested_app, framework_program, core):
+    report = _analyze(nested_app, Program([]), framework_program, core)
+    assert report.flow_count() == 0
+
+
+def test_nested_collection_flow_with_implementation(
+    nested_app, framework_program, core, library_program
+):
+    validate_program(
+        nested_app.merged_with(core)
+        .merged_with(framework_program)
+        .merged_with(replaceable_library(library_program))
+    )
+    report = _analyze(nested_app, replaceable_library(library_program), framework_program, core)
+    flows = {(flow.source_class, flow.source_method) for flow in report.flows}
+    assert ("TelephonyManager", "getDeviceId") in flows
+
+
+def test_nested_collection_flow_with_ground_truth(nested_app, framework_program, core, interface):
+    report = _analyze(nested_app, ground_truth_program(interface), framework_program, core)
+    flows = {(flow.sink_class, flow.sink_method) for flow in report.flows}
+    assert ("SmsManager", "sendTextMessage") in flows

@@ -8,13 +8,14 @@ import pytest
 from repro.engine.cache import (
     InMemoryCache,
     PersistentCache,
+    compact_cache_file,
     decode_word,
     encode_word,
     open_oracle_cache,
     program_fingerprint,
 )
 from repro.lang import ClassBuilder, Program
-from repro.learn.oracle import WitnessOracle
+from repro.learn.oracle import DEFAULT_MAX_STEPS, WitnessOracle
 from repro.specs.variables import param, receiver, ret
 
 
@@ -127,6 +128,82 @@ def test_warm_oracle_answers_from_disk_without_executing(tmp_path, library_progr
         assert warm(word) is expected
     assert warm.stats.executions == 0
     assert warm.stats.cache_hits == len(answers)
+
+
+# ------------------------------------------------------------------- compaction
+def test_compact_drops_superseded_and_malformed_lines(tmp_path):
+    path = str(tmp_path / "cache.jsonl")
+    with PersistentCache(path, fingerprint="fp1") as cache:
+        cache.put(BOX_WORD, True)
+        cache.put(WRONG_WORD, False)
+    # an append-only store accumulates a duplicate line for a re-written key,
+    # and an interrupted write leaves a malformed trailing line
+    with open(path, "a", encoding="utf-8") as handle:
+        handle.write(
+            json.dumps(
+                {
+                    "fp": "fp1",
+                    "init": "instantiation",
+                    "steps": DEFAULT_MAX_STEPS,
+                    "word": list(encode_word(BOX_WORD)),
+                    "result": True,
+                }
+            )
+            + "\n"
+        )
+        handle.write('{"fp": "fp1", "init"\n')
+
+    stats = compact_cache_file(path)
+    assert stats.lines_before == 4
+    assert stats.lines_after == 2
+    assert stats.superseded_dropped == 1
+    assert stats.malformed_dropped == 1
+    assert stats.lines_dropped == 2
+
+    reloaded = PersistentCache(path, fingerprint="fp1")
+    assert reloaded.get(BOX_WORD) is True
+    assert reloaded.get(WRONG_WORD) is False
+    assert len(reloaded) == 2
+
+
+def test_compact_keeps_the_last_answer_per_key(tmp_path):
+    path = str(tmp_path / "cache.jsonl")
+    entry = {"fp": "fp1", "init": "instantiation", "steps": 10_000}
+    with open(path, "w", encoding="utf-8") as handle:
+        for result in (True, False):  # contradictory lines: the last one wins
+            handle.write(json.dumps({**entry, "word": list(encode_word(BOX_WORD)), "result": result}) + "\n")
+    compact_cache_file(path)
+    reloaded = PersistentCache(path, fingerprint="fp1", max_steps=10_000)
+    assert reloaded.get(BOX_WORD) is False
+
+
+def test_compact_preserves_other_fingerprints(tmp_path):
+    path = str(tmp_path / "cache.jsonl")
+    with PersistentCache(path, fingerprint="fp1") as cache:
+        cache.put(BOX_WORD, True)
+    with PersistentCache(path, fingerprint="fp2") as cache:
+        cache.put(BOX_WORD, False)
+    stats = compact_cache_file(path)
+    assert stats.lines_after == 2
+    assert PersistentCache(path, fingerprint="fp1").get(BOX_WORD) is True
+    assert PersistentCache(path, fingerprint="fp2").get(BOX_WORD) is False
+
+
+def test_compact_missing_file_is_a_noop(tmp_path):
+    stats = compact_cache_file(str(tmp_path / "missing.jsonl"))
+    assert stats.lines_before == 0
+    assert stats.lines_after == 0
+    assert not (tmp_path / "missing.jsonl").exists()
+
+
+def test_cache_compact_method_flushes_first(tmp_path):
+    path = str(tmp_path / "cache.jsonl")
+    cache = PersistentCache(path, fingerprint="fp1")
+    cache.put(BOX_WORD, True)
+    stats = cache.compact()
+    assert cache.pending_entries == 0
+    assert stats.lines_after == 1
+    assert PersistentCache(path, fingerprint="fp1").get(BOX_WORD) is True
 
 
 def test_in_memory_cache_is_the_oracle_dict_cache():

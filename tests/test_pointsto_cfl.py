@@ -134,3 +134,43 @@ def test_per_symbol_index_tracks_incremental_edges():
     solver.solve()
     assert set(solver.edges(S)) == {("x", "y"), ("y", "z")}
     assert solver.edge_count(S) == 2
+
+
+# ------------------------------------------------------------------ bulk queries
+def test_reachable_is_lazy_and_matches_successors():
+    solver = CFLSolver([Production(S, (A,)), Production(S, (S, S))], nullable=())
+    for left, right in [(1, 2), (2, 3), (3, 4)]:
+        solver.add_edge(left, A, right)
+    solver.solve()
+    lazy = solver.reachable(1, S)
+    assert iter(lazy) is lazy  # an iterator, not a materialized set
+    assert set(lazy) == solver.successors(1, S) == {2, 3, 4}
+
+
+def test_reachable_unknown_node_or_symbol_is_empty():
+    solver = CFLSolver([Production(S, (A,))], nullable=())
+    solver.add_edge(1, A, 2)
+    solver.solve()
+    assert list(solver.reachable(99, S)) == []
+    assert list(solver.reachable(1, C)) == []
+
+
+def test_reaching_sources_filters_candidates():
+    solver = CFLSolver([Production(S, (A,)), Production(S, (S, S))], nullable=())
+    for left, right in [(1, 2), (2, 3), (5, 3)]:
+        solver.add_edge(left, A, right)
+    solver.solve()
+    # candidates include nodes with no edge into 3, and an unknown node
+    assert set(solver.reaching_sources(3, S, [1, 5, 4, "unknown"])) == {1, 5}
+    assert list(solver.reaching_sources(3, S, [])) == []
+    assert list(solver.reaching_sources("unknown", S, [1, 5])) == []
+    assert list(solver.reaching_sources(3, C, [1, 5])) == []
+
+
+def test_reaching_sources_agrees_with_predecessors():
+    solver = CFLSolver([Production(S, (A,)), Production(S, (S, S))], nullable=())
+    for left, right in [("a", "b"), ("b", "c"), ("d", "c")]:
+        solver.add_edge(left, A, right)
+    solver.solve()
+    candidates = list(solver.nodes())
+    assert set(solver.reaching_sources("c", S, candidates)) == solver.predecessors("c", S)

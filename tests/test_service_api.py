@@ -1,0 +1,108 @@
+"""Tests for the JSON request/response API and spec resolution."""
+
+import pytest
+
+from repro.engine import CollectingSink
+from repro.engine.events import AnalysisFinished
+from repro.service.analyzer import ClientAnalyzer
+from repro.service.api import AnalyzeRequest, SuiteSpec, handle_request
+from repro.service.store import SpecNotFoundError, SpecStore
+
+
+@pytest.fixture
+def store(tmp_path, tiny_atlas_result, library_program):
+    store = SpecStore(str(tmp_path / "specs"))
+    store.put(tiny_atlas_result, library_program=library_program)
+    return store
+
+
+# ---------------------------------------------------------------- serialization
+def test_request_dict_round_trip():
+    request = AnalyzeRequest(
+        suite=SuiteSpec(count=3, seed=5, max_statements=50, min_statements=30),
+        spec_id="abc-def-v1",
+        workers=2,
+        apps=("App00", "App02"),
+        include_timing=False,
+    )
+    assert AnalyzeRequest.from_dict(request.to_dict()) == request
+
+
+def test_request_defaults_tolerate_sparse_documents():
+    request = AnalyzeRequest.from_dict({"suite": {"count": 4}})
+    assert request.suite.count == 4
+    assert request.suite.seed == SuiteSpec().seed
+    assert request.spec_id is None
+    assert request.workers == 0
+
+
+def test_request_rejects_unknown_format():
+    with pytest.raises(ValueError):
+        AnalyzeRequest.from_dict({"format": "repro.service.analyze-request/999"})
+
+
+# -------------------------------------------------------------------- handling
+def test_handle_request_end_to_end(store, library_program, interface):
+    sink = CollectingSink()
+    request = AnalyzeRequest(suite=SuiteSpec(count=3, max_statements=50), workers=2)
+    response = handle_request(
+        request, store, events=sink, library_program=library_program, interface=interface
+    )
+    assert response.spec_id == store.latest().spec_id  # latest resolved implicitly
+    assert len(response.result.reports) == 3
+    assert len(sink.of_type(AnalysisFinished)) == 3
+
+    payload = response.to_dict()
+    assert payload["spec_id"] == response.spec_id
+    assert payload["num_programs"] == 3
+    assert payload["request"]["workers"] == 2
+
+
+def test_handle_request_app_subset(store, library_program, interface):
+    request = AnalyzeRequest(
+        suite=SuiteSpec(count=4, max_statements=50), apps=("App01", "App03")
+    )
+    response = handle_request(
+        request, store, library_program=library_program, interface=interface
+    )
+    assert [report.program for report in response.result.reports] == ["App01", "App03"]
+
+
+def test_handle_request_unknown_app(store, library_program, interface):
+    request = AnalyzeRequest(suite=SuiteSpec(count=2), apps=("App99",))
+    with pytest.raises(KeyError):
+        handle_request(request, store, library_program=library_program, interface=interface)
+
+
+def test_explicit_spec_id_is_honored(store, tiny_atlas_result, library_program, interface):
+    first = store.latest()
+    store.put(tiny_atlas_result, library_program=library_program)  # supersede it
+    request = AnalyzeRequest(suite=SuiteSpec(count=2, max_statements=40), spec_id=first.spec_id)
+    response = handle_request(
+        request, store, library_program=library_program, interface=interface
+    )
+    assert response.spec_id == first.spec_id
+
+
+def test_empty_store_has_no_latest_spec(tmp_path, library_program):
+    empty = SpecStore(str(tmp_path / "empty"))
+    with pytest.raises(SpecNotFoundError):
+        ClientAnalyzer.from_store(empty, library_program=library_program)
+
+
+def test_from_store_can_pin_a_learner_config(store, tiny_atlas_result, library_program, interface):
+    import dataclasses
+
+    other = dataclasses.replace(
+        tiny_atlas_result, config=dataclasses.replace(tiny_atlas_result.config, seed=99)
+    )
+    first = store.records()[0]
+    newer = store.put(other, library_program=library_program)  # newest overall
+    assert store.latest().spec_id == newer.spec_id
+    pinned = ClientAnalyzer.from_store(
+        store,
+        library_program=library_program,
+        interface=interface,
+        config=tiny_atlas_result.config,
+    )
+    assert pinned.spec_id == first.spec_id
