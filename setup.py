@@ -6,18 +6,29 @@ is unavailable: ``pip install -e . --no-build-isolation`` then falls back to
 the legacy ``setup.py develop`` code path.
 """
 
+import os
+
 from setuptools import find_packages, setup
+
+
+def _readme() -> str:
+    path = os.path.join(os.path.dirname(os.path.abspath(__file__)), "README.md")
+    with open(path, "r", encoding="utf-8") as handle:
+        return handle.read()
+
 
 setup(
     name="repro",
-    version="0.2.0",
+    version="0.3.0",
     description="Reproduction of 'Active Learning of Points-To Specifications' (Atlas, PLDI 2018)",
+    long_description=_readme(),
+    long_description_content_type="text/markdown",
     package_dir={"": "src"},
     packages=find_packages(where="src"),
     python_requires=">=3.10",
     entry_points={
         "console_scripts": [
-            # learn / analyze / serve-batch / experiments / compact-cache
+            # learn / analyze / serve-batch / serve / bench-serve / experiments / compact-cache
             "repro = repro.cli:main",
         ]
     },

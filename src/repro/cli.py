@@ -5,6 +5,8 @@ Subcommands cover the serving path end to end, plus the evaluation driver::
     repro learn --store .repro-specs [--cache-dir .repro-cache --workers 4]
     repro analyze --store .repro-specs --count 20 --workers 4
     repro serve-batch --store .repro-specs --request request.json
+    repro serve --store .repro-specs --port 8080 --workers 4
+    repro bench-serve --url http://127.0.0.1:8080 --requests 50 --clients 8
     repro experiments fig9a --preset quick        # -> repro.experiments.runner
     repro compact-cache --cache-dir .repro-cache
 
@@ -14,6 +16,11 @@ cache and worker knobs apply) and stores the result as the next version in a
 answer batch taint queries against stored specifications -- ``analyze``
 builds the request from flags, ``serve-batch`` reads an
 :class:`~repro.service.api.AnalyzeRequest` JSON document (``-`` for stdin).
+``serve`` runs the long-running HTTP daemon (:mod:`repro.server`): warm
+workers that compile the stored spec once at startup, a bounded queue with
+503 backpressure, and hot reload of newly stored specs.  ``bench-serve``
+load-tests a running daemon and verifies its responses bit-identical to
+in-process handling.
 """
 
 from __future__ import annotations
@@ -119,6 +126,84 @@ def cmd_serve_batch(args) -> int:
     return 0
 
 
+def cmd_serve(args) -> int:
+    import signal
+
+    from repro.server import AnalysisServer
+    from repro.service.store import SpecStore
+
+    server = AnalysisServer(
+        SpecStore(args.store),
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        queue_depth=args.queue_depth,
+        poll_interval=args.poll_interval,
+        events=_events(args.progress),
+    )
+    server.start()
+    host, port = server.address
+    sys.stderr.write(
+        f"[serve] listening on http://{host}:{port} "
+        f"(spec {server.pool.current_spec_id}, {server.pool.workers} warm workers, "
+        f"queue depth {server.pool.queue_capacity})\n"
+    )
+    sys.stderr.flush()
+
+    # SIGTERM (CI, orchestrators) and SIGINT (^C) both exit cleanly
+    signal.signal(signal.SIGTERM, lambda *_: server.close())
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.close()
+    sys.stderr.write("[serve] shut down cleanly\n")
+    return 0
+
+
+def cmd_bench_serve(args) -> int:
+    from repro.server.bench import fetch_json, run_load, verify_against_inprocess
+    from repro.service.api import AnalyzeRequest, SuiteSpec
+    from repro.service.store import SpecStore
+
+    health = fetch_json(args.url, "/healthz")
+    sys.stderr.write(
+        f"[bench] daemon at {args.url} healthy (spec {health.get('spec_id')}, "
+        f"{health.get('workers')} workers)\n"
+    )
+    # pin the spec the daemon is serving right now: an unpinned request would
+    # make a mid-bench hot reload look like a verification mismatch
+    request = AnalyzeRequest(
+        suite=SuiteSpec(
+            count=args.count,
+            seed=args.seed,
+            max_statements=args.max_statements,
+            min_statements=args.min_statements,
+        ),
+        spec_id=args.spec if args.spec else health.get("spec_id"),
+        workers=args.workers,
+    )
+    result = run_load(args.url, request, total_requests=args.requests, clients=args.clients)
+    print(result.summary())
+
+    metrics = fetch_json(args.url, "/metrics")
+    specs = metrics.get("specs", {})
+    print(
+        f"server metrics: {metrics.get('requests', {}).get('total')} requests served, "
+        f"{specs.get('compilations')} spec compilations "
+        f"across {len(specs.get('compilations_by_worker', {}))} workers, "
+        f"{specs.get('hot_reloads')} hot reloads"
+    )
+
+    failed = result.ok != args.requests
+    if args.store and not args.no_verify:
+        ok, detail = verify_against_inprocess(result, SpecStore(args.store), request)
+        print(f"verification: {detail}")
+        failed = failed or not ok
+    return 1 if failed else 0
+
+
 def cmd_compact_cache(args) -> int:
     import os
 
@@ -186,6 +271,54 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--out", default=None, help="write the JSON response here (default stdout)")
     serve.add_argument("--progress", action="store_true", help="stream analysis events to stderr")
     serve.set_defaults(func=cmd_serve_batch)
+
+    daemon = commands.add_parser(
+        "serve", help="run the long-running HTTP analysis daemon (warm workers)"
+    )
+    daemon.add_argument("--store", required=True, help="SpecStore directory to serve from")
+    daemon.add_argument("--host", default="127.0.0.1", help="bind address")
+    daemon.add_argument("--port", type=int, default=8080, help="bind port (0 = ephemeral)")
+    daemon.add_argument(
+        "--workers", type=int, default=2, help="warm worker threads (one compiled analyzer each)"
+    )
+    daemon.add_argument(
+        "--queue-depth",
+        type=int,
+        default=16,
+        help="bounded request queue size; full = 503 + Retry-After",
+    )
+    daemon.add_argument(
+        "--poll-interval",
+        type=float,
+        default=2.0,
+        help="seconds between spec-store polls for hot reload (0 disables)",
+    )
+    daemon.add_argument("--progress", action="store_true", help="stream server events to stderr")
+    daemon.set_defaults(func=cmd_serve)
+
+    bench = commands.add_parser(
+        "bench-serve", help="load-test a running daemon and verify its responses"
+    )
+    bench.add_argument("--url", default="http://127.0.0.1:8080", help="daemon base URL")
+    bench.add_argument("--requests", type=int, default=50, help="total requests to fire")
+    bench.add_argument("--clients", type=int, default=8, help="concurrent client threads")
+    bench.add_argument("--count", type=int, default=5, help="programs per request's suite")
+    bench.add_argument("--seed", type=int, default=2018, help="corpus generation seed")
+    bench.add_argument("--max-statements", type=int, default=60)
+    bench.add_argument("--min-statements", type=int, default=30)
+    bench.add_argument("--spec", default=None, help="pin a spec id (default: server's latest)")
+    bench.add_argument(
+        "--workers", type=int, default=0, help="per-request analysis workers (serialized default)"
+    )
+    bench.add_argument(
+        "--store",
+        default=None,
+        help="SpecStore directory; when given, verify responses against in-process handling",
+    )
+    bench.add_argument(
+        "--no-verify", action="store_true", help="skip the in-process verification pass"
+    )
+    bench.set_defaults(func=cmd_bench_serve)
 
     # help-only stub: main() forwards "experiments ..." to the runner before
     # parsing, so this subparser exists purely for the --help listing

@@ -48,6 +48,8 @@ from repro.engine.events import (
     NullSink,
     RunFinished,
     RunStarted,
+    SpecCompiled,
+    SpecReloaded,
     StreamSink,
 )
 from repro.engine.executor import (
@@ -82,6 +84,20 @@ class InferenceEngine:
     (``oracle-cache.jsonl``); omit it for a purely in-memory run.  ``workers``
     selects the executor: ``<= 1`` runs serially, ``> 1`` fans clusters out
     to that many worker processes.
+
+    Example -- a cached, parallel run with live progress::
+
+        >>> import sys
+        >>> from repro.engine import InferenceEngine, StreamSink
+        >>> from repro.learn import AtlasConfig
+        >>> engine = InferenceEngine(
+        ...     cache_dir=".repro-cache", workers=4, events=StreamSink(sys.stderr)
+        ... )
+        >>> result = engine.run(AtlasConfig())
+
+    A second ``engine.run`` with an unchanged library and config answers
+    every oracle query from the cache:
+    ``result.oracle_stats.executions == 0``.
     """
 
     CACHE_FILENAME = "oracle-cache.jsonl"
@@ -177,6 +193,8 @@ __all__ = [
     "RunStarted",
     "SerialExecutor",
     "SerialTaskExecutor",
+    "SpecCompiled",
+    "SpecReloaded",
     "StreamSink",
     "TaskExecutor",
     "compact_cache_file",

@@ -141,6 +141,34 @@ class BatchFinished(EngineEvent):
     total_flows: int
 
 
+@dataclass(frozen=True)
+class SpecCompiled(EngineEvent):
+    """Emitted when a server worker compiles a stored spec into an analyzer.
+
+    In a healthy ``repro serve`` daemon this fires once per worker at
+    startup (plus once per worker per hot reload or explicitly pinned spec
+    id) -- *never* once per request.  The server's ``/metrics`` endpoint
+    counts these, which is how "specs are compiled once per worker" is
+    asserted rather than assumed.
+    """
+
+    worker: str
+    spec_id: str
+    elapsed_seconds: float
+
+
+@dataclass(frozen=True)
+class SpecReloaded(EngineEvent):
+    """Emitted when the server's store poller observes a newer latest spec.
+
+    Workers pick the new spec up lazily before their next request; in-flight
+    requests keep the analyzer they started with.
+    """
+
+    previous_spec_id: str
+    spec_id: str
+
+
 # ----------------------------------------------------------------------- sinks
 class EventSink:
     """Receives engine events; implementations must not raise."""
@@ -236,6 +264,13 @@ def _format_event(event: EngineEvent) -> Optional[str]:
             f"batch finished: {event.num_programs} programs in "
             f"{event.elapsed_seconds:.2f}s, {event.total_flows} flows"
         )
+    if isinstance(event, SpecCompiled):
+        return (
+            f"spec compiled: {event.spec_id} on {event.worker} "
+            f"in {event.elapsed_seconds:.2f}s"
+        )
+    if isinstance(event, SpecReloaded):
+        return f"spec reloaded: {event.previous_spec_id} -> {event.spec_id}"
     if isinstance(event, RunFinished):
         return (
             f"run finished: {event.num_clusters} clusters in {event.elapsed_seconds:.2f}s, "
@@ -262,5 +297,7 @@ __all__ = [
     "NullSink",
     "RunFinished",
     "RunStarted",
+    "SpecCompiled",
+    "SpecReloaded",
     "StreamSink",
 ]

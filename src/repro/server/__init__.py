@@ -1,0 +1,70 @@
+"""The long-running analysis daemon: warm workers behind an HTTP front door.
+
+PR 2's service layer made "learn once, analyze many" scriptable, but every
+invocation was still a one-shot process that recompiled the stored
+specification on the way in.  This subsystem makes the serving side
+*resident*, which is what the paper's economics call for: specifications are
+learned once precisely so clients can query them cheaply and often
+(conf_pldi_Bastani0AL18).
+
+* :mod:`repro.server.pool` -- :class:`WarmWorkerPool`: worker threads that
+  compile the stored spec to a :class:`~repro.service.analyzer.ClientAnalyzer`
+  **once at startup**, a bounded request queue with backpressure
+  (:class:`PoolSaturated`), and hot reload of newly stored specs without
+  dropping in-flight requests.
+* :mod:`repro.server.http` -- :class:`AnalysisServer`: a stdlib
+  ``ThreadingHTTPServer`` exposing ``POST /analyze`` (the existing
+  :class:`~repro.service.api.AnalyzeRequest` / ``FlowReport`` JSON bodies),
+  ``GET /healthz``, ``GET /specs``, and ``GET /metrics``.
+* :mod:`repro.server.metrics` -- :class:`ServerMetrics` + :class:`MetricsSink`:
+  request counts, latency percentiles, queue depth, and per-worker spec
+  compilation counters fed from :mod:`repro.engine.events`.
+* :mod:`repro.server.bench` -- :func:`run_load`: a seeded concurrent load
+  generator whose responses are verified bit-identical to in-process
+  :func:`~repro.service.api.handle_request`.
+
+The CLI surface is ``repro serve`` (run the daemon) and ``repro bench-serve``
+(load-test one); ``examples/serve_http.py`` walks the whole path in-process.
+"""
+
+from repro.server.bench import (
+    LoadResult,
+    canonical_reports,
+    fetch_json,
+    post_analyze,
+    run_load,
+    verify_against_inprocess,
+)
+from repro.server.http import (
+    AnalysisHTTPServer,
+    AnalysisServer,
+    DEFAULT_HOST,
+    DEFAULT_POLL_INTERVAL_SECONDS,
+    DEFAULT_PORT,
+)
+from repro.server.metrics import MetricsSink, ServerMetrics, percentile
+from repro.server.pool import (
+    DEFAULT_QUEUE_DEPTH,
+    PoolSaturated,
+    WarmWorkerPool,
+)
+
+__all__ = [
+    "AnalysisHTTPServer",
+    "AnalysisServer",
+    "DEFAULT_HOST",
+    "DEFAULT_POLL_INTERVAL_SECONDS",
+    "DEFAULT_PORT",
+    "DEFAULT_QUEUE_DEPTH",
+    "LoadResult",
+    "MetricsSink",
+    "PoolSaturated",
+    "ServerMetrics",
+    "WarmWorkerPool",
+    "canonical_reports",
+    "fetch_json",
+    "percentile",
+    "post_analyze",
+    "run_load",
+    "verify_against_inprocess",
+]

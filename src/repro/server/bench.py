@@ -1,0 +1,256 @@
+"""A seeded load generator for the analysis daemon.
+
+``repro bench-serve`` (and ``examples/serve_http.py``) use this module to
+fire N concurrent copies of one benchgen-derived
+:class:`~repro.service.api.AnalyzeRequest` at a running daemon and report
+sustained throughput and client-observed latency.  Because the request
+document fully determines its corpus (seeded suite) and the analysis is
+deterministic, every response must be **bit-identical** to running
+:func:`repro.service.api.handle_request` in-process --
+:func:`verify_against_inprocess` asserts exactly that, which is the
+end-to-end proof that the warm-worker fast path changes *where* the work
+happens, never *what* it computes.
+
+Clients honor backpressure: a ``503`` is counted, then retried after the
+server's ``Retry-After`` hint, so a bounded queue shapes the load instead of
+failing it.
+
+Example::
+
+    >>> request = AnalyzeRequest(suite=SuiteSpec(count=3, max_statements=50))
+    >>> result = run_load("http://127.0.0.1:8080", request, total_requests=50, clients=8)
+    >>> result.ok, result.throughput_rps
+    (50, 11.3)
+"""
+
+from __future__ import annotations
+
+import json
+import queue
+import threading
+import time
+import urllib.error
+import urllib.request
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.server.metrics import percentile
+from repro.service.api import AnalyzeRequest, handle_request
+from repro.service.store import SpecStore
+
+DEFAULT_TIMEOUT_SECONDS = 600.0
+DEFAULT_MAX_ATTEMPTS = 60
+
+
+@dataclass
+class LoadResult:
+    """Everything one load run observed, from the client side of the wire."""
+
+    total_requests: int
+    clients: int
+    elapsed_seconds: float
+    statuses: Dict[int, int]
+    retries_after_503: int
+    latencies_seconds: List[float]
+    #: parsed JSON bodies of the 200 responses, indexed by request number
+    responses: Dict[int, dict] = field(default_factory=dict)
+    errors: List[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> int:
+        return self.statuses.get(200, 0)
+
+    @property
+    def throughput_rps(self) -> float:
+        return self.ok / self.elapsed_seconds if self.elapsed_seconds > 0 else 0.0
+
+    def latency_percentile(self, fraction: float) -> Optional[float]:
+        if not self.latencies_seconds:
+            return None
+        return percentile(sorted(self.latencies_seconds), fraction)
+
+    def summary(self) -> str:
+        lines = [
+            f"{self.ok}/{self.total_requests} requests ok from {self.clients} client threads "
+            f"in {self.elapsed_seconds:.2f}s ({self.throughput_rps:.1f} req/s)",
+        ]
+        if self.latencies_seconds:
+            lines.append(
+                "latency: "
+                + ", ".join(
+                    f"p{f:g}={self.latency_percentile(f):.3f}s" for f in (50.0, 90.0, 99.0)
+                )
+            )
+        if self.retries_after_503:
+            lines.append(f"backpressure: {self.retries_after_503} retries after 503")
+        for status, count in sorted(self.statuses.items()):
+            if status != 200:
+                lines.append(f"status {status}: {count}")
+        for error in self.errors[:5]:
+            lines.append(f"error: {error}")
+        return "\n".join(lines)
+
+
+def post_analyze(
+    base_url: str, payload: bytes, timeout: float = DEFAULT_TIMEOUT_SECONDS
+) -> Tuple[int, dict, Optional[float]]:
+    """POST one request body; returns ``(status, body, retry_after_seconds)``."""
+    http_request = urllib.request.Request(
+        base_url.rstrip("/") + "/analyze",
+        data=payload,
+        headers={"Content-Type": "application/json"},
+        method="POST",
+    )
+    try:
+        with urllib.request.urlopen(http_request, timeout=timeout) as response:
+            return response.status, json.loads(response.read().decode("utf-8")), None
+    except urllib.error.HTTPError as error:
+        body = error.read().decode("utf-8", errors="replace")
+        try:
+            parsed = json.loads(body)
+        except json.JSONDecodeError:
+            parsed = {"error": body}
+        retry_after = error.headers.get("Retry-After")
+        return error.code, parsed, float(retry_after) if retry_after else None
+
+
+def fetch_json(base_url: str, path: str, timeout: float = 30.0) -> dict:
+    """GET a JSON endpoint (``/healthz``, ``/specs``, ``/metrics``)."""
+    with urllib.request.urlopen(base_url.rstrip("/") + path, timeout=timeout) as response:
+        return json.loads(response.read().decode("utf-8"))
+
+
+def run_load(
+    base_url: str,
+    request: AnalyzeRequest,
+    total_requests: int,
+    clients: int,
+    timeout: float = DEFAULT_TIMEOUT_SECONDS,
+    max_attempts: int = DEFAULT_MAX_ATTEMPTS,
+) -> LoadResult:
+    """Fire *total_requests* copies of *request* from *clients* threads.
+
+    Each client thread pulls request numbers off a shared queue, POSTs, and
+    on a 503 sleeps the server's ``Retry-After`` hint before retrying (up to
+    *max_attempts* attempts per request), so every request eventually lands
+    unless the server is down.  Latency is measured per successful POST,
+    client-side.
+    """
+    payload = json.dumps(request.to_dict()).encode("utf-8")
+    pending: "queue.Queue[int]" = queue.Queue()
+    for index in range(total_requests):
+        pending.put(index)
+
+    lock = threading.Lock()
+    statuses: Dict[int, int] = {}
+    latencies: List[float] = []
+    responses: Dict[int, dict] = {}
+    errors: List[str] = []
+    retries = 0
+
+    def client_loop() -> None:
+        nonlocal retries
+        while True:
+            try:
+                index = pending.get_nowait()
+            except queue.Empty:
+                return
+            for _attempt in range(max_attempts):
+                started = time.perf_counter()
+                try:
+                    status, body, retry_after = post_analyze(base_url, payload, timeout=timeout)
+                except (urllib.error.URLError, OSError) as error:
+                    with lock:
+                        errors.append(f"request {index}: {error}")
+                    break
+                elapsed = time.perf_counter() - started
+                if status == 503:
+                    with lock:
+                        statuses[503] = statuses.get(503, 0) + 1
+                        retries += 1
+                    time.sleep(retry_after if retry_after else 0.1)
+                    continue
+                with lock:
+                    statuses[status] = statuses.get(status, 0) + 1
+                    if status == 200:
+                        latencies.append(elapsed)
+                        responses[index] = body
+                    else:
+                        errors.append(f"request {index}: status {status}: {body.get('error')}")
+                break
+            else:
+                with lock:
+                    errors.append(f"request {index}: gave up after {max_attempts} attempts")
+
+    threads = [
+        threading.Thread(target=client_loop, name=f"bench-client-{i}", daemon=True)
+        for i in range(max(1, clients))
+    ]
+    started = time.perf_counter()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    elapsed = time.perf_counter() - started
+    return LoadResult(
+        total_requests=total_requests,
+        clients=max(1, clients),
+        elapsed_seconds=elapsed,
+        statuses=statuses,
+        retries_after_503=retries,
+        latencies_seconds=latencies,
+        responses=responses,
+        errors=errors,
+    )
+
+
+def canonical_reports(response_body: dict) -> List[dict]:
+    """The timing-free portion of a wire response's per-program reports."""
+    return [
+        {key: value for key, value in report.items() if key != "timing"}
+        for report in response_body.get("reports", ())
+    ]
+
+
+def verify_against_inprocess(
+    result: LoadResult,
+    store: SpecStore,
+    request: AnalyzeRequest,
+    library_program=None,
+    interface=None,
+) -> Tuple[bool, str]:
+    """Check every daemon response against an in-process ``handle_request``.
+
+    Compares the canonical (timing-free) report lists and the resolved spec
+    id; returns ``(ok, human-readable detail)``.  This is the acceptance
+    check that the warm-worker path is an optimization, not a semantic fork.
+    """
+    expected_response = handle_request(
+        request, store, library_program=library_program, interface=interface
+    )
+    expected = [report.canonical() for report in expected_response.result.reports]
+    mismatches = 0
+    for index, body in sorted(result.responses.items()):
+        if body.get("spec_id") != expected_response.spec_id:
+            mismatches += 1
+        elif canonical_reports(body) != expected:
+            mismatches += 1
+    if mismatches:
+        return False, (
+            f"{mismatches}/{len(result.responses)} responses differ from in-process "
+            f"handle_request (spec {expected_response.spec_id})"
+        )
+    return True, (
+        f"all {len(result.responses)} responses bit-identical to in-process "
+        f"handle_request (spec {expected_response.spec_id})"
+    )
+
+
+__all__ = [
+    "LoadResult",
+    "canonical_reports",
+    "fetch_json",
+    "post_analyze",
+    "run_load",
+    "verify_against_inprocess",
+]

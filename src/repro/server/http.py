@@ -1,0 +1,303 @@
+"""The HTTP front end of the analysis daemon.
+
+A deliberately small, stdlib-only surface (``http.server.ThreadingHTTPServer``
+-- one handler thread per connection, no third-party dependencies):
+
+========  ===========  ====================================================
+method    path         body
+========  ===========  ====================================================
+``POST``  /analyze     :class:`~repro.service.api.AnalyzeRequest` JSON in,
+                       :class:`~repro.service.api.AnalyzeResponse` JSON out
+``GET``   /healthz     liveness + the spec id currently being served
+``GET``   /specs       the store listing (one record per stored version)
+``GET``   /metrics     :meth:`~repro.server.metrics.ServerMetrics.snapshot`
+========  ===========  ====================================================
+
+Status mapping for ``/analyze``: ``200`` on success, ``400`` for malformed
+JSON / an unsupported ``format`` version / unknown app names, ``404`` for a
+spec id the store does not hold, ``503`` + ``Retry-After`` when the bounded
+request queue is full (backpressure, see
+:class:`~repro.server.pool.PoolSaturated`), ``500`` for unexpected analysis
+failures.  Every ``/analyze`` outcome is folded into the shared metrics.
+
+:class:`AnalysisServer` ties the pieces together and is what both ``repro
+serve`` and the in-process tests drive::
+
+    >>> server = AnalysisServer(store, port=0, workers=4)   # port 0: ephemeral
+    >>> server.start()
+    >>> server.url
+    'http://127.0.0.1:49502'
+    >>> server.close()
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Optional, Tuple
+
+from repro.engine.events import EventSink, FanOutSink
+from repro.server.metrics import MetricsSink, ServerMetrics
+from repro.server.pool import DEFAULT_QUEUE_DEPTH, PoolSaturated, WarmWorkerPool
+from repro.service.api import AnalyzeRequest, UnknownAppsError
+from repro.service.store import SpecNotFoundError, SpecStore
+
+DEFAULT_HOST = "127.0.0.1"
+DEFAULT_PORT = 8080
+DEFAULT_POLL_INTERVAL_SECONDS = 2.0
+
+
+class _RequestHandler(BaseHTTPRequestHandler):
+    """Routes the four endpoints; all state lives on the server object."""
+
+    server_version = "repro-serve/1"
+    protocol_version = "HTTP/1.1"
+
+    # ----------------------------------------------------------------- plumbing
+    def log_message(self, format: str, *args) -> None:  # noqa: A002 - stdlib name
+        pass  # request logging is the metrics endpoint's job, not stderr's
+
+    def _send_json(
+        self,
+        status: int,
+        payload,
+        extra_headers: Optional[dict] = None,
+        compact: bool = False,
+    ) -> None:
+        # machine-consumed hot-path responses are compact; GETs stay readable
+        rendered = (
+            json.dumps(payload, separators=(",", ":"))
+            if compact
+            else json.dumps(payload, indent=1)
+        )
+        body = rendered.encode("utf-8") + b"\n"
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        for name, value in (extra_headers or {}).items():
+            self.send_header(name, value)
+        self.end_headers()
+        self.wfile.write(body)
+
+    @property
+    def _pool(self) -> WarmWorkerPool:
+        return self.server.pool  # type: ignore[attr-defined]
+
+    @property
+    def _metrics(self) -> ServerMetrics:
+        return self.server.metrics  # type: ignore[attr-defined]
+
+    @property
+    def _store(self) -> SpecStore:
+        return self.server.store  # type: ignore[attr-defined]
+
+    # ------------------------------------------------------------------- routes
+    def do_GET(self) -> None:  # noqa: N802 - stdlib naming
+        if self.path == "/healthz":
+            self._send_json(
+                200,
+                {
+                    "status": "ok",
+                    "spec_id": self._pool.current_spec_id,
+                    "workers": self._pool.workers,
+                    "uptime_seconds": time.time() - self._metrics.started_at,
+                },
+            )
+        elif self.path == "/specs":
+            self._send_json(
+                200,
+                {
+                    "current": self._pool.current_spec_id,
+                    "specs": [record.to_dict() for record in self._store.records()],
+                },
+            )
+        elif self.path == "/metrics":
+            self._send_json(
+                200,
+                self._metrics.snapshot(
+                    queue_depth=self._pool.queue_depth,
+                    queue_capacity=self._pool.queue_capacity,
+                    workers=self._pool.workers,
+                ),
+            )
+        else:
+            self._send_json(404, {"error": f"no such endpoint: {self.path}"})
+
+    def _read_body(self) -> Optional[bytes]:
+        """Drain the request body; ``None`` (and no keep-alive) if unreadable.
+
+        The body must be consumed before *any* response on an HTTP/1.1
+        connection -- leftover bytes would be parsed as the start of the
+        client's next request.  An unparseable ``Content-Length`` makes the
+        remaining stream unframeable, so the connection is closed instead.
+        """
+        try:
+            length = int(self.headers.get("Content-Length", 0))
+        except ValueError:
+            self.close_connection = True
+            return None
+        return self.rfile.read(length) if length > 0 else b""
+
+    def do_POST(self) -> None:  # noqa: N802 - stdlib naming
+        body = self._read_body()
+        if self.path != "/analyze":
+            self._send_json(404, {"error": f"no such endpoint: {self.path}"})
+            return
+        started = time.perf_counter()
+        status, payload, headers = self._analyze(body)
+        self._metrics.record_request(status, time.perf_counter() - started)
+        self._send_json(status, payload, extra_headers=headers, compact=status == 200)
+
+    def _analyze(self, body: Optional[bytes]) -> Tuple[int, dict, Optional[dict]]:
+        """Run one /analyze request; returns (status, body, extra headers)."""
+        if body is None:
+            return 400, {"error": "invalid Content-Length header"}, None
+        try:
+            data = json.loads(body.decode("utf-8")) if body else {}
+        except (ValueError, UnicodeDecodeError) as error:
+            return 400, {"error": f"invalid JSON body: {error}"}, None
+        try:
+            request = AnalyzeRequest.from_dict(data)
+        except (ValueError, TypeError, AttributeError) as error:
+            return 400, {"error": f"bad request: {error}"}, None
+        try:
+            future = self._pool.submit(request)
+        except PoolSaturated as error:
+            return (
+                503,
+                {"error": str(error), "retry_after_seconds": error.retry_after_seconds},
+                {"Retry-After": str(error.retry_after_seconds)},
+            )
+        except RuntimeError as error:  # pool stopping: the shutdown race ends 503, not reset
+            return 503, {"error": f"server unavailable: {error}"}, {"Retry-After": "1"}
+        try:
+            response = future.result()
+        except SpecNotFoundError as error:
+            return 404, {"error": f"unknown spec: {error}"}, None
+        except UnknownAppsError as error:
+            return 400, {"error": f"bad request: {error}"}, None
+        except Exception as error:  # noqa: BLE001 - the wire needs *some* answer
+            return 500, {"error": f"analysis failed: {error}"}, None
+        return 200, response.to_dict(), None
+
+
+class AnalysisHTTPServer(ThreadingHTTPServer):
+    """A ``ThreadingHTTPServer`` carrying the daemon's shared state."""
+
+    daemon_threads = True
+    allow_reuse_address = True
+
+    def __init__(self, address, pool: WarmWorkerPool, metrics: ServerMetrics, store: SpecStore):
+        super().__init__(address, _RequestHandler)
+        self.pool = pool
+        self.metrics = metrics
+        self.store = store
+
+
+class AnalysisServer:
+    """The resident analysis daemon: pool + metrics + HTTP, one lifecycle.
+
+    ``start()`` compiles every worker's analyzer (so the first request is
+    warm), begins store polling for hot reload, and serves HTTP on a
+    background thread; ``close()`` (or the context manager) tears all of it
+    down.  ``port=0`` binds an ephemeral port -- read it back from
+    :attr:`address` / :attr:`url`, which is how tests and
+    ``examples/serve_http.py`` run hermetically.
+    """
+
+    def __init__(
+        self,
+        store: SpecStore,
+        host: str = DEFAULT_HOST,
+        port: int = DEFAULT_PORT,
+        workers: int = 2,
+        queue_depth: int = DEFAULT_QUEUE_DEPTH,
+        events: Optional[EventSink] = None,
+        poll_interval: float = DEFAULT_POLL_INTERVAL_SECONDS,
+        metrics: Optional[ServerMetrics] = None,
+        library_program=None,
+        interface=None,
+        handler=None,
+    ):
+        self.store = store
+        self.host = host
+        self.port = port
+        self.poll_interval = poll_interval
+        self.metrics = metrics if metrics is not None else ServerMetrics()
+        sinks: list = [MetricsSink(self.metrics)]
+        if events is not None:
+            sinks.append(events)
+        self.events = FanOutSink(sinks)
+        self.pool = WarmWorkerPool(
+            store,
+            workers=workers,
+            queue_depth=queue_depth,
+            events=self.events,
+            library_program=library_program,
+            interface=interface,
+            handler=handler,
+        )
+        self._httpd: Optional[AnalysisHTTPServer] = None
+        self._thread: Optional[threading.Thread] = None
+
+    # ----------------------------------------------------------------- lifecycle
+    def start(self) -> None:
+        """Warm the workers, bind the socket, serve on a background thread."""
+        if self._httpd is not None:
+            raise RuntimeError("server already started")
+        self.pool.start()
+        self.pool.start_polling(self.poll_interval)
+        self._httpd = AnalysisHTTPServer(
+            (self.host, self.port), self.pool, self.metrics, self.store
+        )
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever, name="repro-serve-http", daemon=True
+        )
+        self._thread.start()
+
+    def serve_forever(self) -> None:
+        """Block the calling thread until :meth:`close` (or interrupt)."""
+        if self._thread is None:
+            raise RuntimeError("server is not running (call start() first)")
+        self._thread.join()
+
+    def close(self) -> None:
+        """Stop accepting connections, drain queued requests, stop workers."""
+        if self._httpd is not None:
+            self._httpd.shutdown()
+            self._httpd.server_close()
+            self._httpd = None
+            self._thread = None
+        if self.pool.running:  # tolerate close() after a failed start()
+            self.pool.stop()
+
+    def __enter__(self) -> "AnalysisServer":
+        self.start()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------ address
+    @property
+    def address(self) -> Tuple[str, int]:
+        """The bound ``(host, port)`` -- the real port even when 0 was asked."""
+        if self._httpd is None:
+            raise RuntimeError("server is not running")
+        return self._httpd.server_address[0], self._httpd.server_address[1]
+
+    @property
+    def url(self) -> str:
+        host, port = self.address
+        return f"http://{host}:{port}"
+
+
+__all__ = [
+    "AnalysisHTTPServer",
+    "AnalysisServer",
+    "DEFAULT_HOST",
+    "DEFAULT_POLL_INTERVAL_SECONDS",
+    "DEFAULT_PORT",
+]

@@ -1,0 +1,195 @@
+"""Thread-safe request metrics for the analysis daemon.
+
+One :class:`ServerMetrics` instance is shared by every handler thread and
+warm worker of an :class:`~repro.server.http.AnalysisServer`; the ``GET
+/metrics`` endpoint renders :meth:`ServerMetrics.snapshot` as JSON.  Two
+feeds fill it:
+
+* the HTTP layer records each request's status class and wall-clock latency
+  (:meth:`ServerMetrics.record_request`), and
+* :class:`MetricsSink` -- an :class:`~repro.engine.events.EventSink` --
+  counts the engine telemetry the workers emit while analyzing
+  (:class:`~repro.engine.events.AnalysisFinished` per program,
+  :class:`~repro.engine.events.SpecCompiled` per worker compilation,
+  :class:`~repro.engine.events.SpecReloaded` per hot reload), so the
+  per-worker compile counters that prove "specs are compiled once per
+  worker, not once per request" come from the same event stream every other
+  engine consumer uses.
+
+Example::
+
+    >>> metrics = ServerMetrics()
+    >>> metrics.record_request(200, 0.012)
+    >>> metrics.snapshot()["requests"]["total"]
+    1
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+import time
+from collections import deque
+from typing import Deque, Dict, List, Optional
+
+from repro.engine.events import (
+    AnalysisFinished,
+    BatchFinished,
+    EngineEvent,
+    EventSink,
+    SpecCompiled,
+    SpecReloaded,
+)
+
+#: latencies kept for percentile estimation (a sliding window, so a
+#: long-lived daemon reports recent behavior, not its whole history)
+DEFAULT_LATENCY_WINDOW = 1024
+
+_PERCENTILES = (50.0, 90.0, 99.0)
+
+
+def percentile(sorted_values: List[float], fraction: float) -> float:
+    """Nearest-rank percentile (``ceil(P/100 * N)``) of a sorted, non-empty list."""
+    if not sorted_values:
+        raise ValueError("percentile of an empty list")
+    rank = math.ceil(fraction / 100.0 * len(sorted_values)) - 1
+    return sorted_values[max(0, min(len(sorted_values) - 1, rank))]
+
+
+class ServerMetrics:
+    """Counters and latency percentiles for one daemon instance.
+
+    Every mutator takes the instance lock, so handler threads, worker
+    threads, and the store poller can all write concurrently;
+    :meth:`snapshot` returns a plain, JSON-serializable dict computed under
+    the same lock.
+    """
+
+    def __init__(self, latency_window: int = DEFAULT_LATENCY_WINDOW):
+        self._lock = threading.Lock()
+        self.started_at = time.time()
+        self.requests_total = 0
+        self.responses_by_status: Dict[int, int] = {}
+        self.rejected_total = 0  # 503s: queue full, request shed
+        self.analyses_total = 0
+        self.flows_total = 0
+        self.batches_total = 0
+        self.spec_compilations_total = 0
+        self.spec_compilations_by_worker: Dict[str, int] = {}
+        self.hot_reloads_total = 0
+        self._latencies: Deque[float] = deque(maxlen=latency_window)
+
+    # --------------------------------------------------------------- recording
+    def record_request(self, status: int, seconds: float) -> None:
+        """Count one finished HTTP request; latency feeds the window on 200s.
+
+        Only successful analyses contribute to the percentile window --
+        under backpressure, near-instant 503 rejections would otherwise
+        drown out the served-request latencies an operator actually needs.
+        """
+        with self._lock:
+            self.requests_total += 1
+            self.responses_by_status[status] = self.responses_by_status.get(status, 0) + 1
+            if status == 503:
+                self.rejected_total += 1
+            if status == 200:
+                self._latencies.append(seconds)
+
+    def record_event(self, event: EngineEvent) -> None:
+        """Fold one engine event into the counters (see :class:`MetricsSink`)."""
+        with self._lock:
+            if isinstance(event, AnalysisFinished):
+                self.analyses_total += 1
+                self.flows_total += event.flows
+            elif isinstance(event, BatchFinished):
+                self.batches_total += 1
+            elif isinstance(event, SpecCompiled):
+                self.spec_compilations_total += 1
+                self.spec_compilations_by_worker[event.worker] = (
+                    self.spec_compilations_by_worker.get(event.worker, 0) + 1
+                )
+            elif isinstance(event, SpecReloaded):
+                self.hot_reloads_total += 1
+
+    # ---------------------------------------------------------------- snapshot
+    def snapshot(
+        self,
+        queue_depth: Optional[int] = None,
+        queue_capacity: Optional[int] = None,
+        workers: Optional[int] = None,
+    ) -> Dict:
+        """A JSON-serializable view of every counter, plus live gauges.
+
+        The queue/worker gauges describe the pool at scrape time and are
+        passed in by the HTTP layer (the metrics object itself does not hold
+        a pool reference).
+        """
+        with self._lock:
+            ordered = sorted(self._latencies)
+            latency = {
+                "count": len(ordered),
+                "percentiles_seconds": {
+                    f"p{fraction:g}": percentile(ordered, fraction) for fraction in _PERCENTILES
+                }
+                if ordered
+                else {},
+                "max_seconds": ordered[-1] if ordered else None,
+            }
+            snapshot = {
+                "uptime_seconds": time.time() - self.started_at,
+                "requests": {
+                    "total": self.requests_total,
+                    "by_status": {str(k): v for k, v in sorted(self.responses_by_status.items())},
+                    "rejected": self.rejected_total,
+                },
+                "latency": latency,
+                "analyses": {
+                    "programs": self.analyses_total,
+                    "flows": self.flows_total,
+                    "batches": self.batches_total,
+                },
+                "specs": {
+                    "compilations": self.spec_compilations_total,
+                    "compilations_by_worker": dict(
+                        sorted(self.spec_compilations_by_worker.items())
+                    ),
+                    "hot_reloads": self.hot_reloads_total,
+                },
+            }
+        queue: Dict = {}
+        if queue_depth is not None:
+            queue["depth"] = queue_depth
+        if queue_capacity is not None:
+            queue["capacity"] = queue_capacity
+        if queue:
+            snapshot["queue"] = queue
+        if workers is not None:
+            snapshot["workers"] = workers
+        return snapshot
+
+
+class MetricsSink(EventSink):
+    """Routes engine events into a :class:`ServerMetrics` instance.
+
+    Compose it with a :class:`~repro.engine.events.FanOutSink` to keep a
+    progress stream *and* metrics fed from one event flow::
+
+        >>> from repro.engine.events import FanOutSink, StreamSink
+        >>> import sys
+        >>> metrics = ServerMetrics()
+        >>> sink = FanOutSink([MetricsSink(metrics), StreamSink(sys.stderr)])
+    """
+
+    def __init__(self, metrics: ServerMetrics):
+        self.metrics = metrics
+
+    def emit(self, event: EngineEvent) -> None:
+        self.metrics.record_event(event)
+
+
+__all__ = [
+    "DEFAULT_LATENCY_WINDOW",
+    "MetricsSink",
+    "ServerMetrics",
+    "percentile",
+]

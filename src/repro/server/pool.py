@@ -1,0 +1,358 @@
+"""Warm analysis workers behind a bounded request queue.
+
+The whole point of the daemon is amortization: a one-shot ``repro analyze``
+pays spec loading + code-fragment compilation + base-program merging on
+every invocation, while a :class:`WarmWorkerPool` worker pays it **once at
+startup** (emitting :class:`~repro.engine.events.SpecCompiled` so the cost
+is observable) and then answers any number of requests against the resident
+:class:`~repro.service.analyzer.ClientAnalyzer`.
+
+Three properties the HTTP front end relies on:
+
+* **Backpressure** -- the request queue is bounded; :meth:`WarmWorkerPool.submit`
+  raises :class:`PoolSaturated` instead of queueing unboundedly, which the
+  HTTP layer translates to ``503`` + ``Retry-After``.
+* **Hot reload** -- :meth:`WarmWorkerPool.poll_once` re-reads the store's
+  append-only index; when a newer latest spec appears, workers lazily
+  recompile before their *next* request while in-flight requests finish on
+  the analyzer they started with.
+* **Bit-identical answers** -- workers serve requests through
+  :func:`repro.service.api.run_request`, the same cheap half used by
+  :func:`~repro.service.api.handle_request`, so a daemon response equals a
+  one-shot response for the same request document.
+
+Example::
+
+    >>> pool = WarmWorkerPool(store, workers=4, queue_depth=16)
+    >>> pool.start()                       # 4 analyzers compiled, once each
+    >>> future = pool.submit(AnalyzeRequest(suite=SuiteSpec(count=5)))
+    >>> response = future.result()
+    >>> pool.stop()
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import time
+from concurrent.futures import Future
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.engine.cache import program_fingerprint
+from repro.engine.events import EventSink, NullSink, SpecCompiled, SpecReloaded
+from repro.library.registry import build_interface, build_library_program
+from repro.service.analyzer import ClientAnalyzer
+from repro.service.api import AnalyzeRequest, AnalyzeResponse, run_request
+from repro.service.store import SpecNotFoundError, SpecStore
+
+DEFAULT_QUEUE_DEPTH = 16
+DEFAULT_RETRY_AFTER_SECONDS = 1
+#: per-worker compiled-analyzer cache bound (current spec + reload/pin history)
+MAX_CACHED_ANALYZERS = 4
+
+
+class PoolSaturated(RuntimeError):
+    """The bounded request queue is full; shed this request.
+
+    ``retry_after_seconds`` is a hint for the HTTP ``Retry-After`` header.
+    """
+
+    def __init__(self, depth: int, retry_after_seconds: int = DEFAULT_RETRY_AFTER_SECONDS):
+        super().__init__(f"request queue full ({depth} requests pending)")
+        self.depth = depth
+        self.retry_after_seconds = retry_after_seconds
+
+
+@dataclass
+class _Job:
+    request: AnalyzeRequest
+    future: "Future[AnalyzeResponse]" = field(default_factory=Future)
+
+
+_SHUTDOWN = object()
+
+#: request-handling strategy a worker runs; replaceable in tests to simulate
+#: slow or failing analyses without real inference
+Handler = Callable[[AnalyzeRequest, ClientAnalyzer], AnalyzeResponse]
+
+
+class WarmWorkerPool:
+    """A fixed set of worker threads sharing one bounded request queue.
+
+    Each worker owns its analyzers (compiled from the shared
+    :class:`~repro.service.store.SpecStore`, cached per spec id), so no lock
+    is held while analyzing.  The library program and interface are built
+    once and shared read-only across workers.
+    """
+
+    def __init__(
+        self,
+        store: SpecStore,
+        workers: int = 2,
+        queue_depth: int = DEFAULT_QUEUE_DEPTH,
+        events: Optional[EventSink] = None,
+        library_program=None,
+        interface=None,
+        handler: Optional[Handler] = None,
+    ):
+        self.store = store
+        self.workers = max(1, int(workers))
+        self.queue_capacity = max(1, int(queue_depth))
+        self.events = events if events is not None else NullSink()
+        self.library_program = (
+            library_program if library_program is not None else build_library_program()
+        )
+        self.interface = (
+            interface if interface is not None else build_interface(self.library_program)
+        )
+        self._fingerprint = program_fingerprint(self.library_program)
+        self._handler: Handler = handler if handler is not None else self._analyze
+        self._queue: "queue.Queue" = queue.Queue(maxsize=self.queue_capacity)
+        self._threads: List[threading.Thread] = []
+        self._lock = threading.Lock()
+        self._generation = 0
+        self._target_spec_id: Optional[str] = None
+        self._startup_errors: List[BaseException] = []
+        self._started = False
+        self._poller: Optional[threading.Thread] = None
+        self._stop_polling = threading.Event()
+
+    # ----------------------------------------------------------------- lifecycle
+    def start(self) -> None:
+        """Resolve the latest spec and spin up the workers.
+
+        Blocks until every worker has compiled its analyzer -- after
+        ``start()`` returns, the first request is served warm.  Raises
+        :class:`~repro.service.store.SpecNotFoundError` when the store holds
+        nothing for this library (learn first, then serve).
+        """
+        if self._started:
+            raise RuntimeError("pool already started")
+        self._startup_errors = []  # a failed earlier start() must not haunt a retry
+        record = self.store.latest(fingerprint=self._fingerprint)
+        if record is None:
+            raise SpecNotFoundError(
+                f"no stored specification for this library in {self.store.root} "
+                "(run `repro learn` before `repro serve`)"
+            )
+        self._target_spec_id = record.spec_id
+        ready: List[threading.Event] = []
+        for index in range(self.workers):
+            event = threading.Event()
+            thread = threading.Thread(
+                target=self._worker_loop,
+                args=(f"worker-{index}", event),
+                name=f"repro-serve-{index}",
+                daemon=True,
+            )
+            ready.append(event)
+            self._threads.append(thread)
+            thread.start()
+        for event in ready:
+            event.wait()
+        if self._startup_errors:
+            self.stop()
+            raise self._startup_errors[0]
+        with self._lock:
+            self._started = True
+
+    def stop(self) -> None:
+        """Drain queued requests, then stop every worker (and the poller)."""
+        self.stop_polling()
+        with self._lock:
+            # flipped under the lock submit() holds, so no job can be
+            # enqueued behind the shutdown sentinels and starve its future
+            self._started = False
+        # one sentinel per live worker, with a bounded-queue escape hatch: if
+        # every worker is already dead (failed startup), blocking put()s into
+        # a full queue would deadlock -- bail and let the drain below clean up
+        # snapshot liveness first: a lazily-evaluated check would under-count
+        # (a worker can consume an earlier sentinel and die mid-iteration)
+        for _ in [thread for thread in self._threads if thread.is_alive()]:
+            while True:
+                try:
+                    self._queue.put(_SHUTDOWN, timeout=0.1)
+                    break
+                except queue.Full:
+                    if not any(thread.is_alive() for thread in self._threads):
+                        break
+        for thread in self._threads:
+            thread.join()
+        self._threads = []
+        # fail any straggler that raced the flag rather than hanging its caller
+        while True:
+            try:
+                job = self._queue.get_nowait()
+            except queue.Empty:
+                break
+            if job is not _SHUTDOWN:
+                job.future.set_exception(RuntimeError("pool is shutting down"))
+
+    def __enter__(self) -> "WarmWorkerPool":
+        self.start()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    # ----------------------------------------------------------------- requests
+    def submit(self, request: AnalyzeRequest) -> "Future[AnalyzeResponse]":
+        """Enqueue one request; the future resolves when a worker finishes it.
+
+        Raises :class:`PoolSaturated` (never blocks) when the queue is full.
+        """
+        job = _Job(request)
+        with self._lock:
+            if not self._started:
+                raise RuntimeError("pool is not running (call start() first)")
+            try:
+                self._queue.put_nowait(job)
+            except queue.Full:
+                raise PoolSaturated(self.queue_capacity) from None
+        return job.future
+
+    @property
+    def running(self) -> bool:
+        """True between a successful :meth:`start` and :meth:`stop`."""
+        return self._started
+
+    @property
+    def queue_depth(self) -> int:
+        """Requests currently waiting for a worker (a point-in-time gauge)."""
+        return self._queue.qsize()
+
+    @property
+    def current_spec_id(self) -> Optional[str]:
+        """The spec id new requests without an explicit pin are served under."""
+        with self._lock:
+            return self._target_spec_id
+
+    # --------------------------------------------------------------- hot reload
+    def poll_once(self) -> bool:
+        """Check the store for a newer latest spec; returns True on a swap.
+
+        The swap only moves the *target*: each worker recompiles lazily
+        before its next request (emitting another
+        :class:`~repro.engine.events.SpecCompiled`), so in-flight requests
+        are never dropped or migrated mid-analysis.
+        """
+        record = self.store.latest(fingerprint=self._fingerprint)
+        if record is None:
+            return False
+        with self._lock:
+            if record.spec_id == self._target_spec_id:
+                return False
+            previous = self._target_spec_id
+            self._target_spec_id = record.spec_id
+            self._generation += 1
+        self.events.emit(SpecReloaded(previous_spec_id=previous or "", spec_id=record.spec_id))
+        return True
+
+    def start_polling(self, interval_seconds: float) -> None:
+        """Poll the store for new specs every *interval_seconds* in a thread."""
+        if self._poller is not None or interval_seconds <= 0:
+            return
+        self._stop_polling.clear()
+
+        def loop() -> None:
+            while not self._stop_polling.wait(interval_seconds):
+                try:
+                    self.poll_once()
+                except Exception:  # noqa: BLE001 - a transient store read error
+                    pass  # must not kill the poller (and hot reload) for good
+
+        self._poller = threading.Thread(target=loop, name="repro-serve-poller", daemon=True)
+        self._poller.start()
+
+    def stop_polling(self) -> None:
+        if self._poller is None:
+            return
+        self._stop_polling.set()
+        self._poller.join()
+        self._poller = None
+
+    # ------------------------------------------------------------------ workers
+    def _target(self) -> Tuple[int, Optional[str]]:
+        with self._lock:
+            return self._generation, self._target_spec_id
+
+    def _compile(self, worker: str, spec_id: str) -> ClientAnalyzer:
+        started = time.perf_counter()
+        analyzer = ClientAnalyzer.from_store(
+            self.store,
+            spec_id=spec_id,
+            library_program=self.library_program,
+            interface=self.interface,
+        )
+        self.events.emit(
+            SpecCompiled(
+                worker=worker,
+                spec_id=analyzer.spec_id,
+                elapsed_seconds=time.perf_counter() - started,
+            )
+        )
+        return analyzer
+
+    def _analyze(self, request: AnalyzeRequest, analyzer: ClientAnalyzer) -> AnalyzeResponse:
+        return run_request(request, analyzer, events=self.events)
+
+    def _worker_loop(self, name: str, ready: threading.Event) -> None:
+        analyzers: Dict[str, ClientAnalyzer] = {}
+        try:
+            generation, spec_id = self._target()
+            current = self._compile(name, spec_id)
+            analyzers[spec_id] = current
+        except BaseException as error:  # surface to start() instead of hanging it
+            self._startup_errors.append(error)
+            ready.set()
+            return
+        ready.set()
+        while True:
+            job = self._queue.get()
+            if job is _SHUTDOWN:
+                return
+            try:
+                latest_generation, latest_spec_id = self._target()
+                if latest_generation != generation:
+                    if latest_spec_id not in analyzers:
+                        analyzers[latest_spec_id] = self._compile(name, latest_spec_id)
+                    current = analyzers[latest_spec_id]
+                    # advanced only after a successful compile: a failed
+                    # reload fails this request but is retried on the next
+                    generation = latest_generation
+                analyzer = current
+                pinned = job.request.spec_id
+                if pinned is not None and pinned != analyzer.spec_id:
+                    if pinned not in analyzers:
+                        analyzers[pinned] = self._compile(name, pinned)
+                    analyzer = analyzers[pinned]
+                self._evict_stale(analyzers, keep=current.spec_id, also=analyzer.spec_id)
+                job.future.set_result(self._handler(job.request, analyzer))
+            except BaseException as error:
+                job.future.set_exception(error)
+
+    def _evict_stale(self, analyzers: Dict[str, ClientAnalyzer], keep: str, also: str) -> None:
+        """Bound a worker's analyzer cache (hot reloads / pinned ids add up).
+
+        Keeps the analyzer serving unpinned requests (and the one just used)
+        and drops the oldest others past :data:`MAX_CACHED_ANALYZERS` -- a
+        long-lived daemon's memory must not grow with the number of deploys
+        or with clients pinning historical spec ids.
+        """
+        while len(analyzers) > MAX_CACHED_ANALYZERS:
+            for spec_id in analyzers:
+                if spec_id not in (keep, also):
+                    del analyzers[spec_id]
+                    break
+            else:
+                return
+
+
+__all__ = [
+    "DEFAULT_QUEUE_DEPTH",
+    "Handler",
+    "MAX_CACHED_ANALYZERS",
+    "PoolSaturated",
+    "WarmWorkerPool",
+]

@@ -16,7 +16,9 @@ expensive artifact is paid for once and queried many times:
   deterministic merge order and structured telemetry.
 * :mod:`repro.service.api` -- the JSON request/response surface
   (:class:`AnalyzeRequest` -> per-program :class:`FlowReport` s) shared by the
-  ``repro`` CLI and ``examples/serve_flows.py``.
+  ``repro`` CLI, ``examples/serve_flows.py``, and -- via its
+  :func:`resolve_analyzer` / :func:`run_request` split -- the
+  :mod:`repro.server` daemon's warm workers.
 """
 
 from repro.service.analyzer import (
@@ -26,7 +28,16 @@ from repro.service.analyzer import (
     flow_from_dict,
     flow_to_dict,
 )
-from repro.service.api import AnalyzeRequest, AnalyzeResponse, SuiteSpec, handle_request
+from repro.service.api import (
+    AnalyzeRequest,
+    AnalyzeResponse,
+    SuiteSpec,
+    UnknownAppsError,
+    build_corpus,
+    handle_request,
+    resolve_analyzer,
+    run_request,
+)
 from repro.service.batch import BatchAnalysisScheduler, BatchResult
 from repro.service.store import (
     SpecIntegrityError,
@@ -51,8 +62,12 @@ __all__ = [
     "SpecStore",
     "SpecStoreError",
     "SuiteSpec",
+    "UnknownAppsError",
+    "build_corpus",
     "config_digest",
     "flow_from_dict",
     "flow_to_dict",
     "handle_request",
+    "resolve_analyzer",
+    "run_request",
 ]

@@ -8,13 +8,35 @@ specific apps), choose a worker count, and get back one
 plain-dict serializable, so requests can live in files, travel over a wire,
 or be built programmatically -- :func:`handle_request` is the single entry
 point the CLI, the examples, and the tests all share.
+
+The entry point splits into two halves so callers with different lifetimes
+can share the exact same request semantics:
+
+* :func:`resolve_analyzer` -- the expensive half: resolve the request's spec
+  id against a store and compile it to a :class:`ClientAnalyzer` (one-shot
+  callers pay this per call; the :mod:`repro.server` daemon pays it once per
+  warm worker and then reuses the analyzer across requests).
+* :func:`run_request` -- the cheap half: build the corpus and fan it across
+  the batch scheduler under an already-compiled analyzer.
+
+``handle_request = run_request . resolve_analyzer``, so a daemon response is
+bit-identical to a one-shot response for the same request document.
+
+Example (one-shot, against a store that already holds a learned spec)::
+
+    >>> from repro.service import AnalyzeRequest, SpecStore, SuiteSpec, handle_request
+    >>> request = AnalyzeRequest(suite=SuiteSpec(count=3, max_statements=50))
+    >>> response = handle_request(request, SpecStore(".repro-specs"))
+    >>> [report.program for report in response.result.reports]
+    ['App00', 'App01', 'App02']
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
+from repro.benchgen.generator import GeneratedApp
 from repro.benchgen.suite import benchmark_suite
 from repro.engine.events import EventSink
 from repro.library.registry import build_library_program
@@ -26,9 +48,27 @@ REQUEST_FORMAT = "repro.service.analyze-request/1"
 RESPONSE_FORMAT = "repro.service.analyze-response/1"
 
 
+class UnknownAppsError(KeyError):
+    """The request's ``apps`` filter names programs the suite does not contain.
+
+    A distinct type (not a bare :class:`KeyError`) so transport layers can
+    map *this* to a client error without accidentally reclassifying an
+    internal ``KeyError`` from the analysis path as the client's fault.
+    """
+
+
 @dataclass(frozen=True)
 class SuiteSpec:
-    """The corpus half of a request: a deterministic generated suite."""
+    """The corpus half of a request: a deterministic generated suite.
+
+    The same ``(count, seed, max_statements, min_statements)`` tuple always
+    names the same programs, so a request document fully determines its
+    corpus -- two services given the same ``SuiteSpec`` analyze identical
+    inputs::
+
+        >>> SuiteSpec.from_dict({"count": 3})           # sparse documents are fine
+        SuiteSpec(count=3, seed=2018, max_statements=120, min_statements=30)
+    """
 
     count: int = 20
     seed: int = 2018
@@ -61,6 +101,17 @@ class AnalyzeRequest:
     ``spec_id=None`` selects the latest stored specification for the
     library; ``apps`` (names from the generated suite) restricts the corpus;
     ``workers`` picks serial (``<= 1``) or process-pool execution.
+
+    Wire documents are version-checked: :meth:`from_dict` rejects any
+    ``format`` other than :data:`REQUEST_FORMAT`, so a client speaking a
+    newer request dialect fails loudly instead of being half-understood::
+
+        >>> AnalyzeRequest.from_dict({"suite": {"count": 5}, "workers": 2}).workers
+        2
+        >>> AnalyzeRequest.from_dict({"format": "repro.service.analyze-request/999"})
+        Traceback (most recent call last):
+            ...
+        ValueError: unsupported request format 'repro.service.analyze-request/999'
     """
 
     suite: SuiteSpec = SuiteSpec()
@@ -109,18 +160,42 @@ class AnalyzeResponse:
         return payload
 
 
-def handle_request(
+def resolve_analyzer(
     request: AnalyzeRequest,
     store: SpecStore,
-    events: Optional[EventSink] = None,
     library_program=None,
     interface=None,
-) -> AnalyzeResponse:
-    """Serve one request end to end: resolve specs, build corpus, analyze."""
-    library = library_program if library_program is not None else build_library_program()
-    analyzer = ClientAnalyzer.from_store(
-        store, spec_id=request.spec_id, library_program=library, interface=interface
+) -> ClientAnalyzer:
+    """Compile the specification a request names into a :class:`ClientAnalyzer`.
+
+    This is the expensive, cacheable half of request handling: load the
+    stored automaton (``request.spec_id``, or the latest record for the
+    library when ``None``), regenerate its code-fragment specifications, and
+    merge them with the library stubs and source/sink framework into one
+    base program.  Raises
+    :class:`~repro.service.store.SpecNotFoundError` when the store has no
+    matching record.  One-shot callers (:func:`handle_request`) do this per
+    call; the :mod:`repro.server` warm workers do it once and answer many
+    requests from the result.
+    """
+    return ClientAnalyzer.from_store(
+        store,
+        spec_id=request.spec_id,
+        library_program=library_program,
+        interface=interface,
     )
+
+
+def build_corpus(request: AnalyzeRequest) -> List[GeneratedApp]:
+    """Materialize the deterministic client-program corpus a request names.
+
+    Generates the seeded :mod:`repro.benchgen` suite described by
+    ``request.suite`` and applies the optional ``request.apps`` name filter
+    (preserving suite order).  Raises :class:`UnknownAppsError` when the
+    filter names apps the suite does not contain -- a typo'd request fails
+    instead of silently analyzing fewer programs.  ``count=0`` is legal and
+    yields an empty corpus.
+    """
     suite = benchmark_suite(
         count=request.suite.count,
         seed=request.suite.seed,
@@ -132,16 +207,63 @@ def handle_request(
         wanted = set(request.apps)
         unknown = wanted - {app.name for app in apps}
         if unknown:
-            raise KeyError(f"unknown apps in request: {sorted(unknown)}")
+            raise UnknownAppsError(f"unknown apps in request: {sorted(unknown)}")
         apps = [app for app in apps if app.name in wanted]
+    return apps
+
+
+def run_request(
+    request: AnalyzeRequest,
+    analyzer: ClientAnalyzer,
+    events: Optional[EventSink] = None,
+) -> AnalyzeResponse:
+    """Answer a request under an already-compiled analyzer.
+
+    The cheap half of request handling: build the corpus and fan it across
+    the batch scheduler (``request.workers`` picks serial or process-pool).
+    Because :meth:`FlowReport.canonical` excludes timing and batch merging
+    is corpus-ordered, the response for a given ``(request, spec)`` pair is
+    bit-identical whether the analyzer was compiled just now
+    (:func:`handle_request`) or hours ago by a daemon worker.
+    """
+    apps = build_corpus(request)
     scheduler = BatchAnalysisScheduler(analyzer, workers=request.workers, events=events)
     result = scheduler.analyze_apps(apps)
     return AnalyzeResponse(spec_id=analyzer.spec_id, request=request, result=result)
+
+
+def handle_request(
+    request: AnalyzeRequest,
+    store: SpecStore,
+    events: Optional[EventSink] = None,
+    library_program=None,
+    interface=None,
+) -> AnalyzeResponse:
+    """Serve one request end to end: resolve specs, build corpus, analyze.
+
+    The composition of :func:`resolve_analyzer` and :func:`run_request` --
+    the single entry point shared by ``repro analyze``, ``repro
+    serve-batch``, the examples, and (indirectly, via warm analyzers) the
+    ``repro serve`` daemon::
+
+        >>> response = handle_request(AnalyzeRequest(suite=SuiteSpec(count=2)), store)
+        >>> response.spec_id == store.latest().spec_id
+        True
+    """
+    library = library_program if library_program is not None else build_library_program()
+    analyzer = resolve_analyzer(
+        request, store, library_program=library, interface=interface
+    )
+    return run_request(request, analyzer, events=events)
 
 
 __all__ = [
     "AnalyzeRequest",
     "AnalyzeResponse",
     "SuiteSpec",
+    "UnknownAppsError",
+    "build_corpus",
     "handle_request",
+    "resolve_analyzer",
+    "run_request",
 ]

@@ -115,6 +115,21 @@ class SpecStore:
     cache: a truncated trailing line from an interrupted ``put`` is skipped on
     load) and is re-read on every query, so several processes can share one
     store -- a ``put`` in one process is visible to a ``latest`` in another.
+    That property is what makes the ``repro serve`` daemon's hot reload work:
+    the daemon polls ``latest`` while a separate ``repro learn`` process
+    ``put``s into the same directory.
+
+    The full life cycle::
+
+        >>> store = SpecStore(".repro-specs")
+        >>> record = store.put(result, library_program=library)   # learn once
+        >>> record.spec_id                                        # fp-digest-version
+        'f16f62202a43-3fc43230362a-v1'
+        >>> store.latest().spec_id == record.spec_id              # query many times
+        True
+        >>> reloaded = store.get(record.spec_id, interface=interface)
+        >>> store.verify()                                        # checksum audit
+        []
     """
 
     def __init__(self, root: str):

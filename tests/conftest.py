@@ -59,3 +59,33 @@ def tiny_atlas_result(library_program, interface):
 
     config = AtlasConfig(clusters=[("Box",)], seed=7, enumeration_budget=2_000)
     return InferenceEngine().run(config, library_program=library_program, interface=interface)
+
+
+@pytest.fixture
+def wait_until():
+    """Poll-a-condition helper: ``wait_until(cond)`` -> bool.
+
+    A fixture (not a plain import) because ``import conftest`` would collide
+    with ``benchmarks/conftest.py`` when the whole suite runs together.
+    """
+    import time
+
+    def _wait(condition, timeout=10.0, interval=0.01):
+        deadline = time.monotonic() + timeout
+        while time.monotonic() < deadline:
+            if condition():
+                return True
+            time.sleep(interval)
+        return False
+
+    return _wait
+
+
+@pytest.fixture
+def tiny_store(tmp_path, tiny_atlas_result, library_program):
+    """A fresh SpecStore holding one stored copy of the tiny result."""
+    from repro.service.store import SpecStore
+
+    store = SpecStore(str(tmp_path / "specs"))
+    store.put(tiny_atlas_result, library_program=library_program)
+    return store

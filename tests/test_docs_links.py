@@ -1,0 +1,77 @@
+"""Every relative link in README.md and docs/*.md must resolve.
+
+Markdown link rot is the classic failure mode of "front door" docs; this
+check makes a broken relative link (or a link to a heading that does not
+exist in this repo's own pages) a test failure instead of a reader's 404.
+External ``http(s)://`` links are out of scope -- checking them needs the
+network and their health is not this repo's to fix.
+"""
+
+import os
+import re
+
+import pytest
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+#: [text](target) -- excluding images handled the same way via the optional !
+_LINK = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)\)")
+#: ``[text]: target`` reference-style definitions
+_REF_DEF = re.compile(r"^\[[^\]]+\]:\s+(\S+)", re.MULTILINE)
+
+
+def markdown_files():
+    files = [os.path.join(REPO_ROOT, "README.md")]
+    docs = os.path.join(REPO_ROOT, "docs")
+    for name in sorted(os.listdir(docs)):
+        if name.endswith(".md"):
+            files.append(os.path.join(docs, name))
+    return files
+
+
+def heading_anchors(path):
+    """GitHub-style anchors for every heading in a markdown file."""
+    anchors = set()
+    with open(path, "r", encoding="utf-8") as handle:
+        content = handle.read()
+    # a `# comment` inside a fenced shell block is not a heading
+    content = re.sub(r"```.*?```", "", content, flags=re.DOTALL)
+    for line in content.splitlines():
+        if line.startswith("#"):
+            text = line.lstrip("#").strip()
+            anchor = re.sub(r"[^\w\s-]", "", text.lower())
+            anchors.add(re.sub(r"[\s]+", "-", anchor).strip("-"))
+    return anchors
+
+
+def iter_links(path):
+    with open(path, "r", encoding="utf-8") as handle:
+        content = handle.read()
+    # fenced code blocks contain example snippets, not live links
+    content = re.sub(r"```.*?```", "", content, flags=re.DOTALL)
+    for pattern in (_LINK, _REF_DEF):
+        for match in pattern.finditer(content):
+            yield match.group(1)
+
+
+@pytest.mark.parametrize("path", markdown_files(), ids=lambda p: os.path.relpath(p, REPO_ROOT))
+def test_relative_links_resolve(path):
+    problems = []
+    for target in iter_links(path):
+        if target.startswith(("http://", "https://", "mailto:")):
+            continue
+        base, _, fragment = target.partition("#")
+        resolved = os.path.normpath(os.path.join(os.path.dirname(path), base)) if base else path
+        if base and not os.path.exists(resolved):
+            problems.append(f"{target}: no such file {os.path.relpath(resolved, REPO_ROOT)}")
+            continue
+        if fragment and resolved.endswith(".md") and fragment not in heading_anchors(resolved):
+            problems.append(f"{target}: no heading #{fragment}")
+    assert not problems, f"broken links in {os.path.relpath(path, REPO_ROOT)}: {problems}"
+
+
+def test_readme_and_doc_pages_exist():
+    """The front door and all three subsystem pages are present."""
+    assert os.path.exists(os.path.join(REPO_ROOT, "README.md"))
+    for page in ("architecture.md", "engine.md", "service.md", "server.md"):
+        assert os.path.exists(os.path.join(REPO_ROOT, "docs", page)), page

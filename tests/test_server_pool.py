@@ -1,0 +1,170 @@
+"""Tests for the warm worker pool: one compile per worker, backpressure, reload."""
+
+import threading
+
+import pytest
+
+from repro.engine.events import CollectingSink, SpecCompiled, SpecReloaded
+from repro.server.pool import MAX_CACHED_ANALYZERS, PoolSaturated, WarmWorkerPool
+from repro.service.api import AnalyzeRequest, SuiteSpec, run_request
+from repro.service.store import SpecNotFoundError, SpecStore
+
+SMALL = AnalyzeRequest(suite=SuiteSpec(count=2, max_statements=40))
+
+
+@pytest.fixture
+def pool_factory(tiny_store, library_program, interface):
+    pools = []
+
+    def make(**kwargs):
+        kwargs.setdefault("library_program", library_program)
+        kwargs.setdefault("interface", interface)
+        pool = WarmWorkerPool(tiny_store, **kwargs)
+        pools.append(pool)
+        return pool
+
+    yield make
+    for pool in pools:
+        if pool.running:
+            pool.stop()
+
+
+# ------------------------------------------------------------- warm compilation
+def test_specs_compile_once_per_worker_not_per_request(pool_factory):
+    sink = CollectingSink()
+    pool = pool_factory(workers=2, events=sink)
+    pool.start()
+    futures = [pool.submit(SMALL) for _ in range(6)]
+    responses = [future.result(timeout=60) for future in futures]
+    assert all(len(response.result.reports) == 2 for response in responses)
+    compiled = sink.of_type(SpecCompiled)
+    assert len(compiled) == 2  # one per worker, despite 6 requests
+    assert {event.worker for event in compiled} == {"worker-0", "worker-1"}
+
+
+def test_pool_responses_match_direct_run_request(pool_factory, tiny_store, library_program, interface):
+    from repro.service.api import resolve_analyzer
+
+    pool = pool_factory(workers=1)
+    pool.start()
+    served = pool.submit(SMALL).result(timeout=60)
+    direct = run_request(
+        SMALL, resolve_analyzer(SMALL, tiny_store, library_program=library_program, interface=interface)
+    )
+    assert served.result.canonical() == direct.result.canonical()
+    assert served.spec_id == direct.spec_id
+
+
+# ---------------------------------------------------------------- backpressure
+def test_bounded_queue_saturates_instead_of_growing(pool_factory, wait_until):
+    gate = threading.Event()
+
+    def gated_handler(request, analyzer):
+        gate.wait(30)
+        return run_request(request, analyzer)
+
+    pool = pool_factory(workers=1, queue_depth=1, handler=gated_handler)
+    pool.start()
+    in_flight = pool.submit(SMALL)
+    # the single worker picks the job up, leaving the queue empty again
+    assert wait_until(lambda: pool.queue_depth == 0)
+    queued = pool.submit(SMALL)  # fills the depth-1 queue
+    with pytest.raises(PoolSaturated) as excinfo:
+        pool.submit(SMALL)
+    assert excinfo.value.retry_after_seconds >= 1
+    gate.set()
+    assert len(in_flight.result(timeout=60).result.reports) == 2
+    assert len(queued.result(timeout=60).result.reports) == 2
+
+
+def test_submit_before_start_is_an_error(pool_factory):
+    pool = pool_factory(workers=1)
+    with pytest.raises(RuntimeError):
+        pool.submit(SMALL)
+
+
+# ------------------------------------------------------------------ hot reload
+def test_poll_once_swaps_to_newer_spec(pool_factory, tiny_store, tiny_atlas_result, library_program):
+    sink = CollectingSink()
+    pool = pool_factory(workers=1, events=sink)
+    pool.start()
+    first = pool.submit(SMALL).result(timeout=60)
+    assert first.spec_id == tiny_store.latest().spec_id
+
+    assert pool.poll_once() is False  # nothing new yet
+    newer = tiny_store.put(tiny_atlas_result, library_program=library_program)
+    assert pool.poll_once() is True
+    assert pool.current_spec_id == newer.spec_id
+    reloads = sink.of_type(SpecReloaded)
+    assert len(reloads) == 1 and reloads[0].spec_id == newer.spec_id
+
+    second = pool.submit(SMALL).result(timeout=60)
+    assert second.spec_id == newer.spec_id
+    # the reload cost one extra compile on the (single) worker
+    assert len(sink.of_type(SpecCompiled)) == 2
+
+
+def test_in_flight_request_keeps_its_analyzer_across_reload(
+    pool_factory, tiny_store, tiny_atlas_result, library_program
+):
+    gate = threading.Event()
+    picked_up = threading.Event()
+
+    def gated_handler(request, analyzer):
+        picked_up.set()
+        gate.wait(30)
+        return run_request(request, analyzer)
+
+    pool = pool_factory(workers=1, handler=gated_handler)
+    pool.start()
+    original = pool.current_spec_id
+    in_flight = pool.submit(SMALL)
+    assert picked_up.wait(10)
+    tiny_store.put(tiny_atlas_result, library_program=library_program)
+    assert pool.poll_once() is True  # swap happens while the request runs
+    gate.set()
+    assert in_flight.result(timeout=60).spec_id == original
+
+
+# -------------------------------------------------------------- pinned spec ids
+def test_explicitly_pinned_spec_id_is_served(pool_factory, tiny_store, tiny_atlas_result, library_program):
+    old = tiny_store.latest().spec_id
+    tiny_store.put(tiny_atlas_result, library_program=library_program)
+    sink = CollectingSink()
+    pool = pool_factory(workers=1, events=sink)
+    pool.start()  # compiles the new latest
+    pinned = AnalyzeRequest(suite=SuiteSpec(count=1, max_statements=40), spec_id=old)
+    response = pool.submit(pinned).result(timeout=60)
+    assert response.spec_id == old
+    assert len(sink.of_type(SpecCompiled)) == 2  # latest at startup + pinned on demand
+
+
+def test_unknown_pinned_spec_id_fails_that_request_only(pool_factory):
+    pool = pool_factory(workers=1)
+    pool.start()
+    bad = AnalyzeRequest(suite=SuiteSpec(count=1), spec_id="does-not-exist-v1")
+    with pytest.raises(SpecNotFoundError):
+        pool.submit(bad).result(timeout=60)
+    # the worker survives and keeps serving
+    assert len(pool.submit(SMALL).result(timeout=60).result.reports) == 2
+
+
+def test_worker_analyzer_cache_is_bounded(pool_factory):
+    pool = pool_factory(workers=1)  # not started: _evict_stale is a pure helper
+    analyzers = {f"spec-v{i}": object() for i in range(MAX_CACHED_ANALYZERS + 3)}
+    pool._evict_stale(analyzers, keep="spec-v6", also="spec-v5")
+    assert len(analyzers) == MAX_CACHED_ANALYZERS
+    assert "spec-v6" in analyzers and "spec-v5" in analyzers  # in-use survive
+    assert "spec-v0" not in analyzers  # oldest history evicted first
+
+
+# ----------------------------------------------------------------- empty store
+def test_start_on_empty_store_raises(tmp_path, library_program, interface):
+    pool = WarmWorkerPool(
+        SpecStore(str(tmp_path / "none")),
+        workers=1,
+        library_program=library_program,
+        interface=interface,
+    )
+    with pytest.raises(SpecNotFoundError):
+        pool.start()

@@ -5,7 +5,14 @@ import pytest
 from repro.engine import CollectingSink
 from repro.engine.events import AnalysisFinished
 from repro.service.analyzer import ClientAnalyzer
-from repro.service.api import AnalyzeRequest, SuiteSpec, handle_request
+from repro.service.api import (
+    AnalyzeRequest,
+    SuiteSpec,
+    build_corpus,
+    handle_request,
+    resolve_analyzer,
+    run_request,
+)
 from repro.service.store import SpecNotFoundError, SpecStore
 
 
@@ -39,6 +46,14 @@ def test_request_defaults_tolerate_sparse_documents():
 def test_request_rejects_unknown_format():
     with pytest.raises(ValueError):
         AnalyzeRequest.from_dict({"format": "repro.service.analyze-request/999"})
+
+
+def test_request_rejects_malformed_format_values():
+    # a non-string format is malformed, not merely unknown
+    with pytest.raises(ValueError):
+        AnalyzeRequest.from_dict({"format": 1})
+    with pytest.raises(ValueError):
+        AnalyzeRequest.from_dict({"format": None})
 
 
 # -------------------------------------------------------------------- handling
@@ -88,6 +103,45 @@ def test_empty_store_has_no_latest_spec(tmp_path, library_program):
     empty = SpecStore(str(tmp_path / "empty"))
     with pytest.raises(SpecNotFoundError):
         ClientAnalyzer.from_store(empty, library_program=library_program)
+
+
+def test_empty_suite_yields_empty_batch(store, library_program, interface):
+    request = AnalyzeRequest(suite=SuiteSpec(count=0))
+    response = handle_request(
+        request, store, library_program=library_program, interface=interface
+    )
+    assert response.result.reports == []
+    assert response.result.total_flows == 0
+    payload = response.to_dict()
+    assert payload["num_programs"] == 0 and payload["reports"] == []
+
+
+def test_missing_spec_id_raises_not_found(store, library_program, interface):
+    request = AnalyzeRequest(suite=SuiteSpec(count=1), spec_id="no-such-spec-v1")
+    with pytest.raises(SpecNotFoundError):
+        handle_request(request, store, library_program=library_program, interface=interface)
+
+
+def test_build_corpus_filters_in_suite_order():
+    request = AnalyzeRequest(
+        suite=SuiteSpec(count=4, max_statements=50), apps=("App03", "App01")
+    )
+    assert [app.name for app in build_corpus(request)] == ["App01", "App03"]
+    assert build_corpus(AnalyzeRequest(suite=SuiteSpec(count=0))) == []
+
+
+def test_run_request_equals_handle_request(store, library_program, interface):
+    """The split halves compose to exactly the one-shot entry point."""
+    request = AnalyzeRequest(suite=SuiteSpec(count=2, max_statements=40))
+    analyzer = resolve_analyzer(
+        request, store, library_program=library_program, interface=interface
+    )
+    warmed = run_request(request, analyzer)
+    one_shot = handle_request(
+        request, store, library_program=library_program, interface=interface
+    )
+    assert warmed.result.canonical() == one_shot.result.canonical()
+    assert warmed.spec_id == one_shot.spec_id
 
 
 def test_from_store_can_pin_a_learner_config(store, tiny_atlas_result, library_program, interface):
