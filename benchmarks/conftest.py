@@ -6,6 +6,9 @@ reproduces the whole evaluation at a reduced scale.  Set ``REPRO_PRESET=full``
 to run the full 46-app configuration (slower); the default benchmark preset
 uses a reduced app count and inference budget so the whole suite finishes in
 a few minutes.
+
+The fixture bodies live in :mod:`repro.testing`, shared with the main test
+suite (``tests/conftest.py``); only the ``sys.path`` bootstrap stays here.
 """
 
 from __future__ import annotations
@@ -13,39 +16,11 @@ from __future__ import annotations
 import os
 import sys
 
-import pytest
-
 _SRC = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
 if _SRC not in sys.path:
     sys.path.insert(0, _SRC)
 
-from repro.experiments.config import FULL_CONFIG, QUICK_CONFIG, apply_engine_environment  # noqa: E402
-from repro.experiments.context import ExperimentContext  # noqa: E402
-
-
-def _bench_config():
-    preset = os.environ.get("REPRO_PRESET", "").strip().lower()
-    if preset == "full":
-        config = FULL_CONFIG
-    else:
-        # Benchmark preset: the quick configuration with a slightly smaller suite.
-        config = QUICK_CONFIG.scaled(name="bench", num_apps=10)
-    # REPRO_CACHE_DIR / REPRO_WORKERS route the whole harness through one
-    # persistent oracle cache and/or parallel cluster inference.
-    return apply_engine_environment(config)
-
-
-@pytest.fixture(scope="session")
-def context():
-    context = ExperimentContext(_bench_config())
-    yield context
-    # persist any oracle answers accumulated by context-built oracles
-    context.flush_oracle_caches()
-
-
-def emit(title: str, text: str) -> None:
-    """Print a reproduced table under a recognizable banner."""
-    print()
-    print("=" * 72)
-    print(title)
-    print(text)
+from repro.testing import (  # noqa: E402,F401 - fixtures discovered via this namespace
+    context,
+    emit,
+)

@@ -7,6 +7,7 @@ Subcommands cover the serving path end to end, plus the evaluation driver::
     repro serve-batch --store .repro-specs --request request.json
     repro serve --store .repro-specs --port 8080 --workers 4
     repro bench-serve --url http://127.0.0.1:8080 --requests 50 --clients 8
+    repro fuzz --budget 200 --seed 7 --workers 4 [--shrink]
     repro experiments fig9a --preset quick        # -> repro.experiments.runner
     repro compact-cache --cache-dir .repro-cache
 
@@ -20,7 +21,10 @@ builds the request from flags, ``serve-batch`` reads an
 workers that compile the stored spec once at startup, a bounded queue with
 503 backpressure, and hot reload of newly stored specs.  ``bench-serve``
 load-tests a running daemon and verifies its responses bit-identical to
-in-process handling.
+in-process handling.  ``fuzz`` runs a differential fuzzing campaign
+(:mod:`repro.diff`): seeded scenario programs checked concrete-vs-static,
+divergences shrunk to minimal counterexamples, golden corpus written under
+``tests/golden/``.
 """
 
 from __future__ import annotations
@@ -204,6 +208,58 @@ def cmd_bench_serve(args) -> int:
     return 1 if failed else 0
 
 
+def cmd_fuzz(args) -> int:
+    from repro.diff import FuzzConfig, run_fuzz
+    from repro.diff.families import DEFAULT_FAMILIES
+
+    families = (
+        tuple(name.strip() for name in args.families.split(",") if name.strip())
+        if args.families
+        else DEFAULT_FAMILIES
+    )
+    config = FuzzConfig(
+        families=families,
+        budget=args.budget,
+        seed=args.seed,
+        workers=args.workers,
+        pipeline="store" if args.store else args.pipeline,
+        cross_check=not args.no_cross_check,
+        shrink=not args.no_shrink,
+        sample=args.sample,
+    )
+    store = None
+    if args.store:
+        from repro.service.store import SpecStore
+
+        store = SpecStore(args.store)
+    report = run_fuzz(
+        config,
+        events=_events(args.progress),
+        store=store,
+        spec_id=args.spec,
+        golden_out=None if args.no_golden else args.golden_out,
+    )
+    payload = report.to_dict(include_timing=not args.no_timing)
+    _write_json(payload, args.out)
+    summary = payload["summary"]
+    sys.stderr.write(
+        f"fuzzed {summary['programs']} programs "
+        f"({', '.join(summary['families_covered'])}) in {report.elapsed_seconds:.2f}s "
+        f"({report.executor}, workers={config.workers}): "
+        f"{summary['concrete_flows']} concrete flows, "
+        f"{summary['diverged']} diverged ({summary['shrunk']} shrunk), "
+        f"{summary['golden_entries']} golden entries"
+        + (f" -> {report.corpus_path}" if report.corpus_path else "")
+        + "\n"
+    )
+    # exit 0: clean; 2: divergences found (every one shrunk, or shrinking
+    # explicitly disabled); 1: shrinking was requested but left divergences
+    # unminimized -- the campaign itself failed
+    if report.unshrunk and config.shrink:
+        return 1
+    return 2 if report.diverged else 0
+
+
 def cmd_compact_cache(args) -> int:
     import os
 
@@ -319,6 +375,56 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-verify", action="store_true", help="skip the in-process verification pass"
     )
     bench.set_defaults(func=cmd_bench_serve)
+
+    fuzz = commands.add_parser(
+        "fuzz", help="differentially fuzz the analysis pipelines against the interpreter"
+    )
+    fuzz.add_argument(
+        "--families",
+        default=None,
+        metavar="A,B,...",
+        help="comma-separated scenario families (default: the three diff families)",
+    )
+    fuzz.add_argument("--budget", type=int, default=100, help="number of generated programs")
+    fuzz.add_argument("--seed", type=int, default=2018, help="campaign seed")
+    fuzz.add_argument("--workers", type=int, default=0, help="checker worker processes")
+    fuzz.add_argument(
+        "--pipeline",
+        choices=["ground_truth", "handwritten", "implementation"],
+        default="ground_truth",
+        help="primary static pipeline under test (--store overrides with a learned spec)",
+    )
+    fuzz.add_argument("--store", default=None, help="SpecStore directory: fuzz a learned spec")
+    fuzz.add_argument("--spec", default=None, help="spec id within --store (default: latest)")
+    fuzz.add_argument(
+        "--no-cross-check",
+        action="store_true",
+        help="skip the handwritten-model (implementation) Andersen cross-check",
+    )
+    shrink_flags = fuzz.add_mutually_exclusive_group()
+    shrink_flags.add_argument(
+        "--shrink",
+        action="store_true",
+        help="minimize divergent programs (the default; kept for explicit invocations)",
+    )
+    shrink_flags.add_argument(
+        "--no-shrink", action="store_true", help="keep divergent programs at full size"
+    )
+    fuzz.add_argument(
+        "--sample", type=int, default=10, help="passing programs frozen into the golden corpus"
+    )
+    fuzz.add_argument(
+        "--golden-out",
+        default="tests/golden",
+        help="directory the golden corpus is written to (default: tests/golden)",
+    )
+    fuzz.add_argument(
+        "--no-golden", action="store_true", help="do not write a golden corpus file"
+    )
+    fuzz.add_argument("--out", default=None, help="write the JSON report here (default stdout)")
+    fuzz.add_argument("--no-timing", action="store_true", help="omit timing from the report")
+    fuzz.add_argument("--progress", action="store_true", help="stream fuzz events to stderr")
+    fuzz.set_defaults(func=cmd_fuzz)
 
     # help-only stub: main() forwards "experiments ..." to the runner before
     # parsing, so this subparser exists purely for the --help listing

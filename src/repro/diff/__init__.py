@@ -1,0 +1,69 @@
+"""Differential fuzzing of the analysis stack (see ``docs/diff.md``).
+
+The question the whole project hinges on is whether the specification-based
+static taint analysis *over-approximates* real library behaviour on programs
+nobody hand-picked.  This package turns that question into a fuzzable
+property:
+
+1. :mod:`repro.diff.families` generates seeded client programs from several
+   *scenario families* (deep aliasing/copy chains, nested heterogeneous
+   containers, load/store interleavings, plus the classic benchgen taint
+   app);
+2. :mod:`repro.diff.truth` executes each program concretely through the
+   :mod:`repro.interp` interpreter, tracking which secret objects actually
+   reach sink call sites -- the ground-truth flow set;
+3. :mod:`repro.diff.checker` runs the same program through the
+   specification-based :class:`~repro.service.analyzer.ClientAnalyzer`
+   pipelines (ground-truth specs, handwritten specs, a stored learned spec)
+   and the handwritten-model Andersen cross-check (the library
+   implementation itself), reporting every concrete flow a pipeline misses;
+4. :mod:`repro.diff.shrink` minimizes each divergent program by greedy
+   statement deletion with re-check;
+5. :mod:`repro.diff.corpus` persists shrunk counterexamples and a seeded
+   sample of passing programs as a golden JSON corpus (replayed forever by
+   ``tests/test_diff_golden.py``);
+6. :mod:`repro.diff.runner` fans a whole campaign across the engine's
+   task executors (parallel reports bit-identical to serial) with
+   ``engine.events`` telemetry.  ``repro fuzz`` is the CLI front end.
+"""
+
+from repro.diff.checker import (
+    DiffOutcome,
+    DifferentialChecker,
+    Divergence,
+    build_pipeline_analyzer,
+)
+from repro.diff.corpus import GoldenEntry, load_corpus, write_corpus
+from repro.diff.families import (
+    DEFAULT_FAMILIES,
+    FAMILIES,
+    GeneratedScenario,
+    generate_scenario,
+    scenario_plan,
+)
+from repro.diff.runner import FuzzConfig, FuzzReport, run_fuzz
+from repro.diff.shrink import ShrinkResult, shrink_program
+from repro.diff.truth import ConcreteExecutionError, ConcreteTaintAnalysis, concrete_flows
+
+__all__ = [
+    "ConcreteExecutionError",
+    "ConcreteTaintAnalysis",
+    "DEFAULT_FAMILIES",
+    "DiffOutcome",
+    "DifferentialChecker",
+    "Divergence",
+    "FAMILIES",
+    "FuzzConfig",
+    "FuzzReport",
+    "GeneratedScenario",
+    "GoldenEntry",
+    "ShrinkResult",
+    "build_pipeline_analyzer",
+    "concrete_flows",
+    "generate_scenario",
+    "load_corpus",
+    "run_fuzz",
+    "scenario_plan",
+    "shrink_program",
+    "write_corpus",
+]

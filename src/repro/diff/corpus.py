@@ -1,0 +1,146 @@
+"""The golden regression corpus: fuzz results frozen as JSON.
+
+A campaign's interesting programs are persisted under ``tests/golden/`` --
+every shrunk counterexample, plus a seeded sample of passing programs -- and
+``tests/test_diff_golden.py`` replays them on every test run: it re-executes
+the concrete interpreter and the recorded pipelines over the serialized
+program and asserts the verdict (flow sets and divergence signatures) is
+byte-for-byte what the campaign recorded.  Any behaviour change in the
+interpreter, the specification languages, the code generator, or the
+points-to analysis that would alter a frozen verdict fails the suite
+immediately instead of waiting for the next fuzz campaign to stumble on it.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from repro.diff.checker import DiffOutcome
+from repro.lang.program import Program
+from repro.lang.serialize import program_from_dict, program_to_dict
+from repro.service.analyzer import Flow, _flow_sort_key, flow_from_dict, flow_to_dict
+
+CORPUS_FORMAT = "repro.diff.golden-corpus/1"
+
+#: entry kinds
+PASSING = "pass"
+COUNTEREXAMPLE = "counterexample"
+
+
+@dataclass
+class GoldenEntry:
+    """One frozen program plus the verdict it must keep producing."""
+
+    name: str
+    family: str
+    seed: int
+    kind: str  # PASSING or COUNTEREXAMPLE
+    program: Program
+    concrete_flows: Tuple[Flow, ...]
+    flows: Dict[str, Tuple[Flow, ...]]  # pipeline -> expected flows
+    divergence_signatures: Tuple[str, ...] = ()
+    shrink_steps: int = 0
+
+    def to_dict(self) -> Dict:
+        return {
+            "name": self.name,
+            "family": self.family,
+            "seed": self.seed,
+            "kind": self.kind,
+            "program": program_to_dict(self.program),
+            "concrete_flows": [flow_to_dict(flow) for flow in self.concrete_flows],
+            "flows": {
+                pipeline: [flow_to_dict(flow) for flow in flows]
+                for pipeline, flows in sorted(self.flows.items())
+            },
+            "divergence_signatures": list(self.divergence_signatures),
+            "shrink_steps": self.shrink_steps,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "GoldenEntry":
+        return cls(
+            name=data["name"],
+            family=data["family"],
+            seed=data["seed"],
+            kind=data["kind"],
+            program=program_from_dict(data["program"]),
+            concrete_flows=_decode_flows(data["concrete_flows"]),
+            flows={
+                pipeline: _decode_flows(flows) for pipeline, flows in data["flows"].items()
+            },
+            divergence_signatures=tuple(data.get("divergence_signatures", ())),
+            shrink_steps=int(data.get("shrink_steps", 0)),
+        )
+
+    @classmethod
+    def from_outcome(cls, outcome: DiffOutcome, original_program: Program) -> "GoldenEntry":
+        """Freeze a checked outcome (the shrunk program, when one exists)."""
+        return cls(
+            name=outcome.name,
+            family=outcome.family,
+            seed=outcome.seed,
+            kind=COUNTEREXAMPLE if outcome.diverged else PASSING,
+            program=(
+                outcome.shrunk_program if outcome.shrunk_program is not None else original_program
+            ),
+            concrete_flows=outcome.concrete,
+            flows=dict(outcome.flows),
+            divergence_signatures=outcome.signatures(),
+            shrink_steps=outcome.shrink_steps,
+        )
+
+
+def _decode_flows(entries: Sequence[Dict]) -> Tuple[Flow, ...]:
+    return tuple(sorted((flow_from_dict(entry) for entry in entries), key=_flow_sort_key))
+
+
+def write_corpus(entries: Sequence[GoldenEntry], path: str) -> str:
+    """Write a corpus file (atomically; parent directories created)."""
+    payload = {
+        "format": CORPUS_FORMAT,
+        "entries": [entry.to_dict() for entry in entries],
+    }
+    directory = os.path.dirname(os.path.abspath(path))
+    os.makedirs(directory, exist_ok=True)
+    staging = f"{path}.tmp"
+    with open(staging, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=1, sort_keys=True)
+        handle.write("\n")
+    os.replace(staging, path)
+    return path
+
+
+def load_corpus(path: str) -> List[GoldenEntry]:
+    """Load one corpus file, rejecting unknown formats loudly."""
+    with open(path, "r", encoding="utf-8") as handle:
+        payload = json.load(handle)
+    declared = payload.get("format")
+    if declared != CORPUS_FORMAT:
+        raise ValueError(f"unsupported corpus format {declared!r} in {path}")
+    return [GoldenEntry.from_dict(entry) for entry in payload["entries"]]
+
+
+def corpus_files(directory: str) -> List[str]:
+    """Every ``*.json`` corpus file under *directory*, sorted by name."""
+    if not os.path.isdir(directory):
+        return []
+    return [
+        os.path.join(directory, name)
+        for name in sorted(os.listdir(directory))
+        if name.endswith(".json")
+    ]
+
+
+__all__ = [
+    "CORPUS_FORMAT",
+    "COUNTEREXAMPLE",
+    "PASSING",
+    "GoldenEntry",
+    "corpus_files",
+    "load_corpus",
+    "write_corpus",
+]

@@ -1,0 +1,454 @@
+"""Seeded scenario families for the differential fuzzer.
+
+Each family is a generator of small client programs exercising one shape of
+library interaction the static analysis must over-approximate:
+
+* ``alias-chains`` -- deep aliasing and whole-container copy chains: local
+  alias runs, same-class ``addAll`` chains, ``Box.clone`` chains, fluent
+  ``StringBuilder.append`` chains.
+* ``nested-containers`` -- heterogeneous nesting (map-of-list-of-box and
+  friends): a secret is buried under three container layers and dug back out
+  through ``get``/``values``/``elements``/iterator paths.
+* ``field-interleavings`` -- client-side load/store interleavings over
+  app-local holder classes: aliased holders, overwritten fields, holder
+  links; the part of the program the analysis sees *without* specifications,
+  stressing its field sensitivity.
+* ``taint-app`` -- the classic :mod:`repro.benchgen` profile, included so
+  campaigns can cover the paper's original workload too (its legacy
+  ``toArray`` idiom intentionally escapes the specification language, so it
+  is not part of :data:`DEFAULT_FAMILIES`).
+
+Everything is driven by a seeded :class:`random.Random`: the same
+``(family, seed)`` pair always produces the byte-identical program (pinned by
+``tests/test_benchgen_determinism.py``), which is what makes fuzz campaigns
+and the golden corpus reproducible.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from functools import partial
+from typing import Dict, List, Sequence, Tuple
+
+from repro.benchgen.generator import AppGenerator, AppProfile
+from repro.client.sources_sinks import SINK_METHODS, SOURCE_METHODS
+from repro.lang.builder import ClassBuilder, MethodBuilder
+from repro.lang.program import Program
+
+
+@dataclass(frozen=True)
+class GeneratedScenario:
+    """One generated program plus the metadata the fuzzer tracks."""
+
+    name: str
+    family: str
+    seed: int
+    program: Program
+    statements: int
+    planted_flows: int
+
+
+class ScenarioFamily:
+    """A named, seeded generator of client programs."""
+
+    name = "abstract"
+
+    def generate(self, name: str, seed: int) -> GeneratedScenario:
+        raise NotImplementedError
+
+
+# --------------------------------------------------------------------- helpers
+class _Emitter:
+    """Shared statement-emission helpers for the hand-rolled families."""
+
+    def __init__(self, seed: int):
+        self.rng = random.Random(seed)
+        self._counter = 0
+        self.planted = 0
+
+    def fresh(self, prefix: str) -> str:
+        self._counter += 1
+        return f"{prefix}{self._counter}"
+
+    def source(self, method: MethodBuilder, secret: bool) -> str:
+        value = self.fresh("v")
+        if secret:
+            source_class, source_method = self.rng.choice(sorted(SOURCE_METHODS))
+            manager = self.fresh("mgr")
+            method.new(manager, source_class)
+            method.call(value, manager, source_method)
+        else:
+            provider = self.fresh("res")
+            method.new(provider, "ResourceManager")
+            method.call(value, provider, self.rng.choice(["getString", "getDrawable"]))
+        return value
+
+    def sink(self, method: MethodBuilder, value: str, secret: bool) -> None:
+        if secret:
+            self.planted += 1
+        sink_class, sink_method = self.rng.choice(sorted(SINK_METHODS))
+        device = self.fresh("out")
+        method.new(device, sink_class)
+        method.call(None, device, sink_method, value)
+
+    def alias_run(self, method: MethodBuilder, value: str, depth: int) -> str:
+        for _ in range(depth):
+            alias = self.fresh("a")
+            method.assign(alias, value)
+            value = alias
+        return value
+
+
+def _single_class_scenario(
+    family: str, name: str, seed: int, emit_handler, extra_classes=()
+) -> GeneratedScenario:
+    """Assemble a scenario whose program is one client class of handlers."""
+    emitter = _Emitter(seed)
+    app = ClassBuilder(name)
+    handlers = emitter.rng.randint(2, 3)
+    for index in range(1, handlers + 1):
+        method = MethodBuilder(f"handler{index}", is_static=True)
+        for _ in range(emitter.rng.randint(1, 2)):
+            emit_handler(emitter, method)
+        app.add_method(method)
+    classes = [app.build()]
+    classes.extend(extra_classes)
+    program = Program(classes)
+    return GeneratedScenario(
+        name=name,
+        family=family,
+        seed=seed,
+        program=program,
+        statements=program.statement_count(),
+        planted_flows=emitter.planted,
+    )
+
+
+# ----------------------------------------------------------------- alias-chains
+#: same-class copy chains the specifications model with a starred ``addAll``
+_COPYABLE = ("ArrayList", "LinkedList", "Vector", "Stack")
+
+#: retrieval spellings per copyable class; ``None`` index means no index arg
+_RETRIEVALS: Dict[str, Tuple[Tuple[str, bool], ...]] = {
+    "ArrayList": (("get", True), ("remove", True), ("iterator", False)),
+    "LinkedList": (("getFirst", False), ("peek", False), ("poll", False), ("element", False)),
+    "Vector": (("get", True), ("elementAt", True), ("firstElement", False), ("lastElement", False)),
+    "Stack": (("peek", False), ("pop", False), ("firstElement", False)),
+}
+
+
+class AliasChainFamily(ScenarioFamily):
+    """Deep aliasing and whole-container / ``Box.clone`` copy chains."""
+
+    name = "alias-chains"
+
+    def _chain(self, emitter: _Emitter, method: MethodBuilder) -> None:
+        rng = emitter.rng
+        secret = rng.random() < 0.6
+        value = emitter.source(method, secret)
+        value = emitter.alias_run(method, value, rng.randint(0, 4))
+
+        kind = rng.choice(["copies", "copies", "clones", "builder"])
+        if kind == "copies":
+            container_class = rng.choice(_COPYABLE)
+            first = emitter.fresh("c")
+            method.new(first, container_class)
+            store = "push" if container_class == "Stack" and rng.random() < 0.5 else "add"
+            method.call(None, first, store, value)
+            current = first
+            for _ in range(rng.randint(1, 5)):
+                copy = emitter.fresh("c")
+                method.new(copy, container_class)
+                method.call(None, copy, "addAll", current)
+                current = copy
+            retrieve, needs_index = rng.choice(_RETRIEVALS[container_class])
+            value = emitter.fresh("r")
+            if retrieve == "iterator":
+                iterator = emitter.fresh("it")
+                method.call(iterator, current, "iterator")
+                method.call(value, iterator, "next")
+            elif needs_index:
+                index = emitter.fresh("i")
+                method.const(index, 0)
+                method.call(value, current, retrieve, index)
+            else:
+                method.call(value, current, retrieve)
+        elif kind == "clones":
+            box = emitter.fresh("b")
+            method.new(box, "Box")
+            method.call(None, box, "set", value)
+            for _ in range(rng.randint(1, 6)):
+                clone = emitter.fresh("b")
+                method.call(clone, box, "clone")
+                box = clone
+            value = emitter.fresh("r")
+            method.call(value, box, "get")
+        else:  # fluent builder chain: append returns its receiver
+            builder_class = rng.choice(["StringBuilder", "StringBuffer"])
+            builder = emitter.fresh("sb")
+            method.new(builder, builder_class)
+            method.call(None, builder, "append", value)
+            for _ in range(rng.randint(0, 3)):
+                fluent = emitter.fresh("sb")
+                method.call(fluent, builder, "append", value)
+                builder = fluent
+            value = emitter.fresh("r")
+            method.call(value, builder, "toString")
+
+        value = emitter.alias_run(method, value, rng.randint(0, 2))
+        if rng.random() < 0.85:
+            emitter.sink(method, value, secret)
+
+    def generate(self, name: str, seed: int) -> GeneratedScenario:
+        return _single_class_scenario(self.name, name, seed, self._chain)
+
+
+# ------------------------------------------------------------ nested-containers
+class NestedContainerFamily(ScenarioFamily):
+    """Map-of-list-of-box style heterogeneous nesting."""
+
+    name = "nested-containers"
+
+    def _store_inner(self, emitter: _Emitter, method: MethodBuilder, value: str, inner_class: str) -> str:
+        inner = emitter.fresh("in")
+        method.new(inner, inner_class)
+        if inner_class == "Box":
+            method.call(None, inner, "set", value)
+        else:  # StringBuilder
+            method.call(None, inner, "append", value)
+        return inner
+
+    def _load_inner(self, emitter: _Emitter, method: MethodBuilder, inner: str, inner_class: str) -> str:
+        value = emitter.fresh("r")
+        method.call(value, inner, "get" if inner_class == "Box" else "toString")
+        return value
+
+    def _chain(self, emitter: _Emitter, method: MethodBuilder) -> None:
+        rng = emitter.rng
+        secret = rng.random() < 0.7
+        inner_class = rng.choice(["Box", "Box", "StringBuilder"])
+        middle_class = rng.choice(["ArrayList", "LinkedList", "HashSet"])
+        outer_class = rng.choice(["HashMap", "Hashtable", "TreeMap"])
+
+        value = emitter.source(method, secret)
+        inner = self._store_inner(emitter, method, value, inner_class)
+
+        middle = emitter.fresh("mid")
+        method.new(middle, middle_class)
+        method.call(None, middle, "add", inner)
+
+        outer = emitter.fresh("map")
+        method.new(outer, outer_class)
+        key = emitter.fresh("k")
+        method.new(key, "Object")
+        method.call(None, outer, "put", key, middle)
+        # decoy entries after the secret one: the concrete map hands back the
+        # first entry, so the planted chain stays concretely observable
+        for _ in range(rng.randint(0, 2)):
+            decoy = emitter.fresh("d")
+            method.new(decoy, "Object")
+            decoy_key = emitter.fresh("k")
+            method.new(decoy_key, "Object")
+            method.call(None, outer, "put", decoy_key, decoy)
+
+        # dig the middle container back out of the map
+        middle_back = emitter.fresh("mb")
+        path = rng.choice(["get", "get", "values", "elements" if outer_class == "Hashtable" else "get"])
+        if path == "get":
+            probe = emitter.fresh("k")
+            method.new(probe, "Object")
+            method.call(middle_back, outer, "get", probe)
+        elif path == "values":
+            values = emitter.fresh("vals")
+            method.call(values, outer, "values")
+            iterator = emitter.fresh("it")
+            method.call(iterator, values, "iterator")
+            method.call(middle_back, iterator, "next")
+        else:  # Hashtable legacy enumeration
+            enumeration = emitter.fresh("en")
+            method.call(enumeration, outer, "elements")
+            method.call(middle_back, enumeration, "next")
+
+        # dig the inner container back out of the middle one
+        inner_back = emitter.fresh("ib")
+        if middle_class == "ArrayList" and rng.random() < 0.5:
+            index = emitter.fresh("i")
+            method.const(index, 0)
+            method.call(inner_back, middle_back, "get", index)
+        elif middle_class == "LinkedList" and rng.random() < 0.5:
+            method.call(inner_back, middle_back, "getFirst")
+        else:
+            iterator = emitter.fresh("it")
+            method.call(iterator, middle_back, "iterator")
+            method.call(inner_back, iterator, "next")
+
+        out = self._load_inner(emitter, method, inner_back, inner_class)
+        if rng.random() < 0.9:
+            emitter.sink(method, out, secret)
+
+    def generate(self, name: str, seed: int) -> GeneratedScenario:
+        return _single_class_scenario(self.name, name, seed, self._chain)
+
+
+# ---------------------------------------------------------- field-interleavings
+class FieldInterleavingFamily(ScenarioFamily):
+    """Client-side load/store interleavings over app-local holder classes."""
+
+    name = "field-interleavings"
+
+    _FIELDS = ("fa", "fb", "fc", "link")
+
+    def _chain(self, holder_class: str, emitter: _Emitter, method: MethodBuilder) -> None:
+        rng = emitter.rng
+        holders = [emitter.fresh("h") for _ in range(rng.randint(2, 4))]
+        for holder in holders:
+            method.new(holder, holder_class)
+
+        secret = emitter.source(method, True)
+        benign = emitter.source(method, False)
+
+        # shadow heap: (holder var, field) -> is the stored value the secret?
+        shadow: Dict[Tuple[str, str], bool] = {}
+        aliases: Dict[str, str] = {holder: holder for holder in holders}
+
+        def canonical(var: str) -> str:
+            return aliases.get(var, var)
+
+        for _ in range(rng.randint(4, 10)):
+            action = rng.random()
+            holder = rng.choice(holders)
+            if action < 0.45:
+                field = rng.choice(self._FIELDS[:3])
+                use_secret = rng.random() < 0.5
+                method.store(holder, field, secret if use_secret else benign)
+                shadow[(canonical(holder), field)] = use_secret
+            elif action < 0.65:
+                alias = emitter.fresh("g")
+                method.assign(alias, holder)
+                aliases[alias] = canonical(holder)
+                holders.append(alias)
+            elif action < 0.85:
+                other = rng.choice(holders)
+                method.store(holder, "link", other)
+                shadow[(canonical(holder), "link")] = False
+                linked = emitter.fresh("g")
+                method.load(linked, holder, "link")
+                aliases[linked] = canonical(other)
+                holders.append(linked)
+            else:
+                field = rng.choice(self._FIELDS[:3])
+                probe = emitter.fresh("p")
+                method.load(probe, holder, field)
+
+        # read a handful of fields back and sink what comes out
+        for _ in range(rng.randint(1, 3)):
+            holder = rng.choice(holders)
+            field = rng.choice(self._FIELDS[:3])
+            out = emitter.fresh("o")
+            method.load(out, holder, field)
+            emitter.sink(method, out, shadow.get((canonical(holder), field), False))
+
+    def generate(self, name: str, seed: int) -> GeneratedScenario:
+        holder_name = f"{name}Holder"
+        holder = ClassBuilder(holder_name)
+        for field in self._FIELDS:
+            holder.field(field)
+        holder.add_method(holder.constructor())
+        return _single_class_scenario(
+            self.name,
+            name,
+            seed,
+            partial(self._chain, holder_name),
+            extra_classes=[holder.build()],
+        )
+
+
+# --------------------------------------------------------------------- taint-app
+class TaintAppFamily(ScenarioFamily):
+    """The classic benchgen profile, wrapped as a scenario family."""
+
+    name = "taint-app"
+
+    def generate(self, name: str, seed: int) -> GeneratedScenario:
+        rng = random.Random(seed)
+        profile = AppProfile(
+            name=name,
+            seed=seed,
+            target_statements=rng.randint(40, 120),
+            category="utility",
+        )
+        app = AppGenerator(profile).generate()
+        return GeneratedScenario(
+            name=name,
+            family=self.name,
+            seed=seed,
+            program=app.program,
+            statements=app.statements,
+            planted_flows=app.planted_leaks,
+        )
+
+
+# -------------------------------------------------------------------- registry
+FAMILIES: Dict[str, ScenarioFamily] = {
+    family.name: family
+    for family in (
+        AliasChainFamily(),
+        NestedContainerFamily(),
+        FieldInterleavingFamily(),
+        TaintAppFamily(),
+    )
+}
+
+#: the families a campaign covers when none are named: the three new shapes
+#: whose flows the specification language fully covers (``taint-app`` is
+#: opt-in -- its legacy ``toArray`` idiom is a *known* specification gap)
+DEFAULT_FAMILIES: Tuple[str, ...] = (
+    "alias-chains",
+    "nested-containers",
+    "field-interleavings",
+)
+
+#: multiplier deriving per-scenario seeds from (campaign seed, index)
+_SEED_STRIDE = 1_000_003
+
+
+def scenario_plan(
+    families: Sequence[str], budget: int, seed: int
+) -> List[Tuple[str, str, int]]:
+    """The deterministic campaign plan: ``budget`` (name, family, seed) triples.
+
+    Scenarios round-robin over *families* so every family gets an equal share
+    of any budget; per-scenario seeds depend only on the campaign seed and
+    the scenario index, never on worker scheduling.
+    """
+    for family in families:
+        if family not in FAMILIES:
+            raise KeyError(f"unknown scenario family {family!r} (known: {sorted(FAMILIES)})")
+    if not families:
+        raise ValueError("at least one scenario family is required")
+    plan = []
+    for index in range(budget):
+        family = families[index % len(families)]
+        scenario_name = f"{_camel(family)}{index:04d}"
+        plan.append((scenario_name, family, seed * _SEED_STRIDE + index))
+    return plan
+
+
+def generate_scenario(name: str, family: str, seed: int) -> GeneratedScenario:
+    """Generate one scenario program (deterministic in ``(family, seed)``)."""
+    return FAMILIES[family].generate(name, seed)
+
+
+def _camel(family: str) -> str:
+    return "".join(part.capitalize() for part in family.split("-"))
+
+
+__all__ = [
+    "DEFAULT_FAMILIES",
+    "FAMILIES",
+    "GeneratedScenario",
+    "ScenarioFamily",
+    "generate_scenario",
+    "scenario_plan",
+]

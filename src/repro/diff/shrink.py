@@ -1,0 +1,111 @@
+"""Counterexample minimization by greedy statement deletion.
+
+A divergent fuzz program is rarely *about* most of its statements.  The
+shrinker repeatedly deletes pieces -- whole methods first, then single
+statements from the back of each body -- re-running the differential check
+after every candidate deletion and keeping it only when the original
+divergence (identified by its statement-index-free signature) still shows.
+Deletions that break the program outright are self-rejecting: a dangling
+variable read turns the check's verdict into a ``crash`` divergence, which
+does not match the target signature, so the candidate is discarded.
+
+The result is 1-minimal with respect to single deletions: removing any one
+further statement loses the divergence.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Callable, List, Tuple
+
+from repro.lang.program import ClassDef, Program
+
+#: predicate deciding whether a shrink candidate still exhibits the target
+Predicate = Callable[[Program], bool]
+
+
+@dataclass
+class ShrinkResult:
+    """The minimized program plus bookkeeping about the search."""
+
+    program: Program
+    steps: int  # accepted deletions
+    attempts: int  # candidate programs checked
+    passes: int  # full sweeps over the program
+
+    @property
+    def statements(self) -> int:
+        return self.program.statement_count()
+
+
+def _client_classes(program: Program) -> List[ClassDef]:
+    return [cls for cls in program if not cls.is_library]
+
+
+def _rebuild(program: Program, updated: ClassDef) -> Program:
+    """A copy of *program* with *updated* replacing its same-named class."""
+    return Program(updated if cls.name == updated.name else cls for cls in program)
+
+
+def _without_method(program: Program, cls: ClassDef, method_name: str) -> Program:
+    methods = {name: m for name, m in cls.methods.items() if name != method_name}
+    return _rebuild(program, replace(cls, methods=methods))
+
+
+def _without_statement(program: Program, cls: ClassDef, method_name: str, index: int) -> Program:
+    method = cls.methods[method_name]
+    body = method.body[:index] + method.body[index + 1:]
+    return _rebuild(program, cls.with_method(replace(method, body=body)))
+
+
+def shrink_program(program: Program, predicate: Predicate, max_passes: int = 25) -> ShrinkResult:
+    """Greedily minimize *program* while *predicate* keeps holding.
+
+    *predicate* must already hold for *program* itself; it is re-evaluated on
+    every candidate deletion, so it should embed the target divergence
+    signature, not just "some divergence exists" (otherwise shrinking can
+    drift onto a different bug).  Deletion order is deterministic -- methods
+    in name order, statements back to front -- so the same divergent program
+    always shrinks to the same counterexample.
+    """
+    steps = 0
+    attempts = 0
+    passes = 0
+    changed = True
+    while changed and passes < max_passes:
+        passes += 1
+        changed = False
+
+        # coarse pass: drop whole methods
+        for cls in list(_client_classes(program)):
+            for method_name in sorted(cls.methods):
+                current = program.class_def(cls.name)
+                if method_name not in current.methods or len(current.methods) <= 1:
+                    continue
+                candidate = _without_method(program, current, method_name)
+                attempts += 1
+                if predicate(candidate):
+                    program = candidate
+                    steps += 1
+                    changed = True
+
+        # fine pass: drop single statements, back to front
+        for cls in list(_client_classes(program)):
+            for method_name in sorted(cls.methods):
+                current = program.class_def(cls.name)
+                if method_name not in current.methods:
+                    continue
+                body_length = len(current.methods[method_name].body)
+                for index in range(body_length - 1, -1, -1):
+                    current = program.class_def(cls.name)
+                    candidate = _without_statement(program, current, method_name, index)
+                    attempts += 1
+                    if predicate(candidate):
+                        program = candidate
+                        steps += 1
+                        changed = True
+
+    return ShrinkResult(program=program, steps=steps, attempts=attempts, passes=passes)
+
+
+__all__ = ["Predicate", "ShrinkResult", "shrink_program"]

@@ -1,0 +1,176 @@
+"""Concrete ground-truth flows, via provenance-tracking interpretation.
+
+The differential fuzzer's oracle: run a client program for real on the
+:mod:`repro.interp` interpreter (against the actual library implementation,
+not any specification) and record exactly which secret objects reach sink
+call sites.  A *concrete flow* uses the same coordinates as the static
+client's :class:`~repro.client.taint.Flow` -- source method, sink method,
+sink call site -- so the two flow sets compare directly: every concrete flow
+the static analysis fails to report is a soundness divergence.
+
+Tracking rides on the interpreter's observer hooks: :meth:`on_allocate`
+records which method allocated every heap object (its *provenance*), and
+:meth:`before_statement` inspects sink calls just before they execute,
+checking whether the argument object was allocated inside a source method.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+
+from repro.client.sources_sinks import SINK_METHODS, SOURCE_METHODS
+from repro.client.taint import Flow
+from repro.interp.errors import InterpreterError
+from repro.interp.heap import HeapObject
+from repro.interp.interpreter import Interpreter
+from repro.lang.program import CONSTRUCTOR, MethodRef, Program
+from repro.lang.statements import Call, Statement
+from repro.library.registry import build_library_program, core_program
+
+
+class ConcreteExecutionError(RuntimeError):
+    """A scenario program crashed under concrete execution.
+
+    Generated programs are straight-line and self-contained, so a crash is a
+    generator bug (or a shrink candidate that deleted a definition) -- the
+    checker reports it as its own divergence kind instead of a flow mismatch.
+    """
+
+    def __init__(self, entry: MethodRef, cause: InterpreterError):
+        super().__init__(f"{entry}: {type(cause).__name__}: {cause}")
+        self.entry = entry
+        self.cause = cause
+
+
+class ConcreteTaintInterpreter(Interpreter):
+    """An interpreter that watches secrets travel from sources to sinks."""
+
+    observing = True  # opt into the instrumented execution loop
+
+    def __init__(self, program: Program, sink_positions: Dict[str, List[Tuple[str, str, int]]], **kwargs):
+        super().__init__(program, **kwargs)
+        self._sink_positions = sink_positions
+        #: object id -> (class, method) that allocated it
+        self.provenance: Dict[int, Tuple[str, str]] = {}
+        self.flows: Set[Flow] = set()
+
+    # ------------------------------------------------------------------ hooks
+    def on_allocate(self, obj: HeapObject) -> None:
+        current = self.current_method
+        if current is not None:
+            self.provenance[obj.object_id] = (current.class_name, current.method_name)
+
+    def before_statement(self, ref: MethodRef, index: int, statement: Statement, env) -> None:
+        if not isinstance(statement, Call) or statement.base is None or not statement.args:
+            return
+        candidates = self._sink_positions.get(statement.method_name)
+        if not candidates:
+            return
+        receiver = env.get(statement.base)
+        if not isinstance(receiver, HeapObject):
+            return
+        for sink_class, sink_method, position in candidates:
+            if receiver.class_name != sink_class or position >= len(statement.args):
+                continue
+            argument = env.get(statement.args[position])
+            if not isinstance(argument, HeapObject):
+                continue
+            source = self.provenance.get(argument.object_id)
+            if source is None or source not in SOURCE_METHODS:
+                continue
+            self.flows.add(
+                Flow(
+                    source_class=source[0],
+                    source_method=source[1],
+                    sink_class=sink_class,
+                    sink_method=sink_method,
+                    sink_caller_class=ref.class_name,
+                    sink_caller_method=ref.method_name,
+                    sink_statement_index=index,
+                )
+            )
+
+
+class ConcreteTaintAnalysis:
+    """Executes every entry point of a client program and collects flows.
+
+    Entry points are the static, parameterless methods of the program's
+    non-library classes (the ``handlerN`` methods every scenario family
+    emits), each executed on a fresh heap -- mirroring how the static client
+    treats methods as independent roots.
+    """
+
+    def __init__(self, library_program: Optional[Program] = None, max_steps: int = 200_000):
+        library = library_program if library_program is not None else build_library_program()
+        self._core_names = core_program(library).class_names()
+        self._library = library
+        self._max_steps = max_steps
+
+    # ------------------------------------------------------------------ setup
+    def _full_program(self, program: Program) -> Program:
+        from repro.client.sources_sinks import build_framework_program
+
+        return (
+            program.merged_with(self._library)
+            .merged_with(build_framework_program())
+        )
+
+    @staticmethod
+    def _sink_positions(program: Program) -> Dict[str, List[Tuple[str, str, int]]]:
+        """sink method name -> [(sink class, sink method, argument position)]."""
+        positions: Dict[str, List[Tuple[str, str, int]]] = {}
+        for (sink_class, sink_method), parameter in sorted(SINK_METHODS.items()):
+            position = 0
+            if program.has_class(sink_class):
+                ref = program.resolve_method(sink_class, sink_method)
+                if ref is not None:
+                    names = program.method_def(ref).parameter_names()
+                    if parameter in names:
+                        position = names.index(parameter)
+            positions.setdefault(sink_method, []).append((sink_class, sink_method, position))
+        return positions
+
+    @staticmethod
+    def entry_points(program: Program) -> List[MethodRef]:
+        """The static, parameterless non-library methods, in program order."""
+        entries = []
+        for cls in program:
+            if cls.is_library:
+                continue
+            for method in cls.methods.values():
+                if method.is_static and not method.params and method.name != CONSTRUCTOR:
+                    entries.append(MethodRef(cls.name, method.name))
+        return entries
+
+    # -------------------------------------------------------------------- run
+    def run(self, program: Program) -> FrozenSet[Flow]:
+        """Concretely execute *program* and return its ground-truth flow set.
+
+        Raises :class:`ConcreteExecutionError` if any entry point crashes.
+        """
+        full = self._full_program(program)
+        sink_positions = self._sink_positions(full)
+        flows: Set[Flow] = set()
+        for entry in self.entry_points(program):
+            interpreter = ConcreteTaintInterpreter(
+                full, sink_positions, max_steps=self._max_steps
+            )
+            try:
+                interpreter.execute_static(entry.class_name, entry.method_name)
+            except InterpreterError as error:
+                raise ConcreteExecutionError(entry, error) from error
+            flows.update(interpreter.flows)
+        return frozenset(flows)
+
+
+def concrete_flows(program: Program, library_program: Optional[Program] = None) -> FrozenSet[Flow]:
+    """Convenience wrapper: the ground-truth flows of one client program."""
+    return ConcreteTaintAnalysis(library_program=library_program).run(program)
+
+
+__all__ = [
+    "ConcreteExecutionError",
+    "ConcreteTaintAnalysis",
+    "ConcreteTaintInterpreter",
+    "concrete_flows",
+]

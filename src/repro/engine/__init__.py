@@ -42,10 +42,14 @@ from repro.engine.events import (
     ClusterFinished,
     ClusterStarted,
     CollectingSink,
+    DivergenceShrunk,
     EngineEvent,
     EventSink,
     FanOutSink,
+    FuzzFinished,
+    FuzzStarted,
     NullSink,
+    ProgramChecked,
     RunFinished,
     RunStarted,
     SpecCompiled,
@@ -180,13 +184,17 @@ __all__ = [
     "ClusterStarted",
     "CollectingSink",
     "CompactionStats",
+    "DivergenceShrunk",
     "EngineEvent",
     "EventSink",
     "FanOutSink",
+    "FuzzFinished",
+    "FuzzStarted",
     "InMemoryCache",
     "InferenceEngine",
     "NullSink",
     "ParallelExecutor",
+    "ProgramChecked",
     "ParallelTaskExecutor",
     "PersistentCache",
     "RunFinished",

@@ -142,6 +142,56 @@ class BatchFinished(EngineEvent):
 
 
 @dataclass(frozen=True)
+class FuzzStarted(EngineEvent):
+    """Emitted once when a differential fuzzing campaign begins."""
+
+    budget: int
+    families: Tuple[str, ...]
+    pipeline: str
+    executor: str
+    workers: int
+    seed: int
+
+
+@dataclass(frozen=True)
+class ProgramChecked(EngineEvent):
+    """Emitted when one generated program has been differentially checked."""
+
+    index: int
+    program: str
+    family: str
+    statements: int
+    concrete_flows: int
+    diverged: bool
+
+
+@dataclass(frozen=True)
+class DivergenceShrunk(EngineEvent):
+    """Emitted when a divergent program has been minimized.
+
+    ``statements_before``/``statements_after`` measure the greedy deletion;
+    ``steps`` counts the accepted deletions across all shrink passes.
+    """
+
+    program: str
+    signatures: Tuple[str, ...]
+    statements_before: int
+    statements_after: int
+    steps: int
+
+
+@dataclass(frozen=True)
+class FuzzFinished(EngineEvent):
+    """Emitted once when a differential fuzzing campaign completes."""
+
+    programs: int
+    diverged: int
+    shrunk: int
+    elapsed_seconds: float
+    golden_entries: int
+
+
+@dataclass(frozen=True)
 class SpecCompiled(EngineEvent):
     """Emitted when a server worker compiles a stored spec into an analyzer.
 
@@ -264,6 +314,29 @@ def _format_event(event: EngineEvent) -> Optional[str]:
             f"batch finished: {event.num_programs} programs in "
             f"{event.elapsed_seconds:.2f}s, {event.total_flows} flows"
         )
+    if isinstance(event, FuzzStarted):
+        return (
+            f"fuzz started: budget={event.budget}, families={','.join(event.families)}, "
+            f"pipeline={event.pipeline}, executor={event.executor}, "
+            f"workers={event.workers}, seed={event.seed}"
+        )
+    if isinstance(event, ProgramChecked):
+        verdict = "DIVERGED" if event.diverged else "ok"
+        return (
+            f"checked {event.index}: {event.program} [{event.family}] "
+            f"{event.statements} statements, {event.concrete_flows} concrete flows: {verdict}"
+        )
+    if isinstance(event, DivergenceShrunk):
+        return (
+            f"shrunk {event.program}: {event.statements_before} -> {event.statements_after} "
+            f"statements in {event.steps} deletions ({'; '.join(event.signatures)})"
+        )
+    if isinstance(event, FuzzFinished):
+        return (
+            f"fuzz finished: {event.programs} programs in {event.elapsed_seconds:.2f}s, "
+            f"{event.diverged} diverged ({event.shrunk} shrunk), "
+            f"{event.golden_entries} golden entries"
+        )
     if isinstance(event, SpecCompiled):
         return (
             f"spec compiled: {event.spec_id} on {event.worker} "
@@ -291,10 +364,14 @@ __all__ = [
     "ClusterFinished",
     "ClusterStarted",
     "CollectingSink",
+    "DivergenceShrunk",
     "EngineEvent",
     "EventSink",
     "FanOutSink",
+    "FuzzFinished",
+    "FuzzStarted",
     "NullSink",
+    "ProgramChecked",
     "RunFinished",
     "RunStarted",
     "SpecCompiled",

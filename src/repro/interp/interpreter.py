@@ -63,6 +63,38 @@ class Interpreter:
         self.max_depth = max_depth
         self.heap = Heap()
         self._steps = 0
+        self._frames: list = []
+
+    # ------------------------------------------------------------------ observers
+    #: Subclasses that override the observer hooks below set this True to
+    #: opt into the instrumented execution loop; the witness-oracle hot path
+    #: (millions of interpreted statements per inference run) stays on the
+    #: plain loop and pays nothing.
+    observing: bool = False
+
+    @property
+    def current_method(self) -> Optional[MethodRef]:
+        """The method whose body is currently executing (``None`` outside any).
+
+        Only tracked while :attr:`observing` is True.
+        """
+        return self._frames[-1] if self._frames else None
+
+    def on_allocate(self, obj: HeapObject) -> None:
+        """Observer hook: *obj* was just allocated (constructor not yet run).
+
+        The allocating method is :attr:`current_method`.  Subclasses (e.g. the
+        provenance-tracking interpreter of :mod:`repro.diff.truth`) override
+        this; only called when :attr:`observing` is True.
+        """
+
+    def before_statement(self, ref: MethodRef, index: int, statement: Statement, env: Dict[str, Any]) -> None:
+        """Observer hook: statement *index* of *ref* is about to execute.
+
+        *env* holds the current local environment, so hooks can inspect the
+        runtime values a statement is about to consume.  Only called when
+        :attr:`observing` is True.
+        """
 
     # ------------------------------------------------------------------ entry points
     def execute_static(self, class_name: str, method_name: str, args: Sequence[Any] = ()) -> ExecutionResult:
@@ -94,6 +126,8 @@ class Interpreter:
             obj = self.heap.allocate_array()
         else:
             obj = self.heap.allocate(class_name)
+        if self.observing:
+            self.on_allocate(obj)
         if self.program.has_class(class_name):
             constructor = self.program.resolve_method(class_name, CONSTRUCTOR)
             if constructor is not None:
@@ -152,11 +186,24 @@ class Interpreter:
             env[param.name] = args[index] if index < len(args) else None
 
         result: Any = None
-        for statement in method.body:
-            self._tick()
-            done, result = self._execute_statement(statement, env, depth)
-            if done:
-                break
+        if not self.observing:
+            for statement in method.body:
+                self._tick()
+                done, result = self._execute_statement(statement, env, depth)
+                if done:
+                    break
+            return ExecutionResult(value=result, environment=env)
+
+        self._frames.append(ref)
+        try:
+            for index, statement in enumerate(method.body):
+                self._tick()
+                self.before_statement(ref, index, statement, env)
+                done, result = self._execute_statement(statement, env, depth)
+                if done:
+                    break
+        finally:
+            self._frames.pop()
         return ExecutionResult(value=result, environment=env)
 
     def _execute_statement(self, statement: Statement, env: Dict[str, Any], depth: int):

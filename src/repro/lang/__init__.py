@@ -46,6 +46,7 @@ from repro.lang.program import (
 )
 from repro.lang.builder import ClassBuilder, MethodBuilder, ProgramBuilder
 from repro.lang.pretty import pretty_class, pretty_method, pretty_program, pretty_statement
+from repro.lang.serialize import program_digest, program_from_dict, program_to_dict
 from repro.lang.validate import ValidationError, validate_program
 
 __all__ = [
@@ -81,5 +82,8 @@ __all__ = [
     "pretty_method",
     "pretty_program",
     "pretty_statement",
+    "program_digest",
+    "program_from_dict",
+    "program_to_dict",
     "validate_program",
 ]

@@ -167,6 +167,53 @@ class FSA:
                 return False
         return True
 
+    # ------------------------------------------------------------- determinism
+    def determinized(self) -> "FSA":
+        """An equivalent deterministic automaton (subset construction).
+
+        Subset states are numbered in breadth-first discovery order with
+        symbols visited in a canonical sort, so the construction is a pure
+        function of the language representation and its output is a *fixed
+        point*: ``fsa.determinized().determinized()`` equals
+        ``fsa.determinized()`` state-for-state (pinned by
+        ``tests/test_specs_fsa_properties.py``).  A deterministic automaton
+        whose states are not already in canonical BFS order comes back
+        language-equal but renumbered.  Only reachable subsets are
+        materialized.
+        """
+
+        def symbol_key(symbol: Symbol):
+            return (type(symbol).__name__, str(symbol))
+
+        initial = frozenset({self.initial})
+        numbering: Dict[FrozenSet[int], int] = {initial: 0}
+        result = FSA(num_states=1, initial=0)
+        queue: deque = deque([initial])
+        while queue:
+            current = queue.popleft()
+            source = numbering[current]
+            if current & self.accepting:
+                result.mark_accepting(source)
+            by_symbol: Dict[Symbol, Set[int]] = {}
+            for state in current:
+                for symbol, targets in self._delta.get(state, {}).items():
+                    by_symbol.setdefault(symbol, set()).update(targets)
+            for symbol in sorted(by_symbol, key=symbol_key):
+                subset = frozenset(by_symbol[symbol])
+                if subset not in numbering:
+                    numbering[subset] = result.add_state()
+                    queue.append(subset)
+                result.add_transition(source, symbol, numbering[subset])
+        return result
+
+    def is_deterministic(self) -> bool:
+        """Whether every state has at most one successor per symbol."""
+        for symbols in self._delta.values():
+            for targets in symbols.values():
+                if len(targets) > 1:
+                    return False
+        return True
+
     # ------------------------------------------------------------------ merging
     def merge(self, state: int, into: int) -> "FSA":
         """Return a new FSA with *state* merged into *into* (Section 5.3).

@@ -1,7 +1,8 @@
 """Shared fixtures for the test suite.
 
-The expensive artifacts (library program, interface, oracle) are built once
-per session; everything that needs mutation builds its own copies.
+The fixture bodies live in :mod:`repro.testing`, shared with the benchmark
+harness (``benchmarks/conftest.py``); only the ``sys.path`` bootstrap -- which
+must run before ``repro`` is importable -- stays here.
 """
 
 from __future__ import annotations
@@ -9,83 +10,22 @@ from __future__ import annotations
 import os
 import sys
 
-import pytest
-
 # Allow running the tests from a source checkout without installation.
 _SRC = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
 if _SRC not in sys.path:
     sys.path.insert(0, _SRC)
 
-from repro.client.sources_sinks import build_framework_program  # noqa: E402
-from repro.learn.oracle import WitnessOracle  # noqa: E402
-from repro.library.registry import build_interface, build_library_program, core_program  # noqa: E402
-
-
-@pytest.fixture(scope="session")
-def library_program():
-    return build_library_program()
-
-
-@pytest.fixture(scope="session")
-def interface(library_program):
-    return build_interface(library_program)
-
-
-@pytest.fixture(scope="session")
-def framework_program():
-    return build_framework_program()
-
-
-@pytest.fixture(scope="session")
-def core(library_program):
-    return core_program(library_program)
-
-
-@pytest.fixture(scope="session")
-def oracle(library_program, interface):
-    return WitnessOracle(library_program, interface)
-
-
-@pytest.fixture(scope="session")
-def null_oracle(library_program, interface):
-    return WitnessOracle(library_program, interface, initialization="null")
-
-
-@pytest.fixture(scope="session")
-def tiny_atlas_result(library_program, interface):
-    """A cheap end-to-end inference result (Box cluster only) for service tests."""
-    from repro.engine import InferenceEngine
-    from repro.learn import AtlasConfig
-
-    config = AtlasConfig(clusters=[("Box",)], seed=7, enumeration_budget=2_000)
-    return InferenceEngine().run(config, library_program=library_program, interface=interface)
-
-
-@pytest.fixture
-def wait_until():
-    """Poll-a-condition helper: ``wait_until(cond)`` -> bool.
-
-    A fixture (not a plain import) because ``import conftest`` would collide
-    with ``benchmarks/conftest.py`` when the whole suite runs together.
-    """
-    import time
-
-    def _wait(condition, timeout=10.0, interval=0.01):
-        deadline = time.monotonic() + timeout
-        while time.monotonic() < deadline:
-            if condition():
-                return True
-            time.sleep(interval)
-        return False
-
-    return _wait
-
-
-@pytest.fixture
-def tiny_store(tmp_path, tiny_atlas_result, library_program):
-    """A fresh SpecStore holding one stored copy of the tiny result."""
-    from repro.service.store import SpecStore
-
-    store = SpecStore(str(tmp_path / "specs"))
-    store.put(tiny_atlas_result, library_program=library_program)
-    return store
+from repro.testing import (  # noqa: E402,F401 - fixtures discovered via this namespace
+    core,
+    framework_program,
+    ground_truth_analyzer,
+    handwritten_analyzer,
+    implementation_analyzer,
+    interface,
+    library_program,
+    null_oracle,
+    oracle,
+    tiny_atlas_result,
+    tiny_store,
+    wait_until,
+)

@@ -1,0 +1,74 @@
+"""Byte-identical regeneration of seeded programs, pinned by digest.
+
+The fuzz corpus, the batch-analysis request contract, and the golden replay
+all assume that ``(profile, seed)`` names one program forever.  In-process
+double generation catches accidental nondeterminism (iteration over
+unordered sets, id-based ordering); the *pinned* digests additionally catch
+cross-run and cross-version drift -- if generation ever changes shape, these
+constants must be bumped deliberately, which is exactly the review moment a
+reproducibility break deserves.
+"""
+
+import pytest
+
+from repro.benchgen import AppGenerator, AppProfile, benchmark_suite
+from repro.diff.families import FAMILIES, generate_scenario
+from repro.lang.serialize import program_digest
+
+#: sha-256 digests of canonical program encodings; regenerate with
+#:   PYTHONPATH=src python -c "from tests.test_benchgen_determinism import _print_digests; _print_digests()"
+SUITE_DIGESTS = {
+    "App00": "5192507f023b86e374fd2f1edd376ab52194586106d9185839333318aab3d2b9",
+    "App01": "b72ab3fcdb9a2b342204620d37b0e2984674d95eb3a2d6ae66e64adb3c7dd46c",
+    "App02": "391d849adb023eb80d2a3602043abd3c73d1ff22b16b9c272799a45032572836",
+    "App03": "a3d2a896185edc84b176e338c39d90a4cd41f01d8bcff6f2614297eee18cdd95",
+}
+
+FAMILY_DIGESTS = {
+    "alias-chains": "dac3fefefa63c2ed5e9637ee86a10f09d3ab17e037804c2a99b620b05bbb7223",
+    "field-interleavings": "c555765451e899e0f194bb3eb32db1b54750ea314497cb2cfa4658db8265903e",
+    "nested-containers": "bdd020503e3db7b53d6349c28c09ad9453175ef28b049dc8004c7afd87ff2e87",
+    "taint-app": "8aa5cb94da1c83b2211da5d71c0412c41ad41057fa001a23027195a74070018f",
+}
+
+#: the seed the family pins use: scenario 0 of a seed-7 campaign
+_FAMILY_SEED = 7 * 1_000_003
+
+
+def _suite():
+    return benchmark_suite(count=4, seed=2018, max_statements=120, min_statements=30)
+
+
+def test_suite_generation_is_byte_identical_across_runs():
+    first = {app.name: program_digest(app.program) for app in _suite()}
+    second = {app.name: program_digest(app.program) for app in _suite()}
+    assert first == second
+
+
+def test_suite_digests_are_pinned():
+    digests = {app.name: program_digest(app.program) for app in _suite()}
+    assert digests == SUITE_DIGESTS
+
+
+def test_profile_generation_is_byte_identical():
+    profile = AppProfile(name="Pin", seed=99, target_statements=80, category="utility")
+    first = AppGenerator(profile).generate()
+    second = AppGenerator(profile).generate()
+    assert program_digest(first.program) == program_digest(second.program)
+
+
+@pytest.mark.parametrize("family", sorted(FAMILIES))
+def test_family_digests_are_pinned(family):
+    scenario = generate_scenario("Pinned", family, _FAMILY_SEED)
+    assert program_digest(scenario.program) == FAMILY_DIGESTS[family], (
+        f"seeded generation drifted for family {family!r}; if intentional, "
+        "bump FAMILY_DIGESTS and regenerate tests/golden (see docs/diff.md)"
+    )
+
+
+def _print_digests():  # pragma: no cover - maintenance helper
+    for app in _suite():
+        print(f'    "{app.name}": "{program_digest(app.program)}",')
+    for family in sorted(FAMILIES):
+        scenario = generate_scenario("Pinned", family, _FAMILY_SEED)
+        print(f'    "{family}": "{program_digest(scenario.program)}",')

@@ -1,0 +1,76 @@
+"""Tests for the fuzzer's scenario families."""
+
+import pytest
+
+from repro.diff.families import (
+    DEFAULT_FAMILIES,
+    FAMILIES,
+    generate_scenario,
+    scenario_plan,
+)
+from repro.lang import validate_program
+from repro.lang.serialize import program_digest
+
+
+def test_registry_contains_the_new_families_and_the_classic_profile():
+    assert set(DEFAULT_FAMILIES) == {
+        "alias-chains",
+        "nested-containers",
+        "field-interleavings",
+    }
+    assert "taint-app" in FAMILIES
+    assert set(DEFAULT_FAMILIES) <= set(FAMILIES)
+
+
+@pytest.mark.parametrize("family", sorted(FAMILIES))
+def test_generation_is_deterministic(family):
+    first = generate_scenario("S", family, 1234)
+    second = generate_scenario("S", family, 1234)
+    assert program_digest(first.program) == program_digest(second.program)
+    assert first.statements == second.statements
+    assert first.planted_flows == second.planted_flows
+
+
+@pytest.mark.parametrize("family", sorted(FAMILIES))
+def test_different_seeds_differ(family):
+    first = generate_scenario("S", family, 1)
+    second = generate_scenario("S", family, 2)
+    assert program_digest(first.program) != program_digest(second.program)
+
+
+@pytest.mark.parametrize("family", sorted(FAMILIES))
+def test_generated_programs_are_structurally_valid(
+    family, library_program, framework_program, core
+):
+    scenario = generate_scenario("Valid", family, 77)
+    full = (
+        scenario.program.merged_with(core)
+        .merged_with(framework_program)
+        .merged_with(library_program.without_classes(core.class_names()))
+    )
+    validate_program(full)
+
+
+@pytest.mark.parametrize("family", sorted(FAMILIES))
+def test_families_plant_flows(family):
+    """Across a handful of seeds every family plants secret-to-sink chains."""
+    planted = sum(generate_scenario("P", family, seed).planted_flows for seed in range(5))
+    assert planted > 0
+
+
+def test_plan_round_robins_and_is_deterministic():
+    plan = scenario_plan(DEFAULT_FAMILIES, budget=7, seed=11)
+    assert len(plan) == 7
+    assert [family for _name, family, _seed in plan[:3]] == list(DEFAULT_FAMILIES)
+    assert plan == scenario_plan(DEFAULT_FAMILIES, budget=7, seed=11)
+    names = [name for name, _family, _seed in plan]
+    assert len(set(names)) == len(names)
+    seeds = [seed for _name, _family, seed in plan]
+    assert len(set(seeds)) == len(seeds)
+
+
+def test_plan_rejects_unknown_family():
+    with pytest.raises(KeyError, match="unknown scenario family"):
+        scenario_plan(("no-such-family",), budget=1, seed=1)
+    with pytest.raises(ValueError):
+        scenario_plan((), budget=1, seed=1)

@@ -1,0 +1,68 @@
+"""Replay the golden fuzz corpus: frozen verdicts must keep reproducing.
+
+Every entry under ``tests/golden/`` is a program a fuzz campaign froze --
+shrunk counterexamples and sampled passing programs -- together with the
+verdict it produced: the concrete ground-truth flows, the per-pipeline
+static flows, and the divergence signatures.  This test re-runs the concrete
+interpreter and every recorded pipeline over the serialized program and
+asserts the verdict is unchanged, so any behaviour drift in the interpreter,
+the specification languages, the code generator, or the points-to analysis
+is caught by the ordinary test suite instead of by the next fuzz campaign.
+
+Regenerate the corpus with (see ``docs/diff.md``)::
+
+    repro fuzz --budget 200 --seed 7 --workers 4
+    repro fuzz --budget 12 --seed 7 --pipeline handwritten --no-cross-check --sample 2
+    repro fuzz --families taint-app --budget 10 --seed 3 --sample 1
+"""
+
+import pytest
+
+from repro.diff.checker import DifferentialChecker
+from repro.diff.corpus import COUNTEREXAMPLE, corpus_files, load_corpus
+from repro.testing import GOLDEN_DIR
+
+
+def _entries():
+    entries = []
+    for path in corpus_files(GOLDEN_DIR):
+        for entry in load_corpus(path):
+            entries.append(pytest.param(entry, id=entry.name))
+    return entries
+
+
+_ENTRIES = _entries()
+
+
+def test_the_corpus_exists_and_holds_both_kinds():
+    kinds = {entry.values[0].kind for entry in _ENTRIES}
+    assert kinds == {"pass", COUNTEREXAMPLE}, (
+        "tests/golden must hold passing samples AND shrunk counterexamples"
+    )
+
+
+@pytest.fixture(scope="module")
+def analyzers(ground_truth_analyzer, handwritten_analyzer, implementation_analyzer):
+    return {
+        "ground_truth": ground_truth_analyzer,
+        "handwritten": handwritten_analyzer,
+        "implementation": implementation_analyzer,
+    }
+
+
+@pytest.mark.parametrize("entry", _ENTRIES)
+def test_golden_entry_replays_identically(entry, analyzers, library_program):
+    unknown = set(entry.flows) - set(analyzers)
+    assert not unknown, f"corpus records pipelines this test cannot rebuild: {unknown}"
+
+    checker = DifferentialChecker(
+        {pipeline: analyzers[pipeline] for pipeline in entry.flows},
+        library_program=library_program,
+    )
+    verdict = checker.check_program(
+        entry.program, entry.name, family=entry.family, seed=entry.seed
+    )
+    assert verdict.concrete == entry.concrete_flows, "ground-truth flows drifted"
+    for pipeline, expected in entry.flows.items():
+        assert verdict.flows[pipeline] == expected, f"{pipeline} flows drifted"
+    assert verdict.signatures() == entry.divergence_signatures, "verdict drifted"

@@ -1,0 +1,100 @@
+"""Tests for greedy counterexample minimization."""
+
+from repro.diff.checker import DifferentialChecker
+from repro.diff.shrink import _without_statement, shrink_program
+from repro.lang.builder import ClassBuilder, MethodBuilder
+from repro.lang.program import Program
+from repro.lang.serialize import program_to_dict
+
+
+def _divergent_program() -> Program:
+    """One real handwritten-spec divergence buried in padding and dead code."""
+    app = ClassBuilder("ShrinkApp")
+
+    leak = MethodBuilder("handler1", is_static=True)
+    # padding before
+    leak.new("noise1", "Object")
+    leak.assign("noise2", "noise1")
+    # the divergent chain: LinkedList flows escape the handwritten specs
+    leak.new("mgr", "SmsInbox")
+    leak.call("secret", "mgr", "readMessages")
+    leak.new("list", "LinkedList")
+    leak.call(None, "list", "add", "secret")
+    leak.call("out", "list", "getFirst")
+    leak.new("log", "Logger")
+    leak.call(None, "log", "leak", "out")
+    # padding after
+    leak.new("box", "Box")
+    leak.call(None, "box", "set", "noise2")
+    app.add_method(leak)
+
+    # a whole method of irrelevant work
+    noise = MethodBuilder("handler2", is_static=True)
+    noise.new("res", "ResourceManager")
+    noise.call("value", "res", "getString")
+    noise.new("sb", "StringBuilder")
+    noise.call(None, "sb", "append", "value")
+    app.add_method(noise)
+    return Program([app.build()])
+
+
+def _predicate(checker, target):
+    def still_diverges(candidate):
+        verdict = checker.check_program(candidate, "ShrinkApp")
+        return target <= set(verdict.signatures())
+
+    return still_diverges
+
+
+def test_shrink_minimizes_and_preserves_the_divergence(
+    handwritten_analyzer, library_program
+):
+    checker = DifferentialChecker(
+        {"handwritten": handwritten_analyzer}, library_program=library_program
+    )
+    program = _divergent_program()
+    outcome = checker.check_program(program, "ShrinkApp")
+    assert outcome.diverged
+    target = set(outcome.signatures())
+    predicate = _predicate(checker, target)
+
+    result = shrink_program(program, predicate)
+    assert result.statements < program.statement_count()
+    assert predicate(result.program)
+    # the irrelevant method and the padding are gone entirely
+    shrunk_class = result.program.class_def("ShrinkApp")
+    assert sorted(shrunk_class.methods) == ["handler1"]
+    assert result.statements == 7  # exactly the divergent chain survives
+
+    # 1-minimal: deleting any single remaining statement loses the divergence
+    for cls in result.program:
+        for method_name, method in cls.methods.items():
+            for index in range(len(method.body)):
+                candidate = _without_statement(result.program, cls, method_name, index)
+                assert not predicate(candidate), (method_name, index)
+
+
+def test_shrink_is_deterministic(handwritten_analyzer, library_program):
+    checker = DifferentialChecker(
+        {"handwritten": handwritten_analyzer}, library_program=library_program
+    )
+    program = _divergent_program()
+    target = set(checker.check_program(program, "ShrinkApp").signatures())
+    first = shrink_program(program, _predicate(checker, target))
+    second = shrink_program(program, _predicate(checker, target))
+    assert program_to_dict(first.program) == program_to_dict(second.program)
+    assert first.steps == second.steps
+
+
+def test_broken_candidates_are_self_rejecting(handwritten_analyzer, library_program):
+    """Deleting a definition makes the candidate crash, which never matches a
+    missed-flow signature -- so the shrinker cannot drift onto broken programs."""
+    checker = DifferentialChecker(
+        {"handwritten": handwritten_analyzer}, library_program=library_program
+    )
+    program = _divergent_program()
+    target = set(checker.check_program(program, "ShrinkApp").signatures())
+    result = shrink_program(program, _predicate(checker, target))
+    # the surviving program still runs concretely (no crash divergence)
+    verdict = checker.check_program(result.program, "ShrinkApp")
+    assert all(divergence.kind == "missed-flow" for divergence in verdict.divergences)

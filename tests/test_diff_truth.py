@@ -1,0 +1,131 @@
+"""Tests for the concrete (provenance-tracking) ground-truth analysis."""
+
+import pytest
+
+from repro.client.taint import Flow
+from repro.diff.truth import ConcreteExecutionError, ConcreteTaintAnalysis, concrete_flows
+from repro.lang.builder import ClassBuilder, MethodBuilder
+from repro.lang.program import Program
+
+
+def _program(build):
+    app = ClassBuilder("TruthApp")
+    method = MethodBuilder("handler1", is_static=True)
+    build(method)
+    app.add_method(method)
+    return Program([app.build()])
+
+
+def test_direct_flow_reports_exact_call_site():
+    def build(m):
+        m.new("mgr", "TelephonyManager")          # 0
+        m.call("secret", "mgr", "getDeviceId")    # 1
+        m.new("sms", "SmsManager")                # 2
+        m.call(None, "sms", "sendTextMessage", "secret")  # 3
+
+    flows = concrete_flows(_program(build))
+    assert flows == frozenset(
+        {
+            Flow(
+                source_class="TelephonyManager",
+                source_method="getDeviceId",
+                sink_class="SmsManager",
+                sink_method="sendTextMessage",
+                sink_caller_class="TruthApp",
+                sink_caller_method="handler1",
+                sink_statement_index=3,
+            )
+        }
+    )
+
+
+def test_flow_survives_container_round_trip():
+    def build(m):
+        m.new("mgr", "LocationManager")
+        m.call("secret", "mgr", "getLastKnownLocation")
+        m.new("box", "Box")
+        m.call(None, "box", "set", "secret")
+        m.call("copy", "box", "clone")
+        m.call("out", "copy", "get")
+        m.new("log", "Logger")
+        m.call(None, "log", "leak", "out")
+
+    flows = concrete_flows(_program(build))
+    assert {(f.source_method, f.sink_method) for f in flows} == {
+        ("getLastKnownLocation", "leak")
+    }
+
+
+def test_benign_values_produce_no_flows():
+    def build(m):
+        m.new("res", "ResourceManager")
+        m.call("value", "res", "getString")
+        m.new("sms", "SmsManager")
+        m.call(None, "sms", "sendTextMessage", "value")
+
+    assert concrete_flows(_program(build)) == frozenset()
+
+
+def test_strange_box_kills_the_concrete_flow():
+    """``StrangeBox.set`` overwrites with null: the secret never comes back.
+
+    The flow-insensitive specification still (correctly, for its abstraction)
+    reports a flow here -- the concrete side must *not*, which is exactly the
+    over-approximation direction the differential checker allows.
+    """
+
+    def build(m):
+        m.new("mgr", "SmsInbox")
+        m.call("secret", "mgr", "readMessages")
+        m.new("box", "StrangeBox")
+        m.call(None, "box", "set", "secret")
+        m.call("out", "box", "get")
+        m.new("log", "Logger")
+        m.call(None, "log", "leak", "out")
+
+    assert concrete_flows(_program(build)) == frozenset()
+
+
+def test_sink_on_wrong_receiver_class_is_ignored():
+    """A method merely *named* like a sink is not a sink concretely."""
+
+    def build(m):
+        m.new("mgr", "TelephonyManager")
+        m.call("secret", "mgr", "getDeviceId")
+        m.new("box", "Box")
+        m.call(None, "box", "set", "secret")  # not a sink call
+
+    assert concrete_flows(_program(build)) == frozenset()
+
+
+def test_every_parameterless_static_method_is_an_entry_point():
+    app = ClassBuilder("MultiApp")
+    first = MethodBuilder("handler1", is_static=True)
+    first.new("mgr", "TelephonyManager")
+    first.call("secret", "mgr", "getDeviceId")
+    first.new("sms", "SmsManager")
+    first.call(None, "sms", "sendTextMessage", "secret")
+    app.add_method(first)
+    second = MethodBuilder("handler2", is_static=True)
+    second.new("mgr", "ContactsProvider")
+    second.call("secret", "mgr", "queryContacts")
+    second.new("log", "Logger")
+    second.call(None, "log", "leak", "secret")
+    app.add_method(second)
+    program = Program([app.build()])
+
+    entries = ConcreteTaintAnalysis.entry_points(program)
+    assert [str(entry) for entry in entries] == ["MultiApp.handler1", "MultiApp.handler2"]
+    flows = concrete_flows(program)
+    assert {(f.source_method, f.sink_caller_method) for f in flows} == {
+        ("getDeviceId", "handler1"),
+        ("queryContacts", "handler2"),
+    }
+
+
+def test_crash_raises_concrete_execution_error():
+    def build(m):
+        m.call("oops", "undefined", "get")  # read of an undefined variable
+
+    with pytest.raises(ConcreteExecutionError, match="handler1"):
+        concrete_flows(_program(build))

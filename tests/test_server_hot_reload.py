@@ -1,0 +1,97 @@
+"""Hot reload under load: storing a new spec must not disturb in-flight work.
+
+The daemon's deploy story is "``repro learn`` into the served store equals a
+zero-downtime deploy".  This test exercises that claim with real compiled
+analyzers: a burst of requests is in flight when a new spec version lands
+and the poller swaps the target -- every response must still arrive, carry
+the correct flows, and the swap must be observable as a ``SpecReloaded``
+event plus fresh per-worker ``SpecCompiled`` compilations (never one per
+request).
+"""
+
+from repro.engine.events import CollectingSink, SpecCompiled, SpecReloaded
+from repro.server.pool import WarmWorkerPool
+from repro.service.api import AnalyzeRequest, SuiteSpec, handle_request
+
+
+def _request():
+    return AnalyzeRequest(suite=SuiteSpec(count=1, max_statements=30), include_timing=False)
+
+
+def _flows(response):
+    return [report.canonical()["flows"] for report in response.result.reports]
+
+
+def test_hot_reload_under_load_drops_nothing(
+    tiny_store, tiny_atlas_result, library_program, interface, wait_until
+):
+    sink = CollectingSink()
+    expected = _flows(handle_request(_request(), tiny_store, library_program=library_program))
+    old_spec_id = tiny_store.latest().spec_id
+
+    pool = WarmWorkerPool(
+        tiny_store,
+        workers=2,
+        queue_depth=64,
+        events=sink,
+        library_program=library_program,
+        interface=interface,
+    )
+    with pool:
+        startup_compiles = len(sink.of_type(SpecCompiled))
+        assert startup_compiles == 2  # one per worker, at startup
+
+        # first wave: put the workers under load
+        first_wave = [pool.submit(_request()) for _ in range(8)]
+
+        # deploy a new spec version while those requests are in flight
+        record = tiny_store.put(tiny_atlas_result, library_program=library_program)
+        assert record.spec_id != old_spec_id
+        assert pool.poll_once() is True
+        assert pool.current_spec_id == record.spec_id
+
+        # second wave: submitted after the swap, still racing the first
+        second_wave = [pool.submit(_request()) for _ in range(8)]
+
+        responses = [future.result(timeout=30) for future in first_wave + second_wave]
+
+    # zero dropped, zero incorrect: every response holds the expected flows
+    assert len(responses) == 16
+    for response in responses:
+        assert _flows(response) == expected
+        assert response.spec_id in (old_spec_id, record.spec_id)
+
+    # the swap happened and was counted exactly once
+    reloads = sink.of_type(SpecReloaded)
+    assert len(reloads) == 1
+    assert reloads[0].previous_spec_id == old_spec_id
+    assert reloads[0].spec_id == record.spec_id
+
+    # workers recompiled lazily for the new spec: at most one extra compile
+    # per worker, never one per request
+    compiles = sink.of_type(SpecCompiled)
+    assert startup_compiles < len(compiles) <= startup_compiles + 2
+    assert any(event.spec_id == record.spec_id for event in compiles)
+
+    # requests handled after the swap were served under the new spec
+    assert responses[-1].spec_id == record.spec_id
+
+
+def test_polling_thread_bumps_the_reload_counter(
+    tiny_store, tiny_atlas_result, library_program, interface, wait_until
+):
+    sink = CollectingSink()
+    pool = WarmWorkerPool(
+        tiny_store,
+        workers=1,
+        events=sink,
+        library_program=library_program,
+        interface=interface,
+    )
+    with pool:
+        pool.start_polling(0.05)
+        tiny_store.put(tiny_atlas_result, library_program=library_program)
+        assert wait_until(lambda: sink.of_type(SpecReloaded), timeout=10.0)
+        # the pool keeps serving after the background swap
+        response = pool.submit(_request()).result(timeout=30)
+        assert response.spec_id == tiny_store.latest().spec_id
