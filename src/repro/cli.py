@@ -8,6 +8,9 @@ Subcommands cover the serving path end to end, plus the evaluation driver::
     repro serve --store .repro-specs --port 8080 --workers 4
     repro bench-serve --url http://127.0.0.1:8080 --requests 50 --clients 8
     repro fuzz --budget 200 --seed 7 --workers 4 [--shrink]
+    repro fuzz --families taint-app --repair      # closed loop: fuzz -> repair -> re-fuzz
+    repro repair --report fuzz-report.json --store .repro-specs --verify
+    repro corpus list|verify|replay [--dir tests/golden]
     repro experiments fig9a --preset quick        # -> repro.experiments.runner
     repro compact-cache --cache-dir .repro-cache
 
@@ -24,7 +27,10 @@ load-tests a running daemon and verifies its responses bit-identical to
 in-process handling.  ``fuzz`` runs a differential fuzzing campaign
 (:mod:`repro.diff`): seeded scenario programs checked concrete-vs-static,
 divergences shrunk to minimal counterexamples, golden corpus written under
-``tests/golden/``.
+``tests/golden/``.  ``repair`` (and the one-command ``fuzz --repair`` closed
+loop) turns those divergences into a repaired specification version
+(:mod:`repro.repair`) that a running daemon hot-reloads; ``corpus``
+inspects, digest-verifies, and replays golden-corpus entries.
 """
 
 from __future__ import annotations
@@ -248,16 +254,205 @@ def cmd_fuzz(args) -> int:
         f"({report.executor}, workers={config.workers}): "
         f"{summary['concrete_flows']} concrete flows, "
         f"{summary['diverged']} diverged ({summary['shrunk']} shrunk), "
+        f"{summary['spurious_flows']} spurious (imprecision, not unsoundness), "
         f"{summary['golden_entries']} golden entries"
         + (f" -> {report.corpus_path}" if report.corpus_path else "")
         + "\n"
     )
+    if args.repair:
+        return _run_repair_loop(args, report)
     # exit 0: clean; 2: divergences found (every one shrunk, or shrinking
     # explicitly disabled); 1: shrinking was requested but left divergences
     # unminimized -- the campaign itself failed
     if report.unshrunk and config.shrink:
         return 1
     return 2 if report.diverged else 0
+
+
+def _run_repair_loop(args, report) -> int:
+    """The ``fuzz --repair`` closed loop: repair divergences, re-fuzz, report."""
+    from repro.repair import RepairEngine
+    from repro.repair.engine import RepairConfig
+    from repro.service.store import SpecStore
+
+    from repro.repair.engine import REPAIRABLE_PIPELINES
+
+    if not report.diverged:
+        sys.stderr.write("repair: campaign is clean, nothing to repair\n")
+        return 0
+    if report.config.pipeline not in REPAIRABLE_PIPELINES:
+        sys.stderr.write(
+            f"repair: pipeline {report.config.pipeline!r} has no specification set to repair "
+            f"(repairable: {', '.join(REPAIRABLE_PIPELINES)})\n"
+        )
+        return 1
+    repair_store = args.repair_store or args.store or ".repro-specs"
+    engine = RepairEngine(
+        store=SpecStore(repair_store),
+        cache_dir=args.cache_dir,
+        config=RepairConfig(seed=args.seed, workers=args.workers),
+        events=_events(args.progress),
+    )
+    outcome = engine.repair(report, spec_id=args.spec, verify=True)
+    return _summarize_repair(outcome, repair_store)
+
+
+def _summarize_repair(outcome, store_root: str) -> int:
+    summary = outcome.to_dict()["summary"]
+    line = (
+        f"repaired {summary['repaired']}/{summary['divergences']} divergences "
+        f"({summary['clusters_relearned']} clusters relearned, "
+        f"{summary['oracle_executions']} witnesses executed, "
+        f"{summary['oracle_cache_hits']} cache hits, {outcome.executor})"
+    )
+    if outcome.record is not None:
+        line += f" -> {outcome.record.spec_id} (v{outcome.record.version}) in {store_root}"
+    if outcome.verification is not None:
+        remaining = len(outcome.verification.diverged)
+        line += (
+            f"; re-fuzz over {outcome.verification.programs} programs: "
+            f"{remaining} divergences"
+        )
+    sys.stderr.write(line + "\n")
+    for divergence in outcome.plan.unrepairable:
+        sys.stderr.write(
+            f"repair: NOT repairable: {divergence.program} {divergence.signature}: "
+            f"{divergence.reason}\n"
+        )
+    if outcome.plan.divergences and outcome.record is None:
+        # covers both "no candidate words" and "the oracle refuted every
+        # candidate": divergences exist but no repaired version was published
+        return 1
+    if outcome.verification is not None and outcome.verification.diverged:
+        return 1
+    if outcome.plan.unrepairable:
+        return 1
+    return 0
+
+
+def cmd_repair(args) -> int:
+    from repro.repair import RepairEngine
+    from repro.repair.engine import REPAIRABLE_PIPELINES, RepairConfig
+    from repro.service.store import SpecStore
+
+    if args.report == "-":
+        data = json.load(sys.stdin)
+    else:
+        with open(args.report, "r", encoding="utf-8") as handle:
+            data = json.load(handle)
+    if data.get("pipeline") not in REPAIRABLE_PIPELINES:
+        sys.stderr.write(
+            f"repair: pipeline {data.get('pipeline')!r} has no specification set to repair "
+            f"(repairable: {', '.join(REPAIRABLE_PIPELINES)})\n"
+        )
+        return 1
+    engine = RepairEngine(
+        store=SpecStore(args.store),
+        cache_dir=args.cache_dir,
+        config=RepairConfig(seed=args.seed, workers=args.workers),
+        events=_events(args.progress),
+    )
+    outcome = engine.repair(data, spec_id=args.spec, verify=args.verify)
+    _write_json(outcome.to_dict(include_timing=not args.no_timing), args.out)
+    if outcome.no_op and not outcome.plan.divergences:
+        sys.stderr.write("repair: report is clean, nothing to repair\n")
+        return 0
+    return _summarize_repair(outcome, args.store)
+
+
+def cmd_corpus(args) -> int:
+    import os
+
+    from repro.diff.corpus import corpus_files, load_corpus
+    from repro.lang.serialize import program_digest, program_from_dict, program_to_dict
+
+    directory = args.dir
+    paths = corpus_files(directory)
+    if not paths:
+        sys.stderr.write(f"corpus: no corpus files under {directory}\n")
+        return 1
+
+    if args.action == "list":
+        for path in paths:
+            print(os.path.basename(path))
+            for entry in load_corpus(path):
+                digest = program_digest(entry.program)
+                print(
+                    f"  {entry.name:<24} {entry.kind:<15} {entry.family:<18} "
+                    f"seed={entry.seed:<10} statements={entry.program.statement_count():<4} "
+                    f"digest={digest[:12]}"
+                )
+        return 0
+
+    if args.action == "verify":
+        problems = []
+        for path in paths:
+            with open(path, "r", encoding="utf-8") as handle:
+                raw = json.load(handle)
+            for raw_entry in raw["entries"]:
+                name = raw_entry["name"]
+                # the stored encoding must be the canonical one: decoding and
+                # re-encoding with repro.lang.serialize is the identity
+                reencoded = program_to_dict(program_from_dict(raw_entry["program"]))
+                if reencoded != raw_entry["program"]:
+                    problems.append(f"{os.path.basename(path)}: {name}: non-canonical program encoding")
+                    continue
+                digest = program_digest(program_from_dict(raw_entry["program"]))
+                print(f"{name}: ok ({digest[:12]})")
+        for problem in problems:
+            sys.stderr.write(f"corpus: {problem}\n")
+        return 1 if problems else 0
+
+    # replay one entry by id
+    from repro.diff.checker import DifferentialChecker, build_pipeline_analyzer
+    from repro.library.registry import build_interface, build_library_program
+
+    if not args.id:
+        sys.stderr.write("corpus: replay needs --id <entry name> (see `repro corpus list`)\n")
+        return 1
+    wanted = None
+    for path in paths:
+        for entry in load_corpus(path):
+            if entry.name == args.id:
+                wanted = entry
+                break
+    if wanted is None:
+        sys.stderr.write(f"corpus: no entry named {args.id!r} under {directory}\n")
+        return 1
+    unsupported = set(wanted.flows) - {"ground_truth", "handwritten", "implementation"}
+    if unsupported:
+        sys.stderr.write(
+            f"corpus: cannot rebuild pipelines {sorted(unsupported)} without a store\n"
+        )
+        return 1
+    library = build_library_program()
+    interface = build_interface(library)
+    checker = DifferentialChecker(
+        {
+            pipeline: build_pipeline_analyzer(
+                pipeline, library_program=library, interface=interface
+            )
+            for pipeline in wanted.flows
+        },
+        library_program=library,
+    )
+    verdict = checker.check_program(
+        wanted.program, wanted.name, family=wanted.family, seed=wanted.seed
+    )
+    payload = verdict.canonical()
+    payload["expected_signatures"] = list(wanted.divergence_signatures)
+    _write_json(payload, args.out)
+    drifted = (
+        verdict.concrete != wanted.concrete_flows
+        or any(verdict.flows[p] != flows for p, flows in wanted.flows.items())
+        or verdict.signatures() != wanted.divergence_signatures
+    )
+    sys.stderr.write(
+        f"replayed {wanted.name}: {len(verdict.concrete)} concrete flows, "
+        f"signatures {list(verdict.signatures())} "
+        f"({'DRIFTED from the frozen verdict' if drifted else 'matches the frozen verdict'})\n"
+    )
+    return 1 if drifted else 0
 
 
 def cmd_compact_cache(args) -> int:
@@ -424,7 +619,60 @@ def build_parser() -> argparse.ArgumentParser:
     fuzz.add_argument("--out", default=None, help="write the JSON report here (default stdout)")
     fuzz.add_argument("--no-timing", action="store_true", help="omit timing from the report")
     fuzz.add_argument("--progress", action="store_true", help="stream fuzz events to stderr")
+    fuzz.add_argument(
+        "--repair",
+        action="store_true",
+        help="closed loop: repair any divergences into a SpecStore and re-fuzz the repaired spec",
+    )
+    fuzz.add_argument(
+        "--repair-store",
+        default=None,
+        help="SpecStore the repaired spec is published to (default: --store, else .repro-specs)",
+    )
+    fuzz.add_argument(
+        "--cache-dir", default=None, help="persistent oracle cache for repair learning"
+    )
     fuzz.set_defaults(func=cmd_fuzz)
+
+    repair = commands.add_parser(
+        "repair", help="repair spec gaps found by a fuzz campaign and republish"
+    )
+    repair.add_argument(
+        "--report", required=True, help="fuzz report JSON from `repro fuzz --out` ('-' for stdin)"
+    )
+    repair.add_argument("--store", required=True, help="SpecStore the repaired spec is published to")
+    repair.add_argument(
+        "--spec",
+        default=None,
+        help="base spec id for store-pipeline reports (default: latest for the library)",
+    )
+    repair.add_argument(
+        "--cache-dir", default=None, help="persistent oracle cache directory (shared with learn)"
+    )
+    repair.add_argument("--workers", type=int, default=0, help="cluster-relearning worker processes")
+    repair.add_argument("--seed", type=int, default=2018, help="repair learning seed")
+    repair.add_argument(
+        "--verify",
+        action="store_true",
+        help="re-fuzz the repaired spec over the originating campaign and assert it is clean",
+    )
+    repair.add_argument("--out", default=None, help="write the JSON outcome here (default stdout)")
+    repair.add_argument("--no-timing", action="store_true", help="omit timing from the outcome")
+    repair.add_argument("--progress", action="store_true", help="stream repair events to stderr")
+    repair.set_defaults(func=cmd_repair)
+
+    corpus = commands.add_parser(
+        "corpus", help="list, digest-verify, or replay golden-corpus entries"
+    )
+    corpus.add_argument(
+        "action", choices=["list", "verify", "replay"], help="what to do with the corpus"
+    )
+    corpus.add_argument(
+        "--dir", default="tests/golden", help="corpus directory (default: tests/golden)"
+    )
+    corpus.add_argument("--id", default=None, help="entry name to replay (replay only)")
+    corpus.add_argument("--out", default=None, help="replay: write the verdict JSON here")
+    corpus.set_defaults(func=cmd_corpus)
 
     # help-only stub: main() forwards "experiments ..." to the runner before
     # parsing, so this subparser exists purely for the --help listing
@@ -449,7 +697,13 @@ def main(argv: Optional[List[str]] = None) -> int:
 
         return runner_main(argv[1:])
     args = build_parser().parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except BrokenPipeError:  # e.g. `repro corpus list | head`: not an error
+        import os
+
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 0
 
 
 if __name__ == "__main__":  # pragma: no cover - CLI entry point

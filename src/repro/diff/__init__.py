@@ -43,9 +43,17 @@ from repro.diff.families import (
 )
 from repro.diff.runner import FuzzConfig, FuzzReport, run_fuzz
 from repro.diff.shrink import ShrinkResult, shrink_program
-from repro.diff.truth import ConcreteExecutionError, ConcreteTaintAnalysis, concrete_flows
+from repro.diff.truth import (
+    BoundaryTrace,
+    ConcreteExecutionError,
+    ConcreteTaintAnalysis,
+    LibraryCallEvent,
+    concrete_flows,
+    trace_library_calls,
+)
 
 __all__ = [
+    "BoundaryTrace",
     "ConcreteExecutionError",
     "ConcreteTaintAnalysis",
     "DEFAULT_FAMILIES",
@@ -57,6 +65,7 @@ __all__ = [
     "FuzzReport",
     "GeneratedScenario",
     "GoldenEntry",
+    "LibraryCallEvent",
     "ShrinkResult",
     "build_pipeline_analyzer",
     "concrete_flows",
@@ -65,5 +74,6 @@ __all__ = [
     "run_fuzz",
     "scenario_plan",
     "shrink_program",
+    "trace_library_calls",
     "write_corpus",
 ]

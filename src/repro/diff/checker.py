@@ -56,8 +56,10 @@ def build_pipeline_analyzer(
     if mode == "store":
         if store is None:
             raise ValueError("pipeline mode 'store' needs a SpecStore")
+        # interface=None lets from_store pick the spec-compile interface, the
+        # only one under which repaired (array-crossing) automata compile
         return ClientAnalyzer.from_store(
-            store, spec_id=spec_id, library_program=library, interface=interface
+            store, spec_id=spec_id, library_program=library, interface=None
         )
     if interface is None:
         interface = build_interface(library)
@@ -151,6 +153,39 @@ class DiffOutcome:
             program_to_dict(self.shrunk_program) if self.shrunk_program is not None else None
         )
         return payload
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "DiffOutcome":
+        """Rebuild an outcome from its :meth:`canonical` encoding.
+
+        This is what lets the repair engine ingest a fuzz report *file*
+        (``repro fuzz --out``) hours or machines away from the campaign that
+        produced it.
+        """
+        from repro.lang.serialize import program_from_dict
+
+        shrunk = data.get("shrunk_program")
+        return cls(
+            name=data["name"],
+            family=data["family"],
+            seed=int(data["seed"]),
+            statements=int(data["statements"]),
+            concrete=tuple(
+                sorted((flow_from_dict(entry) for entry in data["concrete_flows"]), key=_flow_sort_key)
+            ),
+            flows={
+                pipeline: tuple(
+                    sorted((flow_from_dict(entry) for entry in flows), key=_flow_sort_key)
+                )
+                for pipeline, flows in data["flows"].items()
+            },
+            divergences=tuple(
+                Divergence.from_dict(entry) for entry in data["divergences"]
+            ),
+            spurious=dict(data.get("spurious", {})),
+            shrunk_program=program_from_dict(shrunk) if shrunk is not None else None,
+            shrink_steps=int(data.get("shrink_steps", 0)),
+        )
 
 
 def _sorted_flows(flows) -> Tuple[Flow, ...]:

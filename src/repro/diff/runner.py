@@ -89,6 +89,27 @@ class FuzzReport:
     def families_covered(self) -> Tuple[str, ...]:
         return tuple(sorted({outcome.family for outcome in self.outcomes}))
 
+    def spurious_totals(self) -> Dict[str, int]:
+        """Spurious (extra, imprecise) static flows per pipeline.
+
+        Missed flows are *unsoundness* and feed :mod:`repro.repair`; spurious
+        flows are *imprecision* -- the over-approximation contract at work --
+        and must never be "repaired" away.  Reporting them first-class is what
+        lets the repair layer (and a human reading the report) tell the two
+        apart.
+        """
+        totals: Dict[str, int] = {}
+        for outcome in self.outcomes:
+            for pipeline, count in outcome.spurious.items():
+                totals[pipeline] = totals.get(pipeline, 0) + count
+        return dict(sorted(totals.items()))
+
+    def spurious_programs(self) -> int:
+        """Programs for which at least one pipeline reported a spurious flow."""
+        return sum(
+            1 for outcome in self.outcomes if any(count for count in outcome.spurious.values())
+        )
+
     def canonical(self) -> Dict:
         """The timing-free encoding serial and parallel campaigns share."""
         return {
@@ -104,6 +125,12 @@ class FuzzReport:
 
     def to_dict(self, include_timing: bool = True) -> Dict:
         payload = self.canonical()
+        spurious = self.spurious_totals()
+        payload["spurious"] = {
+            "by_pipeline": spurious,
+            "programs": self.spurious_programs(),
+            "flows": sum(spurious.values()),
+        }
         payload["summary"] = {
             "programs": self.programs,
             "families_covered": list(self.families_covered()),
@@ -111,6 +138,7 @@ class FuzzReport:
             "diverged": len(self.diverged),
             "shrunk": len(self.shrunk),
             "unshrunk": len(self.unshrunk),
+            "spurious_flows": sum(spurious.values()),
             "golden_entries": len(self.golden),
             "executor": self.executor,
         }
@@ -119,6 +147,29 @@ class FuzzReport:
         if include_timing:
             payload["summary"]["elapsed_seconds"] = self.elapsed_seconds
         return payload
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "FuzzReport":
+        """Rebuild a report from its JSON encoding (``repro fuzz --out``).
+
+        Only campaign-determining fields round-trip (``workers`` picks an
+        executor, not an outcome, so it resets to serial); timing, corpus
+        path and golden entries are not reconstructed.  This is the repair
+        engine's ingestion path for report files.
+        """
+        declared = data.get("format")
+        if declared != REPORT_FORMAT:
+            raise ValueError(f"unsupported fuzz-report format {declared!r}")
+        config = FuzzConfig(
+            families=tuple(data["families"]),
+            budget=int(data["budget"]),
+            seed=int(data["seed"]),
+            pipeline=data["pipeline"],
+            cross_check=bool(data["cross_check"]),
+            shrink=bool(data["shrink"]),
+        )
+        outcomes = [DiffOutcome.from_dict(entry) for entry in data["outcomes"]]
+        return cls(config=config, outcomes=outcomes, executor="serial")
 
 
 # ----------------------------------------------------------------- worker side

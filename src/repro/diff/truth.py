@@ -16,6 +16,7 @@ checking whether the argument object was allocated inside a source method.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Dict, FrozenSet, List, Optional, Set, Tuple
 
 from repro.client.sources_sinks import SINK_METHODS, SOURCE_METHODS
@@ -168,9 +169,178 @@ def concrete_flows(program: Program, library_program: Optional[Program] = None) 
     return ConcreteTaintAnalysis(library_program=library_program).run(program)
 
 
+# ------------------------------------------------------------ boundary tracing
+@dataclass(frozen=True)
+class LibraryCallEvent:
+    """One client-level call across the library interface, with object ids.
+
+    The repair subsystem replays a counterexample through this tracer and
+    reconstructs, from the recorded heap-object identities, the sequence of
+    interface variables a secret object travelled through -- which is exactly
+    a candidate path-specification word.  ``class_name`` is the *interface*
+    class the call resolves to (the receiver's concrete class, or the first
+    ancestor the interface knows, e.g. ``ListItr`` -> ``Iterator``).
+    """
+
+    index: int  # global chronological sequence number
+    class_name: str
+    method_name: str
+    #: object identities are opaque hashables: raw heap ids inside one
+    #: interpreter, ``(entry ordinal, heap id)`` pairs in a merged trace
+    receiver: Optional[object]
+    args: Tuple[Tuple[str, Optional[object]], ...]  # (param name, object id or None)
+    result: Optional[object]  # returned heap object id, if any
+
+
+class ProvenanceTraceInterpreter(Interpreter):
+    """Records allocation provenance and client-level library-boundary calls.
+
+    Two observations per execution:
+
+    * :attr:`provenance` -- object id -> ``(class, method)`` that allocated it
+      (same convention as :class:`ConcreteTaintInterpreter`), used to identify
+      the secret objects of a missed flow;
+    * :attr:`events` -- every :class:`LibraryCallEvent`: a call executed by a
+      *client* method whose receiver resolves to a method of the given
+      library interface.  Calls made inside library code are deliberately not
+      events: path specifications summarize library internals, so the word
+      reconstruction must only see the boundary.
+    """
+
+    observing = True
+
+    def __init__(self, program: Program, interface, client_classes: Set[str], **kwargs):
+        super().__init__(program, **kwargs)
+        self.interface = interface
+        self._client_classes = set(client_classes)
+        self.provenance: Dict[int, Tuple[str, str]] = {}
+        self.events: List[LibraryCallEvent] = []
+        self._interface_keys: Dict[Tuple[str, str], Optional[Tuple[str, str]]] = {}
+
+    # ------------------------------------------------------------------ hooks
+    def on_allocate(self, obj: HeapObject) -> None:
+        current = self.current_method
+        if current is not None:
+            self.provenance[obj.object_id] = (current.class_name, current.method_name)
+
+    def _interface_key(self, class_name: str, method_name: str) -> Optional[Tuple[str, str]]:
+        """The interface ``(class, method)`` a concrete receiver resolves to."""
+        cache_key = (class_name, method_name)
+        if cache_key not in self._interface_keys:
+            resolved: Optional[Tuple[str, str]] = None
+            for ancestor in self.program.superclass_chain(class_name):
+                if self.interface.has_method(ancestor, method_name):
+                    resolved = (ancestor, method_name)
+                    break
+            self._interface_keys[cache_key] = resolved
+        return self._interface_keys[cache_key]
+
+    def after_statement(self, ref: MethodRef, index: int, statement: Statement, env) -> None:
+        if ref.class_name not in self._client_classes:
+            return
+        if not isinstance(statement, Call) or statement.base is None:
+            return
+        receiver = env.get(statement.base)
+        if not isinstance(receiver, HeapObject):
+            return
+        key = self._interface_key(receiver.class_name, statement.method_name)
+        if key is None:
+            return
+        signature = self.interface.method(*key)
+        args: List[Tuple[str, Optional[int]]] = []
+        for position, (name, _type) in enumerate(signature.params):
+            value = None
+            if position < len(statement.args):
+                value = env.get(statement.args[position])
+            args.append((name, value.object_id if isinstance(value, HeapObject) else None))
+        result = env.get(statement.target) if statement.target is not None else None
+        self.events.append(
+            LibraryCallEvent(
+                index=len(self.events),
+                class_name=key[0],
+                method_name=key[1],
+                receiver=receiver.object_id,
+                args=tuple(args),
+                result=result.object_id if isinstance(result, HeapObject) else None,
+            )
+        )
+
+
+@dataclass
+class BoundaryTrace:
+    """The provenance trace of one client program: events + allocation sites."""
+
+    events: List[LibraryCallEvent]
+    provenance: Dict[object, Tuple[str, str]]  # object id -> allocation site
+
+    def allocated_by(self, class_name: str, method_name: str) -> FrozenSet:
+        """Ids of every object allocated inside ``class_name.method_name``."""
+        return frozenset(
+            object_id
+            for object_id, site in self.provenance.items()
+            if site == (class_name, method_name)
+        )
+
+
+def trace_library_calls(
+    program: Program,
+    interface,
+    library_program: Optional[Program] = None,
+    max_steps: int = 200_000,
+) -> BoundaryTrace:
+    """Execute every entry point of *program* and record its boundary trace.
+
+    Entry points, program assembly, and crash behaviour mirror
+    :class:`ConcreteTaintAnalysis` exactly -- the trace describes the same
+    executions that produced the ground-truth flows the checker diverged on.
+    All entry points share one event list (indices stay globally unique and
+    chronological) but each runs on a fresh heap, so object ids never collide
+    across entries.
+    """
+    from repro.client.sources_sinks import build_framework_program
+
+    library = library_program if library_program is not None else build_library_program()
+    full = program.merged_with(library).merged_with(build_framework_program())
+    client_classes = {cls.name for cls in program if not cls.is_library}
+
+    events: List[LibraryCallEvent] = []
+    provenance: Dict[Tuple[int, int], Tuple[str, str]] = {}
+    for ordinal, entry in enumerate(ConcreteTaintAnalysis.entry_points(program)):
+        interpreter = ProvenanceTraceInterpreter(
+            full, interface, client_classes, max_steps=max_steps
+        )
+        try:
+            interpreter.execute_static(entry.class_name, entry.method_name)
+        except InterpreterError as error:
+            raise ConcreteExecutionError(entry, error) from error
+        offset = len(events)
+        # each entry runs on a fresh heap, so raw object ids restart from
+        # zero; tagging them with the entry's ordinal keeps chains from one
+        # handler from accidentally linking to objects of another
+        shifted = lambda object_id: None if object_id is None else (ordinal, object_id)  # noqa: E731
+        for event in interpreter.events:
+            events.append(
+                LibraryCallEvent(
+                    index=offset + event.index,
+                    class_name=event.class_name,
+                    method_name=event.method_name,
+                    receiver=shifted(event.receiver),
+                    args=tuple((name, shifted(object_id)) for name, object_id in event.args),
+                    result=shifted(event.result),
+                )
+            )
+        for object_id, site in interpreter.provenance.items():
+            provenance[(ordinal, object_id)] = site
+    return BoundaryTrace(events=events, provenance=provenance)
+
+
 __all__ = [
+    "BoundaryTrace",
     "ConcreteExecutionError",
     "ConcreteTaintAnalysis",
     "ConcreteTaintInterpreter",
+    "LibraryCallEvent",
+    "ProvenanceTraceInterpreter",
     "concrete_flows",
+    "trace_library_calls",
 ]

@@ -48,12 +48,16 @@ from repro.engine.events import (
     FanOutSink,
     FuzzFinished,
     FuzzStarted,
+    MethodRelearned,
     NullSink,
     ProgramChecked,
+    RepairStarted,
+    RepairVerified,
     RunFinished,
     RunStarted,
     SpecCompiled,
     SpecReloaded,
+    SpecRepaired,
     StreamSink,
 )
 from repro.engine.executor import (
@@ -192,17 +196,21 @@ __all__ = [
     "FuzzStarted",
     "InMemoryCache",
     "InferenceEngine",
+    "MethodRelearned",
     "NullSink",
     "ParallelExecutor",
     "ProgramChecked",
     "ParallelTaskExecutor",
     "PersistentCache",
+    "RepairStarted",
+    "RepairVerified",
     "RunFinished",
     "RunStarted",
     "SerialExecutor",
     "SerialTaskExecutor",
     "SpecCompiled",
     "SpecReloaded",
+    "SpecRepaired",
     "StreamSink",
     "TaskExecutor",
     "compact_cache_file",

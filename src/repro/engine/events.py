@@ -192,6 +192,57 @@ class FuzzFinished(EngineEvent):
 
 
 @dataclass(frozen=True)
+class RepairStarted(EngineEvent):
+    """Emitted once when a counterexample-guided repair run begins."""
+
+    pipeline: str  # the diverged pipeline being repaired
+    divergences: int  # divergence instances ingested from the fuzz report
+    words: int  # targeted candidate words extracted from the traces
+    clusters: int  # implicated method clusters to re-learn
+    executor: str
+    workers: int
+
+
+@dataclass(frozen=True)
+class MethodRelearned(EngineEvent):
+    """Emitted when one implicated cluster's specifications are re-learned.
+
+    ``words`` counts the injected counterexample-derived candidates,
+    ``positives`` the oracle-confirmed examples RPNI actually learned from.
+    """
+
+    index: int
+    classes: Tuple[str, ...]
+    words: int
+    positives: int
+    fsa_states: int
+    oracle_queries: int
+    elapsed_seconds: float
+
+
+@dataclass(frozen=True)
+class SpecRepaired(EngineEvent):
+    """Emitted when a repaired specification is published to the store."""
+
+    spec_id: str
+    version: int
+    base: str  # what was repaired: a spec id, or a named pipeline
+    fsa_states: int
+    fsa_transitions: int
+    counterexamples: int  # divergence instances that drove the repair
+
+
+@dataclass(frozen=True)
+class RepairVerified(EngineEvent):
+    """Emitted when the post-repair verification re-fuzz completes."""
+
+    spec_id: str
+    programs: int
+    divergences: int
+    clean: bool
+
+
+@dataclass(frozen=True)
 class SpecCompiled(EngineEvent):
     """Emitted when a server worker compiles a stored spec into an analyzer.
 
@@ -337,6 +388,28 @@ def _format_event(event: EngineEvent) -> Optional[str]:
             f"{event.diverged} diverged ({event.shrunk} shrunk), "
             f"{event.golden_entries} golden entries"
         )
+    if isinstance(event, RepairStarted):
+        return (
+            f"repair started: pipeline={event.pipeline}, {event.divergences} divergences, "
+            f"{event.words} targeted words, {event.clusters} clusters, "
+            f"executor={event.executor}, workers={event.workers}"
+        )
+    if isinstance(event, MethodRelearned):
+        return (
+            f"relearned cluster {event.index}: {'+'.join(event.classes)} "
+            f"in {event.elapsed_seconds:.2f}s "
+            f"({event.words} injected words, {event.positives} positives, "
+            f"{event.fsa_states} states, {event.oracle_queries} queries)"
+        )
+    if isinstance(event, SpecRepaired):
+        return (
+            f"spec repaired: {event.spec_id} (v{event.version}, base {event.base}) "
+            f"{event.fsa_states} states / {event.fsa_transitions} transitions, "
+            f"driven by {event.counterexamples} counterexamples"
+        )
+    if isinstance(event, RepairVerified):
+        verdict = "clean" if event.clean else f"{event.divergences} divergences remain"
+        return f"repair verified: {event.spec_id} over {event.programs} programs: {verdict}"
     if isinstance(event, SpecCompiled):
         return (
             f"spec compiled: {event.spec_id} on {event.worker} "
@@ -370,11 +443,15 @@ __all__ = [
     "FanOutSink",
     "FuzzFinished",
     "FuzzStarted",
+    "MethodRelearned",
     "NullSink",
     "ProgramChecked",
+    "RepairStarted",
+    "RepairVerified",
     "RunFinished",
     "RunStarted",
     "SpecCompiled",
+    "SpecRepaired",
     "SpecReloaded",
     "StreamSink",
 ]

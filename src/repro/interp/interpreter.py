@@ -96,6 +96,17 @@ class Interpreter:
         :attr:`observing` is True.
         """
 
+    def after_statement(self, ref: MethodRef, index: int, statement: Statement, env: Dict[str, Any]) -> None:
+        """Observer hook: statement *index* of *ref* has just executed.
+
+        By this point *env* holds the statement's effects (a call's return
+        value is bound to its target variable), which is what lets the
+        library-boundary tracer of :mod:`repro.diff.truth` attribute returned
+        objects to the call that produced them.  Any frames pushed by the
+        statement itself have already been popped.  Only called when
+        :attr:`observing` is True.
+        """
+
     # ------------------------------------------------------------------ entry points
     def execute_static(self, class_name: str, method_name: str, args: Sequence[Any] = ()) -> ExecutionResult:
         """Execute a static method and return its result and final locals."""
@@ -200,6 +211,7 @@ class Interpreter:
                 self._tick()
                 self.before_statement(ref, index, statement, env)
                 done, result = self._execute_statement(statement, env, depth)
+                self.after_statement(ref, index, statement, env)
                 if done:
                     break
         finally:

@@ -31,6 +31,16 @@ from repro.specs.variables import LibraryInterface, SpecVariable
 Word = Tuple[SpecVariable, ...]
 
 
+def word_sort_key(word: Word) -> Tuple:
+    """Deterministic word ordering: shortest first, then lexicographic.
+
+    Shared by the repair planner: injected-word ordering here and cluster
+    ordering there must stay identical for parallel repair to remain
+    bit-identical to serial.
+    """
+    return (len(word), tuple(str(variable) for variable in word))
+
+
 @dataclass
 class AtlasConfig:
     """Tunable knobs of the inference pipeline.
@@ -43,6 +53,10 @@ class AtlasConfig:
       when ``samples_per_cluster`` is nonzero.
     * ``"mcts"`` / ``"random"`` -- pure sampling as described in Section 5.2
       (used by the §6.3 design-choice experiment).
+    * ``"targeted"`` -- no phase-one search of its own: positives come
+      exclusively from words injected into :meth:`Atlas.run_cluster` (the
+      counterexample-guided repair mode of :mod:`repro.repair`, where the
+      fuzzer has already pointed at the gap).
     """
 
     strategy: str = "enumerate"
@@ -128,14 +142,29 @@ class Atlas:
             return RandomSampler(cluster_interface, max_calls=self.config.max_calls, seed=seed)
         raise ValueError(f"unknown sampler {kind!r}")
 
-    def run_cluster(self, classes: Sequence[str], seed: int) -> ClusterResult:
-        """Run phase one and phase two for a single cluster of classes."""
+    def run_cluster(
+        self,
+        classes: Sequence[str],
+        seed: int,
+        extra_positives: Sequence[Word] = (),
+    ) -> ClusterResult:
+        """Run phase one and phase two for a single cluster of classes.
+
+        *extra_positives* are targeted candidate words injected on top of
+        whatever phase one produces (the repair path feeds counterexample-
+        derived words here).  They are filtered through the oracle exactly
+        like sampled candidates -- RPNI trusts its positives, so an
+        unwitnessed injection must not reach it -- and words mentioning
+        classes outside this cluster are skipped.
+        """
         cluster_interface = self.interface.restricted_to(classes)
         positives: Set[Word] = set()
         sampling_stats = SamplingStats()
         enumeration_stats: Optional[EnumerationStats] = None
 
-        if self.config.strategy == "enumerate":
+        if self.config.strategy == "targeted":
+            pass  # positives come exclusively from the injected words below
+        elif self.config.strategy == "enumerate":
             enumerator = CandidateEnumerator(
                 cluster_interface,
                 library_program=self.library_program,
@@ -159,6 +188,13 @@ class Atlas:
             )
         else:
             raise ValueError(f"unknown phase-one strategy {self.config.strategy!r}")
+
+        cluster_classes = set(classes)
+        for word in sorted(extra_positives, key=word_sort_key):
+            if any(variable.class_name not in cluster_classes for variable in word):
+                continue
+            if self.oracle(word):
+                positives.add(word)
 
         fsa, rpni_stats = learn_fsa(
             positives,

@@ -38,6 +38,14 @@ CONCRETE_CLASSES: Tuple[str, ...] = (
     "MapEntry",
 )
 
+#: Extra classes available to *compiled* specifications on top of the
+#: inference interface.  ``ObjectArray`` is a core class (clients call
+#: ``aget`` on the result of ``toArray``), so repaired specifications must be
+#: able to name its methods even though Atlas never enumerates over it; a
+#: larger compile interface is harmless for automata that do not mention
+#: these classes (code generation only materializes mentioned methods).
+SPEC_EXTENSION_CLASSES: Tuple[str, ...] = ("ObjectArray",)
+
 #: The "Collections API" classes used for the ground-truth comparison
 #: (the analogue of the 12 most frequently used collection classes of §6.2).
 COLLECTION_CLASSES: Tuple[str, ...] = (
@@ -123,6 +131,26 @@ def build_interface(
     """The library interface over the given concrete classes."""
     program = program if program is not None else build_library_program()
     return LibraryInterface.from_program(program, class_names, exclude_methods)
+
+
+def build_spec_interface(
+    program: Optional[Program] = None,
+    exclude_methods: Sequence[str] = INTERFACE_EXCLUDED_METHODS,
+) -> LibraryInterface:
+    """The interface stored specifications are compiled (and repaired) against.
+
+    A superset of :func:`build_interface`: the concrete inference classes
+    plus :data:`SPEC_EXTENSION_CLASSES`.  Compiling an automaton that never
+    mentions the extension classes against this interface yields exactly the
+    program :func:`build_interface` would, so it is always safe to use for
+    ``SpecStore`` loads -- and required for automata produced by
+    :mod:`repro.repair`, whose counterexample-derived words may cross the
+    array boundary (``toArray`` -> ``aget``).
+    """
+    program = program if program is not None else build_library_program()
+    return LibraryInterface.from_program(
+        program, CONCRETE_CLASSES + SPEC_EXTENSION_CLASSES, exclude_methods
+    )
 
 
 def cluster_interfaces(

@@ -1,0 +1,47 @@
+"""Counterexample-guided specification repair (see ``docs/repair.md``).
+
+`repro.diff` finds real specification gaps -- concrete flows a
+specification-based pipeline misses, shrunk to minimal counterexamples --
+but PR 4 left them frozen in a golden corpus.  This subsystem closes the
+loop: it turns divergences back into *learning inputs* and republishes a
+repaired specification, which the serving layer hot-reloads.
+
+1. :func:`repro.diff.truth.trace_library_calls` replays each counterexample
+   on the concrete interpreter and records its library-boundary provenance
+   trace (which objects crossed which interface calls);
+2. :mod:`repro.repair.words` reconstructs, from that trace, the
+   path-specification words the secret object actually travelled -- the
+   **targeted oracle words** the current automaton wrongly rejects;
+3. :mod:`repro.repair.engine` re-runs the active-learning pipeline
+   (:mod:`repro.learn`) seeded with those words, restricted to the
+   implicated method clusters, warm-started from the oracle cache and the
+   existing automaton, and publishes the repaired result as a new
+   :class:`~repro.service.store.SpecStore` version whose provenance records
+   the counterexamples that drove it;
+4. an optional verification pass re-fuzzes the repaired specification over
+   the originating scenario family and asserts the divergences are gone.
+
+``repro repair --report R --store S --verify`` and the one-command closed
+loop ``repro fuzz --repair`` are the CLI front ends.
+"""
+
+from repro.repair.engine import (
+    DivergenceRepair,
+    MethodRepair,
+    RepairConfig,
+    RepairEngine,
+    RepairOutcome,
+    RepairPlan,
+)
+from repro.repair.words import extract_words, words_for_flow
+
+__all__ = [
+    "DivergenceRepair",
+    "MethodRepair",
+    "RepairConfig",
+    "RepairEngine",
+    "RepairOutcome",
+    "RepairPlan",
+    "extract_words",
+    "words_for_flow",
+]

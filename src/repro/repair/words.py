@@ -1,0 +1,158 @@
+"""From boundary traces to targeted oracle words.
+
+A missed flow means a secret object concretely entered the library through
+some interface call and came back out of another, while the specification
+automaton accepts no word describing that journey.  This module reconstructs
+the journey from a :class:`~repro.diff.truth.BoundaryTrace`: a breadth-first
+search over ``(event, variable)`` slots linked by concrete object identity
+finds the shortest sequences
+
+    z1 w1 z2 w2 ... zk wk
+
+such that ``z1`` holds the secret on entry, each ``w_i`` / ``z_{i+1}`` pair
+held the very same object (the premise edges really happened), and ``wk`` is
+a return value holding the secret again.  Every result is a structurally
+valid path specification -- a *candidate positive example* for the learner;
+the oracle still gets the final say when the repair engine injects it.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
+
+from repro.diff.truth import BoundaryTrace, LibraryCallEvent
+from repro.lang.program import RECEIVER
+from repro.specs.path_spec import is_valid_word
+from repro.specs.variables import LibraryInterface, SpecVariable, param, receiver, ret
+
+Word = Tuple[SpecVariable, ...]
+
+#: default bounds of the search
+MAX_CALLS = 6  # pairs per word (library functions spanned)
+MAX_WORDS = 3  # candidate words returned per flow
+
+
+def _event_slots(
+    event: LibraryCallEvent, interface: LibraryInterface
+) -> List[Tuple[SpecVariable, object]]:
+    """The ``(spec variable, concrete object id)`` slots of one event.
+
+    Only slots that actually held a heap object are usable links; primitive
+    parameters and void returns never appear.
+    """
+    signature = interface.method(event.class_name, event.method_name)
+    slots: List[Tuple[SpecVariable, object]] = []
+    if not signature.is_static and event.receiver is not None:
+        slots.append((receiver(event.class_name, event.method_name), event.receiver))
+    for name, object_id in event.args:
+        if object_id is not None:
+            slots.append((param(event.class_name, event.method_name, name), object_id))
+    if event.result is not None and signature.returns_reference():
+        slots.append((ret(event.class_name, event.method_name), event.result))
+    return slots
+
+
+def _slot_sort_key(entry: Tuple[SpecVariable, object]) -> Tuple:
+    variable, _object_id = entry
+    # receiver < named params < return, then by name: a deterministic
+    # expansion order makes the BFS (and thus the extracted words) stable
+    rank = 2 if variable.is_return else (0 if variable.name == RECEIVER else 1)
+    return (rank, variable.name)
+
+
+def words_for_flow(
+    trace: BoundaryTrace,
+    secret_ids,
+    interface: LibraryInterface,
+    max_calls: int = MAX_CALLS,
+    max_words: int = MAX_WORDS,
+) -> List[Word]:
+    """Candidate words describing how a secret crossed the library boundary.
+
+    *secret_ids* are the trace-local ids of the flow's source-allocated
+    objects.  Results are shortest-first and deterministic; at most
+    *max_words* words of at most *max_calls* pairs are returned.
+    """
+    secrets = set(secret_ids)
+    if not secrets:
+        return []
+
+    # precompute: object id -> [(event, z-slot variable)] it can enter through
+    slots_by_event: Dict[int, List[Tuple[SpecVariable, object]]] = {}
+    entries_by_object: Dict[object, List[Tuple[int, SpecVariable]]] = {}
+    for event in trace.events:
+        slots = sorted(_event_slots(event, interface), key=_slot_sort_key)
+        slots_by_event[event.index] = slots
+        for variable, object_id in slots:
+            entries_by_object.setdefault(object_id, []).append((event.index, variable))
+
+    found: List[Word] = []
+    seen_words: Set[Word] = set()
+    # (event, entry variable, pairs already in the word) -> expansions seen;
+    # allowing a couple of visits per state keeps alternate prefixes alive
+    # (the first word found may still fail the oracle) while bounding the
+    # frontier on traces with densely shared objects
+    visits: Dict[Tuple[int, SpecVariable, int], int] = {}
+    budget = 20_000  # total expansions; a safety valve, generous for shrunk programs
+    queue: deque = deque()
+
+    # start states: the secret enters an event through a parameter slot
+    for event in trace.events:
+        for variable, object_id in slots_by_event[event.index]:
+            if object_id in secrets and variable.is_param:
+                queue.append(((), event.index, variable))
+
+    while queue and len(found) < max_words and budget > 0:
+        budget -= 1
+        word_prefix, event_index, z_variable = queue.popleft()
+        state = (event_index, z_variable, len(word_prefix) // 2)
+        if visits.get(state, 0) >= 2:
+            continue
+        visits[state] = visits.get(state, 0) + 1
+        for w_variable, w_object in slots_by_event[event_index]:
+            if w_variable == z_variable:
+                continue
+            candidate = word_prefix + (z_variable, w_variable)
+            if w_variable.is_return and w_object in secrets:
+                if is_valid_word(candidate) and candidate not in seen_words:
+                    seen_words.add(candidate)
+                    found.append(candidate)
+                    if len(found) >= max_words:
+                        break
+                continue
+            if len(candidate) // 2 >= max_calls:
+                continue
+            for next_event, next_variable in entries_by_object.get(w_object, ()):
+                if next_event == event_index:
+                    continue
+                if w_variable.is_return and next_variable.is_return:
+                    continue  # w_i and z_{i+1} may not both be returns
+                queue.append((candidate, next_event, next_variable))
+    return found
+
+
+def extract_words(
+    trace: BoundaryTrace,
+    source_class: str,
+    source_method: str,
+    interface: LibraryInterface,
+    max_calls: int = MAX_CALLS,
+    max_words: int = MAX_WORDS,
+) -> List[Word]:
+    """Candidate words for the flow whose source is ``source_class.source_method``."""
+    return words_for_flow(
+        trace,
+        trace.allocated_by(source_class, source_method),
+        interface,
+        max_calls=max_calls,
+        max_words=max_words,
+    )
+
+
+def word_classes(word: Sequence[SpecVariable]) -> Tuple[str, ...]:
+    """The distinct library classes a word mentions, sorted."""
+    return tuple(sorted({variable.class_name for variable in word}))
+
+
+__all__ = ["MAX_CALLS", "MAX_WORDS", "extract_words", "word_classes", "words_for_flow"]

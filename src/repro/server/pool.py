@@ -41,7 +41,7 @@ from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.engine.cache import program_fingerprint
 from repro.engine.events import EventSink, NullSink, SpecCompiled, SpecReloaded
-from repro.library.registry import build_interface, build_library_program
+from repro.library.registry import build_library_program, build_spec_interface
 from repro.service.analyzer import ClientAnalyzer
 from repro.service.api import AnalyzeRequest, AnalyzeResponse, run_request
 from repro.service.store import SpecNotFoundError, SpecStore
@@ -103,8 +103,10 @@ class WarmWorkerPool:
         self.library_program = (
             library_program if library_program is not None else build_library_program()
         )
+        # the spec-compile interface: a stored *repaired* automaton may name
+        # the array-extension classes the plain inference interface omits
         self.interface = (
-            interface if interface is not None else build_interface(self.library_program)
+            interface if interface is not None else build_spec_interface(self.library_program)
         )
         self._fingerprint = program_fingerprint(self.library_program)
         self._handler: Handler = handler if handler is not None else self._analyze

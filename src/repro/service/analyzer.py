@@ -145,8 +145,15 @@ class ClientAnalyzer:
         digest, or an explicit *spec_id* to pin a version exactly.  The
         stored automaton is compiled to code-fragment specifications here,
         once, not per analyzed program.
+
+        Compilation uses the *spec-compile* interface (the inference
+        interface plus :data:`~repro.library.registry.SPEC_EXTENSION_CLASSES`)
+        by default: identical output for ordinary learned automata, and the
+        only interface under which repaired automata -- whose words may cross
+        the array boundary -- can be compiled at all.
         """
         from repro.engine.cache import program_fingerprint
+        from repro.library.registry import build_spec_interface
         from repro.service.store import SpecNotFoundError, config_digest
 
         library = library_program if library_program is not None else build_library_program()
@@ -161,7 +168,7 @@ class ClientAnalyzer:
                 )
             spec_id = record.spec_id
         if interface is None:
-            interface = build_interface(library)
+            interface = build_spec_interface(library)
         result = store.get(spec_id, interface=interface)
         return cls(result.spec_program, library_program=library, spec_id=spec_id)
 

@@ -68,7 +68,14 @@ def config_digest(config) -> str:
 
 @dataclass(frozen=True)
 class SpecRecord:
-    """One index entry: the metadata of one stored specification version."""
+    """One index entry: the metadata of one stored specification version.
+
+    ``provenance`` is optional free-form metadata about where the version
+    came from; the repair subsystem records which counterexamples drove a
+    repaired version (base spec, divergence signatures, injected words) so
+    an operator can answer "why did the served spec change?" from the index
+    alone.  Records written before the field existed load with ``None``.
+    """
 
     spec_id: str
     fingerprint: str
@@ -79,10 +86,13 @@ class SpecRecord:
     fsa_transitions: int
     num_positives: int
     created_at: float
+    provenance: Optional[Dict] = None
 
     def to_dict(self) -> Dict:
         payload = asdict(self)
         payload["format"] = RECORD_FORMAT
+        if self.provenance is None:
+            del payload["provenance"]
         return payload
 
     @classmethod
@@ -97,6 +107,7 @@ class SpecRecord:
             fsa_transitions=int(data["fsa_transitions"]),
             num_positives=int(data["num_positives"]),
             created_at=float(data["created_at"]),
+            provenance=data.get("provenance"),
         )
 
 
@@ -199,6 +210,7 @@ class SpecStore:
         result,
         library_program: Optional[Program] = None,
         fingerprint: Optional[str] = None,
+        provenance: Optional[Dict] = None,
     ) -> SpecRecord:
         """Store *result* as the next version of its ``(library, config)`` key.
 
@@ -251,6 +263,7 @@ class SpecStore:
             fsa_transitions=result.fsa.num_transitions(),
             num_positives=len(result.positives),
             created_at=time.time(),
+            provenance=provenance,
         )
         os.makedirs(self.root, exist_ok=True)
         with open(self.index_path, "a", encoding="utf-8") as handle:

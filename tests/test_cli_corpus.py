@@ -1,0 +1,82 @@
+"""The ``repro corpus`` subcommand: list, digest-verify, and replay entries.
+
+A debugging aid for repair development: the golden corpus is the repair
+engine's regression anchor, so being able to enumerate entries with stable
+digests, prove the stored encoding is the canonical one, and replay a single
+counterexample by id (without running a whole campaign) matters.
+"""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.testing import GOLDEN_DIR
+
+
+def test_corpus_list_prints_entries_with_digests(capsys):
+    assert main(["corpus", "list", "--dir", GOLDEN_DIR]) == 0
+    out = capsys.readouterr().out
+    assert "TaintApp0009" in out
+    assert "counterexample" in out and "pass" in out
+    assert "digest=" in out
+    # digests are the repro.lang.serialize fingerprints of the frozen programs
+    from repro.diff.corpus import load_corpus
+    from repro.lang.serialize import program_digest
+
+    entry = next(
+        e
+        for e in load_corpus(f"{GOLDEN_DIR}/fuzz-ground_truth-taint-app-seed3.json")
+        if e.name == "TaintApp0009"
+    )
+    assert f"digest={program_digest(entry.program)[:12]}" in out
+
+
+def test_corpus_verify_round_trips_every_frozen_program(capsys):
+    assert main(["corpus", "verify", "--dir", GOLDEN_DIR]) == 0
+    out = capsys.readouterr().out
+    assert "TaintApp0009: ok" in out
+
+
+def test_corpus_verify_flags_non_canonical_encodings(tmp_path, capsys):
+    with open(f"{GOLDEN_DIR}/fuzz-ground_truth-taint-app-seed3.json", encoding="utf-8") as handle:
+        source = json.load(handle)
+    # de-canonicalize one frozen program: reverse the class order
+    source["entries"][0]["program"]["classes"].reverse()
+    (tmp_path / "tampered.json").write_text(json.dumps(source))
+    assert main(["corpus", "verify", "--dir", str(tmp_path)]) == 1
+    assert "non-canonical program encoding" in capsys.readouterr().err
+
+
+def test_corpus_replay_matches_the_frozen_verdict(tmp_path, capsys):
+    out = tmp_path / "verdict.json"
+    code = main(["corpus", "replay", "--id", "TaintApp0009", "--dir", GOLDEN_DIR, "--out", str(out)])
+    assert code == 0
+    assert "matches the frozen verdict" in capsys.readouterr().err
+    verdict = json.loads(out.read_text())
+    assert verdict["name"] == "TaintApp0009"
+    replayed = {f"{d['kind']}:{d['pipeline']}" for d in verdict["divergences"]}
+    assert replayed, "the frozen counterexample must still diverge"
+    assert sorted(verdict["expected_signatures"]) == sorted(
+        f"{d['kind']}:{d['pipeline']}:"
+        f"{d['flow']['source_class']}.{d['flow']['source_method']}->"
+        f"{d['flow']['sink_class']}.{d['flow']['sink_method']}"
+        for d in verdict["divergences"]
+    )
+
+
+@pytest.mark.parametrize(
+    "argv, message",
+    [
+        (["corpus", "replay", "--dir", GOLDEN_DIR], "needs --id"),
+        (["corpus", "replay", "--id", "NoSuchApp", "--dir", GOLDEN_DIR], "no entry named"),
+    ],
+)
+def test_corpus_replay_misuse_fails_loudly(argv, message, capsys):
+    assert main(argv) == 1
+    assert message in capsys.readouterr().err
+
+
+def test_corpus_without_files_fails_loudly(tmp_path, capsys):
+    assert main(["corpus", "list", "--dir", str(tmp_path / "empty")]) == 1
+    assert "no corpus files" in capsys.readouterr().err

@@ -1,0 +1,118 @@
+"""The provenance tracer and word extraction: counterexample -> oracle words.
+
+The repair pipeline's front half must turn a concrete counterexample into
+the path-specification words the secret actually travelled.  These tests pin
+the boundary-trace semantics (client-level calls only, interface-class
+resolution through the hierarchy) and the reconstruction (shortest valid
+words, linked by real object identity) -- including the known legacy
+``toArray`` gap from the frozen golden corpus.
+"""
+
+import pytest
+
+from repro.diff.corpus import load_corpus
+from repro.diff.truth import trace_library_calls
+from repro.lang.builder import ClassBuilder, MethodBuilder
+from repro.lang.program import Program
+from repro.learn.oracle import WitnessOracle
+from repro.library.ground_truth import ground_truth_fsa
+from repro.library.registry import build_spec_interface
+from repro.repair.words import extract_words, word_classes, words_for_flow
+from repro.specs.path_spec import is_valid_word
+from repro.specs.variables import param, receiver, ret
+from repro.testing import GOLDEN_DIR
+
+
+@pytest.fixture(scope="module")
+def spec_interface(library_program):
+    return build_spec_interface(library_program)
+
+
+@pytest.fixture(scope="module")
+def spec_oracle(library_program, spec_interface):
+    return WitnessOracle(library_program, spec_interface)
+
+
+def _iterator_client() -> Program:
+    """secret -> ArrayList.add -> iterator() -> next() -> sink."""
+    app = ClassBuilder("TraceApp")
+    method = MethodBuilder("handler1", is_static=True)
+    method.new("mgr", "ContactsProvider")
+    method.call("v", "mgr", "queryContacts")
+    method.new("list", "ArrayList")
+    method.call(None, "list", "add", "v")
+    method.call("it", "list", "iterator")
+    method.call("r", "it", "next")
+    method.new("out", "HttpConnection")
+    method.call(None, "out", "post", "r")
+    app.add_method(method)
+    return Program([app.build()])
+
+
+def test_trace_records_only_interface_boundary_calls(library_program, spec_interface):
+    trace = trace_library_calls(_iterator_client(), spec_interface, library_program=library_program)
+    keys = [(event.class_name, event.method_name) for event in trace.events]
+    # source and sink classes are framework, not library interface: no events;
+    # the iterator's concrete class (ListItr) resolves to the interface's
+    # declared Iterator through the hierarchy walk
+    assert keys == [("ArrayList", "add"), ("ArrayList", "iterator"), ("Iterator", "next")]
+    # events are linked by real object identity: add and iterator share the
+    # receiver, iterator's result is next's receiver
+    add, iterator, nxt = trace.events
+    assert add.receiver == iterator.receiver
+    assert iterator.result == nxt.receiver
+    assert nxt.result == dict(add.args)["element"]
+
+
+def test_extracted_word_follows_the_secret_through_the_iterator(
+    library_program, spec_interface
+):
+    trace = trace_library_calls(_iterator_client(), spec_interface, library_program=library_program)
+    words = extract_words(trace, "ContactsProvider", "queryContacts", spec_interface)
+    assert words, "the secret's journey must be reconstructible"
+    expected = (
+        param("ArrayList", "add", "element"),
+        receiver("ArrayList", "add"),
+        receiver("ArrayList", "iterator"),
+        ret("ArrayList", "iterator"),
+        receiver("Iterator", "next"),
+        ret("Iterator", "next"),
+    )
+    assert words[0] == expected
+    assert all(is_valid_word(word) for word in words)
+    # this idiom is in the ground truth: the planner must classify such a
+    # divergence as imprecision, not as a spec gap to re-learn
+    assert ground_truth_fsa().accepts(words[0])
+
+
+def test_no_secret_objects_means_no_words(library_program, spec_interface):
+    trace = trace_library_calls(_iterator_client(), spec_interface, library_program=library_program)
+    assert words_for_flow(trace, frozenset(), spec_interface) == []
+    assert extract_words(trace, "LocationManager", "getLastKnownLocation", spec_interface) == []
+
+
+def _golden_counterexamples():
+    entries = []
+    for entry in load_corpus(f"{GOLDEN_DIR}/fuzz-ground_truth-taint-app-seed3.json"):
+        if entry.kind == "counterexample":
+            entries.append(pytest.param(entry, id=entry.name))
+    return entries
+
+
+@pytest.mark.parametrize("entry", _golden_counterexamples())
+def test_golden_toarray_counterexamples_yield_witnessed_words(
+    entry, library_program, spec_interface, spec_oracle
+):
+    """The paper's legacy ``toArray`` gap reduces to oracle-confirmed words."""
+    trace = trace_library_calls(entry.program, spec_interface, library_program=library_program)
+    flow = entry.concrete_flows[0]
+    words = extract_words(trace, flow.source_class, flow.source_method, spec_interface)
+    assert words, "the frozen counterexamples must reduce to words"
+    word = words[0]
+    # the journey crosses the array boundary -- expressible only under the
+    # spec-compile interface -- and the ground truth wrongly rejects it
+    assert "ObjectArray" in word_classes(word)
+    assert ("toArray" in {v.method_name for v in word})
+    assert not ground_truth_fsa().accepts(word)
+    # the oracle witnesses it: this is real library behaviour, not noise
+    assert spec_oracle(word) is True

@@ -165,6 +165,27 @@ def test_truncated_index_line_is_skipped(store, tiny_atlas_result, library_progr
     assert [entry.spec_id for entry in store.records()] == [record.spec_id]
 
 
+def test_provenance_round_trips_and_legacy_records_load(
+    store, tiny_atlas_result, library_program
+):
+    from repro.service.store import SpecRecord
+
+    plain = store.put(tiny_atlas_result, library_program=library_program)
+    provenance = {"kind": "repro.repair/1", "base": plain.spec_id, "counterexamples": []}
+    repaired = store.put(
+        tiny_atlas_result, library_program=library_program, provenance=provenance
+    )
+
+    records = {record.spec_id: record for record in store.records()}
+    # a record written without provenance (every pre-repair index line) loads
+    # with None; a repaired record carries its metadata through the index
+    assert records[plain.spec_id].provenance is None
+    assert records[repaired.spec_id].provenance == provenance
+    # the wire encoding omits the field entirely when absent
+    assert "provenance" not in plain.to_dict()
+    assert SpecRecord.from_dict(repaired.to_dict()) == repaired
+
+
 # ------------------------------------------------- experiments integration
 def test_experiment_context_learns_once_then_loads(tmp_path, monkeypatch):
     from repro.experiments.config import QUICK_CONFIG
