@@ -6,7 +6,13 @@ first sustained-throughput numbers for the serving story.  Asserts the two
 properties the daemon exists for: every response is bit-identical to
 in-process ``handle_request``, and the specification was compiled once per
 worker, never once per request.
+
+Set ``REPRO_BENCH_OUT=BENCH.json`` to freeze the run as a schema-versioned
+bench artifact (``repro.bench.serve/1``) -- the same record
+``repro bench-serve --out`` writes; the nightly workflow uploads one.
 """
+
+import os
 
 from conftest import emit
 
@@ -14,7 +20,13 @@ from repro.engine import InferenceEngine
 from repro.learn import AtlasConfig
 from repro.library.registry import build_interface, build_library_program
 from repro.server import AnalysisServer
-from repro.server.bench import fetch_json, run_load, verify_against_inprocess
+from repro.server.bench import (
+    bench_artifact,
+    fetch_json,
+    run_load,
+    verify_against_inprocess,
+    write_bench_artifact,
+)
 from repro.service import AnalyzeRequest, SpecStore, SuiteSpec
 
 TOTAL_REQUESTS = 24
@@ -50,6 +62,16 @@ def test_bench_server_throughput(benchmark, tmp_path_factory):
 
         metrics = fetch_json(server.url, "/metrics")
         assert metrics["specs"]["compilations"] == WORKERS, "specs recompiled per request"
+
+        out = os.environ.get("REPRO_BENCH_OUT")
+        if out:
+            artifact = bench_artifact(
+                load,
+                REQUEST,
+                metrics_snapshot=metrics,
+                meta={"source": "benchmarks/test_bench_server.py", "clients": CLIENTS},
+            )
+            write_bench_artifact(out, artifact)
 
     emit(
         "Server: sustained /analyze throughput (warm workers)",

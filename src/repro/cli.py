@@ -11,6 +11,7 @@ Subcommands cover the serving path end to end, plus the evaluation driver::
     repro fuzz --families taint-app --repair      # closed loop: fuzz -> repair -> re-fuzz
     repro repair --report fuzz-report.json --store .repro-specs --verify
     repro corpus list|verify|replay [--dir tests/golden]
+    repro obs tail|summary|trace <id> --journal telemetry.jsonl
     repro experiments fig9a --preset quick        # -> repro.experiments.runner
     repro compact-cache --cache-dir .repro-cache
 
@@ -31,6 +32,15 @@ divergences shrunk to minimal counterexamples, golden corpus written under
 loop) turns those divergences into a repaired specification version
 (:mod:`repro.repair`) that a running daemon hot-reloads; ``corpus``
 inspects, digest-verifies, and replays golden-corpus entries.
+
+Every subcommand accepts ``--journal PATH`` (default: the ``REPRO_JOURNAL``
+environment variable) to tee its telemetry -- engine events plus the trace
+spans of :mod:`repro.obs` -- into a durable JSONL journal, and each run is
+wrapped in a root ``cli.<command>`` span so one command is one trace.
+``repro obs`` reads those journals back: ``tail`` prints (and optionally
+follows) the newest entries, ``summary`` aggregates event counts and span
+latencies, and ``trace <id>`` draws one trace's span tree with its critical
+path marked.
 """
 
 from __future__ import annotations
@@ -38,6 +48,7 @@ from __future__ import annotations
 import argparse
 import dataclasses
 import json
+import os
 import sys
 from typing import List, Optional
 
@@ -47,6 +58,11 @@ from repro.engine.cache import compact_cache_file
 
 def _events(progress: bool):
     return StreamSink(sys.stderr) if progress else None
+
+
+def _journal_path(args) -> Optional[str]:
+    """The journal to write (or, for ``obs``, read): flag, then environment."""
+    return getattr(args, "journal", None) or os.environ.get("REPRO_JOURNAL") or None
 
 
 def apply_atlas_overrides(config, clusters=None, budget=None, seed=None):
@@ -139,9 +155,22 @@ def cmd_serve_batch(args) -> int:
 def cmd_serve(args) -> int:
     import signal
 
+    from repro.engine.events import FanOutSink
     from repro.server import AnalysisServer
     from repro.service.store import SpecStore
 
+    # the journal joins the *server's* event fan-out, not the process-global
+    # ambient registry: handler and worker threads already tee their spans
+    # into ``pool.events``, so an ambient install would double-write them
+    sinks = []
+    if args.progress:
+        sinks.append(StreamSink(sys.stderr))
+    journal = _journal_path(args)
+    if journal:
+        from repro.obs import JournalSink
+
+        sinks.append(JournalSink(journal))
+    events = FanOutSink(sinks) if len(sinks) > 1 else (sinks[0] if sinks else None)
     server = AnalysisServer(
         SpecStore(args.store),
         host=args.host,
@@ -149,7 +178,7 @@ def cmd_serve(args) -> int:
         workers=args.workers,
         queue_depth=args.queue_depth,
         poll_interval=args.poll_interval,
-        events=_events(args.progress),
+        events=events,
     )
     server.start()
     host, port = server.address
@@ -158,6 +187,8 @@ def cmd_serve(args) -> int:
         f"(spec {server.pool.current_spec_id}, {server.pool.workers} warm workers, "
         f"queue depth {server.pool.queue_capacity})\n"
     )
+    if journal:
+        sys.stderr.write(f"[serve] journaling telemetry to {journal}\n")
     sys.stderr.flush()
 
     # SIGTERM (CI, orchestrators) and SIGINT (^C) both exit cleanly
@@ -211,6 +242,17 @@ def cmd_bench_serve(args) -> int:
         ok, detail = verify_against_inprocess(result, SpecStore(args.store), request)
         print(f"verification: {detail}")
         failed = failed or not ok
+    if args.out:
+        from repro.server.bench import bench_artifact, write_bench_artifact
+
+        artifact = bench_artifact(
+            result,
+            request,
+            metrics_snapshot=metrics,
+            meta={"url": args.url, "spec_id": request.spec_id},
+        )
+        write_bench_artifact(args.out, artifact)
+        sys.stderr.write(f"[bench] wrote {args.out}\n")
     return 1 if failed else 0
 
 
@@ -455,6 +497,110 @@ def cmd_corpus(args) -> int:
     return 1 if drifted else 0
 
 
+def _require_journal(args) -> Optional[str]:
+    """Resolve the journal an ``obs`` command reads; ``None`` prints why."""
+    path = _journal_path(args)
+    if not path:
+        sys.stderr.write("obs: no journal given (--journal PATH or $REPRO_JOURNAL)\n")
+        return None
+    if not os.path.exists(path):
+        sys.stderr.write(f"obs: no journal at {path}\n")
+        return None
+    return path
+
+
+def _format_entry(entry) -> str:
+    """One journal entry as one ``tail`` line: time, trace prefix, payload."""
+    import time as _time
+
+    clock = _time.strftime("%H:%M:%S", _time.localtime(entry.ts))
+    clock += f".{int(entry.ts % 1 * 1000):03d}"
+    trace = (entry.trace_id or "-")[:8]
+    if entry.is_span:
+        attrs = " ".join(f"{k}={v}" for k, v in (entry.data.get("attrs") or []))
+        detail = (
+            f"span {entry.data.get('name', '?')} "
+            f"{float(entry.data.get('elapsed_seconds', 0.0)):.4f}s"
+        )
+        return f"{clock} {trace} {detail}" + (f"  [{attrs}]" if attrs else "")
+    pairs = " ".join(
+        f"{key}={value}"
+        for key, value in entry.data.items()
+        if not isinstance(value, (dict, list)) or not value
+    )
+    return f"{clock} {trace} {entry.event}" + (f"  {pairs}" if pairs else "")
+
+
+def cmd_obs_tail(args) -> int:
+    from repro.obs import parse_journal_line, read_journal
+
+    path = _require_journal(args)
+    if path is None:
+        return 1
+    entries = read_journal(path)
+    for entry in entries[-args.lines :] if args.lines > 0 else entries:
+        print(_format_entry(entry))
+    if not args.follow:
+        return 0
+    import time as _time
+
+    # follow mode: poll for appended lines (the journal is append-only, so a
+    # plain readline loop over the kept-open handle sees every new entry)
+    with open(path, "r", encoding="utf-8") as handle:
+        handle.seek(0, os.SEEK_END)
+        try:
+            while True:
+                line = handle.readline()
+                if not line:
+                    _time.sleep(args.interval)
+                    continue
+                entry = parse_journal_line(line)
+                if entry is not None:
+                    print(_format_entry(entry), flush=True)
+        except KeyboardInterrupt:
+            return 0
+
+
+def cmd_obs_summary(args) -> int:
+    from repro.obs import read_journal, render_summary, summarize
+
+    path = _require_journal(args)
+    if path is None:
+        return 1
+    summary = summarize(read_journal(path))
+    if args.json:
+        _write_json(summary, None)
+    else:
+        print(render_summary(summary))
+    return 0
+
+
+def cmd_obs_trace(args) -> int:
+    from repro.obs import build_trace, read_journal, render_trace, trace_ids
+
+    path = _require_journal(args)
+    if path is None:
+        return 1
+    entries = read_journal(path)
+
+    def list_traces() -> None:
+        for trace_id, count in trace_ids(entries):
+            sys.stderr.write(f"  {trace_id} ({count} spans)\n")
+
+    if not args.id:
+        sys.stderr.write("obs: trace needs an id (traces in this journal:)\n")
+        list_traces()
+        return 1
+    try:
+        trace = build_trace(entries, args.id)
+    except ValueError as error:
+        sys.stderr.write(f"obs: {error}\n")
+        list_traces()
+        return 1
+    print(render_trace(trace))
+    return 0
+
+
 def cmd_compact_cache(args) -> int:
     import os
 
@@ -478,6 +624,16 @@ def _write_json(payload, out: Optional[str]) -> None:
 
 
 # ------------------------------------------------------------------ arg parsing
+def _add_journal_flag(subparser) -> None:
+    subparser.add_argument(
+        "--journal",
+        default=None,
+        metavar="PATH",
+        help="append telemetry (events + trace spans) to this JSONL journal "
+        "(default: $REPRO_JOURNAL)",
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -500,6 +656,7 @@ def build_parser() -> argparse.ArgumentParser:
     learn.add_argument("--budget", type=int, default=None, help="enumeration budget override")
     learn.add_argument("--seed", type=int, default=None, help="inference seed override")
     learn.add_argument("--progress", action="store_true", help="stream engine events to stderr")
+    _add_journal_flag(learn)
     learn.set_defaults(func=cmd_learn)
 
     analyze = commands.add_parser("analyze", help="batch-analyze a generated corpus")
@@ -514,6 +671,7 @@ def build_parser() -> argparse.ArgumentParser:
     analyze.add_argument("--out", default=None, help="write the JSON response here (default stdout)")
     analyze.add_argument("--no-timing", action="store_true", help="omit per-request timing")
     analyze.add_argument("--progress", action="store_true", help="stream analysis events to stderr")
+    _add_journal_flag(analyze)
     analyze.set_defaults(func=cmd_analyze)
 
     serve = commands.add_parser("serve-batch", help="answer an AnalyzeRequest JSON document")
@@ -521,6 +679,7 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--request", required=True, help="request JSON file ('-' for stdin)")
     serve.add_argument("--out", default=None, help="write the JSON response here (default stdout)")
     serve.add_argument("--progress", action="store_true", help="stream analysis events to stderr")
+    _add_journal_flag(serve)
     serve.set_defaults(func=cmd_serve_batch)
 
     daemon = commands.add_parser(
@@ -545,6 +704,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="seconds between spec-store polls for hot reload (0 disables)",
     )
     daemon.add_argument("--progress", action="store_true", help="stream server events to stderr")
+    _add_journal_flag(daemon)
     daemon.set_defaults(func=cmd_serve)
 
     bench = commands.add_parser(
@@ -569,6 +729,14 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument(
         "--no-verify", action="store_true", help="skip the in-process verification pass"
     )
+    bench.add_argument(
+        "--out",
+        default=None,
+        metavar="BENCH.json",
+        help="write a schema-versioned bench artifact (throughput, latency "
+        "percentiles, phase times, server metrics) here",
+    )
+    _add_journal_flag(bench)
     bench.set_defaults(func=cmd_bench_serve)
 
     fuzz = commands.add_parser(
@@ -632,6 +800,7 @@ def build_parser() -> argparse.ArgumentParser:
     fuzz.add_argument(
         "--cache-dir", default=None, help="persistent oracle cache for repair learning"
     )
+    _add_journal_flag(fuzz)
     fuzz.set_defaults(func=cmd_fuzz)
 
     repair = commands.add_parser(
@@ -659,6 +828,7 @@ def build_parser() -> argparse.ArgumentParser:
     repair.add_argument("--out", default=None, help="write the JSON outcome here (default stdout)")
     repair.add_argument("--no-timing", action="store_true", help="omit timing from the outcome")
     repair.add_argument("--progress", action="store_true", help="stream repair events to stderr")
+    _add_journal_flag(repair)
     repair.set_defaults(func=cmd_repair)
 
     corpus = commands.add_parser(
@@ -672,7 +842,41 @@ def build_parser() -> argparse.ArgumentParser:
     )
     corpus.add_argument("--id", default=None, help="entry name to replay (replay only)")
     corpus.add_argument("--out", default=None, help="replay: write the verdict JSON here")
+    _add_journal_flag(corpus)
     corpus.set_defaults(func=cmd_corpus)
+
+    obs = commands.add_parser(
+        "obs", help="inspect telemetry journals: tail entries, summarize, draw traces"
+    )
+    obs_commands = obs.add_subparsers(dest="obs_command", required=True)
+    tail = obs_commands.add_parser(
+        "tail", help="print the newest journal entries (and optionally follow)"
+    )
+    tail.add_argument(
+        "--lines", type=int, default=20, help="existing entries to print first (0 = all)"
+    )
+    tail.add_argument(
+        "-f", "--follow", action="store_true", help="keep printing entries as they append"
+    )
+    tail.add_argument(
+        "--interval", type=float, default=0.5, help="follow-mode poll interval in seconds"
+    )
+    _add_journal_flag(tail)
+    tail.set_defaults(func=cmd_obs_tail)
+    summary = obs_commands.add_parser(
+        "summary", help="aggregate event counts and per-span latency percentiles"
+    )
+    summary.add_argument("--json", action="store_true", help="emit the summary as JSON")
+    _add_journal_flag(summary)
+    summary.set_defaults(func=cmd_obs_summary)
+    trace = obs_commands.add_parser(
+        "trace", help="draw one trace's span tree with self-times and the critical path"
+    )
+    trace.add_argument(
+        "id", nargs="?", default=None, help="trace id (any unique prefix; omit to list)"
+    )
+    _add_journal_flag(trace)
+    trace.set_defaults(func=cmd_obs_trace)
 
     # help-only stub: main() forwards "experiments ..." to the runner before
     # parsing, so this subparser exists purely for the --help listing
@@ -682,9 +886,31 @@ def build_parser() -> argparse.ArgumentParser:
 
     compact = commands.add_parser("compact-cache", help="compact the oracle cache file")
     compact.add_argument("--cache-dir", required=True, help="cache directory to compact")
+    _add_journal_flag(compact)
     compact.set_defaults(func=cmd_compact_cache)
 
     return parser
+
+
+def _dispatch(args) -> int:
+    """Install the ambient journal, open the root span, run the subcommand.
+
+    ``obs`` is the journal's *reader*, so it never writes one; ``serve``
+    tees its journal into the server's event fan-out inside :func:`cmd_serve`
+    instead (handler and worker threads deliver their spans there directly),
+    so neither installs the process-global ambient journal here.
+    """
+    from repro.obs import trace as _trace
+
+    if args.command == "obs":
+        return args.func(args)
+    journal = _journal_path(args)
+    if journal and args.command != "serve":
+        from repro.obs import install_journal
+
+        install_journal(journal)
+    with _trace.span(f"cli.{args.command}"):
+        return args.func(args)
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -698,7 +924,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         return runner_main(argv[1:])
     args = build_parser().parse_args(argv)
     try:
-        return args.func(args)
+        return _dispatch(args)
     except BrokenPipeError:  # e.g. `repro corpus list | head`: not an error
         import os
 

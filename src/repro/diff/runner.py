@@ -32,6 +32,7 @@ from repro.engine.events import (
     ProgramChecked,
 )
 from repro.engine.executor import make_task_executor
+from repro.obs import trace as _trace
 
 REPORT_FORMAT = "repro.diff.fuzz-report/1"
 
@@ -181,10 +182,12 @@ def run_check_task(shared, payload) -> DiffOutcome:
     """
     checker, shrink_enabled = shared
     name, family, seed = payload
-    scenario = generate_scenario(name, family, seed)
-    outcome = checker.check(scenario)
-    if outcome.diverged and shrink_enabled:
-        outcome = _shrink_outcome(checker, scenario, outcome)
+    with _trace.span("fuzz.check", program=name, family=family):
+        scenario = generate_scenario(name, family, seed)
+        outcome = checker.check(scenario)
+        if outcome.diverged and shrink_enabled:
+            with _trace.span("fuzz.shrink", program=name):
+                outcome = _shrink_outcome(checker, scenario, outcome)
     return outcome
 
 
@@ -289,9 +292,15 @@ def run_fuzz(
             )
 
     started = time.perf_counter()
-    outcomes = executor.map(
-        run_check_task, (checker, config.shrink), plan, on_result=on_result
-    )
+    with _trace.span(
+        "fuzz.campaign",
+        pipeline=config.pipeline,
+        budget=config.budget,
+        executor=executor.name,
+    ):
+        outcomes = executor.map(
+            run_check_task, (checker, config.shrink), plan, on_result=on_result
+        )
     elapsed = time.perf_counter() - started
 
     report = FuzzReport(

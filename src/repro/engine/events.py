@@ -9,8 +9,30 @@ progress display, or fanned out to several consumers at once.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 from typing import IO, List, Optional, Tuple
+
+# ------------------------------------------------------------- dropped events
+# Sinks must not raise (see EventSink), so when one misbehaves -- or a
+# journal's disk fills -- the event is *dropped*, counted here, and the run
+# continues.  The counter is process-wide and surfaced by the server's
+# Prometheus exposition as ``repro_obs_dropped_events_total``.
+_DROP_LOCK = threading.Lock()
+_DROPPED_EVENTS = 0
+
+
+def count_dropped_event(count: int = 1) -> None:
+    """Record that *count* telemetry events were lost instead of delivered."""
+    global _DROPPED_EVENTS
+    with _DROP_LOCK:
+        _DROPPED_EVENTS += count
+
+
+def dropped_event_count() -> int:
+    """How many telemetry events this process has dropped so far."""
+    with _DROP_LOCK:
+        return _DROPPED_EVENTS
 
 
 # ---------------------------------------------------------------------- events
@@ -306,21 +328,34 @@ class StreamSink(EventSink):
         self.prefix = prefix
 
     def emit(self, event: EngineEvent) -> None:
-        line = _format_event(event)
-        if line is not None:
-            self.stream.write(f"{self.prefix}{line}\n")
-            self.stream.flush()
+        try:
+            line = _format_event(event)
+            if line is not None:
+                self.stream.write(f"{self.prefix}{line}\n")
+                self.stream.flush()
+        except (OSError, ValueError):  # closed/broken stream: drop, don't abort
+            count_dropped_event()
 
 
 class FanOutSink(EventSink):
-    """Broadcasts each event to several sinks."""
+    """Broadcasts each event to several sinks, isolating their failures.
+
+    The ``EventSink`` contract says implementations must not raise, but a
+    fan-out is exactly where one misbehaving consumer could otherwise abort
+    an entire engine run mid-cluster.  Each delivery is therefore guarded:
+    a raising sink loses that one event (counted via
+    :func:`count_dropped_event`) and the remaining sinks still receive it.
+    """
 
     def __init__(self, sinks: List[EventSink]):
         self.sinks = list(sinks)
 
     def emit(self, event: EngineEvent) -> None:
         for sink in self.sinks:
-            sink.emit(event)
+            try:
+                sink.emit(event)
+            except Exception:
+                count_dropped_event()
 
 
 def _format_event(event: EngineEvent) -> Optional[str]:
@@ -441,6 +476,8 @@ __all__ = [
     "EngineEvent",
     "EventSink",
     "FanOutSink",
+    "count_dropped_event",
+    "dropped_event_count",
     "FuzzFinished",
     "FuzzStarted",
     "MethodRelearned",

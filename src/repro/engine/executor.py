@@ -29,6 +29,7 @@ from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
 
 from repro.engine.events import ClusterFinished, ClusterStarted, EventSink, NullSink
 from repro.learn.oracle import OracleStats
+from repro.obs import trace as _trace
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (pipeline imports us lazily)
     from repro.learn.pipeline import Atlas, ClusterResult
@@ -81,7 +82,8 @@ class SerialExecutor(ClusterExecutor):
             queries_before = atlas.oracle.stats.queries
             hits_before = atlas.oracle.stats.cache_hits
             started = time.perf_counter()
-            result = atlas.run_cluster(job.classes, job.seed)
+            with _trace.span("engine.cluster", classes="+".join(job.classes)):
+                result = atlas.run_cluster(job.classes, job.seed)
             elapsed = time.perf_counter() - started
             events.emit(
                 ClusterFinished(
@@ -132,23 +134,25 @@ def run_cluster_job(
 _WORKER_STATE: dict = {}
 
 
-def _init_worker(config, library_program, interface, cache_snapshot) -> None:
+def _init_worker(config, library_program, interface, cache_snapshot, obs_state=None) -> None:
     """Per-process initializer: ship the heavy, job-invariant state once."""
     _WORKER_STATE["config"] = config
     _WORKER_STATE["library_program"] = library_program
     _WORKER_STATE["interface"] = interface
     _WORKER_STATE["cache_snapshot"] = cache_snapshot
+    _trace.adopt(obs_state)
 
 
 def _worker_run_cluster(classes: Tuple[str, ...], seed: int):
-    return run_cluster_job(
-        _WORKER_STATE["config"],
-        _WORKER_STATE["library_program"],
-        _WORKER_STATE["interface"],
-        classes,
-        seed,
-        _WORKER_STATE["cache_snapshot"],
-    )
+    with _trace.span("engine.cluster", classes="+".join(classes)):
+        return run_cluster_job(
+            _WORKER_STATE["config"],
+            _WORKER_STATE["library_program"],
+            _WORKER_STATE["interface"],
+            classes,
+            seed,
+            _WORKER_STATE["cache_snapshot"],
+        )
 
 
 class ParallelExecutor(ClusterExecutor):
@@ -172,7 +176,15 @@ class ParallelExecutor(ClusterExecutor):
         with ProcessPoolExecutor(
             max_workers=self._pool_size(len(jobs)),
             initializer=_init_worker,
-            initargs=(atlas.config, atlas.library_program, atlas.interface, snapshot),
+            # _trace.capture() ships the parent's trace context and journal
+            # path, so worker-side spans join the same trace and journal.
+            initargs=(
+                atlas.config,
+                atlas.library_program,
+                atlas.interface,
+                snapshot,
+                _trace.capture(),
+            ),
         ) as pool:
             futures = {}
             for job in jobs:
@@ -224,10 +236,11 @@ class ParallelExecutor(ClusterExecutor):
 _TASK_STATE: dict = {}
 
 
-def _init_task_worker(fn, shared) -> None:
+def _init_task_worker(fn, shared, obs_state=None) -> None:
     """Per-process initializer: ship the task function and shared state once."""
     _TASK_STATE["fn"] = fn
     _TASK_STATE["shared"] = shared
+    _trace.adopt(obs_state)
 
 
 def _run_task(index: int, payload):
@@ -287,7 +300,7 @@ class ParallelTaskExecutor(TaskExecutor):
         with ProcessPoolExecutor(
             max_workers=self._pool_size(len(payloads)),
             initializer=_init_task_worker,
-            initargs=(fn, shared),
+            initargs=(fn, shared, _trace.capture()),
         ) as pool:
             pending = {
                 pool.submit(_run_task, index, payload)

@@ -1,0 +1,314 @@
+"""A generic, dependency-free metrics registry with Prometheus exposition.
+
+Three instrument kinds cover the system's needs -- monotonic
+:class:`Counter`\\ s, point-in-time :class:`Gauge`\\ s, and fixed-bucket
+:class:`Histogram`\\ s -- collected in a :class:`MetricsRegistry` that
+renders both a JSON-friendly snapshot and the Prometheus text exposition
+format (``GET /metrics?format=prometheus`` on the analysis daemon).
+
+Design points:
+
+* **Labels** are keyword arguments at observation time (``counter.inc(
+  status="200")``); each instrument declares its label names up front so a
+  typo'd label is a loud error, not a silent new series.
+* **Fixed buckets** keep histograms mergeable and the exposition stable --
+  the default buckets span 1 ms to 10 s, the range an ``/analyze`` request
+  or a phase of one actually occupies.
+* **Thread safety** is per-registry: one lock serializes all mutations, the
+  same discipline :class:`~repro.server.metrics.ServerMetrics` already
+  followed.
+
+The :func:`percentile` helper (nearest-rank) lives here because both the
+server's JSON snapshot and ``repro obs summary`` latency tables need it.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+#: default histogram buckets (seconds): 1 ms .. 10 s, roughly log-spaced
+DEFAULT_BUCKETS = (
+    0.001,
+    0.0025,
+    0.005,
+    0.01,
+    0.025,
+    0.05,
+    0.1,
+    0.25,
+    0.5,
+    1.0,
+    2.5,
+    5.0,
+    10.0,
+)
+
+
+def percentile(sorted_values: Sequence[float], fraction: float) -> float:
+    """Nearest-rank percentile (``ceil(P/100 * N)``) of a sorted, non-empty list."""
+    if not sorted_values:
+        raise ValueError("percentile of an empty list")
+    rank = math.ceil(fraction / 100.0 * len(sorted_values)) - 1
+    return sorted_values[max(0, min(len(sorted_values) - 1, rank))]
+
+
+def _escape_label_value(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _format_value(value: float) -> str:
+    if value == math.inf:
+        return "+Inf"
+    if float(value).is_integer():
+        return str(int(value))
+    return repr(float(value))
+
+
+def _render_labels(labelnames: Tuple[str, ...], labelvalues: Tuple[str, ...]) -> str:
+    if not labelnames:
+        return ""
+    pairs = ",".join(
+        f'{name}="{_escape_label_value(value)}"'
+        for name, value in zip(labelnames, labelvalues)
+    )
+    return "{" + pairs + "}"
+
+
+class _Instrument:
+    """Shared bookkeeping: a name, help text, label names, per-series storage."""
+
+    kind = "untyped"
+
+    def __init__(self, name: str, help: str, labelnames: Tuple[str, ...], lock):
+        self.name = name
+        self.help = help
+        self.labelnames = labelnames
+        self._lock = lock
+
+    def _key(self, labels: Dict[str, object]) -> Tuple[str, ...]:
+        if set(labels) != set(self.labelnames):
+            raise ValueError(
+                f"metric {self.name} takes labels {list(self.labelnames)}, "
+                f"got {sorted(labels)}"
+            )
+        return tuple(str(labels[name]) for name in self.labelnames)
+
+    def render(self) -> List[str]:
+        raise NotImplementedError
+
+    def _header(self) -> List[str]:
+        return [
+            f"# HELP {self.name} {self.help}",
+            f"# TYPE {self.name} {self.kind}",
+        ]
+
+
+class Counter(_Instrument):
+    """A monotonically increasing count (per label combination)."""
+
+    kind = "counter"
+
+    def __init__(self, name, help, labelnames, lock):
+        super().__init__(name, help, labelnames, lock)
+        self._values: Dict[Tuple[str, ...], float] = {}
+
+    def inc(self, amount: float = 1.0, **labels) -> None:
+        if amount < 0:
+            raise ValueError(f"counter {self.name} cannot decrease")
+        key = self._key(labels)
+        with self._lock:
+            self._values[key] = self._values.get(key, 0.0) + amount
+
+    def set_total(self, value: float, **labels) -> None:
+        """Overwrite the running total (for mirroring an external counter)."""
+        with self._lock:
+            self._values[self._key(labels)] = float(value)
+
+    def value(self, **labels) -> float:
+        with self._lock:
+            return self._values.get(self._key(labels), 0.0)
+
+    def series(self) -> Dict[Tuple[str, ...], float]:
+        """Every label-value combination and its total (sorted by labels)."""
+        with self._lock:
+            return dict(sorted(self._values.items()))
+
+    def render(self) -> List[str]:
+        lines = self._header()
+        with self._lock:
+            series = sorted(self._values.items())
+        if not series and not self.labelnames:
+            series = [((), 0.0)]
+        for labelvalues, value in series:
+            lines.append(
+                f"{self.name}{_render_labels(self.labelnames, labelvalues)} "
+                f"{_format_value(value)}"
+            )
+        return lines
+
+
+class Gauge(_Instrument):
+    """A value that goes up and down (queue depth, worker count, uptime)."""
+
+    kind = "gauge"
+
+    def __init__(self, name, help, labelnames, lock):
+        super().__init__(name, help, labelnames, lock)
+        self._values: Dict[Tuple[str, ...], float] = {}
+
+    def set(self, value: float, **labels) -> None:
+        with self._lock:
+            self._values[self._key(labels)] = float(value)
+
+    def value(self, **labels) -> Optional[float]:
+        with self._lock:
+            return self._values.get(self._key(labels))
+
+    def render(self) -> List[str]:
+        lines = self._header()
+        with self._lock:
+            series = sorted(self._values.items())
+        if not series and not self.labelnames:
+            series = [((), 0.0)]
+        for labelvalues, value in series:
+            lines.append(
+                f"{self.name}{_render_labels(self.labelnames, labelvalues)} "
+                f"{_format_value(value)}"
+            )
+        return lines
+
+
+class Histogram(_Instrument):
+    """A fixed-bucket distribution (cumulative buckets, sum, and count)."""
+
+    kind = "histogram"
+
+    def __init__(self, name, help, labelnames, lock, buckets: Sequence[float]):
+        super().__init__(name, help, labelnames, lock)
+        self.buckets: Tuple[float, ...] = tuple(sorted(buckets))
+        if not self.buckets:
+            raise ValueError(f"histogram {self.name} needs at least one bucket")
+        self._counts: Dict[Tuple[str, ...], List[int]] = {}
+        self._sums: Dict[Tuple[str, ...], float] = {}
+        self._totals: Dict[Tuple[str, ...], int] = {}
+
+    def observe(self, value: float, **labels) -> None:
+        key = self._key(labels)
+        with self._lock:
+            counts = self._counts.setdefault(key, [0] * len(self.buckets))
+            for index, bound in enumerate(self.buckets):
+                if value <= bound:
+                    counts[index] += 1
+                    break
+            self._sums[key] = self._sums.get(key, 0.0) + value
+            self._totals[key] = self._totals.get(key, 0) + 1
+
+    def count(self, **labels) -> int:
+        with self._lock:
+            return self._totals.get(self._key(labels), 0)
+
+    def sum(self, **labels) -> float:
+        with self._lock:
+            return self._sums.get(self._key(labels), 0.0)
+
+    def render(self) -> List[str]:
+        lines = self._header()
+        with self._lock:
+            keys = sorted(self._totals)
+            counts = {key: list(self._counts[key]) for key in keys}
+            sums = dict(self._sums)
+            totals = dict(self._totals)
+        if not keys and not self.labelnames:
+            keys = [()]
+            counts = {(): [0] * len(self.buckets)}
+            sums = {(): 0.0}
+            totals = {(): 0}
+        bucket_names = self.labelnames + ("le",)
+        for key in keys:
+            cumulative = 0
+            for bound, bucket_count in zip(self.buckets, counts[key]):
+                cumulative += bucket_count
+                lines.append(
+                    f"{self.name}_bucket"
+                    f"{_render_labels(bucket_names, key + (_format_value(bound),))} "
+                    f"{cumulative}"
+                )
+            lines.append(
+                f"{self.name}_bucket{_render_labels(bucket_names, key + ('+Inf',))} "
+                f"{totals[key]}"
+            )
+            lines.append(
+                f"{self.name}_sum{_render_labels(self.labelnames, key)} "
+                f"{_format_value(sums[key])}"
+            )
+            lines.append(
+                f"{self.name}_count{_render_labels(self.labelnames, key)} {totals[key]}"
+            )
+        return lines
+
+
+class MetricsRegistry:
+    """A named collection of instruments with one exposition order.
+
+    Instruments are get-or-create by name (re-registering with a different
+    kind or label set is an error), render in registration order, and share
+    the registry lock -- the simplicity budget of a stdlib-only system.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._instruments: Dict[str, _Instrument] = {}
+        self._order: List[str] = []
+
+    def _register(self, instrument: _Instrument) -> _Instrument:
+        existing = self._instruments.get(instrument.name)
+        if existing is not None:
+            if type(existing) is not type(instrument) or existing.labelnames != instrument.labelnames:
+                raise ValueError(
+                    f"metric {instrument.name} already registered with a different shape"
+                )
+            return existing
+        self._instruments[instrument.name] = instrument
+        self._order.append(instrument.name)
+        return instrument
+
+    def counter(self, name: str, help: str, labelnames: Iterable[str] = ()) -> Counter:
+        return self._register(Counter(name, help, tuple(labelnames), self._lock))  # type: ignore[return-value]
+
+    def gauge(self, name: str, help: str, labelnames: Iterable[str] = ()) -> Gauge:
+        return self._register(Gauge(name, help, tuple(labelnames), self._lock))  # type: ignore[return-value]
+
+    def histogram(
+        self,
+        name: str,
+        help: str,
+        labelnames: Iterable[str] = (),
+        buckets: Sequence[float] = DEFAULT_BUCKETS,
+    ) -> Histogram:
+        return self._register(
+            Histogram(name, help, tuple(labelnames), self._lock, buckets)
+        )  # type: ignore[return-value]
+
+    def render_prometheus(self) -> str:
+        """The Prometheus text exposition (format version 0.0.4)."""
+        lines: List[str] = []
+        for name in list(self._order):
+            lines.extend(self._instruments[name].render())
+        return "\n".join(lines) + "\n"
+
+
+#: the content type Prometheus scrapers expect for the text exposition
+PROMETHEUS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+
+__all__ = [
+    "Counter",
+    "DEFAULT_BUCKETS",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "PROMETHEUS_CONTENT_TYPE",
+    "percentile",
+]

@@ -1,0 +1,282 @@
+"""Offline analysis of observability journals: summaries and trace trees.
+
+This is the read side of :mod:`repro.obs.journal`, backing the ``repro obs``
+CLI.  Two products:
+
+* :func:`summarize` folds a journal into per-event-type counts plus latency
+  statistics (count / sum / p50 / p90 / p99 / max) for every span name --
+  the quick "what happened and how long did it take" view.
+* :func:`build_trace` reconstructs one trace's span tree from its
+  ``SpanFinished`` entries and :func:`render_trace` draws it with per-span
+  *self time* (elapsed minus child elapsed) and the critical path marked,
+  so the slowest chain through a ``repro fuzz --repair`` run or an
+  ``/analyze`` request is visible at a glance.
+
+Everything here works on decoded :class:`~repro.obs.journal.JournalEntry`
+values and never mutates the journal.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.obs.journal import JournalEntry
+from repro.obs.metrics import percentile
+
+_SUMMARY_PERCENTILES = (50.0, 90.0, 99.0)
+
+
+# ------------------------------------------------------------------- summaries
+def summarize(entries: Iterable[JournalEntry]) -> Dict:
+    """Fold journal entries into event counts and per-span latency stats."""
+    event_counts: Dict[str, int] = {}
+    span_elapsed: Dict[str, List[float]] = {}
+    traces = set()
+    first_ts: Optional[float] = None
+    last_ts: Optional[float] = None
+    total = 0
+    for entry in entries:
+        total += 1
+        event_counts[entry.event] = event_counts.get(entry.event, 0) + 1
+        if entry.trace_id:
+            traces.add(entry.trace_id)
+        if entry.ts:
+            first_ts = entry.ts if first_ts is None else min(first_ts, entry.ts)
+            last_ts = entry.ts if last_ts is None else max(last_ts, entry.ts)
+        if entry.is_span:
+            name = str(entry.data.get("name", "?"))
+            elapsed = float(entry.data.get("elapsed_seconds", 0.0))
+            span_elapsed.setdefault(name, []).append(elapsed)
+
+    spans: Dict[str, Dict] = {}
+    for name, values in sorted(span_elapsed.items()):
+        ordered = sorted(values)
+        spans[name] = {
+            "count": len(ordered),
+            "total_seconds": sum(ordered),
+            "max_seconds": ordered[-1],
+            "percentiles_seconds": {
+                f"p{fraction:g}": percentile(ordered, fraction)
+                for fraction in _SUMMARY_PERCENTILES
+            },
+        }
+    return {
+        "entries": total,
+        "events": dict(sorted(event_counts.items())),
+        "traces": len(traces),
+        "window_seconds": (last_ts - first_ts) if first_ts is not None else 0.0,
+        "spans": spans,
+    }
+
+
+def render_summary(summary: Dict) -> str:
+    """A terminal-friendly rendering of :func:`summarize`'s dict."""
+    lines = [
+        f"journal: {summary['entries']} entries, "
+        f"{summary['traces']} traces, "
+        f"{summary['window_seconds']:.3f}s window",
+        "",
+        "events:",
+    ]
+    width = max((len(name) for name in summary["events"]), default=0)
+    for name, count in summary["events"].items():
+        lines.append(f"  {name:<{width}}  {count}")
+    if summary["spans"]:
+        lines.append("")
+        lines.append("span latency (seconds):")
+        name_width = max(len(name) for name in summary["spans"])
+        header = (
+            f"  {'span':<{name_width}}  {'count':>5}  {'total':>9}  "
+            f"{'p50':>9}  {'p90':>9}  {'p99':>9}  {'max':>9}"
+        )
+        lines.append(header)
+        for name, stats in summary["spans"].items():
+            pct = stats["percentiles_seconds"]
+            lines.append(
+                f"  {name:<{name_width}}  {stats['count']:>5}  "
+                f"{stats['total_seconds']:>9.4f}  {pct['p50']:>9.4f}  "
+                f"{pct['p90']:>9.4f}  {pct['p99']:>9.4f}  "
+                f"{stats['max_seconds']:>9.4f}"
+            )
+    return "\n".join(lines)
+
+
+# ----------------------------------------------------------------- trace trees
+@dataclass
+class SpanNode:
+    """One span in a reconstructed trace tree."""
+
+    span_id: str
+    name: str
+    started_at: float
+    elapsed_seconds: float
+    parent_id: Optional[str] = None
+    attrs: Dict[str, str] = field(default_factory=dict)
+    children: List["SpanNode"] = field(default_factory=list)
+
+    @property
+    def self_seconds(self) -> float:
+        """Elapsed time not accounted for by this span's children.
+
+        Children can overlap the parent (and each other) when work fans out
+        to threads or processes, so this is clamped at zero rather than
+        treated as an exact decomposition.
+        """
+        return max(0.0, self.elapsed_seconds - sum(c.elapsed_seconds for c in self.children))
+
+
+@dataclass
+class Trace:
+    """One trace: its roots (usually one) plus any orphaned spans."""
+
+    trace_id: str
+    roots: List[SpanNode]
+    orphans: List[SpanNode]
+
+    @property
+    def span_count(self) -> int:
+        count = 0
+        stack = list(self.roots) + list(self.orphans)
+        while stack:
+            node = stack.pop()
+            count += 1
+            stack.extend(node.children)
+        return count
+
+
+def trace_ids(entries: Iterable[JournalEntry]) -> List[Tuple[str, int]]:
+    """``(trace_id, span_count)`` pairs in first-seen order."""
+    order: List[str] = []
+    counts: Dict[str, int] = {}
+    for entry in entries:
+        if entry.is_span and entry.trace_id:
+            if entry.trace_id not in counts:
+                order.append(entry.trace_id)
+                counts[entry.trace_id] = 0
+            counts[entry.trace_id] += 1
+    return [(trace_id, counts[trace_id]) for trace_id in order]
+
+
+def build_trace(entries: Iterable[JournalEntry], trace_id: str) -> Trace:
+    """Reconstruct one trace's span tree from its ``SpanFinished`` entries.
+
+    A unique prefix of the trace id is accepted (ids are random hex, so a
+    few characters almost always suffice on the command line); an ambiguous
+    prefix raises ``ValueError``.
+    """
+    spans: List[JournalEntry] = [entry for entry in entries if entry.is_span]
+    matches = sorted(
+        {entry.trace_id for entry in spans if entry.trace_id and entry.trace_id.startswith(trace_id)}
+    )
+    if not matches:
+        raise ValueError(f"no spans for trace {trace_id!r}")
+    if len(matches) > 1:
+        raise ValueError(f"trace prefix {trace_id!r} is ambiguous: {', '.join(matches)}")
+    resolved = matches[0]
+
+    nodes: Dict[str, SpanNode] = {}
+    for entry in spans:
+        if entry.trace_id != resolved or not entry.span_id:
+            continue
+        data = entry.data
+        nodes[entry.span_id] = SpanNode(
+            span_id=entry.span_id,
+            name=str(data.get("name", "?")),
+            started_at=float(data.get("started_at", entry.ts)),
+            elapsed_seconds=float(data.get("elapsed_seconds", 0.0)),
+            parent_id=entry.parent_id,
+            attrs={str(k): str(v) for k, v in (data.get("attrs") or [])},
+        )
+
+    roots: List[SpanNode] = []
+    orphans: List[SpanNode] = []
+    for node in nodes.values():
+        if node.parent_id is None:
+            roots.append(node)
+        elif node.parent_id in nodes:
+            nodes[node.parent_id].children.append(node)
+        else:
+            # parent span never finished (crash) or predates the journal
+            orphans.append(node)
+    for node in nodes.values():
+        node.children.sort(key=lambda child: (child.started_at, child.name))
+    roots.sort(key=lambda node: (node.started_at, node.name))
+    orphans.sort(key=lambda node: (node.started_at, node.name))
+    return Trace(trace_id=resolved, roots=roots, orphans=orphans)
+
+
+def critical_path(trace: Trace) -> List[str]:
+    """Span ids of the slowest root-to-leaf chain (by child elapsed time)."""
+    best: List[str] = []
+    best_cost = -1.0
+
+    def walk(node: SpanNode, path: List[str]) -> None:
+        nonlocal best, best_cost
+        path = path + [node.span_id]
+        if not node.children:
+            cost = sum_elapsed(path)
+            if cost > best_cost:
+                best, best_cost = path, cost
+            return
+        slowest = max(node.children, key=lambda child: child.elapsed_seconds)
+        for child in node.children:
+            if child is slowest:
+                walk(child, path)
+            else:
+                # non-slowest branches still compete as full paths
+                walk(child, path)
+
+    def sum_elapsed(path: Sequence[str]) -> float:
+        return sum(index[span_id].elapsed_seconds for span_id in path)
+
+    index: Dict[str, SpanNode] = {}
+    stack = list(trace.roots)
+    while stack:
+        node = stack.pop()
+        index[node.span_id] = node
+        stack.extend(node.children)
+    for root in trace.roots:
+        walk(root, [])
+    return best
+
+
+def render_trace(trace: Trace) -> str:
+    """Draw a trace as an indented tree with elapsed, self-time, and attrs.
+
+    Spans on the critical path are marked with ``*``.
+    """
+    hot = set(critical_path(trace))
+    lines = [f"trace {trace.trace_id}: {trace.span_count} spans"]
+
+    def render_node(node: SpanNode, depth: int) -> None:
+        marker = "*" if node.span_id in hot else " "
+        attrs = ""
+        if node.attrs:
+            attrs = "  [" + " ".join(f"{k}={v}" for k, v in sorted(node.attrs.items())) + "]"
+        lines.append(
+            f"{marker} {'  ' * depth}{node.name}  "
+            f"{node.elapsed_seconds:.4f}s (self {node.self_seconds:.4f}s){attrs}"
+        )
+        for child in node.children:
+            render_node(child, depth + 1)
+
+    for root in trace.roots:
+        render_node(root, 0)
+    if trace.orphans:
+        lines.append("  (orphaned spans -- parent never finished:)")
+        for orphan in trace.orphans:
+            render_node(orphan, 1)
+    return "\n".join(lines)
+
+
+__all__ = [
+    "SpanNode",
+    "Trace",
+    "build_trace",
+    "critical_path",
+    "render_summary",
+    "render_trace",
+    "summarize",
+    "trace_ids",
+]

@@ -1,0 +1,329 @@
+"""Hierarchical trace spans that ride the engine's event plumbing.
+
+A *span* is one timed, named piece of work.  Spans nest: each carries a
+``trace_id`` (shared by everything one logical operation did, across threads
+and worker processes), its own ``span_id``, and the ``parent_id`` of the
+enclosing span, so a journal of finished spans reconstructs the full tree of
+one ``repro fuzz --repair`` run or one ``/analyze`` request.
+
+Spans are deliberately *not* a new telemetry channel: a finished span is a
+:class:`SpanFinished` event -- a plain
+:class:`~repro.engine.events.EngineEvent` -- delivered through the same
+:class:`~repro.engine.events.EventSink` interface every other engine event
+uses.  A :class:`~repro.obs.journal.JournalSink` persists them, the server's
+``MetricsSink`` folds them into per-phase latency histograms, and the
+progress ``StreamSink`` ignores them.
+
+Three propagation mechanisms cover the system's concurrency shapes:
+
+* **Nesting within a thread** is implicit: :func:`span` stores the current
+  context in thread-local state, so an inner ``span()`` parents itself under
+  the outer one.
+* **Crossing threads** is explicit: capture :func:`current_context` where
+  the work is enqueued and :func:`activate` it in the thread that runs it
+  (the server's worker pool does this per request).
+* **Crossing processes** is explicit too: :func:`capture` returns a
+  picklable state blob the parallel executors ship to worker processes via
+  their pool initializers; :func:`adopt` re-establishes the context (and
+  re-opens the journal) on the far side, so worker-side spans land in the
+  same trace and the same journal file as parent-side ones.
+
+Emission targets are *ambient sinks*: a process-global list (the ``--journal``
+tee installed by the CLI) plus a thread-local list (a server worker thread
+registers its pool's sink), plus an optional explicit ``sink=`` argument.
+With no ambient sinks installed, ``span()`` costs two ``perf_counter`` calls
+and nothing else -- instrumented code does not need to know whether anyone
+is listening.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.engine.events import EngineEvent, EventSink
+
+
+# --------------------------------------------------------------------- identity
+def new_id() -> str:
+    """A fresh 16-hex-digit identifier (random, never derived from content)."""
+    return os.urandom(8).hex()
+
+
+@dataclass(frozen=True)
+class TraceContext:
+    """The ambient position in a trace: which trace, and which current span."""
+
+    trace_id: str
+    span_id: str
+
+    def to_dict(self) -> Dict[str, str]:
+        return {"trace_id": self.trace_id, "span_id": self.span_id}
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, str]) -> "TraceContext":
+        return cls(trace_id=data["trace_id"], span_id=data["span_id"])
+
+
+@dataclass(frozen=True)
+class SpanFinished(EngineEvent):
+    """One completed span, emitted through the ordinary event-sink plumbing.
+
+    ``attrs`` is a tuple of ``(key, value)`` string pairs (not a dict) so the
+    event stays hashable/frozen like every other engine event; consumers that
+    want a mapping call :meth:`attributes`.
+    """
+
+    name: str
+    trace_id: str
+    span_id: str
+    parent_id: Optional[str]
+    started_at: float  # unix epoch seconds
+    elapsed_seconds: float
+    attrs: Tuple[Tuple[str, str], ...] = ()
+
+    def attributes(self) -> Dict[str, str]:
+        return dict(self.attrs)
+
+
+class Span:
+    """The mutable in-flight half of a span (what ``with span(...)`` yields)."""
+
+    def __init__(
+        self,
+        name: str,
+        context: TraceContext,
+        parent_id: Optional[str],
+        attrs: Dict[str, str],
+    ):
+        self.name = name
+        self.context = context
+        self.parent_id = parent_id
+        self.attrs = attrs
+
+    @property
+    def trace_id(self) -> str:
+        return self.context.trace_id
+
+    @property
+    def span_id(self) -> str:
+        return self.context.span_id
+
+    def set(self, key: str, value) -> None:
+        """Attach one attribute to the span before it finishes."""
+        self.attrs[str(key)] = str(value)
+
+
+# ---------------------------------------------------------------- ambient state
+_LOCAL = threading.local()
+
+_PROCESS_LOCK = threading.Lock()
+_PROCESS_SINKS: List[EventSink] = []
+
+#: journal path the process-global journal sink (if any) writes to; shipped to
+#: worker processes by :func:`capture` so they append to the same file
+_JOURNAL_PATH: Optional[str] = None
+
+
+def current_context() -> Optional[TraceContext]:
+    """The calling thread's trace context, or ``None`` outside any span."""
+    return getattr(_LOCAL, "context", None)
+
+
+def _thread_sinks() -> List[EventSink]:
+    sinks = getattr(_LOCAL, "sinks", None)
+    if sinks is None:
+        sinks = []
+        _LOCAL.sinks = sinks
+    return sinks
+
+
+def add_ambient_sink(sink: EventSink, thread_local: bool = False) -> None:
+    """Register a sink every finished span is delivered to.
+
+    Process-global sinks (the default) receive spans from every thread --
+    that is what the CLI's ``--journal`` tee installs.  ``thread_local=True``
+    restricts delivery to spans finished on the *calling* thread, which is
+    how a server worker thread routes its request spans into its own pool's
+    metrics without cross-talking with other servers in the same process.
+    """
+    if thread_local:
+        _thread_sinks().append(sink)
+        return
+    with _PROCESS_LOCK:
+        _PROCESS_SINKS.append(sink)
+
+
+def remove_ambient_sink(sink: EventSink, thread_local: bool = False) -> None:
+    """Unregister a sink previously passed to :func:`add_ambient_sink`."""
+    if thread_local:
+        sinks = _thread_sinks()
+        if sink in sinks:
+            sinks.remove(sink)
+        return
+    with _PROCESS_LOCK:
+        if sink in _PROCESS_SINKS:
+            _PROCESS_SINKS.remove(sink)
+
+
+@contextmanager
+def ambient_sink(sink: EventSink, thread_local: bool = False) -> Iterator[EventSink]:
+    """Scope-bound :func:`add_ambient_sink` / :func:`remove_ambient_sink`."""
+    add_ambient_sink(sink, thread_local=thread_local)
+    try:
+        yield sink
+    finally:
+        remove_ambient_sink(sink, thread_local=thread_local)
+
+
+def set_journal_path(path: Optional[str]) -> None:
+    """Remember the ambient journal's path for cross-process propagation."""
+    global _JOURNAL_PATH
+    _JOURNAL_PATH = path
+
+
+def journal_path() -> Optional[str]:
+    return _JOURNAL_PATH
+
+
+def _emit(event: SpanFinished, sink: Optional[EventSink]) -> None:
+    """Deliver to the explicit sink plus every ambient sink, exactly once each."""
+    seen = set()
+    targets: List[EventSink] = []
+    with _PROCESS_LOCK:
+        candidates = list(_PROCESS_SINKS)
+    candidates.extend(_thread_sinks())
+    if sink is not None:
+        candidates.append(sink)
+    for candidate in candidates:
+        if id(candidate) not in seen:
+            seen.add(id(candidate))
+            targets.append(candidate)
+    for target in targets:
+        target.emit(event)
+
+
+# ----------------------------------------------------------------------- spans
+@contextmanager
+def span(
+    name: str,
+    sink: Optional[EventSink] = None,
+    trace_id: Optional[str] = None,
+    **attrs,
+) -> Iterator[Span]:
+    """Time one named piece of work as a span of the current trace.
+
+    Opens a child of the calling thread's current span (or roots a fresh
+    trace when there is none -- *trace_id* forces the id of such a root,
+    which is how the HTTP layer honors a client-supplied
+    ``X-Repro-Trace-Id``), makes it the current context for the duration of
+    the ``with`` block, and emits one :class:`SpanFinished` on exit -- to the
+    ambient sinks and, when given, the explicit *sink*.
+    """
+    parent = current_context()
+    if parent is not None:
+        trace = parent.trace_id
+        parent_id: Optional[str] = parent.span_id
+    else:
+        trace = trace_id if trace_id else new_id()
+        parent_id = None
+    context = TraceContext(trace_id=trace, span_id=new_id())
+    active = Span(
+        name, context, parent_id, {str(key): str(value) for key, value in attrs.items()}
+    )
+    _LOCAL.context = context
+    started_wall = time.time()
+    started = time.perf_counter()
+    try:
+        yield active
+    finally:
+        elapsed = time.perf_counter() - started
+        _LOCAL.context = parent
+        _emit(
+            SpanFinished(
+                name=name,
+                trace_id=context.trace_id,
+                span_id=context.span_id,
+                parent_id=parent_id,
+                started_at=started_wall,
+                elapsed_seconds=elapsed,
+                attrs=tuple(sorted(active.attrs.items())),
+            ),
+            sink,
+        )
+
+
+@contextmanager
+def activate(context: Optional[TraceContext]) -> Iterator[None]:
+    """Make *context* the calling thread's current context for the block.
+
+    The cross-thread half of propagation: capture :func:`current_context`
+    where work is enqueued, :func:`activate` it in the thread that executes.
+    ``None`` is a no-op (work enqueued outside any trace stays traceless).
+    """
+    if context is None:
+        yield
+        return
+    previous = current_context()
+    _LOCAL.context = context
+    try:
+        yield
+    finally:
+        _LOCAL.context = previous
+
+
+# ------------------------------------------------------------- process boundary
+def capture() -> Optional[Dict]:
+    """The picklable observability state a worker process must inherit.
+
+    ``None`` when there is nothing to propagate -- the executors ship the
+    blob through their pool initializers, so an untraced, unjournaled run
+    adds zero overhead.
+    """
+    context = current_context()
+    if context is None and _JOURNAL_PATH is None:
+        return None
+    return {
+        "context": context.to_dict() if context is not None else None,
+        "journal": _JOURNAL_PATH,
+    }
+
+
+def adopt(state: Optional[Dict]) -> None:
+    """Re-establish captured observability state inside a worker process.
+
+    Installs the parent's journal (skipped when the fork already inherited a
+    sink on that path) and adopts the parent's span as the worker's ambient
+    context, so worker-side spans join the parent's trace.
+    """
+    if not state:
+        return
+    journal = state.get("journal")
+    if journal:
+        from repro.obs.journal import install_journal
+
+        install_journal(journal)
+    context = state.get("context")
+    _LOCAL.context = TraceContext.from_dict(context) if context else None
+
+
+__all__ = [
+    "Span",
+    "SpanFinished",
+    "TraceContext",
+    "activate",
+    "add_ambient_sink",
+    "adopt",
+    "ambient_sink",
+    "capture",
+    "current_context",
+    "journal_path",
+    "new_id",
+    "remove_ambient_sink",
+    "set_journal_path",
+    "span",
+]

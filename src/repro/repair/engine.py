@@ -54,6 +54,7 @@ from repro.engine.persist import fsa_to_dict
 from repro.learn.oracle import OracleStats
 from repro.learn.pipeline import Atlas, AtlasConfig, AtlasResult, ClusterResult, word_sort_key
 from repro.library.registry import build_library_program, build_spec_interface
+from repro.obs import trace as _trace
 from repro.repair.words import MAX_CALLS, MAX_WORDS, extract_words, word_classes
 from repro.service.store import SpecRecord, SpecStore
 from repro.specs.codegen import generate_code_fragments
@@ -219,7 +220,8 @@ def run_relearn_task(shared, payload):
     atlas = Atlas(library_program, interface, config)
     atlas.oracle.seed_cache(snapshot)
     started = time.perf_counter()
-    result = atlas.run_cluster(classes, seed, extra_positives=words)
+    with _trace.span("repair.relearn", classes="+".join(classes), words=len(words)):
+        result = atlas.run_cluster(classes, seed, extra_positives=words)
     elapsed = time.perf_counter() - started
     new_entries = {
         word: answer
@@ -379,6 +381,21 @@ class RepairEngine:
         """Run the full repair pass over one fuzz report."""
         if isinstance(report, dict):
             report = FuzzReport.from_dict(report)
+        with _trace.span("repair.run", pipeline=report.config.pipeline) as root:
+            outcome = self._repair(report, spec_id=spec_id, publish=publish)
+            root.set("clusters", len(outcome.repairs))
+            root.set("published", outcome.record is not None)
+            if verify and outcome.record is not None:
+                with _trace.span("repair.verify", spec_id=outcome.record.spec_id):
+                    outcome.verification = self.verify(outcome.record, report)
+        return outcome
+
+    def _repair(
+        self,
+        report: FuzzReport,
+        spec_id: Optional[str] = None,
+        publish: bool = True,
+    ) -> RepairOutcome:
         base_description, base = self.resolve_base(report.config.pipeline, spec_id)
         started = time.perf_counter()
         plan = self.plan(report, base.fsa)
@@ -471,11 +488,12 @@ class RepairEngine:
                     | {word for repair in repairs for word in repair.result.positives},
                     elapsed_seconds=time.perf_counter() - started,
                 )
-                record = self.store.put(
-                    repaired_result,
-                    library_program=self.library_program,
-                    provenance=self._provenance(base_description, report, plan),
-                )
+                with _trace.span("repair.publish", base=base_description):
+                    record = self.store.put(
+                        repaired_result,
+                        library_program=self.library_program,
+                        provenance=self._provenance(base_description, report, plan),
+                    )
                 self.events.emit(
                     SpecRepaired(
                         spec_id=record.spec_id,
@@ -487,7 +505,7 @@ class RepairEngine:
                     )
                 )
 
-        outcome = RepairOutcome(
+        return RepairOutcome(
             plan=plan,
             base=base_description,
             repairs=repairs,
@@ -497,9 +515,6 @@ class RepairEngine:
             executor=executor.name,
             elapsed_seconds=time.perf_counter() - started,
         )
-        if verify and record is not None:
-            outcome.verification = self.verify(record, report)
-        return outcome
 
     # ------------------------------------------------------------------ verify
     def verify(self, record: SpecRecord, report: FuzzReport) -> FuzzReport:

@@ -204,6 +204,70 @@ def run_load(
     )
 
 
+# ------------------------------------------------------------ bench artifacts
+BENCH_FORMAT = "repro.bench.serve/1"
+
+
+def bench_artifact(
+    result: LoadResult,
+    request: AnalyzeRequest,
+    metrics_snapshot: Optional[dict] = None,
+    meta: Optional[dict] = None,
+) -> dict:
+    """A machine-readable bench record: throughput, latency, phase times.
+
+    This is the unit of the committed perf trajectory (``BENCH_*.json``):
+    one schema-versioned document per recorded run, comparable across
+    commits.  Phase times aggregate the per-report timing of every 200
+    response; the optional server-side ``/metrics`` snapshot is embedded
+    verbatim for queue/compilation context.
+    """
+    ordered = sorted(result.latencies_seconds)
+    phases = {"andersen_seconds": 0.0, "taint_seconds": 0.0, "total_seconds": 0.0}
+    programs = 0
+    for body in result.responses.values():
+        for report in body.get("reports", ()):
+            timing = report.get("timing") or {}
+            programs += 1
+            for key in phases:
+                phases[key] += float(timing.get(key, 0.0))
+    artifact = {
+        "format": BENCH_FORMAT,
+        "request": request.to_dict(),
+        "load": {
+            "total_requests": result.total_requests,
+            "clients": result.clients,
+            "elapsed_seconds": result.elapsed_seconds,
+            "ok": result.ok,
+            "statuses": {str(k): v for k, v in sorted(result.statuses.items())},
+            "retries_after_503": result.retries_after_503,
+            "errors": len(result.errors),
+        },
+        "throughput_rps": result.throughput_rps,
+        "latency_seconds": {
+            "count": len(ordered),
+            "p50": percentile(ordered, 50.0) if ordered else None,
+            "p90": percentile(ordered, 90.0) if ordered else None,
+            "p99": percentile(ordered, 99.0) if ordered else None,
+            "max": ordered[-1] if ordered else None,
+        },
+        "phases": {"programs_analyzed": programs, **phases},
+    }
+    if metrics_snapshot is not None:
+        artifact["server_metrics"] = metrics_snapshot
+    if meta:
+        artifact["meta"] = dict(meta)
+    return artifact
+
+
+def write_bench_artifact(path: str, artifact: dict) -> str:
+    """Write one bench artifact as pretty-printed JSON; returns the path."""
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(artifact, handle, indent=1, sort_keys=False)
+        handle.write("\n")
+    return path
+
+
 def canonical_reports(response_body: dict) -> List[dict]:
     """The timing-free portion of a wire response's per-program reports."""
     return [
@@ -247,10 +311,13 @@ def verify_against_inprocess(
 
 
 __all__ = [
+    "BENCH_FORMAT",
     "LoadResult",
+    "bench_artifact",
     "canonical_reports",
     "fetch_json",
     "post_analyze",
     "run_load",
     "verify_against_inprocess",
+    "write_bench_artifact",
 ]

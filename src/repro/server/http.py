@@ -11,7 +11,14 @@ method    path         body
 ``GET``   /healthz     liveness + the spec id currently being served
 ``GET``   /specs       the store listing (one record per stored version)
 ``GET``   /metrics     :meth:`~repro.server.metrics.ServerMetrics.snapshot`
+                       as JSON; ``?format=prometheus`` renders the registry
+                       as Prometheus text exposition instead
 ========  ===========  ====================================================
+
+Every ``/analyze`` response carries an ``X-Repro-Trace-Id`` header (the root
+span of the request's trace -- client-supplied via the same request header,
+or freshly minted) and, on success, a ``Server-Timing`` header breaking the
+request into queue wait and analysis phases.
 
 Status mapping for ``/analyze``: ``200`` on success, ``400`` for malformed
 JSON / an unsupported ``format`` version / unknown app names, ``404`` for a
@@ -37,8 +44,11 @@ import threading
 import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Optional, Tuple
+from urllib.parse import parse_qs, urlsplit
 
 from repro.engine.events import EventSink, FanOutSink
+from repro.obs import trace as _trace
+from repro.obs.metrics import PROMETHEUS_CONTENT_TYPE
 from repro.server.metrics import MetricsSink, ServerMetrics
 from repro.server.pool import DEFAULT_QUEUE_DEPTH, PoolSaturated, WarmWorkerPool
 from repro.service.api import AnalyzeRequest, UnknownAppsError
@@ -81,6 +91,14 @@ class _RequestHandler(BaseHTTPRequestHandler):
         self.end_headers()
         self.wfile.write(body)
 
+    def _send_text(self, status: int, body: str, content_type: str) -> None:
+        encoded = body.encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(encoded)))
+        self.end_headers()
+        self.wfile.write(encoded)
+
     @property
     def _pool(self) -> WarmWorkerPool:
         return self.server.pool  # type: ignore[attr-defined]
@@ -95,6 +113,29 @@ class _RequestHandler(BaseHTTPRequestHandler):
 
     # ------------------------------------------------------------------- routes
     def do_GET(self) -> None:  # noqa: N802 - stdlib naming
+        parsed = urlsplit(self.path)
+        if parsed.path == "/metrics":
+            formats = parse_qs(parsed.query).get("format", ["json"])
+            if formats[-1] == "prometheus":
+                self._send_text(
+                    200,
+                    self._metrics.to_prometheus(
+                        queue_depth=self._pool.queue_depth,
+                        queue_capacity=self._pool.queue_capacity,
+                        workers=self._pool.workers,
+                    ),
+                    PROMETHEUS_CONTENT_TYPE,
+                )
+                return
+            self._send_json(
+                200,
+                self._metrics.snapshot(
+                    queue_depth=self._pool.queue_depth,
+                    queue_capacity=self._pool.queue_capacity,
+                    workers=self._pool.workers,
+                ),
+            )
+            return
         if self.path == "/healthz":
             self._send_json(
                 200,
@@ -112,15 +153,6 @@ class _RequestHandler(BaseHTTPRequestHandler):
                     "current": self._pool.current_spec_id,
                     "specs": [record.to_dict() for record in self._store.records()],
                 },
-            )
-        elif self.path == "/metrics":
-            self._send_json(
-                200,
-                self._metrics.snapshot(
-                    queue_depth=self._pool.queue_depth,
-                    queue_capacity=self._pool.queue_capacity,
-                    workers=self._pool.workers,
-                ),
             )
         else:
             self._send_json(404, {"error": f"no such endpoint: {self.path}"})
@@ -142,12 +174,23 @@ class _RequestHandler(BaseHTTPRequestHandler):
 
     def do_POST(self) -> None:  # noqa: N802 - stdlib naming
         body = self._read_body()
-        if self.path != "/analyze":
+        if urlsplit(self.path).path != "/analyze":
             self._send_json(404, {"error": f"no such endpoint: {self.path}"})
             return
         started = time.perf_counter()
-        status, payload, headers = self._analyze(body)
+        # the request root span: the handler thread is per-connection, so the
+        # pool's sink is attached explicitly; a client-supplied trace id
+        # (X-Repro-Trace-Id) roots the trace under the caller's id
+        client_trace = (self.headers.get("X-Repro-Trace-Id") or "").strip() or None
+        with _trace.span(
+            "server.request", sink=self._pool.events, trace_id=client_trace
+        ) as span:
+            status, payload, headers = self._analyze(body)
+            span.set("status", status)
+            trace_id = span.trace_id
         self._metrics.record_request(status, time.perf_counter() - started)
+        headers = dict(headers or {})
+        headers["X-Repro-Trace-Id"] = trace_id
         self._send_json(status, payload, extra_headers=headers, compact=status == 200)
 
     def _analyze(self, body: Optional[bytes]) -> Tuple[int, dict, Optional[dict]]:
@@ -180,7 +223,26 @@ class _RequestHandler(BaseHTTPRequestHandler):
             return 400, {"error": f"bad request: {error}"}, None
         except Exception as error:  # noqa: BLE001 - the wire needs *some* answer
             return 500, {"error": f"analysis failed: {error}"}, None
-        return 200, response.to_dict(), None
+        return 200, response.to_dict(), {"Server-Timing": self._server_timing(future, response)}
+
+    @staticmethod
+    def _server_timing(future, response) -> str:
+        """The per-phase breakdown header: queue wait + analysis phase sums."""
+        parts = []
+        queue_seconds = getattr(future, "queue_seconds", None)
+        if queue_seconds is not None:
+            parts.append(f"queue;dur={queue_seconds * 1000.0:.3f}")
+        reports = response.result.reports
+        parts.append(
+            f"andersen;dur={sum(r.timing.andersen_seconds for r in reports) * 1000.0:.3f}"
+        )
+        parts.append(
+            f"taint;dur={sum(r.timing.taint_seconds for r in reports) * 1000.0:.3f}"
+        )
+        analysis_seconds = getattr(future, "analysis_seconds", None)
+        if analysis_seconds is not None:
+            parts.append(f"analysis;dur={analysis_seconds * 1000.0:.3f}")
+        return ", ".join(parts)
 
 
 class AnalysisHTTPServer(ThreadingHTTPServer):

@@ -2,8 +2,9 @@
 
 One :class:`ServerMetrics` instance is shared by every handler thread and
 warm worker of an :class:`~repro.server.http.AnalysisServer`; the ``GET
-/metrics`` endpoint renders :meth:`ServerMetrics.snapshot` as JSON.  Two
-feeds fill it:
+/metrics`` endpoint renders :meth:`ServerMetrics.snapshot` as JSON (the
+default) or :meth:`ServerMetrics.to_prometheus` as the Prometheus text
+exposition (``?format=prometheus``).  Two feeds fill it:
 
 * the HTTP layer records each request's status class and wall-clock latency
   (:meth:`ServerMetrics.record_request`), and
@@ -14,7 +15,15 @@ feeds fill it:
   :class:`~repro.engine.events.SpecReloaded` per hot reload), so the
   per-worker compile counters that prove "specs are compiled once per
   worker, not once per request" come from the same event stream every other
-  engine consumer uses.
+  engine consumer uses.  :class:`~repro.obs.trace.SpanFinished` events ride
+  the same stream and land in the per-phase latency histogram
+  (``repro_phase_seconds{phase=...}``).
+
+The counters live in a :class:`repro.obs.metrics.MetricsRegistry`; the JSON
+snapshot is *derived* from the registry, so the two expositions can never
+drift apart.  Only the latency percentile window is registry-external: a
+fixed-bucket histogram cannot produce a sliding-window p50/p90/p99, and the
+window semantics ("recent behavior, not whole history") predate this layer.
 
 Example::
 
@@ -26,11 +35,10 @@ Example::
 
 from __future__ import annotations
 
-import math
 import threading
 import time
 from collections import deque
-from typing import Deque, Dict, List, Optional
+from typing import Deque, Dict, Optional
 
 from repro.engine.events import (
     AnalysisFinished,
@@ -39,7 +47,10 @@ from repro.engine.events import (
     EventSink,
     SpecCompiled,
     SpecReloaded,
+    dropped_event_count,
 )
+from repro.obs.metrics import MetricsRegistry, percentile
+from repro.obs.trace import SpanFinished
 
 #: latencies kept for percentile estimation (a sliding window, so a
 #: long-lived daemon reports recent behavior, not its whole history)
@@ -48,68 +59,129 @@ DEFAULT_LATENCY_WINDOW = 1024
 _PERCENTILES = (50.0, 90.0, 99.0)
 
 
-def percentile(sorted_values: List[float], fraction: float) -> float:
-    """Nearest-rank percentile (``ceil(P/100 * N)``) of a sorted, non-empty list."""
-    if not sorted_values:
-        raise ValueError("percentile of an empty list")
-    rank = math.ceil(fraction / 100.0 * len(sorted_values)) - 1
-    return sorted_values[max(0, min(len(sorted_values) - 1, rank))]
-
-
 class ServerMetrics:
     """Counters and latency percentiles for one daemon instance.
 
-    Every mutator takes the instance lock, so handler threads, worker
-    threads, and the store poller can all write concurrently;
-    :meth:`snapshot` returns a plain, JSON-serializable dict computed under
-    the same lock.
+    Every mutator takes the registry lock (or the window lock), so handler
+    threads, worker threads, and the store poller can all write
+    concurrently; :meth:`snapshot` returns a plain, JSON-serializable dict.
     """
 
     def __init__(self, latency_window: int = DEFAULT_LATENCY_WINDOW):
-        self._lock = threading.Lock()
         self.started_at = time.time()
-        self.requests_total = 0
-        self.responses_by_status: Dict[int, int] = {}
-        self.rejected_total = 0  # 503s: queue full, request shed
-        self.analyses_total = 0
-        self.flows_total = 0
-        self.batches_total = 0
-        self.spec_compilations_total = 0
-        self.spec_compilations_by_worker: Dict[str, int] = {}
-        self.hot_reloads_total = 0
+        self.registry = MetricsRegistry()
+        reg = self.registry
+        self._requests = reg.counter(
+            "repro_requests_total", "HTTP requests handled, by status code", ("status",)
+        )
+        self._rejected = reg.counter(
+            "repro_requests_rejected_total", "Requests shed with 503 (queue full)"
+        )
+        self._latency = reg.histogram(
+            "repro_request_latency_seconds", "Wall-clock latency of 200 responses"
+        )
+        self._error_latency = reg.histogram(
+            "repro_request_error_latency_seconds",
+            "Wall-clock latency of non-200 responses (backpressure and 4xx paths)",
+        )
+        self._analyses = reg.counter(
+            "repro_analyses_total", "Client programs analyzed"
+        )
+        self._flows = reg.counter(
+            "repro_flows_total", "Information flows reported across all analyses"
+        )
+        self._batches = reg.counter("repro_batches_total", "Batch analyses completed")
+        self._compilations = reg.counter(
+            "repro_spec_compilations_total",
+            "Spec-to-analyzer compilations, by warm worker",
+            ("worker",),
+        )
+        self._reloads = reg.counter(
+            "repro_spec_hot_reloads_total", "Store-poller hot reloads applied"
+        )
+        self._phases = reg.histogram(
+            "repro_phase_seconds", "Per-phase (span) wall-clock time", ("phase",)
+        )
+        self._queue_depth = reg.gauge("repro_queue_depth", "Queued requests at scrape time")
+        self._queue_capacity = reg.gauge(
+            "repro_queue_capacity", "Bounded queue capacity"
+        )
+        self._workers = reg.gauge("repro_workers", "Warm analysis workers")
+        self._uptime = reg.gauge("repro_uptime_seconds", "Daemon uptime at scrape time")
+        self._dropped = reg.counter(
+            "repro_obs_dropped_events_total",
+            "Telemetry events dropped by misbehaving or broken sinks",
+        )
+        self._window_lock = threading.Lock()
         self._latencies: Deque[float] = deque(maxlen=latency_window)
 
     # --------------------------------------------------------------- recording
     def record_request(self, status: int, seconds: float) -> None:
         """Count one finished HTTP request; latency feeds the window on 200s.
 
-        Only successful analyses contribute to the percentile window --
-        under backpressure, near-instant 503 rejections would otherwise
-        drown out the served-request latencies an operator actually needs.
+        Only successful analyses contribute to the percentile window and the
+        main latency histogram -- under backpressure, near-instant 503
+        rejections would otherwise drown out the served-request latencies an
+        operator actually needs.  Non-200 latencies are not discarded,
+        though: they land in a separate error-latency histogram, which is
+        what makes 503 shed-rates and slow 4xx paths visible.
         """
-        with self._lock:
-            self.requests_total += 1
-            self.responses_by_status[status] = self.responses_by_status.get(status, 0) + 1
-            if status == 503:
-                self.rejected_total += 1
-            if status == 200:
+        self._requests.inc(status=status)
+        if status == 503:
+            self._rejected.inc()
+        if status == 200:
+            self._latency.observe(seconds)
+            with self._window_lock:
                 self._latencies.append(seconds)
+        else:
+            self._error_latency.observe(seconds)
 
     def record_event(self, event: EngineEvent) -> None:
         """Fold one engine event into the counters (see :class:`MetricsSink`)."""
-        with self._lock:
-            if isinstance(event, AnalysisFinished):
-                self.analyses_total += 1
-                self.flows_total += event.flows
-            elif isinstance(event, BatchFinished):
-                self.batches_total += 1
-            elif isinstance(event, SpecCompiled):
-                self.spec_compilations_total += 1
-                self.spec_compilations_by_worker[event.worker] = (
-                    self.spec_compilations_by_worker.get(event.worker, 0) + 1
-                )
-            elif isinstance(event, SpecReloaded):
-                self.hot_reloads_total += 1
+        if isinstance(event, SpanFinished):
+            self._phases.observe(event.elapsed_seconds, phase=event.name)
+        elif isinstance(event, AnalysisFinished):
+            self._analyses.inc()
+            self._flows.inc(event.flows)
+        elif isinstance(event, BatchFinished):
+            self._batches.inc()
+        elif isinstance(event, SpecCompiled):
+            self._compilations.inc(worker=event.worker)
+        elif isinstance(event, SpecReloaded):
+            self._reloads.inc()
+
+    # ------------------------------------------------------- derived properties
+    @property
+    def requests_total(self) -> int:
+        return int(sum(self._requests.series().values()))
+
+    @property
+    def rejected_total(self) -> int:
+        return int(self._rejected.value())
+
+    @property
+    def analyses_total(self) -> int:
+        return int(self._analyses.value())
+
+    @property
+    def flows_total(self) -> int:
+        return int(self._flows.value())
+
+    @property
+    def batches_total(self) -> int:
+        return int(self._batches.value())
+
+    @property
+    def spec_compilations_total(self) -> int:
+        return int(sum(self._compilations.series().values()))
+
+    @property
+    def spec_compilations_by_worker(self) -> Dict[str, int]:
+        return {key[0]: int(value) for key, value in self._compilations.series().items()}
+
+    @property
+    def hot_reloads_total(self) -> int:
+        return int(self._reloads.value())
 
     # ---------------------------------------------------------------- snapshot
     def snapshot(
@@ -124,38 +196,46 @@ class ServerMetrics:
         passed in by the HTTP layer (the metrics object itself does not hold
         a pool reference).
         """
-        with self._lock:
+        with self._window_lock:
             ordered = sorted(self._latencies)
-            latency = {
-                "count": len(ordered),
-                "percentiles_seconds": {
-                    f"p{fraction:g}": percentile(ordered, fraction) for fraction in _PERCENTILES
-                }
-                if ordered
-                else {},
-                "max_seconds": ordered[-1] if ordered else None,
+        latency = {
+            "count": len(ordered),
+            "percentiles_seconds": {
+                f"p{fraction:g}": percentile(ordered, fraction) for fraction in _PERCENTILES
             }
-            snapshot = {
-                "uptime_seconds": time.time() - self.started_at,
-                "requests": {
-                    "total": self.requests_total,
-                    "by_status": {str(k): v for k, v in sorted(self.responses_by_status.items())},
-                    "rejected": self.rejected_total,
+            if ordered
+            else {},
+            "max_seconds": ordered[-1] if ordered else None,
+        }
+        error_count = self._error_latency.count()
+        snapshot = {
+            "uptime_seconds": time.time() - self.started_at,
+            "requests": {
+                "total": self.requests_total,
+                "by_status": {
+                    key[0]: int(value) for key, value in self._requests.series().items()
                 },
-                "latency": latency,
-                "analyses": {
-                    "programs": self.analyses_total,
-                    "flows": self.flows_total,
-                    "batches": self.batches_total,
-                },
-                "specs": {
-                    "compilations": self.spec_compilations_total,
-                    "compilations_by_worker": dict(
-                        sorted(self.spec_compilations_by_worker.items())
-                    ),
-                    "hot_reloads": self.hot_reloads_total,
-                },
-            }
+                "rejected": self.rejected_total,
+            },
+            "latency": latency,
+            "error_latency": {
+                "count": error_count,
+                "total_seconds": self._error_latency.sum(),
+            },
+            "analyses": {
+                "programs": self.analyses_total,
+                "flows": self.flows_total,
+                "batches": self.batches_total,
+            },
+            "specs": {
+                "compilations": self.spec_compilations_total,
+                "compilations_by_worker": dict(
+                    sorted(self.spec_compilations_by_worker.items())
+                ),
+                "hot_reloads": self.hot_reloads_total,
+            },
+            "dropped_events": dropped_event_count(),
+        }
         queue: Dict = {}
         if queue_depth is not None:
             queue["depth"] = queue_depth
@@ -166,6 +246,30 @@ class ServerMetrics:
         if workers is not None:
             snapshot["workers"] = workers
         return snapshot
+
+    # -------------------------------------------------------------- prometheus
+    def to_prometheus(
+        self,
+        queue_depth: Optional[int] = None,
+        queue_capacity: Optional[int] = None,
+        workers: Optional[int] = None,
+    ) -> str:
+        """The Prometheus text exposition of every instrument.
+
+        Scrape-time gauges (queue, workers, uptime) are set just before
+        rendering, and the process-wide dropped-event counter is mirrored
+        into the registry, so one render is a complete, self-consistent
+        scrape.
+        """
+        self._uptime.set(time.time() - self.started_at)
+        if queue_depth is not None:
+            self._queue_depth.set(queue_depth)
+        if queue_capacity is not None:
+            self._queue_capacity.set(queue_capacity)
+        if workers is not None:
+            self._workers.set(workers)
+        self._dropped.set_total(dropped_event_count())
+        return self.registry.render_prometheus()
 
 
 class MetricsSink(EventSink):

@@ -42,6 +42,8 @@ from typing import Callable, Dict, List, Optional, Tuple
 from repro.engine.cache import program_fingerprint
 from repro.engine.events import EventSink, NullSink, SpecCompiled, SpecReloaded
 from repro.library.registry import build_library_program, build_spec_interface
+from repro.obs import trace as _trace
+from repro.obs.trace import SpanFinished, TraceContext
 from repro.service.analyzer import ClientAnalyzer
 from repro.service.api import AnalyzeRequest, AnalyzeResponse, run_request
 from repro.service.store import SpecNotFoundError, SpecStore
@@ -68,6 +70,10 @@ class PoolSaturated(RuntimeError):
 class _Job:
     request: AnalyzeRequest
     future: "Future[AnalyzeResponse]" = field(default_factory=Future)
+    #: the submitting thread's trace context (the HTTP request span), so the
+    #: worker thread's analysis spans join the request's trace
+    context: Optional[TraceContext] = None
+    enqueued_at: float = field(default_factory=time.perf_counter)
 
 
 _SHUTDOWN = object()
@@ -204,7 +210,7 @@ class WarmWorkerPool:
 
         Raises :class:`PoolSaturated` (never blocks) when the queue is full.
         """
-        job = _Job(request)
+        job = _Job(request, context=_trace.current_context())
         with self._lock:
             if not self._started:
                 raise RuntimeError("pool is not running (call start() first)")
@@ -310,10 +316,33 @@ class WarmWorkerPool:
             ready.set()
             return
         ready.set()
+        # spans finished on this thread (analysis phases, batch scheduling)
+        # feed the pool's own sink -- thread-local, so several pools in one
+        # process never cross-contaminate each other's metrics or journals
+        _trace.add_ambient_sink(self.events, thread_local=True)
         while True:
             job = self._queue.get()
             if job is _SHUTDOWN:
                 return
+            queue_seconds = time.perf_counter() - job.enqueued_at
+            if job.context is not None:
+                # the dequeue is the only place queue wait is known, so the
+                # span is synthesized here as a child of the request span
+                self.events.emit(
+                    SpanFinished(
+                        name="server.queue_wait",
+                        trace_id=job.context.trace_id,
+                        span_id=_trace.new_id(),
+                        parent_id=job.context.span_id,
+                        started_at=time.time() - queue_seconds,
+                        elapsed_seconds=queue_seconds,
+                        attrs=(("worker", name),),
+                    )
+                )
+            # timing attributes ride the future itself (it has no __slots__),
+            # so the HTTP layer can render a Server-Timing breakdown without
+            # changing the submit()/result() contract
+            job.future.queue_seconds = queue_seconds
             try:
                 latest_generation, latest_spec_id = self._target()
                 if latest_generation != generation:
@@ -330,7 +359,11 @@ class WarmWorkerPool:
                         analyzers[pinned] = self._compile(name, pinned)
                     analyzer = analyzers[pinned]
                 self._evict_stale(analyzers, keep=current.spec_id, also=analyzer.spec_id)
-                job.future.set_result(self._handler(job.request, analyzer))
+                analysis_started = time.perf_counter()
+                with _trace.activate(job.context):
+                    response = self._handler(job.request, analyzer)
+                job.future.analysis_seconds = time.perf_counter() - analysis_started
+                job.future.set_result(response)
             except BaseException as error:
                 job.future.set_exception(error)
 

@@ -25,6 +25,7 @@ from repro.client.sources_sinks import build_framework_program
 from repro.client.taint import Flow, InformationFlowAnalysis
 from repro.lang.program import Program
 from repro.library.registry import build_interface, build_library_program, core_program
+from repro.obs import trace as _trace
 from repro.pointsto.andersen import AndersenAnalysis
 
 _FLOW_FIELDS = (
@@ -57,6 +58,20 @@ class RequestTiming:
     andersen_seconds: float
     taint_seconds: float
     total_seconds: float
+
+    def server_timing(self, **extra_seconds: float) -> str:
+        """The breakdown as a ``Server-Timing`` header value (durations in ms).
+
+        Extra phases measured outside the analyzer (queue wait, say) are
+        appended by keyword: ``timing.server_timing(queue=0.004)``.
+        """
+        phases = [
+            ("andersen", self.andersen_seconds),
+            ("taint", self.taint_seconds),
+        ]
+        phases.extend(sorted(extra_seconds.items()))
+        phases.append(("total", self.total_seconds))
+        return ", ".join(f"{name};dur={seconds * 1000.0:.3f}" for name, seconds in phases)
 
 
 @dataclass(frozen=True)
@@ -175,12 +190,15 @@ class ClientAnalyzer:
     # ---------------------------------------------------------------- analysis
     def analyze_program(self, program: Program, name: str) -> FlowReport:
         """Run Andersen + the taint client on one client program."""
-        started = time.perf_counter()
-        merged = program.merged_with(self.base_program)
-        points_to = AndersenAnalysis(merged).run()
-        after_andersen = time.perf_counter()
-        report = InformationFlowAnalysis(merged).run(points_to=points_to)
-        finished = time.perf_counter()
+        with _trace.span("analysis.analyze", program=name):
+            started = time.perf_counter()
+            merged = program.merged_with(self.base_program)
+            with _trace.span("analysis.andersen", program=name):
+                points_to = AndersenAnalysis(merged).run()
+            after_andersen = time.perf_counter()
+            with _trace.span("analysis.taint", program=name):
+                report = InformationFlowAnalysis(merged).run(points_to=points_to)
+            finished = time.perf_counter()
         return FlowReport(
             program=name,
             flows=tuple(sorted(report.flows, key=_flow_sort_key)),

@@ -40,6 +40,7 @@ from repro.benchgen.generator import GeneratedApp
 from repro.benchgen.suite import benchmark_suite
 from repro.engine.events import EventSink
 from repro.library.registry import build_library_program
+from repro.obs import trace as _trace
 from repro.service.analyzer import ClientAnalyzer
 from repro.service.batch import BatchAnalysisScheduler, BatchResult
 from repro.service.store import SpecStore
@@ -226,9 +227,12 @@ def run_request(
     bit-identical whether the analyzer was compiled just now
     (:func:`handle_request`) or hours ago by a daemon worker.
     """
-    apps = build_corpus(request)
-    scheduler = BatchAnalysisScheduler(analyzer, workers=request.workers, events=events)
-    result = scheduler.analyze_apps(apps)
+    with _trace.span(
+        "service.request", workers=request.workers, spec_id=analyzer.spec_id or ""
+    ):
+        apps = build_corpus(request)
+        scheduler = BatchAnalysisScheduler(analyzer, workers=request.workers, events=events)
+        result = scheduler.analyze_apps(apps)
     return AnalyzeResponse(spec_id=analyzer.spec_id, request=request, result=result)
 
 

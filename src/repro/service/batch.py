@@ -31,6 +31,7 @@ from repro.engine.events import (
 )
 from repro.engine.executor import make_task_executor
 from repro.lang.program import Program
+from repro.obs import trace as _trace
 from repro.service.analyzer import ClientAnalyzer, FlowReport
 
 
@@ -113,7 +114,12 @@ class BatchAnalysisScheduler:
             )
 
         started = time.perf_counter()
-        reports = executor.map(analyze_payload, self.analyzer, payloads, on_result=on_result)
+        with _trace.span(
+            "service.batch", programs=len(payloads), executor=executor.name
+        ):
+            reports = executor.map(
+                analyze_payload, self.analyzer, payloads, on_result=on_result
+            )
         elapsed = time.perf_counter() - started
         result = BatchResult(
             reports=reports,

@@ -75,3 +75,38 @@ def test_fan_out_sink_broadcasts():
         fan_out.emit(event)
     assert first.events == second.events
     assert len(first.events) == 5
+
+
+# ----------------------------------------------------------- sink isolation
+class _ExplodingSink(CollectingSink):
+    def emit(self, event):
+        super().emit(event)
+        raise RuntimeError("sink is broken")
+
+
+def test_fan_out_isolates_a_misbehaving_sink():
+    """One broken sink must not starve its siblings of telemetry."""
+    from repro.engine.events import dropped_event_count
+
+    before_first, healthy, before_last = CollectingSink(), CollectingSink(), None
+    exploding = _ExplodingSink()
+    fan_out = FanOutSink([before_first, exploding, healthy])
+    dropped_before = dropped_event_count()
+    for event in _sample_events():
+        fan_out.emit(event)  # must not raise
+    assert len(before_first.events) == 5
+    assert len(healthy.events) == 5  # sinks *after* the broken one still fed
+    assert len(exploding.events) == 5
+    assert dropped_event_count() == dropped_before + 5
+
+
+def test_stream_sink_survives_a_closed_stream():
+    from repro.engine.events import dropped_event_count
+
+    stream = io.StringIO()
+    sink = StreamSink(stream)
+    stream.close()
+    dropped_before = dropped_event_count()
+    for event in _sample_events():
+        sink.emit(event)  # must not raise
+    assert dropped_event_count() == dropped_before + 5

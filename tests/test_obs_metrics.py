@@ -1,0 +1,153 @@
+"""Unit tests for the metrics registry and its Prometheus text exposition."""
+
+import threading
+
+import pytest
+
+from repro.obs.metrics import (
+    DEFAULT_BUCKETS,
+    MetricsRegistry,
+    PROMETHEUS_CONTENT_TYPE,
+    percentile,
+)
+
+
+# ---------------------------------------------------------------- instruments
+def test_counter_accumulates_per_label_combination():
+    counter = MetricsRegistry().counter("hits_total", "hits", ("status",))
+    counter.inc(status=200)
+    counter.inc(status=200)
+    counter.inc(3, status=503)
+    assert counter.value(status=200) == 2
+    assert counter.value(status="200") == 2  # label values stringify
+    assert counter.series() == {("200",): 2.0, ("503",): 3.0}
+
+
+def test_counter_rejects_decrements_and_label_typos():
+    counter = MetricsRegistry().counter("hits_total", "hits", ("status",))
+    with pytest.raises(ValueError):
+        counter.inc(-1, status=200)
+    with pytest.raises(ValueError):
+        counter.inc(code=200)
+    with pytest.raises(ValueError):
+        counter.inc()  # missing the declared label entirely
+
+
+def test_gauge_set_overwrites():
+    gauge = MetricsRegistry().gauge("depth", "queue depth")
+    assert gauge.value() is None
+    gauge.set(7)
+    gauge.set(3)
+    assert gauge.value() == 3.0
+
+
+def test_histogram_buckets_sum_and_count():
+    histogram = MetricsRegistry().histogram(
+        "lat_seconds", "latency", buckets=(0.1, 1.0)
+    )
+    for value in (0.05, 0.5, 0.5, 5.0):
+        histogram.observe(value)
+    assert histogram.count() == 4
+    assert histogram.sum() == pytest.approx(6.05)
+    rendered = histogram.render()
+    assert 'lat_seconds_bucket{le="0.1"} 1' in rendered
+    assert 'lat_seconds_bucket{le="1"} 3' in rendered  # cumulative
+    assert 'lat_seconds_bucket{le="+Inf"} 4' in rendered
+    assert "lat_seconds_count 4" in rendered
+
+
+def test_registry_is_get_or_create_and_rejects_shape_changes():
+    registry = MetricsRegistry()
+    first = registry.counter("hits_total", "hits", ("status",))
+    assert registry.counter("hits_total", "hits", ("status",)) is first
+    with pytest.raises(ValueError):
+        registry.counter("hits_total", "hits", ("code",))
+    with pytest.raises(ValueError):
+        registry.gauge("hits_total", "hits", ("status",))
+
+
+def test_registry_mutation_is_thread_safe():
+    counter = MetricsRegistry().counter("n_total", "n")
+
+    def hammer():
+        for _ in range(1000):
+            counter.inc()
+
+    threads = [threading.Thread(target=hammer) for _ in range(8)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    assert counter.value() == 8000
+
+
+def test_percentile_is_nearest_rank():
+    values = [1.0, 2.0, 3.0, 4.0]
+    assert percentile(values, 50.0) == 2.0
+    assert percentile(values, 90.0) == 4.0
+    assert percentile(values, 99.0) == 4.0
+    assert percentile([7.0], 50.0) == 7.0
+    with pytest.raises(ValueError):
+        percentile([], 50.0)
+
+
+def test_default_buckets_cover_the_analysis_latency_range():
+    assert DEFAULT_BUCKETS[0] == 0.001
+    assert DEFAULT_BUCKETS[-1] == 10.0
+    assert list(DEFAULT_BUCKETS) == sorted(DEFAULT_BUCKETS)
+    assert "version=0.0.4" in PROMETHEUS_CONTENT_TYPE
+
+
+# ---------------------------------------------------------------- exposition
+def test_prometheus_exposition_golden():
+    """The full text exposition, frozen: names, HELP/TYPE lines, ordering."""
+    registry = MetricsRegistry()
+    requests = registry.counter("repro_requests_total", "Requests", ("status",))
+    empty = registry.counter("repro_reloads_total", "Reloads")
+    depth = registry.gauge("repro_queue_depth", "Depth")
+    latency = registry.histogram("repro_latency_seconds", "Latency", buckets=(0.5, 1.0))
+    requests.inc(status=200)
+    requests.inc(status=200)
+    requests.inc(status=503)
+    depth.set(2)
+    latency.observe(0.25)
+    latency.observe(0.75)
+
+    assert registry.render_prometheus() == (
+        "# HELP repro_requests_total Requests\n"
+        "# TYPE repro_requests_total counter\n"
+        'repro_requests_total{status="200"} 2\n'
+        'repro_requests_total{status="503"} 1\n'
+        "# HELP repro_reloads_total Reloads\n"
+        "# TYPE repro_reloads_total counter\n"
+        "repro_reloads_total 0\n"
+        "# HELP repro_queue_depth Depth\n"
+        "# TYPE repro_queue_depth gauge\n"
+        "repro_queue_depth 2\n"
+        "# HELP repro_latency_seconds Latency\n"
+        "# TYPE repro_latency_seconds histogram\n"
+        'repro_latency_seconds_bucket{le="0.5"} 1\n'
+        'repro_latency_seconds_bucket{le="1"} 2\n'
+        'repro_latency_seconds_bucket{le="+Inf"} 2\n'
+        "repro_latency_seconds_sum 1\n"
+        "repro_latency_seconds_count 2\n"
+    )
+
+
+def test_label_values_are_escaped():
+    registry = MetricsRegistry()
+    counter = registry.counter("odd_total", "odd labels", ("name",))
+    counter.inc(name='quo"te\\slash\nline')
+    assert 'odd_total{name="quo\\"te\\\\slash\\nline"} 1' in registry.render_prometheus()
+
+
+def test_labelled_histogram_renders_per_series():
+    registry = MetricsRegistry()
+    phases = registry.histogram("phase_seconds", "Phases", ("phase",), buckets=(1.0,))
+    phases.observe(0.5, phase="andersen")
+    phases.observe(2.0, phase="taint")
+    text = registry.render_prometheus()
+    assert 'phase_seconds_bucket{phase="andersen",le="1"} 1' in text
+    assert 'phase_seconds_bucket{phase="taint",le="1"} 0' in text
+    assert 'phase_seconds_bucket{phase="taint",le="+Inf"} 1' in text
+    assert 'phase_seconds_count{phase="andersen"} 1' in text
