@@ -10,6 +10,10 @@ Subcommands cover the serving path end to end, plus the evaluation driver::
     repro fuzz --budget 200 --seed 7 --workers 4 [--shrink]
     repro fuzz --families taint-app --repair      # closed loop: fuzz -> repair -> re-fuzz
     repro repair --report fuzz-report.json --store .repro-specs --verify
+    repro plane seed --store .repro-specs --pipeline ground_truth
+    repro plane run --store .repro-specs --once [--golden-dir tests/golden]
+    repro plane status --store .repro-specs
+    repro plane promote|rollback --store .repro-specs --spec <id>
     repro corpus list|verify|replay [--dir tests/golden]
     repro obs tail|summary|trace <id> --journal telemetry.jsonl
     repro experiments fig9a --preset quick        # -> repro.experiments.runner
@@ -31,7 +35,14 @@ divergences shrunk to minimal counterexamples, golden corpus written under
 ``tests/golden/``.  ``repair`` (and the one-command ``fuzz --repair`` closed
 loop) turns those divergences into a repaired specification version
 (:mod:`repro.repair`) that a running daemon hot-reloads; ``corpus``
-inspects, digest-verifies, and replays golden-corpus entries.
+inspects, digest-verifies, and replays golden-corpus entries.  ``plane``
+(:mod:`repro.plane`) runs that repair loop *supervised*: each ``run`` cycle
+fuzzes the served spec, publishes any repair as an unserved *candidate*,
+canaries it (golden-corpus replay plus shadowed traffic), and only promotes
+on zero regressions -- rolling back automatically otherwise.  ``status``
+prints the store's version states and serving lineage; ``promote`` /
+``rollback`` are the operator overrides; ``seed`` bootstraps a store from a
+named (deliberately gapped) specification set.
 
 Every subcommand accepts ``--journal PATH`` (default: the ``REPRO_JOURNAL``
 environment variable) to tee its telemetry -- engine events plus the trace
@@ -601,6 +612,137 @@ def cmd_obs_trace(args) -> int:
     return 0
 
 
+def cmd_plane_run(args) -> int:
+    from repro.engine.events import FanOutSink
+    from repro.plane import ALL_FAMILIES, CLEAN, PROMOTED, ControlPlane, PlaneConfig
+    from repro.service.store import SpecStore
+
+    families = (
+        tuple(name.strip() for name in args.families.split(",") if name.strip())
+        if args.families
+        else ALL_FAMILIES
+    )
+    config = PlaneConfig(
+        families=families,
+        budget=args.budget,
+        seed=args.seed,
+        workers=args.workers,
+        shrink=not args.no_shrink,
+        shadow_fraction=args.shadow_fraction,
+        shadow_requests=args.shadow_requests,
+        shadow_programs=args.shadow_programs,
+        golden_dir=args.golden_dir,
+        cache_dir=args.cache_dir,
+    )
+    # tee the journal into the plane's event fan-out: the ambient install
+    # (idempotent, same sink) only receives trace spans, and the deployment
+    # trail -- CandidatePublished, CanaryFinished, SpecPromoted/RolledBack --
+    # is exactly what a post-mortem reads back from the journal
+    sinks = []
+    if args.progress:
+        sinks.append(StreamSink(sys.stderr))
+    journal = _journal_path(args)
+    if journal:
+        from repro.obs import install_journal
+
+        sinks.append(install_journal(journal))
+    events = FanOutSink(sinks) if len(sinks) > 1 else (sinks[0] if sinks else None)
+    plane = ControlPlane(SpecStore(args.store), config=config, events=events)
+    cycles = 1 if args.once else args.cycles
+    outcomes = plane.run(cycles, interval_seconds=args.interval)
+    payload = {
+        "format": "repro.plane.run/1",
+        "store": args.store,
+        "cycles": [outcome.to_dict() for outcome in outcomes],
+    }
+    _write_json(payload, args.out)
+    converged = True
+    for outcome in outcomes:
+        line = f"plane: cycle {outcome.cycle}: {outcome.status}"
+        if outcome.candidate:
+            line += f" candidate={outcome.candidate}"
+        if outcome.lineage:
+            line += f" serving={outcome.lineage[0]} depth={len(outcome.lineage)}"
+        sys.stderr.write(line + "\n")
+        converged = converged and outcome.status in (CLEAN, PROMOTED)
+    return 0 if converged else 1
+
+
+def cmd_plane_status(args) -> int:
+    from repro.service.store import SpecStore
+
+    store = SpecStore(args.store)
+    states = store.states()
+    active = store.latest()
+    lineage = (
+        [record.spec_id for record in store.lineage(active.spec_id)] if active else []
+    )
+    payload = {
+        "format": "repro.plane.status/1",
+        "store": args.store,
+        "active_spec_id": active.spec_id if active else None,
+        "active_version": active.version if active else None,
+        "lineage": lineage,
+        "lineage_depth": max(0, len(lineage) - 1),
+        "specs": [
+            {
+                "spec_id": record.spec_id,
+                "version": record.version,
+                "state": states.get(record.spec_id),
+                "parent": record.parent,
+                "created_at": record.created_at,
+            }
+            for record in store.list()
+        ],
+        "transitions": store.transitions(),
+    }
+    _write_json(payload, args.out)
+    return 0
+
+
+def cmd_plane_promote(args) -> int:
+    from repro.plane import PromotionError, SpecLifecycle
+    from repro.service.store import SpecStore, SpecStoreError
+
+    lifecycle = SpecLifecycle(SpecStore(args.store), events=_events(args.progress))
+    try:
+        record = lifecycle.promote(args.spec)
+    except (PromotionError, SpecStoreError) as error:
+        sys.stderr.write(f"plane: {error}\n")
+        return 1
+    sys.stderr.write(f"plane: promoted {record.spec_id} (version {record.version})\n")
+    return 0
+
+
+def cmd_plane_rollback(args) -> int:
+    from repro.plane import SpecLifecycle
+    from repro.service.store import SpecStore, SpecStoreError
+
+    lifecycle = SpecLifecycle(SpecStore(args.store), events=_events(args.progress))
+    try:
+        record, restored = lifecycle.rollback(args.spec, reason=args.reason)
+    except SpecStoreError as error:
+        sys.stderr.write(f"plane: {error}\n")
+        return 1
+    sys.stderr.write(
+        f"plane: rolled back {record.spec_id}; serving "
+        f"{restored.spec_id if restored else '(nothing)'}\n"
+    )
+    return 0
+
+
+def cmd_plane_seed(args) -> int:
+    from repro.plane import seed_store
+    from repro.service.store import SpecStore
+
+    record = seed_store(SpecStore(args.store), pipeline=args.pipeline)
+    sys.stderr.write(
+        f"plane: seeded {args.store} with {record.spec_id} "
+        f"({args.pipeline}, version {record.version})\n"
+    )
+    return 0
+
+
 def cmd_compact_cache(args) -> int:
     import os
 
@@ -830,6 +972,110 @@ def build_parser() -> argparse.ArgumentParser:
     repair.add_argument("--progress", action="store_true", help="stream repair events to stderr")
     _add_journal_flag(repair)
     repair.set_defaults(func=cmd_repair)
+
+    plane = commands.add_parser(
+        "plane",
+        help="supervised repair deployments: campaigns, candidate canaries, promotion",
+    )
+    plane_commands = plane.add_subparsers(dest="plane_command", required=True)
+    plane_run = plane_commands.add_parser(
+        "run", help="run supervised cycles: fuzz -> repair -> canary -> promote/rollback"
+    )
+    plane_run.add_argument("--store", required=True, help="SpecStore directory to supervise")
+    plane_run.add_argument(
+        "--cache-dir", default=None, help="persistent oracle cache for repair learning"
+    )
+    plane_run.add_argument(
+        "--families",
+        default=None,
+        metavar="A,B,...",
+        help="comma-separated scenario families to cycle through (default: all)",
+    )
+    plane_run.add_argument(
+        "--budget", type=int, default=50, help="programs per campaign cycle"
+    )
+    plane_run.add_argument("--seed", type=int, default=2018, help="plane seed")
+    plane_run.add_argument("--workers", type=int, default=0, help="worker processes")
+    plane_run.add_argument(
+        "--no-shrink", action="store_true", help="keep divergent programs at full size"
+    )
+    cycle_flags = plane_run.add_mutually_exclusive_group()
+    cycle_flags.add_argument(
+        "--once", action="store_true", help="run exactly one cycle (the smoke-job mode)"
+    )
+    cycle_flags.add_argument(
+        "--cycles", type=int, default=1, help="supervised cycles to run"
+    )
+    plane_run.add_argument(
+        "--interval", type=float, default=0.0, help="seconds to sleep between cycles"
+    )
+    plane_run.add_argument(
+        "--shadow-fraction",
+        type=float,
+        default=0.25,
+        help="live-traffic fraction mirrored through a canarying candidate",
+    )
+    plane_run.add_argument(
+        "--shadow-requests",
+        type=int,
+        default=4,
+        help="shadow comparisons per canary (synthetic stream size standalone)",
+    )
+    plane_run.add_argument(
+        "--shadow-programs", type=int, default=2, help="programs per synthetic shadow request"
+    )
+    plane_run.add_argument(
+        "--golden-dir",
+        default=None,
+        metavar="DIR",
+        help="golden corpus to replay as the canary's regression gate",
+    )
+    plane_run.add_argument("--out", default=None, help="write the cycle JSON here (default stdout)")
+    plane_run.add_argument("--progress", action="store_true", help="stream plane events to stderr")
+    _add_journal_flag(plane_run)
+    plane_run.set_defaults(func=cmd_plane_run)
+    plane_status = plane_commands.add_parser(
+        "status", help="print version states, serving lineage, and the transition log"
+    )
+    plane_status.add_argument("--store", required=True, help="SpecStore directory")
+    plane_status.add_argument("--out", default=None, help="write the JSON here (default stdout)")
+    _add_journal_flag(plane_status)
+    plane_status.set_defaults(func=cmd_plane_status)
+    plane_promote = plane_commands.add_parser(
+        "promote", help="operator override: promote a candidate (payload re-verified)"
+    )
+    plane_promote.add_argument("--store", required=True, help="SpecStore directory")
+    plane_promote.add_argument("--spec", required=True, help="candidate spec id")
+    plane_promote.add_argument(
+        "--progress", action="store_true", help="stream lifecycle events to stderr"
+    )
+    _add_journal_flag(plane_promote)
+    plane_promote.set_defaults(func=cmd_plane_promote)
+    plane_rollback = plane_commands.add_parser(
+        "rollback", help="operator override: withdraw a version from service"
+    )
+    plane_rollback.add_argument("--store", required=True, help="SpecStore directory")
+    plane_rollback.add_argument("--spec", required=True, help="spec id to roll back")
+    plane_rollback.add_argument(
+        "--reason", default="operator rollback", help="recorded transition reason"
+    )
+    plane_rollback.add_argument(
+        "--progress", action="store_true", help="stream lifecycle events to stderr"
+    )
+    _add_journal_flag(plane_rollback)
+    plane_rollback.set_defaults(func=cmd_plane_rollback)
+    plane_seed = plane_commands.add_parser(
+        "seed", help="bootstrap a store from a named specification set (no inference)"
+    )
+    plane_seed.add_argument("--store", required=True, help="SpecStore directory")
+    plane_seed.add_argument(
+        "--pipeline",
+        choices=["ground_truth", "handwritten"],
+        default="ground_truth",
+        help="named specification set to publish as version 1",
+    )
+    _add_journal_flag(plane_seed)
+    plane_seed.set_defaults(func=cmd_plane_seed)
 
     corpus = commands.add_parser(
         "corpus", help="list, digest-verify, or replay golden-corpus entries"

@@ -292,6 +292,95 @@ class SpecReloaded(EngineEvent):
     spec_id: str
 
 
+@dataclass(frozen=True)
+class CampaignStarted(EngineEvent):
+    """Emitted when the control plane starts one scheduled fuzz campaign."""
+
+    cycle: int
+    spec_id: str  # the served spec under test
+    families: Tuple[str, ...]
+    budget: int
+    seed: int
+
+
+@dataclass(frozen=True)
+class CampaignFinished(EngineEvent):
+    """Emitted when one scheduled campaign completes."""
+
+    cycle: int
+    spec_id: str
+    programs: int
+    diverged: int
+    elapsed_seconds: float
+
+
+@dataclass(frozen=True)
+class CandidatePublished(EngineEvent):
+    """Emitted when a repair lands in the store as an unserved candidate."""
+
+    spec_id: str
+    parent: str  # the incumbent the candidate was repaired from
+    version: int
+    counterexamples: int
+
+
+@dataclass(frozen=True)
+class CanaryStarted(EngineEvent):
+    """Emitted when a candidate enters its canary evaluation."""
+
+    candidate: str
+    incumbent: str
+    golden_entries: int
+    shadow_fraction: float
+
+
+@dataclass(frozen=True)
+class ShadowCompared(EngineEvent):
+    """Emitted per shadowed request: incumbent vs. candidate flow reports.
+
+    The incumbent's response was already served; the comparison is purely
+    observational, so a mismatch here never affects a live client.
+    """
+
+    candidate: str
+    programs: int
+    mismatches: int
+
+
+@dataclass(frozen=True)
+class CanaryFinished(EngineEvent):
+    """Emitted when a candidate's canary evaluation completes."""
+
+    candidate: str
+    incumbent: str
+    passed: bool
+    golden_regressions: int
+    shadow_requests: int
+    shadow_mismatches: int
+
+
+@dataclass(frozen=True)
+class SpecPromoted(EngineEvent):
+    """Emitted when a candidate passes its canary and becomes servable."""
+
+    spec_id: str
+    version: int
+    parent: str
+
+
+@dataclass(frozen=True)
+class SpecRolledBack(EngineEvent):
+    """Emitted when a version is withdrawn from service.
+
+    ``restored_spec_id`` is what ``latest`` falls back to (empty when the
+    store has no remaining servable version).
+    """
+
+    spec_id: str
+    reason: str
+    restored_spec_id: str
+
+
 # ----------------------------------------------------------------------- sinks
 class EventSink:
     """Receives engine events; implementations must not raise."""
@@ -452,6 +541,50 @@ def _format_event(event: EngineEvent) -> Optional[str]:
         )
     if isinstance(event, SpecReloaded):
         return f"spec reloaded: {event.previous_spec_id} -> {event.spec_id}"
+    if isinstance(event, CampaignStarted):
+        return (
+            f"campaign {event.cycle} started: spec {event.spec_id}, "
+            f"families={','.join(event.families)}, budget={event.budget}, "
+            f"seed={event.seed}"
+        )
+    if isinstance(event, CampaignFinished):
+        return (
+            f"campaign {event.cycle} finished: spec {event.spec_id}, "
+            f"{event.programs} programs in {event.elapsed_seconds:.2f}s, "
+            f"{event.diverged} diverged"
+        )
+    if isinstance(event, CandidatePublished):
+        return (
+            f"candidate published: {event.spec_id} (v{event.version}, "
+            f"parent {event.parent}, {event.counterexamples} counterexamples)"
+        )
+    if isinstance(event, CanaryStarted):
+        return (
+            f"canary started: {event.candidate} vs incumbent {event.incumbent} "
+            f"({event.golden_entries} golden entries, "
+            f"shadow fraction {event.shadow_fraction:g})"
+        )
+    if isinstance(event, ShadowCompared):
+        verdict = "MISMATCH" if event.mismatches else "match"
+        return (
+            f"shadow compared: {event.candidate} on {event.programs} programs: "
+            f"{verdict} ({event.mismatches} mismatches)"
+        )
+    if isinstance(event, CanaryFinished):
+        verdict = "PASS" if event.passed else "FAIL"
+        return (
+            f"canary finished: {event.candidate}: {verdict} "
+            f"({event.golden_regressions} golden regressions, "
+            f"{event.shadow_mismatches}/{event.shadow_requests} shadow mismatches)"
+        )
+    if isinstance(event, SpecPromoted):
+        return f"spec promoted: {event.spec_id} (v{event.version}, parent {event.parent})"
+    if isinstance(event, SpecRolledBack):
+        restored = event.restored_spec_id or "none"
+        return (
+            f"spec rolled back: {event.spec_id} ({event.reason}); "
+            f"serving {restored}"
+        )
     if isinstance(event, RunFinished):
         return (
             f"run finished: {event.num_clusters} clusters in {event.elapsed_seconds:.2f}s, "
@@ -469,6 +602,11 @@ __all__ = [
     "BatchStarted",
     "CacheCompacted",
     "CacheFlushed",
+    "CampaignFinished",
+    "CampaignStarted",
+    "CanaryFinished",
+    "CanaryStarted",
+    "CandidatePublished",
     "ClusterFinished",
     "ClusterStarted",
     "CollectingSink",
@@ -487,8 +625,11 @@ __all__ = [
     "RepairVerified",
     "RunFinished",
     "RunStarted",
+    "ShadowCompared",
     "SpecCompiled",
+    "SpecPromoted",
     "SpecRepaired",
     "SpecReloaded",
+    "SpecRolledBack",
     "StreamSink",
 ]

@@ -1,0 +1,77 @@
+"""The always-on repair control plane: supervised spec deployments.
+
+PR 5's ``repro repair`` closed the fuzz -> learn -> serve loop as a one-shot
+command; this subsystem runs it as a *service*, the way a production
+inference stack continuously evaluates, canaries, and promotes model
+versions:
+
+* :mod:`repro.plane.scheduler` -- :class:`CampaignScheduler`, seeded and
+  budgeted differential-fuzz campaigns against the spec version currently
+  served, one scenario family per cycle, round-robin.
+* :mod:`repro.plane.lifecycle` -- :class:`SpecLifecycle`, the
+  candidate -> promoted / rolled-back state machine over the store's
+  append-only transition log, with payload re-verification at promotion and
+  the :class:`~repro.engine.events.SpecPromoted` /
+  :class:`~repro.engine.events.SpecRolledBack` event trail.
+* :mod:`repro.plane.canary` -- the two promotion gates: golden-corpus
+  replay (no frozen concrete flow may be lost) and shadow traffic (live
+  ``/analyze`` requests mirrored through the candidate after the incumbent
+  answered, or a seeded synthetic stream standalone).
+* :mod:`repro.plane.policy` -- :class:`PromotionPolicy`, the pure
+  measurements -> promote/rollback decision.
+* :mod:`repro.plane.control` -- :class:`ControlPlane`, the cycle driver
+  tying it all together (and to a live ``repro serve`` pool when attached).
+
+The CLI surface is ``repro plane run|status|promote|rollback|seed``.
+"""
+
+from repro.plane.canary import (
+    CanaryReport,
+    GoldenReplay,
+    ShadowCanary,
+    ShadowSummary,
+    diff_flows,
+    golden_replay,
+    replay_shadow,
+    run_canary,
+)
+from repro.plane.control import (
+    CLEAN,
+    NO_SPEC,
+    PROMOTED,
+    ROLLED_BACK,
+    UNREPAIRABLE,
+    ControlPlane,
+    CycleOutcome,
+    PlaneConfig,
+)
+from repro.plane.lifecycle import PromotionError, SpecLifecycle, seed_store
+from repro.plane.policy import Decision, PromotionPolicy
+from repro.plane.scheduler import ALL_FAMILIES, CampaignScheduler, ScheduleConfig
+
+__all__ = [
+    "ALL_FAMILIES",
+    "CLEAN",
+    "CampaignScheduler",
+    "CanaryReport",
+    "ControlPlane",
+    "CycleOutcome",
+    "Decision",
+    "GoldenReplay",
+    "NO_SPEC",
+    "PROMOTED",
+    "PlaneConfig",
+    "PromotionError",
+    "PromotionPolicy",
+    "ROLLED_BACK",
+    "ScheduleConfig",
+    "ShadowCanary",
+    "ShadowSummary",
+    "SpecLifecycle",
+    "UNREPAIRABLE",
+    "diff_flows",
+    "golden_replay",
+    "replay_shadow",
+    "run_canary",
+    "seed_store",
+]

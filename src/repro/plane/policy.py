@@ -1,0 +1,71 @@
+"""The promotion policy: canary measurements -> promote / roll back.
+
+Deliberately a pure function over a :class:`~repro.plane.canary.CanaryReport`
+so the decision is auditable and testable in isolation: the default policy
+is "zero regressions" -- no golden-corpus flow lost, no shadow mismatch, no
+shadow crash, and enough shadow evidence to mean anything.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from repro.plane.canary import CanaryReport
+
+
+@dataclass(frozen=True)
+class Decision:
+    """A promotion verdict plus the reasons a human (or journal) can read."""
+
+    promote: bool
+    reasons: Tuple[str, ...] = ()
+
+    @property
+    def reason(self) -> str:
+        return "; ".join(self.reasons) if self.reasons else "zero regressions"
+
+
+@dataclass(frozen=True)
+class PromotionPolicy:
+    """Thresholds a candidate must clear; defaults demand perfection."""
+
+    require_golden: bool = True  # a missing corpus replay blocks promotion
+    max_golden_regressions: int = 0
+    max_shadow_mismatches: int = 0
+    max_shadow_errors: int = 0
+    min_shadow_requests: int = 0  # raise to demand live-traffic evidence
+
+    def decide(self, canary: CanaryReport) -> Decision:
+        reasons = []
+        if canary.golden is None:
+            if self.require_golden:
+                reasons.append("no golden-corpus replay ran")
+        elif canary.golden_regressions > self.max_golden_regressions:
+            reasons.append(
+                f"{canary.golden_regressions} golden regressions "
+                f"(allowed {self.max_golden_regressions})"
+            )
+        shadow = canary.shadow
+        if shadow is None:
+            if self.min_shadow_requests > 0:
+                reasons.append("no shadow traffic observed")
+        else:
+            if shadow.compared < self.min_shadow_requests:
+                reasons.append(
+                    f"only {shadow.compared} shadow comparisons "
+                    f"(need {self.min_shadow_requests})"
+                )
+            if shadow.mismatches > self.max_shadow_mismatches:
+                reasons.append(
+                    f"{shadow.mismatches} shadow mismatches "
+                    f"(allowed {self.max_shadow_mismatches})"
+                )
+            if shadow.errors > self.max_shadow_errors:
+                reasons.append(
+                    f"{shadow.errors} shadow errors (allowed {self.max_shadow_errors})"
+                )
+        return Decision(promote=not reasons, reasons=tuple(reasons))
+
+
+__all__ = ["Decision", "PromotionPolicy"]

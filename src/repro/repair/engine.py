@@ -377,12 +377,18 @@ class RepairEngine:
         spec_id: Optional[str] = None,
         verify: bool = False,
         publish: bool = True,
+        state: Optional[str] = None,
     ) -> RepairOutcome:
-        """Run the full repair pass over one fuzz report."""
+        """Run the full repair pass over one fuzz report.
+
+        *state* is the lifecycle state the published version is born in;
+        the control plane passes ``"candidate"`` so a repair must survive
+        its canary before ``latest`` (and the serving daemon) see it.
+        """
         if isinstance(report, dict):
             report = FuzzReport.from_dict(report)
         with _trace.span("repair.run", pipeline=report.config.pipeline) as root:
-            outcome = self._repair(report, spec_id=spec_id, publish=publish)
+            outcome = self._repair(report, spec_id=spec_id, publish=publish, state=state)
             root.set("clusters", len(outcome.repairs))
             root.set("published", outcome.record is not None)
             if verify and outcome.record is not None:
@@ -395,6 +401,7 @@ class RepairEngine:
         report: FuzzReport,
         spec_id: Optional[str] = None,
         publish: bool = True,
+        state: Optional[str] = None,
     ) -> RepairOutcome:
         base_description, base = self.resolve_base(report.config.pipeline, spec_id)
         started = time.perf_counter()
@@ -493,6 +500,7 @@ class RepairEngine:
                         repaired_result,
                         library_program=self.library_program,
                         provenance=self._provenance(base_description, report, plan),
+                        state=state,
                     )
                 self.events.emit(
                     SpecRepaired(
@@ -557,10 +565,17 @@ class RepairEngine:
     # -------------------------------------------------------------- provenance
     @staticmethod
     def _provenance(base_description: str, report: FuzzReport, plan: RepairPlan) -> Dict:
-        """The store-record metadata explaining where this version came from."""
+        """The store-record metadata explaining where this version came from.
+
+        When the base is itself a stored version (the ``store`` pipeline),
+        ``parent`` links the new version into the lineage chain
+        :meth:`repro.service.store.SpecStore.lineage` walks; repairs of the
+        named specification sets are lineage roots.
+        """
         return {
             "kind": "repro.repair/1",
             "base": base_description,
+            "parent": base_description if plan.pipeline == "store" else None,
             "pipeline": plan.pipeline,
             "campaign": {
                 "families": list(report.config.families),

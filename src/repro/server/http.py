@@ -52,7 +52,12 @@ from repro.obs.metrics import PROMETHEUS_CONTENT_TYPE
 from repro.server.metrics import MetricsSink, ServerMetrics
 from repro.server.pool import DEFAULT_QUEUE_DEPTH, PoolSaturated, WarmWorkerPool
 from repro.service.api import AnalyzeRequest, UnknownAppsError
-from repro.service.store import SpecNotFoundError, SpecStore
+from repro.service.store import (
+    STATE_CANDIDATE,
+    SpecNotFoundError,
+    SpecStore,
+    SpecStoreError,
+)
 
 DEFAULT_HOST = "127.0.0.1"
 DEFAULT_PORT = 8080
@@ -111,10 +116,37 @@ class _RequestHandler(BaseHTTPRequestHandler):
     def _store(self) -> SpecStore:
         return self.server.store  # type: ignore[attr-defined]
 
+    def _spec_status(self) -> dict:
+        """Lifecycle view of the store as seen from what this pool serves:
+        the active spec (id, version, lineage depth) and any candidates
+        currently awaiting a canary verdict for the same library."""
+        current = self._pool.current_spec_id
+        states = self._store.states()
+        candidates = [
+            record.spec_id
+            for record in self._store.list(fingerprint=self._pool.fingerprint)
+            if states.get(record.spec_id) == STATE_CANDIDATE
+        ]
+        active_version: Optional[int] = None
+        lineage_depth: Optional[int] = None
+        if current is not None:
+            try:
+                active_version = self._store.record(current).version
+                lineage_depth = self._store.lineage_depth(current)
+            except SpecStoreError:
+                pass  # the served spec predates this index (or store moved)
+        return {
+            "active_spec_id": current,
+            "active_version": active_version,
+            "lineage_depth": lineage_depth,
+            "candidate_spec_ids": candidates,
+        }
+
     # ------------------------------------------------------------------- routes
     def do_GET(self) -> None:  # noqa: N802 - stdlib naming
         parsed = urlsplit(self.path)
         if parsed.path == "/metrics":
+            spec_status = self._spec_status()
             formats = parse_qs(parsed.query).get("format", ["json"])
             if formats[-1] == "prometheus":
                 self._send_text(
@@ -123,6 +155,7 @@ class _RequestHandler(BaseHTTPRequestHandler):
                         queue_depth=self._pool.queue_depth,
                         queue_capacity=self._pool.queue_capacity,
                         workers=self._pool.workers,
+                        active_version=spec_status["active_version"],
                     ),
                     PROMETHEUS_CONTENT_TYPE,
                 )
@@ -133,27 +166,32 @@ class _RequestHandler(BaseHTTPRequestHandler):
                     queue_depth=self._pool.queue_depth,
                     queue_capacity=self._pool.queue_capacity,
                     workers=self._pool.workers,
+                    active_version=spec_status["active_version"],
                 ),
             )
             return
         if self.path == "/healthz":
-            self._send_json(
-                200,
-                {
-                    "status": "ok",
-                    "spec_id": self._pool.current_spec_id,
-                    "workers": self._pool.workers,
-                    "uptime_seconds": time.time() - self._metrics.started_at,
-                },
-            )
+            payload = {
+                "status": "ok",
+                "spec_id": self._pool.current_spec_id,
+                "workers": self._pool.workers,
+                "uptime_seconds": time.time() - self._metrics.started_at,
+            }
+            payload.update(self._spec_status())
+            self._send_json(200, payload)
         elif self.path == "/specs":
-            self._send_json(
-                200,
-                {
-                    "current": self._pool.current_spec_id,
-                    "specs": [record.to_dict() for record in self._store.records()],
-                },
-            )
+            states = self._store.states()
+            specs = []
+            for record in self._store.records():
+                entry = record.to_dict()
+                entry["state"] = states.get(record.spec_id)
+                specs.append(entry)
+            payload = {
+                "current": self._pool.current_spec_id,
+                "specs": specs,
+            }
+            payload.update(self._spec_status())
+            self._send_json(200, payload)
         else:
             self._send_json(404, {"error": f"no such endpoint: {self.path}"})
 

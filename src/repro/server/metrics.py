@@ -43,10 +43,14 @@ from typing import Deque, Dict, Optional
 from repro.engine.events import (
     AnalysisFinished,
     BatchFinished,
+    CanaryFinished,
     EngineEvent,
     EventSink,
+    ShadowCompared,
     SpecCompiled,
+    SpecPromoted,
     SpecReloaded,
+    SpecRolledBack,
     dropped_event_count,
 )
 from repro.obs.metrics import MetricsRegistry, percentile
@@ -99,6 +103,23 @@ class ServerMetrics:
         self._reloads = reg.counter(
             "repro_spec_hot_reloads_total", "Store-poller hot reloads applied"
         )
+        self._canaries = reg.counter(
+            "repro_canary_total", "Candidate canary evaluations, by verdict", ("result",)
+        )
+        self._shadow = reg.counter(
+            "repro_shadow_requests_total",
+            "Requests mirrored through a shadow candidate, by comparison result",
+            ("result",),
+        )
+        self._promotions = reg.counter(
+            "repro_spec_promotions_total", "Candidates promoted to servable"
+        )
+        self._rollbacks = reg.counter(
+            "repro_spec_rollbacks_total", "Spec versions rolled back"
+        )
+        self._active_version = reg.gauge(
+            "repro_spec_active_version", "Version number of the actively served spec"
+        )
         self._phases = reg.histogram(
             "repro_phase_seconds", "Per-phase (span) wall-clock time", ("phase",)
         )
@@ -149,6 +170,14 @@ class ServerMetrics:
             self._compilations.inc(worker=event.worker)
         elif isinstance(event, SpecReloaded):
             self._reloads.inc()
+        elif isinstance(event, CanaryFinished):
+            self._canaries.inc(result="pass" if event.passed else "fail")
+        elif isinstance(event, ShadowCompared):
+            self._shadow.inc(result="mismatch" if event.mismatches else "match")
+        elif isinstance(event, SpecPromoted):
+            self._promotions.inc()
+        elif isinstance(event, SpecRolledBack):
+            self._rollbacks.inc()
 
     # ------------------------------------------------------- derived properties
     @property
@@ -183,12 +212,25 @@ class ServerMetrics:
     def hot_reloads_total(self) -> int:
         return int(self._reloads.value())
 
+    @property
+    def canaries_by_result(self) -> Dict[str, int]:
+        return {key[0]: int(value) for key, value in self._canaries.series().items()}
+
+    @property
+    def promotions_total(self) -> int:
+        return int(self._promotions.value())
+
+    @property
+    def rollbacks_total(self) -> int:
+        return int(self._rollbacks.value())
+
     # ---------------------------------------------------------------- snapshot
     def snapshot(
         self,
         queue_depth: Optional[int] = None,
         queue_capacity: Optional[int] = None,
         workers: Optional[int] = None,
+        active_version: Optional[int] = None,
     ) -> Dict:
         """A JSON-serializable view of every counter, plus live gauges.
 
@@ -233,7 +275,11 @@ class ServerMetrics:
                     sorted(self.spec_compilations_by_worker.items())
                 ),
                 "hot_reloads": self.hot_reloads_total,
+                "active_version": active_version,
+                "promotions": self.promotions_total,
+                "rollbacks": self.rollbacks_total,
             },
+            "canaries": dict(sorted(self.canaries_by_result.items())),
             "dropped_events": dropped_event_count(),
         }
         queue: Dict = {}
@@ -253,6 +299,7 @@ class ServerMetrics:
         queue_depth: Optional[int] = None,
         queue_capacity: Optional[int] = None,
         workers: Optional[int] = None,
+        active_version: Optional[int] = None,
     ) -> str:
         """The Prometheus text exposition of every instrument.
 
@@ -268,6 +315,8 @@ class ServerMetrics:
             self._queue_capacity.set(queue_capacity)
         if workers is not None:
             self._workers.set(workers)
+        if active_version is not None:
+            self._active_version.set(active_version)
         self._dropped.set_total(dropped_event_count())
         return self.registry.render_prometheus()
 

@@ -20,6 +20,12 @@ Three properties the HTTP front end relies on:
   :func:`repro.service.api.run_request`, the same cheap half used by
   :func:`~repro.service.api.handle_request`, so a daemon response equals a
   one-shot response for the same request document.
+* **Shadow canaries** -- :meth:`WarmWorkerPool.set_shadow` installs an
+  observer (see :class:`repro.plane.canary.ShadowCanary`) that mirrors a
+  sampled fraction of live requests through a *candidate* spec **after** the
+  incumbent's response has been served.  The shadow run shares the worker's
+  analyzer cache, never touches the served response, and a shadow failure is
+  recorded on the observer rather than surfaced to the client.
 
 Example::
 
@@ -33,6 +39,7 @@ Example::
 from __future__ import annotations
 
 import queue
+import random
 import threading
 import time
 from concurrent.futures import Future
@@ -52,6 +59,28 @@ DEFAULT_QUEUE_DEPTH = 16
 DEFAULT_RETRY_AFTER_SECONDS = 1
 #: per-worker compiled-analyzer cache bound (current spec + reload/pin history)
 MAX_CACHED_ANALYZERS = 4
+#: ceiling on the store-poll backoff when the store is unreadable
+POLL_BACKOFF_CAP_SECONDS = 30.0
+#: proportional jitter added to backed-off delays (desynchronizes daemons
+#: sharing one store so they do not retry a broken filesystem in lockstep)
+POLL_BACKOFF_JITTER = 0.25
+
+
+def poll_backoff_delay(interval_seconds: float, failures: int, rng: random.Random) -> float:
+    """The delay before the next store poll after *failures* consecutive errors.
+
+    A healthy store (``failures == 0``) polls at exactly *interval_seconds*
+    -- hot-reload promptness is unchanged.  Each consecutive failure doubles
+    the delay up to :data:`POLL_BACKOFF_CAP_SECONDS` and adds up to
+    :data:`POLL_BACKOFF_JITTER` proportional jitter, so an unreadable store
+    (unmounted NFS, wrecked permissions) is probed gently instead of
+    hot-looped at the fixed interval.
+    """
+    if failures <= 0:
+        return interval_seconds
+    cap = max(interval_seconds, POLL_BACKOFF_CAP_SECONDS)
+    delay = min(interval_seconds * (2.0 ** failures), cap)
+    return delay * (1.0 + POLL_BACKOFF_JITTER * rng.random())
 
 
 class PoolSaturated(RuntimeError):
@@ -125,6 +154,8 @@ class WarmWorkerPool:
         self._started = False
         self._poller: Optional[threading.Thread] = None
         self._stop_polling = threading.Event()
+        self._poll_failures = 0
+        self._shadow = None  # a ShadowCanary-shaped observer, or None
 
     # ----------------------------------------------------------------- lifecycle
     def start(self) -> None:
@@ -236,6 +267,34 @@ class WarmWorkerPool:
         with self._lock:
             return self._target_spec_id
 
+    @property
+    def fingerprint(self) -> str:
+        """The library fingerprint this pool serves specs for."""
+        return self._fingerprint
+
+    # ------------------------------------------------------------ shadow canary
+    def set_shadow(self, shadow) -> None:
+        """Install a shadow observer; see the module docstring.
+
+        The observer needs three things: a ``spec_id`` attribute (the
+        candidate to mirror through), ``sample() -> bool`` (per-request
+        sampling decision), and ``observe(request, served, shadowed)`` /
+        ``observe_error(request, error)`` callbacks.  Only one shadow runs at
+        a time -- installing a new one replaces the old.
+        """
+        with self._lock:
+            self._shadow = shadow
+
+    def clear_shadow(self) -> None:
+        """Remove the shadow observer (requests stop being mirrored)."""
+        with self._lock:
+            self._shadow = None
+
+    @property
+    def shadow(self):
+        with self._lock:
+            return self._shadow
+
     # --------------------------------------------------------------- hot reload
     def poll_once(self) -> bool:
         """Check the store for a newer latest spec; returns True on a swap.
@@ -258,20 +317,36 @@ class WarmWorkerPool:
         return True
 
     def start_polling(self, interval_seconds: float) -> None:
-        """Poll the store for new specs every *interval_seconds* in a thread."""
+        """Poll the store for new specs every *interval_seconds* in a thread.
+
+        A poll that raises (transient store read error) must not kill the
+        poller -- and hot reload -- for good; instead consecutive failures
+        back off exponentially with jitter (:func:`poll_backoff_delay`) and
+        the first successful poll snaps back to the fixed interval.
+        """
         if self._poller is not None or interval_seconds <= 0:
             return
         self._stop_polling.clear()
+        rng = random.Random()
 
         def loop() -> None:
-            while not self._stop_polling.wait(interval_seconds):
+            while True:
+                delay = poll_backoff_delay(interval_seconds, self._poll_failures, rng)
+                if self._stop_polling.wait(delay):
+                    return
                 try:
                     self.poll_once()
+                    self._poll_failures = 0
                 except Exception:  # noqa: BLE001 - a transient store read error
-                    pass  # must not kill the poller (and hot reload) for good
+                    self._poll_failures += 1
 
         self._poller = threading.Thread(target=loop, name="repro-serve-poller", daemon=True)
         self._poller.start()
+
+    @property
+    def poll_failures(self) -> int:
+        """Consecutive failed store polls (0 while the store is healthy)."""
+        return self._poll_failures
 
     def stop_polling(self) -> None:
         if self._poller is None:
@@ -343,6 +418,7 @@ class WarmWorkerPool:
             # so the HTTP layer can render a Server-Timing breakdown without
             # changing the submit()/result() contract
             job.future.queue_seconds = queue_seconds
+            response = None
             try:
                 latest_generation, latest_spec_id = self._target()
                 if latest_generation != generation:
@@ -366,18 +442,53 @@ class WarmWorkerPool:
                 job.future.set_result(response)
             except BaseException as error:
                 job.future.set_exception(error)
+            if response is not None:
+                self._run_shadow(name, analyzers, current, job, response)
+
+    def _run_shadow(self, name, analyzers, current, job, response) -> None:
+        """Mirror a served request through the shadow candidate, if sampled.
+
+        Runs strictly *after* ``job.future`` resolved: the client already has
+        the incumbent's answer, so nothing here -- a compile failure, an
+        analysis crash, a mismatch -- can affect the served response.
+        Requests pinned to an explicit spec id are never mirrored (they are
+        not incumbent traffic, so a diff would compare the wrong baseline).
+        """
+        shadow = self.shadow
+        if shadow is None or job.request.spec_id is not None:
+            return
+        try:
+            if not shadow.sample():
+                return
+            candidate_id = shadow.spec_id
+            if candidate_id not in analyzers:
+                analyzers[candidate_id] = self._compile(name, candidate_id)
+            self._evict_stale(analyzers, keep=current.spec_id, also=candidate_id)
+            with _trace.activate(job.context):
+                shadowed = self._handler(job.request, analyzers[candidate_id])
+            shadow.observe(job.request, response, shadowed)
+        except Exception as error:  # noqa: BLE001 - shadow runs are best-effort
+            try:
+                shadow.observe_error(job.request, error)
+            except Exception:
+                pass
 
     def _evict_stale(self, analyzers: Dict[str, ClientAnalyzer], keep: str, also: str) -> None:
         """Bound a worker's analyzer cache (hot reloads / pinned ids add up).
 
-        Keeps the analyzer serving unpinned requests (and the one just used)
-        and drops the oldest others past :data:`MAX_CACHED_ANALYZERS` -- a
-        long-lived daemon's memory must not grow with the number of deploys
-        or with clients pinning historical spec ids.
+        Keeps the analyzer serving unpinned requests, the one just used, and
+        the shadow candidate (if any), and drops the oldest others past
+        :data:`MAX_CACHED_ANALYZERS` -- a long-lived daemon's memory must not
+        grow with the number of deploys or with clients pinning historical
+        spec ids.
         """
+        shadow = self.shadow
+        protected = {keep, also}
+        if shadow is not None:
+            protected.add(shadow.spec_id)
         while len(analyzers) > MAX_CACHED_ANALYZERS:
             for spec_id in analyzers:
-                if spec_id not in (keep, also):
+                if spec_id not in protected:
                     del analyzers[spec_id]
                     break
             else:
@@ -388,6 +499,9 @@ __all__ = [
     "DEFAULT_QUEUE_DEPTH",
     "Handler",
     "MAX_CACHED_ANALYZERS",
+    "POLL_BACKOFF_CAP_SECONDS",
+    "POLL_BACKOFF_JITTER",
     "PoolSaturated",
     "WarmWorkerPool",
+    "poll_backoff_delay",
 ]

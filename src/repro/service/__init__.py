@@ -40,6 +40,12 @@ from repro.service.api import (
 )
 from repro.service.batch import BatchAnalysisScheduler, BatchResult
 from repro.service.store import (
+    SERVABLE_STATES,
+    SPEC_STATES,
+    STATE_ACTIVE,
+    STATE_CANDIDATE,
+    STATE_PROMOTED,
+    STATE_ROLLED_BACK,
     SpecIntegrityError,
     SpecNotFoundError,
     SpecRecord,
@@ -49,6 +55,12 @@ from repro.service.store import (
 )
 
 __all__ = [
+    "SERVABLE_STATES",
+    "SPEC_STATES",
+    "STATE_ACTIVE",
+    "STATE_CANDIDATE",
+    "STATE_PROMOTED",
+    "STATE_ROLLED_BACK",
     "AnalyzeRequest",
     "AnalyzeResponse",
     "BatchAnalysisScheduler",

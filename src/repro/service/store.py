@@ -19,6 +19,18 @@ the common "current specs for this library" query.  Every record carries the
 SHA-256 of its payload file, and ``get`` verifies it by default, so silent
 payload corruption (or a payload edited by hand) is detected at load time
 rather than as mysteriously wrong analysis results.
+
+Versions additionally carry a **lifecycle state** (the control plane's
+deploy machinery, :mod:`repro.plane`): ``active`` (the default -- servable),
+``candidate`` (published but awaiting canary -- invisible to ``latest``),
+``promoted`` (a candidate that passed its canary -- servable), and
+``rolled_back`` (withdrawn -- invisible to ``latest``).  State changes are
+append-only *transition* lines interleaved into the same index file, so the
+daemon's "re-read the index" hot-reload story covers promotions and
+rollbacks too: promoting a candidate makes the next ``latest`` poll return
+it, rolling a version back makes the next poll fall back to its
+predecessor.  ``provenance`` may name a ``parent`` spec id, forming the
+lineage chain :meth:`SpecStore.lineage` walks.
 """
 
 from __future__ import annotations
@@ -39,6 +51,17 @@ from repro.specs.variables import LibraryInterface
 INDEX_FILENAME = "index.jsonl"
 SPECS_DIRNAME = "specs"
 RECORD_FORMAT = "repro.service.spec-record/1"
+TRANSITION_FORMAT = "repro.service.spec-state/1"
+
+STATE_ACTIVE = "active"
+STATE_CANDIDATE = "candidate"
+STATE_PROMOTED = "promoted"
+STATE_ROLLED_BACK = "rolled_back"
+SPEC_STATES = (STATE_ACTIVE, STATE_CANDIDATE, STATE_PROMOTED, STATE_ROLLED_BACK)
+#: States ``latest`` is willing to serve.  Candidates stay invisible until a
+#: canary promotes them; rolled-back versions disappear, exposing their
+#: predecessor again.
+SERVABLE_STATES = (STATE_ACTIVE, STATE_PROMOTED)
 
 
 class SpecStoreError(Exception):
@@ -75,6 +98,12 @@ class SpecRecord:
     repaired version (base spec, divergence signatures, injected words) so
     an operator can answer "why did the served spec change?" from the index
     alone.  Records written before the field existed load with ``None``.
+
+    ``state`` is the lifecycle state the version was *born* in (``None``
+    means ``active``, the pre-lifecycle default); later transition lines
+    override it -- always ask :meth:`SpecStore.current_state` rather than
+    reading this field directly.  A ``provenance["parent"]`` naming another
+    spec id links the version into a lineage chain.
     """
 
     spec_id: str
@@ -87,12 +116,22 @@ class SpecRecord:
     num_positives: int
     created_at: float
     provenance: Optional[Dict] = None
+    state: Optional[str] = None
+
+    @property
+    def parent(self) -> Optional[str]:
+        """The spec id this version was derived from, if its provenance says."""
+        if not self.provenance:
+            return None
+        return self.provenance.get("parent")
 
     def to_dict(self) -> Dict:
         payload = asdict(self)
         payload["format"] = RECORD_FORMAT
         if self.provenance is None:
             del payload["provenance"]
+        if self.state is None:
+            del payload["state"]
         return payload
 
     @classmethod
@@ -108,6 +147,7 @@ class SpecRecord:
             num_positives=int(data["num_positives"]),
             created_at=float(data["created_at"]),
             provenance=data.get("provenance"),
+            state=data.get("state"),
         )
 
 
@@ -155,11 +195,12 @@ class SpecStore:
         return os.path.join(self.root, SPECS_DIRNAME, f"{spec_id}.json")
 
     # ------------------------------------------------------------------ index
-    def records(self) -> List[SpecRecord]:
-        """Every index record, in ``put`` order (oldest first)."""
-        if not os.path.exists(self.index_path):
-            return []
+    def _read_index(self):
+        """One pass over the index: ``(records, transitions)`` in file order."""
         records: List[SpecRecord] = []
+        transitions: List[Dict] = []
+        if not os.path.exists(self.index_path):
+            return records, transitions
         with open(self.index_path, "r", encoding="utf-8") as handle:
             for line in handle:
                 line = line.strip()
@@ -167,11 +208,72 @@ class SpecStore:
                     continue
                 try:
                     data = json.loads(line)
-                    record = SpecRecord.from_dict(data)
-                except (json.JSONDecodeError, KeyError, TypeError, ValueError):
+                except json.JSONDecodeError:
                     continue  # truncated trailing line from an interrupted put
+                if not isinstance(data, dict):
+                    continue
+                if data.get("format") == TRANSITION_FORMAT:
+                    if "spec_id" in data and "state" in data:
+                        transitions.append(data)
+                    continue
+                try:
+                    record = SpecRecord.from_dict(data)
+                except (KeyError, TypeError, ValueError):
+                    continue  # a line format this reader does not understand
                 records.append(record)
-        return records
+        return records, transitions
+
+    def records(self) -> List[SpecRecord]:
+        """Every index record, in ``put`` order (oldest first)."""
+        return self._read_index()[0]
+
+    def transitions(self, spec_id: Optional[str] = None) -> List[Dict]:
+        """State-transition lines in append order, optionally for one spec."""
+        entries = self._read_index()[1]
+        if spec_id is None:
+            return entries
+        return [entry for entry in entries if entry["spec_id"] == spec_id]
+
+    def states(self) -> Dict[str, str]:
+        """Current lifecycle state of every spec id (birth state, then
+        overridden by each later transition line in append order)."""
+        records, transitions = self._read_index()
+        states = {
+            record.spec_id: record.state or STATE_ACTIVE for record in records
+        }
+        for entry in transitions:
+            if entry["spec_id"] in states:
+                states[entry["spec_id"]] = entry["state"]
+        return states
+
+    def current_state(self, spec_id: str) -> str:
+        """The lifecycle state of *spec_id* right now."""
+        states = self.states()
+        if spec_id not in states:
+            raise SpecNotFoundError(spec_id)
+        return states[spec_id]
+
+    def set_state(self, spec_id: str, state: str, reason: str = "") -> Dict:
+        """Append a state transition for *spec_id*; returns the index line.
+
+        Transitions never rewrite history: the index keeps every state the
+        version has ever been in, so a promotion followed by a rollback
+        leaves both lines (and :meth:`transitions` shows the full trail).
+        """
+        if state not in SPEC_STATES:
+            raise ValueError(f"unknown spec state {state!r} (want one of {SPEC_STATES})")
+        self.record(spec_id)  # raises SpecNotFoundError for unknown ids
+        entry = {
+            "format": TRANSITION_FORMAT,
+            "spec_id": spec_id,
+            "state": state,
+            "reason": reason,
+            "at": time.time(),
+        }
+        os.makedirs(self.root, exist_ok=True)
+        with open(self.index_path, "a", encoding="utf-8") as handle:
+            handle.write(json.dumps(entry, sort_keys=True) + "\n")
+        return entry
 
     def list(
         self,
@@ -190,9 +292,24 @@ class SpecStore:
         self,
         fingerprint: Optional[str] = None,
         config_digest: Optional[str] = None,
+        servable_only: bool = True,
     ) -> Optional[SpecRecord]:
-        """The most recently stored record matching the filters (or ``None``)."""
+        """The most recently stored record matching the filters (or ``None``).
+
+        By default only *servable* versions count (``active``/``promoted``):
+        a freshly published ``candidate`` does not change what the daemon
+        serves, and rolling a version back makes ``latest`` fall back to its
+        predecessor.  Pass ``servable_only=False`` for the raw newest record
+        regardless of state.
+        """
         matching = self.list(fingerprint=fingerprint, config_digest=config_digest)
+        if servable_only:
+            states = self.states()
+            matching = [
+                record
+                for record in matching
+                if states.get(record.spec_id) in SERVABLE_STATES
+            ]
         return matching[-1] if matching else None
 
     def record(self, spec_id: str) -> SpecRecord:
@@ -204,6 +321,31 @@ class SpecStore:
     def __len__(self) -> int:
         return len(self.records())
 
+    # ---------------------------------------------------------------- lineage
+    def lineage(self, spec_id: str) -> List[SpecRecord]:
+        """The ancestry chain of *spec_id*, newest first.
+
+        Walks ``provenance["parent"]`` links until a version with no parent
+        (or a parent missing from this store).  The first element is always
+        *spec_id*'s own record; a root version yields a single-element list.
+        """
+        by_id = {record.spec_id: record for record in self.records()}
+        if spec_id not in by_id:
+            raise SpecNotFoundError(spec_id)
+        chain: List[SpecRecord] = []
+        seen = set()
+        cursor: Optional[str] = spec_id
+        while cursor is not None and cursor in by_id and cursor not in seen:
+            seen.add(cursor)
+            record = by_id[cursor]
+            chain.append(record)
+            cursor = record.parent
+        return chain
+
+    def lineage_depth(self, spec_id: str) -> int:
+        """How many ancestors *spec_id* has (0 for a root version)."""
+        return len(self.lineage(spec_id)) - 1
+
     # -------------------------------------------------------------------- put
     def put(
         self,
@@ -211,6 +353,7 @@ class SpecStore:
         library_program: Optional[Program] = None,
         fingerprint: Optional[str] = None,
         provenance: Optional[Dict] = None,
+        state: Optional[str] = None,
     ) -> SpecRecord:
         """Store *result* as the next version of its ``(library, config)`` key.
 
@@ -222,9 +365,15 @@ class SpecStore:
         payload into place with an exclusive ``os.link`` (which fails if the
         target exists), so two concurrent ``put``s for the same key get
         distinct versions instead of overwriting each other.
+
+        *state* is the lifecycle state the version is born in; ``None``
+        (the default) means immediately servable, ``"candidate"`` publishes
+        a version that ``latest`` will not serve until something promotes it.
         """
         if (library_program is None) == (fingerprint is None):
             raise ValueError("put() needs exactly one of library_program or fingerprint")
+        if state is not None and state not in SPEC_STATES:
+            raise ValueError(f"unknown spec state {state!r} (want one of {SPEC_STATES})")
         if fingerprint is None:
             fingerprint = program_fingerprint(library_program)
         digest = config_digest(result.config)
@@ -264,6 +413,7 @@ class SpecStore:
             num_positives=len(result.positives),
             created_at=time.time(),
             provenance=provenance,
+            state=state,
         )
         os.makedirs(self.root, exist_ok=True)
         with open(self.index_path, "a", encoding="utf-8") as handle:
@@ -304,6 +454,17 @@ class SpecStore:
         return atlas_result_from_dict(data, interface=interface)
 
     # ------------------------------------------------------------------ verify
+    def verify_spec(self, spec_id: str) -> SpecRecord:
+        """Checksum-verify one payload; raises :class:`SpecIntegrityError`.
+
+        The promotion gate: a candidate whose payload was tampered with (or
+        corrupted) between publish and promotion fails here and never
+        becomes servable.
+        """
+        record = self.record(spec_id)
+        self._read_payload(record, verify=True)
+        return record
+
     def verify(self) -> List[str]:
         """Integrity-check every record; returns a list of problem strings."""
         problems: List[str] = []
@@ -318,6 +479,12 @@ class SpecStore:
 
 
 __all__ = [
+    "SERVABLE_STATES",
+    "SPEC_STATES",
+    "STATE_ACTIVE",
+    "STATE_CANDIDATE",
+    "STATE_PROMOTED",
+    "STATE_ROLLED_BACK",
     "SpecIntegrityError",
     "SpecNotFoundError",
     "SpecRecord",

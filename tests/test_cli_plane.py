@@ -1,0 +1,113 @@
+"""The ``repro plane`` operator surface: seed, status, promote, rollback.
+
+Fast unit coverage of the CLI glue (no full ``plane run`` here -- the
+supervised cycle itself is exercised end-to-end by tests/test_plane_e2e.py
+and the CI ``plane-smoke`` job).
+"""
+
+import json
+
+from repro.cli import main
+from repro.service.store import STATE_CANDIDATE, SpecStore
+
+
+def _seed(tmp_path, capsys):
+    store_dir = str(tmp_path / "specs")
+    assert main(["plane", "seed", "--store", store_dir]) == 0
+    err = capsys.readouterr().err
+    assert "plane: seeded" in err and "ground_truth" in err
+    return store_dir
+
+
+def test_plane_seed_publishes_a_servable_base(tmp_path, capsys):
+    store_dir = _seed(tmp_path, capsys)
+    store = SpecStore(store_dir)
+    record = store.latest()
+    assert record is not None and record.version == 1
+    assert record.provenance["kind"] == "repro.plane.seed/1"
+
+
+def test_plane_status_reports_lineage_and_states(tmp_path, capsys, library_program):
+    store_dir = _seed(tmp_path, capsys)
+    store = SpecStore(store_dir)
+    base = store.latest()
+    candidate = store.put(
+        store.get(base.spec_id),
+        library_program=library_program,
+        provenance={"parent": base.spec_id},
+        state=STATE_CANDIDATE,
+    )
+
+    out = tmp_path / "status.json"
+    assert main(["plane", "status", "--store", store_dir, "--out", str(out)]) == 0
+    status = json.loads(out.read_text())
+    assert status["format"] == "repro.plane.status/1"
+    # the candidate is listed but the base is what serves
+    assert status["active_spec_id"] == base.spec_id
+    assert status["lineage"] == [base.spec_id]
+    assert status["lineage_depth"] == 0
+    states = {entry["spec_id"]: entry["state"] for entry in status["specs"]}
+    assert states == {base.spec_id: "active", candidate.spec_id: "candidate"}
+    parents = {entry["spec_id"]: entry["parent"] for entry in status["specs"]}
+    assert parents[candidate.spec_id] == base.spec_id
+    # birth states live on the record lines; no explicit transitions yet
+    assert status["transitions"] == []
+
+
+def test_plane_promote_then_status_shows_the_new_active(tmp_path, capsys, library_program):
+    store_dir = _seed(tmp_path, capsys)
+    store = SpecStore(store_dir)
+    base = store.latest()
+    candidate = store.put(
+        store.get(base.spec_id),
+        library_program=library_program,
+        provenance={"parent": base.spec_id},
+        state=STATE_CANDIDATE,
+    )
+    assert main(["plane", "promote", "--store", store_dir, "--spec", candidate.spec_id]) == 0
+    assert "plane: promoted" in capsys.readouterr().err
+
+    out = tmp_path / "status.json"
+    assert main(["plane", "status", "--store", store_dir, "--out", str(out)]) == 0
+    status = json.loads(out.read_text())
+    assert status["active_spec_id"] == candidate.spec_id
+    assert status["lineage"] == [candidate.spec_id, base.spec_id]
+    assert status["lineage_depth"] == 1
+    assert any(t["state"] == "promoted" for t in status["transitions"])
+
+
+def test_plane_promote_refuses_a_non_candidate(tmp_path, capsys):
+    store_dir = _seed(tmp_path, capsys)
+    active = SpecStore(store_dir).latest()
+    assert main(["plane", "promote", "--store", store_dir, "--spec", active.spec_id]) == 1
+    assert "not a candidate" in capsys.readouterr().err
+    assert main(["plane", "promote", "--store", store_dir, "--spec", "no-such"]) == 1
+    assert "no-such" in capsys.readouterr().err
+
+
+def test_plane_rollback_restores_the_predecessor(tmp_path, capsys, library_program):
+    store_dir = _seed(tmp_path, capsys)
+    store = SpecStore(store_dir)
+    base = store.latest()
+    candidate = store.put(
+        store.get(base.spec_id),
+        library_program=library_program,
+        provenance={"parent": base.spec_id},
+        state=STATE_CANDIDATE,
+    )
+    assert main(["plane", "promote", "--store", store_dir, "--spec", candidate.spec_id]) == 0
+    capsys.readouterr()
+
+    assert main(
+        ["plane", "rollback", "--store", store_dir, "--spec", candidate.spec_id]
+    ) == 0
+    err = capsys.readouterr().err
+    assert f"rolled back {candidate.spec_id}" in err
+    assert f"serving {base.spec_id}" in err
+    assert SpecStore(store_dir).latest().spec_id == base.spec_id
+
+
+def test_plane_rollback_unknown_spec_fails_loudly(tmp_path, capsys):
+    store_dir = _seed(tmp_path, capsys)
+    assert main(["plane", "rollback", "--store", store_dir, "--spec", "nope"]) == 1
+    assert "nope" in capsys.readouterr().err

@@ -71,7 +71,16 @@ def test_relative_links_resolve(path):
 
 
 def test_readme_and_doc_pages_exist():
-    """The front door and all three subsystem pages are present."""
+    """The front door and every subsystem page are present."""
     assert os.path.exists(os.path.join(REPO_ROOT, "README.md"))
-    for page in ("architecture.md", "engine.md", "service.md", "server.md"):
+    for page in (
+        "architecture.md",
+        "engine.md",
+        "service.md",
+        "server.md",
+        "diff.md",
+        "repair.md",
+        "observability.md",
+        "plane.md",
+    ):
         assert os.path.exists(os.path.join(REPO_ROOT, "docs", page)), page

@@ -1,0 +1,50 @@
+"""The campaign scheduler: deterministic, family-rotating, store-targeted."""
+
+import pytest
+
+from repro.engine.events import CampaignFinished, CampaignStarted, CollectingSink
+from repro.plane import ALL_FAMILIES, CampaignScheduler, ScheduleConfig
+
+
+def test_cycles_rotate_families_round_robin(tiny_store):
+    scheduler = CampaignScheduler(tiny_store, config=ScheduleConfig(seed=9, budget=7))
+    configs = [scheduler.campaign_config(cycle) for cycle in range(len(ALL_FAMILIES) + 2)]
+    assert [c.families[0] for c in configs[: len(ALL_FAMILIES)]] == list(ALL_FAMILIES)
+    # the rotation wraps
+    assert configs[len(ALL_FAMILIES)].families == configs[0].families
+    # each cycle is seeded from (base seed, cycle) and probes the store pipeline
+    assert [c.seed for c in configs[:3]] == [9, 10, 11]
+    assert all(c.pipeline == "store" and c.budget == 7 and c.sample == 0 for c in configs)
+
+
+def test_campaign_config_is_deterministic(tiny_store):
+    a = CampaignScheduler(tiny_store, config=ScheduleConfig(seed=3)).campaign_config(5)
+    b = CampaignScheduler(tiny_store, config=ScheduleConfig(seed=3)).campaign_config(5)
+    assert a == b
+
+
+def test_empty_family_schedule_is_rejected(tiny_store):
+    with pytest.raises(ValueError):
+        CampaignScheduler(tiny_store, config=ScheduleConfig(families=()))
+
+
+def test_run_campaign_emits_the_journal_trail(tiny_store, library_program, interface):
+    sink = CollectingSink()
+    scheduler = CampaignScheduler(
+        tiny_store,
+        config=ScheduleConfig(families=("alias-chains",), budget=2, seed=5, shrink=False),
+        events=sink,
+        library_program=library_program,
+        interface=interface,
+    )
+    spec_id = tiny_store.latest().spec_id
+    report = scheduler.run_campaign(spec_id, cycle=0)
+
+    assert report.programs == 2
+    started = sink.of_type(CampaignStarted)
+    finished = sink.of_type(CampaignFinished)
+    assert len(started) == 1 and len(finished) == 1
+    assert started[0].spec_id == spec_id
+    assert started[0].families == ("alias-chains",) and started[0].seed == 5
+    assert finished[0].programs == 2
+    assert finished[0].diverged == len(report.diverged)

@@ -1,0 +1,115 @@
+"""The daemon's lifecycle-aware surface: /healthz, /specs, /metrics.
+
+The plane's operator story is "one scrape answers: what is serving, what is
+waiting, and how did we get here" -- active vs. candidate spec ids and
+lineage depth on the status endpoints, promotion/canary counters and the
+active-version gauge on the metrics exposition.
+"""
+
+from repro.engine.events import (
+    CanaryFinished,
+    ShadowCompared,
+    SpecPromoted,
+    SpecRolledBack,
+)
+from repro.server.bench import fetch_json
+from repro.server.metrics import ServerMetrics
+from repro.service.store import STATE_CANDIDATE, STATE_PROMOTED
+
+from test_server_http import server  # noqa: F401 - the shared live-daemon fixture
+
+
+def _publish_candidate(store, result, library_program, parent):
+    return store.put(
+        result,
+        library_program=library_program,
+        provenance={"parent": parent},
+        state=STATE_CANDIDATE,
+    )
+
+
+def test_healthz_reports_active_vs_candidates_and_lineage(
+    server, tiny_store, tiny_atlas_result, library_program  # noqa: F811
+):
+    active = tiny_store.latest()
+    health = fetch_json(server.url, "/healthz")
+    assert health["active_spec_id"] == active.spec_id
+    assert health["active_version"] == active.version
+    assert health["lineage_depth"] == 0
+    assert health["candidate_spec_ids"] == []
+
+    candidate = _publish_candidate(
+        tiny_store, tiny_atlas_result, library_program, active.spec_id
+    )
+    health = fetch_json(server.url, "/healthz")
+    # the candidate is visible as a candidate but is NOT what serves
+    assert health["active_spec_id"] == active.spec_id
+    assert health["candidate_spec_ids"] == [candidate.spec_id]
+
+    tiny_store.set_state(candidate.spec_id, STATE_PROMOTED, reason="canary passed")
+    assert server.pool.poll_once() is True
+    health = fetch_json(server.url, "/healthz")
+    assert health["active_spec_id"] == candidate.spec_id
+    assert health["active_version"] == candidate.version
+    assert health["lineage_depth"] == 1  # one parent link back to the old active
+    assert health["candidate_spec_ids"] == []
+
+
+def test_specs_listing_carries_lifecycle_states(
+    server, tiny_store, tiny_atlas_result, library_program  # noqa: F811
+):
+    active = tiny_store.latest()
+    candidate = _publish_candidate(
+        tiny_store, tiny_atlas_result, library_program, active.spec_id
+    )
+    listing = fetch_json(server.url, "/specs")
+    states = {entry["spec_id"]: entry["state"] for entry in listing["specs"]}
+    assert states[active.spec_id] == "active"
+    assert states[candidate.spec_id] == "candidate"
+    assert listing["current"] == active.spec_id
+    assert listing["active_spec_id"] == active.spec_id
+    assert listing["candidate_spec_ids"] == [candidate.spec_id]
+
+
+def test_metrics_report_active_version_and_lifecycle_counters(
+    server, tiny_store  # noqa: F811
+):
+    snapshot = fetch_json(server.url, "/metrics")
+    assert snapshot["specs"]["active_version"] == tiny_store.latest().version
+    assert snapshot["specs"]["promotions"] == 0
+    assert snapshot["specs"]["rollbacks"] == 0
+    assert snapshot["canaries"] == {}
+
+    import urllib.request
+
+    with urllib.request.urlopen(server.url + "/metrics?format=prometheus", timeout=30) as resp:
+        exposition = resp.read().decode("utf-8")
+    assert f"repro_spec_active_version {tiny_store.latest().version}" in exposition
+    assert "repro_canary_total" in exposition
+    assert "repro_spec_promotions_total 0" in exposition
+    assert "repro_spec_rollbacks_total 0" in exposition
+
+
+def test_server_metrics_fold_plane_events_into_counters():
+    metrics = ServerMetrics()
+    metrics.record_event(CanaryFinished("c", "i", True, 0, 4, 0))
+    metrics.record_event(CanaryFinished("c2", "i", False, 1, 4, 2))
+    metrics.record_event(ShadowCompared("c", 2, 0))
+    metrics.record_event(ShadowCompared("c", 2, 1))
+    metrics.record_event(SpecPromoted("c", 2, "i"))
+    metrics.record_event(SpecRolledBack("c2", "golden regressions", "i"))
+
+    assert metrics.canaries_by_result == {"fail": 1, "pass": 1}
+    assert metrics.promotions_total == 1
+    assert metrics.rollbacks_total == 1
+    snapshot = metrics.snapshot(active_version=3)
+    assert snapshot["canaries"] == {"fail": 1, "pass": 1}
+    assert snapshot["specs"]["active_version"] == 3
+    assert snapshot["specs"]["promotions"] == 1
+    assert snapshot["specs"]["rollbacks"] == 1
+    text = metrics.to_prometheus(active_version=3)
+    assert 'repro_canary_total{result="pass"} 1' in text
+    assert 'repro_canary_total{result="fail"} 1' in text
+    assert 'repro_shadow_requests_total{result="match"} 1' in text
+    assert 'repro_shadow_requests_total{result="mismatch"} 1' in text
+    assert "repro_spec_active_version 3" in text

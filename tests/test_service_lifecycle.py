@@ -1,0 +1,152 @@
+"""Spec version states and lineage at the store layer.
+
+The control plane's safety rests on three store-level claims: candidates
+are invisible to serving until promoted, rolling a version back restores
+its predecessor byte-identically, and the provenance parent chain is
+walkable across arbitrarily many repairs.  These tests pin them without
+any plane machinery in the loop.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.service.store import (
+    SERVABLE_STATES,
+    STATE_ACTIVE,
+    STATE_CANDIDATE,
+    STATE_PROMOTED,
+    STATE_ROLLED_BACK,
+    SpecIntegrityError,
+    SpecNotFoundError,
+    SpecStore,
+)
+
+
+def _payload_bytes(store, record):
+    with open(store.spec_path(record.spec_id), "rb") as handle:
+        return handle.read()
+
+
+# ------------------------------------------------------------------- states
+def test_put_defaults_to_active_and_candidate_is_opt_in(tiny_store, tiny_atlas_result, library_program):
+    active = tiny_store.latest()
+    assert tiny_store.current_state(active.spec_id) == STATE_ACTIVE
+    candidate = tiny_store.put(
+        tiny_atlas_result, library_program=library_program, state=STATE_CANDIDATE
+    )
+    assert tiny_store.current_state(candidate.spec_id) == STATE_CANDIDATE
+    assert tiny_store.states()[candidate.spec_id] == STATE_CANDIDATE
+
+
+def test_invalid_states_are_rejected(tiny_store, tiny_atlas_result, library_program):
+    with pytest.raises(ValueError):
+        tiny_store.put(tiny_atlas_result, library_program=library_program, state="shiny")
+    with pytest.raises(ValueError):
+        tiny_store.set_state(tiny_store.latest().spec_id, "shiny")
+    with pytest.raises(SpecNotFoundError):
+        tiny_store.set_state("no-such-spec", STATE_PROMOTED)
+
+
+def test_candidates_are_invisible_to_serving(tiny_store, tiny_atlas_result, library_program):
+    incumbent = tiny_store.latest()
+    candidate = tiny_store.put(
+        tiny_atlas_result, library_program=library_program, state=STATE_CANDIDATE
+    )
+    # the poller's view (servable only) still resolves to the incumbent...
+    assert tiny_store.latest().spec_id == incumbent.spec_id
+    # ...while the unfiltered view sees the newer candidate
+    assert tiny_store.latest(servable_only=False).spec_id == candidate.spec_id
+    # promotion makes it servable
+    tiny_store.set_state(candidate.spec_id, STATE_PROMOTED, reason="canary passed")
+    assert tiny_store.latest().spec_id == candidate.spec_id
+    assert STATE_PROMOTED in SERVABLE_STATES and STATE_CANDIDATE not in SERVABLE_STATES
+
+
+def test_transitions_are_appended_and_read_back(tiny_store, tiny_atlas_result, library_program):
+    candidate = tiny_store.put(
+        tiny_atlas_result, library_program=library_program, state=STATE_CANDIDATE
+    )
+    tiny_store.set_state(candidate.spec_id, STATE_ROLLED_BACK, reason="canary failed")
+    transitions = tiny_store.transitions(candidate.spec_id)
+    assert [t["state"] for t in transitions] == [STATE_ROLLED_BACK]
+    assert transitions[0]["reason"] == "canary failed"
+    # transition lines do not disturb record reading (old-reader tolerance)
+    fresh = SpecStore(tiny_store.root)
+    assert len(fresh.records()) == len(tiny_store.records())
+    assert fresh.current_state(candidate.spec_id) == STATE_ROLLED_BACK
+
+
+def test_unknown_index_lines_are_skipped(tiny_store):
+    with open(tiny_store.index_path, "a", encoding="utf-8") as handle:
+        handle.write(json.dumps({"format": "repro.future/9", "mystery": True}) + "\n")
+        handle.write("{truncated")
+    fresh = SpecStore(tiny_store.root)
+    assert len(fresh.records()) == 1
+    assert fresh.latest() is not None
+
+
+# ------------------------------------------------------------------ rollback
+def test_rollback_restores_prior_version_byte_identically(
+    tiny_store, tiny_atlas_result, library_program
+):
+    v1 = tiny_store.latest()
+    v1_bytes = _payload_bytes(tiny_store, v1)
+    v2 = tiny_store.put(tiny_atlas_result, library_program=library_program)
+    assert tiny_store.latest().spec_id == v2.spec_id
+
+    tiny_store.set_state(v2.spec_id, STATE_ROLLED_BACK, reason="regression")
+
+    restored = tiny_store.latest()
+    assert restored.spec_id == v1.spec_id
+    assert _payload_bytes(tiny_store, restored) == v1_bytes
+    # and it still passes checksum verification -- nothing was rewritten
+    assert tiny_store.verify_spec(restored.spec_id).spec_id == v1.spec_id
+    assert tiny_store.get(restored.spec_id, verify=True) is not None
+
+
+# ------------------------------------------------------------------- lineage
+def test_lineage_walks_a_three_repair_chain(tiny_store, tiny_atlas_result, library_program):
+    chain = [tiny_store.latest()]
+    for _ in range(3):  # three successive "repairs", each parent-linked
+        chain.append(
+            tiny_store.put(
+                tiny_atlas_result,
+                library_program=library_program,
+                provenance={"kind": "test", "parent": chain[-1].spec_id},
+            )
+        )
+    newest = chain[-1]
+    lineage = tiny_store.lineage(newest.spec_id)
+    assert [r.spec_id for r in lineage] == [r.spec_id for r in reversed(chain)]
+    assert tiny_store.lineage_depth(newest.spec_id) == 3  # three repair ancestors
+    assert lineage[-1].parent is None  # the root has no parent
+
+
+def test_lineage_tolerates_cycles_and_missing_parents(
+    tiny_store, tiny_atlas_result, library_program
+):
+    looped = tiny_store.put(
+        tiny_atlas_result,
+        library_program=library_program,
+        provenance={"parent": "never-stored-vanished"},
+    )
+    assert [r.spec_id for r in tiny_store.lineage(looped.spec_id)] == [looped.spec_id]
+    selfref = tiny_store.put(
+        tiny_atlas_result, library_program=library_program, provenance={"parent": None}
+    )
+    assert tiny_store.lineage_depth(selfref.spec_id) == 0
+
+
+# ------------------------------------------------------------------ integrity
+def test_verify_spec_detects_payload_tampering(tiny_store):
+    record = tiny_store.latest()
+    path = tiny_store.spec_path(record.spec_id)
+    with open(path, "r", encoding="utf-8") as handle:
+        payload = json.load(handle)
+    payload["tampered"] = True
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle)
+    with pytest.raises(SpecIntegrityError):
+        tiny_store.verify_spec(record.spec_id)
