@@ -268,7 +268,7 @@ def cmd_bench_serve(args) -> int:
 
 
 def cmd_fuzz(args) -> int:
-    from repro.diff import FuzzConfig, run_fuzz
+    from repro.diff import FuzzConfig, run_fuzz, run_guided_fuzz
     from repro.diff.families import DEFAULT_FAMILIES
 
     families = (
@@ -285,19 +285,30 @@ def cmd_fuzz(args) -> int:
         cross_check=not args.no_cross_check,
         shrink=not args.no_shrink,
         sample=args.sample,
+        guided=args.guided,
     )
     store = None
     if args.store:
         from repro.service.store import SpecStore
 
         store = SpecStore(args.store)
-    report = run_fuzz(
-        config,
-        events=_events(args.progress),
-        store=store,
-        spec_id=args.spec,
-        golden_out=None if args.no_golden else args.golden_out,
-    )
+    if args.guided:
+        report = run_guided_fuzz(
+            config,
+            events=_events(args.progress),
+            store=store,
+            spec_id=args.spec,
+            golden_out=None if args.no_golden else args.golden_out,
+            seed_corpus=args.seed_corpus,
+        )
+    else:
+        report = run_fuzz(
+            config,
+            events=_events(args.progress),
+            store=store,
+            spec_id=args.spec,
+            golden_out=None if args.no_golden else args.golden_out,
+        )
     payload = report.to_dict(include_timing=not args.no_timing)
     _write_json(payload, args.out)
     summary = payload["summary"]
@@ -309,6 +320,12 @@ def cmd_fuzz(args) -> int:
         f"{summary['diverged']} diverged ({summary['shrunk']} shrunk), "
         f"{summary['spurious_flows']} spurious (imprecision, not unsoundness), "
         f"{summary['golden_entries']} golden entries"
+        + (
+            f"; coverage {summary['coverage_keys']} keys, "
+            f"corpus {report.corpus_stats['programs']} programs"
+            if args.guided and report.coverage is not None
+            else ""
+        )
         + (f" -> {report.corpus_path}" if report.corpus_path else "")
         + "\n"
     )
@@ -633,6 +650,7 @@ def cmd_plane_run(args) -> int:
         shadow_programs=args.shadow_programs,
         golden_dir=args.golden_dir,
         cache_dir=args.cache_dir,
+        guided_every=args.guided_every,
     )
     # tee the journal into the plane's event fan-out: the ambient install
     # (idempotent, same sink) only receives trace spans, and the deployment
@@ -919,6 +937,19 @@ def build_parser() -> argparse.ArgumentParser:
         "--sample", type=int, default=10, help="passing programs frozen into the golden corpus"
     )
     fuzz.add_argument(
+        "--guided",
+        action="store_true",
+        help="coverage-guided mutation mode: seed from the golden corpus, mutate "
+        "coverage-novel programs, admit into a live corpus only on new coverage",
+    )
+    fuzz.add_argument(
+        "--seed-corpus",
+        default="tests/golden",
+        metavar="DIR",
+        help="golden corpus directory guided mode seeds from (default: tests/golden; "
+        "a missing directory simply seeds nothing)",
+    )
+    fuzz.add_argument(
         "--golden-out",
         default="tests/golden",
         help="directory the golden corpus is written to (default: tests/golden)",
@@ -1008,6 +1039,14 @@ def build_parser() -> argparse.ArgumentParser:
     )
     plane_run.add_argument(
         "--interval", type=float, default=0.0, help="seconds to sleep between cycles"
+    )
+    plane_run.add_argument(
+        "--guided-every",
+        type=int,
+        default=0,
+        metavar="N",
+        help="every Nth campaign cycle runs coverage-guided over all families, "
+        "seeded from --golden-dir (0 disables guided rotation)",
     )
     plane_run.add_argument(
         "--shadow-fraction",

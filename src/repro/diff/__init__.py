@@ -25,6 +25,13 @@ property:
 6. :mod:`repro.diff.runner` fans a whole campaign across the engine's
    task executors (parallel reports bit-identical to serial) with
    ``engine.events`` telemetry.  ``repro fuzz`` is the CLI front end.
+7. :mod:`repro.diff.coverage`, :mod:`repro.diff.mutate` and
+   :mod:`repro.diff.guided` turn the blind lottery into a search:
+   every checked program is fingerprinted by semantic coverage keys
+   (automaton transitions + points-to edge shapes), coverage-novel programs
+   enter a live corpus, and further candidates are mutants of corpus
+   programs seeded from the golden corpus.  ``repro fuzz --guided`` is the
+   front end; determinism (parallel == serial, bit for bit) is preserved.
 """
 
 from repro.diff.checker import (
@@ -34,12 +41,21 @@ from repro.diff.checker import (
     build_pipeline_analyzer,
 )
 from repro.diff.corpus import GoldenEntry, load_corpus, write_corpus
+from repro.diff.coverage import CoverageContext, CoverageMap, build_coverage_context
 from repro.diff.families import (
     DEFAULT_FAMILIES,
     FAMILIES,
     GeneratedScenario,
     generate_scenario,
     scenario_plan,
+)
+from repro.diff.guided import GuidedCampaign, run_guided_fuzz
+from repro.diff.mutate import (
+    MUTATORS,
+    MutationContext,
+    build_mutation_context,
+    crossover,
+    mutate_program,
 )
 from repro.diff.runner import FuzzConfig, FuzzReport, run_fuzz
 from repro.diff.shrink import ShrinkResult, shrink_program
@@ -56,6 +72,8 @@ __all__ = [
     "BoundaryTrace",
     "ConcreteExecutionError",
     "ConcreteTaintAnalysis",
+    "CoverageContext",
+    "CoverageMap",
     "DEFAULT_FAMILIES",
     "DiffOutcome",
     "DifferentialChecker",
@@ -65,13 +83,21 @@ __all__ = [
     "FuzzReport",
     "GeneratedScenario",
     "GoldenEntry",
+    "GuidedCampaign",
     "LibraryCallEvent",
+    "MUTATORS",
+    "MutationContext",
     "ShrinkResult",
+    "build_coverage_context",
+    "build_mutation_context",
     "build_pipeline_analyzer",
     "concrete_flows",
+    "crossover",
     "generate_scenario",
     "load_corpus",
+    "mutate_program",
     "run_fuzz",
+    "run_guided_fuzz",
     "scenario_plan",
     "shrink_program",
     "trace_library_calls",

@@ -208,9 +208,19 @@ class DifferentialChecker:
 
     # ------------------------------------------------------------------ checks
     def check_program(
-        self, program: Program, name: str, family: str = "", seed: int = 0
+        self,
+        program: Program,
+        name: str,
+        family: str = "",
+        seed: int = 0,
+        observers: Optional[Dict] = None,
     ) -> DiffOutcome:
-        """Differentially check one program; never raises on divergence."""
+        """Differentially check one program; never raises on divergence.
+
+        *observers* optionally maps pipeline names to points-to observer
+        callables (see :meth:`ClientAnalyzer.analyze_program`); the guided
+        fuzzer uses it to collect coverage from its primary pipeline.
+        """
         divergences: List[Divergence] = []
         try:
             concrete = _sorted_flows(self.truth.run(program))
@@ -223,7 +233,8 @@ class DifferentialChecker:
         flows: Dict[str, Tuple[Flow, ...]] = {}
         spurious: Dict[str, int] = {}
         for pipeline, analyzer in sorted(self.analyzers.items()):
-            report = analyzer.analyze_program(program, name)
+            observer = observers.get(pipeline) if observers else None
+            report = analyzer.analyze_program(program, name, points_to_observer=observer)
             flows[pipeline] = report.flows
             reported = set(report.flows)
             for flow in concrete:

@@ -1,0 +1,480 @@
+"""Semantic coverage maps for the coverage-guided fuzzer.
+
+Blind random campaigns pay for every program with one full differential
+check whether or not the program exercises anything new.  This module gives
+the guided campaign (:mod:`repro.diff.guided`) a *semantic* notion of "new":
+each checked program is fingerprinted by a set of string coverage keys drawn
+from two observation points that already exist on the analysis path --
+
+* **structural / automaton keys** -- which library methods the program's
+  client code calls, in what same-receiver orders, and which transitions of
+  the primary pipeline's specification automaton those call sequences
+  exercise (the automaton is simulated symbolically over candidate path
+  words; no interpreter changes are involved);
+* **points-to keys** -- the shapes of the points-to relation the primary
+  static pipeline computes for the program (how many client variables share
+  each abstract object, which allocated classes each variable may reach),
+  observed through the :class:`~repro.service.analyzer.ClientAnalyzer`'s
+  existing Andersen step via an optional observer hook.
+
+A :class:`CoverageMap` accumulates keys across a campaign; a program is
+*coverage-novel* when it contributes at least one unseen key.  Everything is
+a pure function of the program (and the fixed automaton), so coverage --
+like the fuzz reports themselves -- is bit-identical between serial and
+parallel campaigns.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
+
+from repro.lang.program import MethodDef, Program
+from repro.lang.statements import Assign, Call, Const, New
+from repro.specs.fsa import FSA
+from repro.specs.variables import LibraryInterface, param, receiver, ret
+
+COVERAGE_FORMAT = "repro.diff.coverage-map/1"
+
+#: pseudo-class marking variables holding primitive constants
+_CONST = "$const"
+
+#: per-receiver call sequences are capped before pairwise word expansion
+_MAX_CALLS_PER_RECEIVER = 10
+
+
+class CoverageMap:
+    """A monotone set of observed coverage keys with per-key hit counts."""
+
+    def __init__(self, counts: Optional[Dict[str, int]] = None):
+        self._counts: Dict[str, int] = dict(counts) if counts else {}
+
+    def __len__(self) -> int:
+        return len(self._counts)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._counts
+
+    def observe(self, keys: Iterable[str]) -> int:
+        """Record *keys*; return how many of them were never seen before."""
+        new = 0
+        for key in keys:
+            if key not in self._counts:
+                new += 1
+                self._counts[key] = 1
+            else:
+                self._counts[key] += 1
+        return new
+
+    def keys(self) -> Tuple[str, ...]:
+        return tuple(sorted(self._counts))
+
+    def counts(self) -> Dict[str, int]:
+        return dict(sorted(self._counts.items()))
+
+    def digest(self) -> str:
+        """A stable SHA-256 fingerprint of the keys *and* their hit counts."""
+        encoded = json.dumps(self.counts(), sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(encoded.encode("utf-8")).hexdigest()
+
+    def to_dict(self) -> Dict:
+        return {"format": COVERAGE_FORMAT, "keys": self.counts()}
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "CoverageMap":
+        declared = data.get("format")
+        if declared != COVERAGE_FORMAT:
+            raise ValueError(f"unsupported coverage-map format {declared!r}")
+        return cls({key: int(count) for key, count in data["keys"].items()})
+
+
+# --------------------------------------------------------- variable tracking
+def tracked_classes(
+    body: Iterable, interface: LibraryInterface, upto: Optional[int] = None
+) -> Dict[str, str]:
+    """Best-effort class of each local after the first *upto* statements.
+
+    Values are interface class names (``New``/returned-interface-object
+    variables), :data:`_CONST` for constant-holding locals, or absent for
+    locals whose class the tracker cannot follow (client allocations,
+    ``Object``-returning calls, loads).  This is the shared static
+    approximation both the coverage keys and the mutation operators use to
+    decide which variables are interchangeable.
+    """
+    interface_classes = set(interface.class_names())
+    classes: Dict[str, str] = {}
+    for index, statement in enumerate(body):
+        if upto is not None and index >= upto:
+            break
+        if isinstance(statement, New):
+            if statement.class_name in interface_classes:
+                classes[statement.target] = statement.class_name
+            else:
+                classes.pop(statement.target, None)
+        elif isinstance(statement, Assign):
+            if statement.source in classes:
+                classes[statement.target] = classes[statement.source]
+            else:
+                classes.pop(statement.target, None)
+        elif isinstance(statement, Const):
+            classes[statement.target] = _CONST
+        elif isinstance(statement, Call):
+            if statement.target is None:
+                continue
+            resolved = None
+            base_class = classes.get(statement.base) if statement.base else None
+            if base_class and base_class != _CONST and interface.has_method(
+                base_class, statement.method_name
+            ):
+                signature = interface.method(base_class, statement.method_name)
+                if signature.return_type in interface_classes:
+                    resolved = signature.return_type
+            if resolved is not None:
+                classes[statement.target] = resolved
+            else:
+                classes.pop(statement.target, None)
+        else:
+            target = statement.defined_variable()
+            if target is not None:
+                classes.pop(target, None)
+    return classes
+
+
+@dataclass
+class _ReceiverCall:
+    """One interface call attributed to a canonical receiver."""
+
+    class_name: str
+    method_name: str
+    target: Optional[str]
+    args: Tuple[str, ...]
+
+
+def _method_call_trail(
+    method: MethodDef, interface: LibraryInterface
+) -> Tuple[Dict[str, List[_ReceiverCall]], List[Tuple[str, str, int, str]]]:
+    """Per-canonical-receiver call sequences plus argument-link events.
+
+    The second element lists ``(receiver class, method, arg position,
+    argument's canonical receiver)`` for every interface call whose argument
+    is itself a tracked interface object -- the raw material for ``addAll``
+    style cross-receiver words.
+    """
+    interface_classes = set(interface.class_names())
+    classes: Dict[str, str] = {}
+    canon: Dict[str, str] = {}
+    sequences: Dict[str, List[_ReceiverCall]] = {}
+    links: List[Tuple[str, str, int, str]] = []
+
+    def canonical(name: str) -> str:
+        return canon.get(name, name)
+
+    for statement in method.body:
+        if isinstance(statement, New):
+            if statement.class_name in interface_classes:
+                classes[statement.target] = statement.class_name
+                canon[statement.target] = statement.target
+            else:
+                classes.pop(statement.target, None)
+                canon.pop(statement.target, None)
+        elif isinstance(statement, Assign):
+            if statement.source in classes:
+                classes[statement.target] = classes[statement.source]
+                canon[statement.target] = canonical(statement.source)
+            else:
+                classes.pop(statement.target, None)
+                canon.pop(statement.target, None)
+        elif isinstance(statement, Const):
+            classes[statement.target] = _CONST
+            canon.pop(statement.target, None)
+        elif isinstance(statement, Call):
+            base_class = classes.get(statement.base) if statement.base else None
+            resolved = (
+                base_class
+                if base_class
+                and base_class != _CONST
+                and interface.has_method(base_class, statement.method_name)
+                else None
+            )
+            if resolved is not None:
+                rep = canonical(statement.base)
+                sequence = sequences.setdefault(rep, [])
+                if len(sequence) < _MAX_CALLS_PER_RECEIVER:
+                    sequence.append(
+                        _ReceiverCall(
+                            class_name=resolved,
+                            method_name=statement.method_name,
+                            target=statement.target,
+                            args=statement.args,
+                        )
+                    )
+                for position, arg in enumerate(statement.args):
+                    arg_class = classes.get(arg)
+                    if arg_class and arg_class != _CONST:
+                        links.append(
+                            (resolved, statement.method_name, position, canonical(arg))
+                        )
+            if statement.target is not None:
+                returned = None
+                if resolved is not None:
+                    signature = interface.method(resolved, statement.method_name)
+                    if signature.return_type in interface_classes:
+                        returned = signature.return_type
+                if returned is not None:
+                    classes[statement.target] = returned
+                    canon[statement.target] = statement.target
+                else:
+                    classes.pop(statement.target, None)
+                    canon.pop(statement.target, None)
+        else:
+            target = statement.defined_variable()
+            if target is not None:
+                classes.pop(target, None)
+                canon.pop(target, None)
+    return sequences, links
+
+
+# ----------------------------------------------------------- structural keys
+def structural_keys(program: Program, interface: LibraryInterface) -> FrozenSet[str]:
+    """Call / same-receiver-order / argument-link keys of a client program."""
+    keys: Set[str] = set()
+    for cls in program:
+        if cls.is_library:
+            continue
+        for method in cls.methods.values():
+            sequences, links = _method_call_trail(method, interface)
+            for calls in sequences.values():
+                previous = None
+                for call in calls:
+                    keys.add(f"call:{call.class_name}.{call.method_name}")
+                    if previous is not None:
+                        keys.add(
+                            f"seq:{call.class_name}.{previous.method_name}>{call.method_name}"
+                        )
+                    previous = call
+            for class_name, method_name, position, arg_rep in links:
+                arg_calls = sequences.get(arg_rep)
+                arg_class = arg_calls[0].class_name if arg_calls else "?"
+                keys.add(f"link:{class_name}.{method_name}[{position}]<{arg_class}")
+    return frozenset(keys)
+
+
+# ------------------------------------------------------------ automaton keys
+def _simulate(fsa: FSA, word: Tuple) -> Set[str]:
+    """Keys for the transitions a deterministic *fsa* takes on *word*."""
+    keys: Set[str] = set()
+    state = fsa.initial
+    for symbol in word:
+        successors = fsa.successors(state, symbol)
+        if not successors:
+            return keys
+        target = min(successors)
+        keys.add(f"auto:{state}-{symbol}->{target}")
+        state = target
+    if state in fsa.accepting:
+        keys.add("accept:" + "|".join(str(symbol) for symbol in word))
+    return keys
+
+
+def _candidate_words(
+    sequences: Dict[str, List[_ReceiverCall]],
+    links: List[Tuple[str, str, int, str]],
+    interface: LibraryInterface,
+) -> List[Tuple]:
+    """Candidate path-specification words a program's call shapes suggest.
+
+    Four shapes, mirroring how specifications are written: receiver-to-return
+    of one call, param-to-return across two same-receiver calls, a retrieval
+    chained through a returned object (``iterator``/``next``), and the
+    cross-receiver store/link/retrieve triple (``add``/``addAll``/``get``).
+    """
+    words: List[Tuple] = []
+    for rep, calls in sequences.items():
+        for i, first in enumerate(calls):
+            first_sig = interface.method(first.class_name, first.method_name)
+            if first_sig.returns_reference():
+                words.append(
+                    (
+                        receiver(first.class_name, first.method_name),
+                        ret(first.class_name, first.method_name),
+                    )
+                )
+            for second in calls[i + 1 :]:
+                second_sig = interface.method(second.class_name, second.method_name)
+                if not second_sig.returns_reference():
+                    continue
+                for name, _type in first_sig.reference_params():
+                    words.append(
+                        (
+                            param(first.class_name, first.method_name, name),
+                            receiver(first.class_name, first.method_name),
+                            receiver(second.class_name, second.method_name),
+                            ret(second.class_name, second.method_name),
+                        )
+                    )
+                # chain through the returned object's own calls (iterator/next)
+                if second.target is not None and second.target in sequences:
+                    for chained in sequences[second.target][:2]:
+                        chained_sig = interface.method(
+                            chained.class_name, chained.method_name
+                        )
+                        if not chained_sig.returns_reference():
+                            continue
+                        for name, _type in first_sig.reference_params():
+                            words.append(
+                                (
+                                    param(first.class_name, first.method_name, name),
+                                    receiver(first.class_name, first.method_name),
+                                    receiver(second.class_name, second.method_name),
+                                    ret(second.class_name, second.method_name),
+                                    receiver(chained.class_name, chained.method_name),
+                                    ret(chained.class_name, chained.method_name),
+                                )
+                            )
+    for class_name, method_name, position, arg_rep in links:
+        arg_calls = sequences.get(arg_rep, [])
+        link_sig = interface.method(class_name, method_name)
+        reference_params = link_sig.reference_params()
+        if position >= len(reference_params):
+            continue
+        link_param = reference_params[position][0]
+        receiver_calls = sequences.get(arg_rep, [])
+        for stored in arg_calls:
+            stored_sig = interface.method(stored.class_name, stored.method_name)
+            for name, _type in stored_sig.reference_params():
+                for retrieval_rep, retrieval_calls in sequences.items():
+                    if retrieval_rep == arg_rep:
+                        continue
+                    for retrieval in retrieval_calls[:2]:
+                        if retrieval.class_name != class_name:
+                            continue
+                        retrieval_sig = interface.method(
+                            retrieval.class_name, retrieval.method_name
+                        )
+                        if not retrieval_sig.returns_reference():
+                            continue
+                        words.append(
+                            (
+                                param(stored.class_name, stored.method_name, name),
+                                receiver(stored.class_name, stored.method_name),
+                                param(class_name, method_name, link_param),
+                                receiver(class_name, method_name),
+                                receiver(retrieval.class_name, retrieval.method_name),
+                                ret(retrieval.class_name, retrieval.method_name),
+                            )
+                        )
+    return words
+
+
+def automaton_keys(
+    program: Program, interface: LibraryInterface, fsa: Optional[FSA]
+) -> FrozenSet[str]:
+    """Transition/acceptance keys of the spec automaton over a program's words."""
+    if fsa is None:
+        return frozenset()
+    keys: Set[str] = set()
+    for cls in program:
+        if cls.is_library:
+            continue
+        for method in cls.methods.values():
+            sequences, links = _method_call_trail(method, interface)
+            for word in _candidate_words(sequences, links, interface):
+                keys.update(_simulate(fsa, word))
+    return frozenset(keys)
+
+
+# ------------------------------------------------------------ points-to keys
+def _bucket(count: int) -> str:
+    return str(count) if count < 4 else "4+"
+
+
+def points_to_keys(points_to) -> FrozenSet[str]:
+    """Edge-shape keys of a :class:`~repro.pointsto.relations.PointsToResult`."""
+    per_object: Dict[object, Set[object]] = {}
+    per_variable: Dict[object, Set[str]] = {}
+    for variable, obj in points_to.program_points_to_edges():
+        per_object.setdefault(obj, set()).add(variable)
+        per_variable.setdefault(variable, set()).add(obj.allocated_class)
+    keys: Set[str] = set()
+    for obj, variables in per_object.items():
+        keys.add(f"pt:obj:{obj.allocated_class}*{_bucket(len(variables))}")
+    for classes in per_variable.values():
+        keys.add("pt:var:" + "+".join(sorted(classes)))
+    return frozenset(keys)
+
+
+# ----------------------------------------------------------------- context
+@dataclass
+class CoverageContext:
+    """Everything a worker needs to fingerprint one program (picklable)."""
+
+    pipeline: str
+    interface: LibraryInterface
+    fsa: Optional[FSA] = None
+    _anchor: Tuple = field(default=())  # keeps dataclass happy with defaults
+
+    def keys_for_program(self, program: Program) -> FrozenSet[str]:
+        return structural_keys(program, self.interface) | automaton_keys(
+            program, self.interface, self.fsa
+        )
+
+    def keys_for_points_to(self, points_to) -> FrozenSet[str]:
+        return points_to_keys(points_to)
+
+
+def build_coverage_context(
+    pipeline: str,
+    library_program: Optional[Program] = None,
+    interface: Optional[LibraryInterface] = None,
+    store=None,
+    spec_id: Optional[str] = None,
+) -> CoverageContext:
+    """Resolve the primary pipeline's automaton and freeze a coverage context.
+
+    The automaton is determinized once here (a canonical fixed point, so
+    coverage keys are stable across runs); the ``implementation`` pipeline
+    has no specification automaton and contributes structural and points-to
+    keys only.
+    """
+    from repro.library.registry import build_interface, build_library_program
+
+    library = library_program if library_program is not None else build_library_program()
+    if interface is None:
+        interface = build_interface(library)
+    fsa: Optional[FSA] = None
+    if pipeline == "ground_truth":
+        from repro.library.ground_truth import ground_truth_fsa
+
+        fsa = ground_truth_fsa().determinized()
+    elif pipeline == "handwritten":
+        from repro.library.handwritten import handwritten_fsa
+
+        fsa = handwritten_fsa().determinized()
+    elif pipeline == "store":
+        if store is None:
+            raise ValueError("coverage for pipeline 'store' needs a SpecStore")
+        from repro.engine.cache import program_fingerprint
+        from repro.library.registry import build_spec_interface
+
+        if spec_id is None:
+            record = store.latest(fingerprint=program_fingerprint(library))
+            if record is None:
+                raise ValueError(f"no stored specification in {store.root}")
+            spec_id = record.spec_id
+        result = store.get(spec_id, interface=build_spec_interface(library))
+        fsa = result.fsa.determinized()
+    return CoverageContext(pipeline=pipeline, interface=interface, fsa=fsa)
+
+
+__all__ = [
+    "COVERAGE_FORMAT",
+    "CoverageContext",
+    "CoverageMap",
+    "automaton_keys",
+    "build_coverage_context",
+    "points_to_keys",
+    "structural_keys",
+    "tracked_classes",
+]

@@ -13,6 +13,13 @@ library interaction the static analysis must over-approximate:
   app-local holder classes: aliased holders, overwritten fields, holder
   links; the part of the program the analysis sees *without* specifications,
   stressing its field sensitivity.
+* ``fluent-pipelines`` -- iterator / ``subList`` / fluent-append pipelines:
+  values threaded through chains of library calls where each stage's result
+  (an iterator, a view, a returned receiver) is the next stage's receiver.
+* ``callback-flows`` -- client-defined callback objects: values delivered
+  into app-level callback methods (directly or via a container) and read
+  back out, the higher-order flow shape the analysis must track without any
+  library specification.
 * ``taint-app`` -- the classic :mod:`repro.benchgen` profile, included so
   campaigns can cover the paper's original workload too (its legacy
   ``toArray`` idiom intentionally escapes the specification language, so it
@@ -35,6 +42,7 @@ from repro.benchgen.generator import AppGenerator, AppProfile
 from repro.client.sources_sinks import SINK_METHODS, SOURCE_METHODS
 from repro.lang.builder import ClassBuilder, MethodBuilder
 from repro.lang.program import Program
+from repro.lang.types import OBJECT
 
 
 @dataclass(frozen=True)
@@ -364,6 +372,143 @@ class FieldInterleavingFamily(ScenarioFamily):
         )
 
 
+# ---------------------------------------------------------------- fluent-pipelines
+class FluentPipelineFamily(ScenarioFamily):
+    """Iterator / ``subList`` / fluent-append pipelines over containers."""
+
+    name = "fluent-pipelines"
+
+    def _chain(self, emitter: _Emitter, method: MethodBuilder) -> None:
+        rng = emitter.rng
+        secret = rng.random() < 0.7
+        value = emitter.source(method, secret)
+
+        kind = rng.choice(["iterate", "iterate", "sublist", "fluent"])
+        if kind == "iterate":
+            container_class = rng.choice(
+                ["ArrayList", "LinkedList", "Vector", "HashSet", "TreeSet"]
+            )
+            container = emitter.fresh("c")
+            method.new(container, container_class)
+            method.call(None, container, "add", value)
+            # optionally pipe through a same-class whole-container copy stage
+            # (cross-class addAll, like toArray, escapes the specification
+            # language -- exactly what guided campaigns exist to rediscover,
+            # so the *family* itself stays clean)
+            if container_class in _COPYABLE and rng.random() < 0.5:
+                stage = emitter.fresh("c")
+                method.new(stage, container_class)
+                method.call(None, stage, "addAll", container)
+                container = stage
+            iterator = emitter.fresh("it")
+            method.call(iterator, container, "iterator")
+            if rng.random() < 0.5:
+                more = emitter.fresh("m")
+                method.call(more, iterator, "hasNext")
+            value = emitter.fresh("r")
+            method.call(value, iterator, "next")
+        elif kind == "sublist":
+            container = emitter.fresh("c")
+            method.new(container, "ArrayList")
+            method.call(None, container, "add", value)
+            start = emitter.fresh("i")
+            method.const(start, 0)
+            end = emitter.fresh("i")
+            method.const(end, 1)
+            view = container
+            for _ in range(rng.randint(1, 3)):
+                sliced = emitter.fresh("v")
+                method.call(sliced, view, "subList", start, end)
+                view = sliced
+            # only ``get`` retrieval: remove/iterator after a subList view
+            # escape the specification language (rediscoverable gaps, like
+            # toArray), and this family must stay clean against ground truth
+            value = emitter.fresh("r")
+            index = emitter.fresh("i")
+            method.const(index, 0)
+            method.call(value, view, "get", index)
+        else:  # fluent append chain threaded through returned receivers
+            builder_class = rng.choice(["StringBuilder", "StringBuffer"])
+            current = emitter.fresh("sb")
+            method.new(current, builder_class)
+            for _ in range(rng.randint(1, 4)):
+                chained = emitter.fresh("sb")
+                method.call(chained, current, "append", value)
+                current = chained
+            value = emitter.fresh("r")
+            method.call(value, current, "toString")
+
+        if rng.random() < 0.9:
+            emitter.sink(method, value, secret)
+
+    def generate(self, name: str, seed: int) -> GeneratedScenario:
+        return _single_class_scenario(self.name, name, seed, self._chain)
+
+
+# ------------------------------------------------------------------ callback-flows
+class CallbackFlowFamily(ScenarioFamily):
+    """Client-defined callbacks: higher-order flows through app-level code."""
+
+    name = "callback-flows"
+
+    def _chain(self, callback_class: str, emitter: _Emitter, method: MethodBuilder) -> None:
+        rng = emitter.rng
+        secret = rng.random() < 0.7
+        value = emitter.source(method, secret)
+        handle = emitter.fresh("cb")
+        method.new(handle, callback_class)
+        if rng.random() < 0.4:
+            handle = emitter.alias_run(method, handle, rng.randint(1, 2))
+        method.call(None, handle, rng.choice(["accept", "accept", "relay"]), value)
+
+        if rng.random() < 0.4:
+            # pass the callback through a container before reading it back
+            container_class = rng.choice(["ArrayList", "LinkedList", "Vector"])
+            container = emitter.fresh("c")
+            method.new(container, container_class)
+            method.call(None, container, "add", handle)
+            back = emitter.fresh("cb")
+            if container_class == "LinkedList":
+                method.call(back, container, "getFirst")
+            else:
+                index = emitter.fresh("i")
+                method.const(index, 0)
+                method.call(back, container, "get", index)
+            handle = back
+        out = emitter.fresh("o")
+        method.call(out, handle, "fetch")
+        if rng.random() < 0.9:
+            emitter.sink(method, out, secret)
+
+    def generate(self, name: str, seed: int) -> GeneratedScenario:
+        callback_name = f"{name}Cb"
+        cb = ClassBuilder(callback_name)
+        cb.field("held")
+        cb.add_method(cb.constructor())
+        cb.add_method(
+            cb.method("accept", ["x"], doc="store the delivered value").store(
+                "this", "held", "x"
+            )
+        )
+        cb.add_method(
+            cb.method("relay", ["x"], doc="indirect delivery through accept").call(
+                None, "this", "accept", "x"
+            )
+        )
+        cb.add_method(
+            cb.method("fetch", return_type=OBJECT, doc="read the last delivered value")
+            .load("r", "this", "held")
+            .ret("r")
+        )
+        return _single_class_scenario(
+            self.name,
+            name,
+            seed,
+            partial(self._chain, callback_name),
+            extra_classes=[cb.build()],
+        )
+
+
 # --------------------------------------------------------------------- taint-app
 class TaintAppFamily(ScenarioFamily):
     """The classic benchgen profile, wrapped as a scenario family."""
@@ -396,6 +541,8 @@ FAMILIES: Dict[str, ScenarioFamily] = {
         AliasChainFamily(),
         NestedContainerFamily(),
         FieldInterleavingFamily(),
+        FluentPipelineFamily(),
+        CallbackFlowFamily(),
         TaintAppFamily(),
     )
 }

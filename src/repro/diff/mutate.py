@@ -1,0 +1,592 @@
+"""Mutation operators over :mod:`repro.lang` programs.
+
+The guided campaign (:mod:`repro.diff.guided`) evolves its corpus by
+mutating coverage-novel programs instead of generating every candidate from
+scratch.  Each operator here takes a client program, a seeded
+``random.Random`` and a :class:`MutationContext`, and either returns a new
+program or ``None`` when no applicable edit exists.  The contract every
+operator upholds (and the property tests in ``tests/test_diff_mutate.py``
+enforce) is that a returned program is *validate-clean*: merged with the
+library and framework environment it passes
+:func:`repro.lang.validate.validate_program`, and it round-trips through
+:mod:`repro.lang.serialize` to a stable digest.
+
+Validity here is static; a mutant may still crash the concrete interpreter
+(an out-of-bounds ``aget``, say).  The guided campaign screens candidates
+against the interpreter before spending a differential check on them, so the
+operators stay simple and local.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, replace
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.diff.coverage import tracked_classes
+from repro.lang.program import ClassDef, MethodDef, Program, RECEIVER
+from repro.lang.statements import Call, New, Return, Statement
+from repro.lang.validate import ValidationError, validate_program
+from repro.specs.variables import LibraryInterface
+
+#: category label for constant-holding locals (mirrors coverage.tracked_classes)
+_CONST = "$const"
+
+#: maximum statements a mutant program may reach (duplicate / splice / crossover)
+MAX_STATEMENTS = 160
+
+#: maximum length of a spliced statement slice
+_MAX_SLICE = 6
+
+
+@dataclass
+class MutationContext:
+    """Shared, immutable inputs of every operator (picklable)."""
+
+    interface: LibraryInterface
+    env_program: Program
+    max_statements: int = MAX_STATEMENTS
+
+    def is_valid(self, program: Program) -> bool:
+        """True when *program*, merged with the library environment, validates."""
+        try:
+            validate_program(self.env_program.merged_with(program))
+        except ValidationError:
+            return False
+        return True
+
+
+def build_mutation_context(
+    library_program: Optional[Program] = None,
+    interface: Optional[LibraryInterface] = None,
+    max_statements: int = MAX_STATEMENTS,
+) -> MutationContext:
+    from repro.client.sources_sinks import build_framework_program
+    from repro.library.registry import build_interface, build_library_program
+
+    library = library_program if library_program is not None else build_library_program()
+    if interface is None:
+        interface = build_interface(library)
+    env = library.merged_with(build_framework_program())
+    return MutationContext(interface=interface, env_program=env, max_statements=max_statements)
+
+
+# ------------------------------------------------------------------- helpers
+def _client_methods(program: Program) -> List[Tuple[str, str]]:
+    """Deterministically ordered (class, method) pairs with editable bodies."""
+    pairs = []
+    for cls in program:
+        if cls.is_library:
+            continue
+        for method in cls.methods.values():
+            if method.body:
+                pairs.append((cls.name, method.name))
+    return sorted(pairs)
+
+
+def _with_body(
+    program: Program, class_name: str, method_name: str, body: Sequence[Statement]
+) -> Program:
+    cls = program.class_def(class_name)
+    method = replace(cls.methods[method_name], body=tuple(body))
+    updated = Program(program.classes())
+    updated.replace_class(cls.with_method(method))
+    return updated
+
+
+def _used_names(method: MethodDef) -> Set[str]:
+    names: Set[str] = {p.name for p in method.params}
+    for statement in method.body:
+        defined = statement.defined_variable()
+        if defined is not None:
+            names.add(defined)
+        names.update(statement.used_variables())
+    return names
+
+
+def _fresh(stem: str, used: Set[str]) -> str:
+    if stem not in used:
+        used.add(stem)
+        return stem
+    index = 2
+    while f"{stem}_m{index}" in used:
+        index += 1
+    name = f"{stem}_m{index}"
+    used.add(name)
+    return name
+
+
+def _used_later(body: Sequence[Statement], index: int, name: str) -> bool:
+    return any(name in body[later].used_variables() for later in range(index + 1, len(body)))
+
+
+def _rename_defs(statement: Statement, mapping: Dict[str, str]) -> Statement:
+    """Rewrite *statement* under *mapping* (applied to defs and uses alike)."""
+    if isinstance(statement, Call):
+        return replace(
+            statement,
+            target=mapping.get(statement.target, statement.target)
+            if statement.target is not None
+            else None,
+            base=mapping.get(statement.base, statement.base)
+            if statement.base is not None
+            else None,
+            args=tuple(mapping.get(a, a) for a in statement.args),
+        )
+    if isinstance(statement, New):
+        return replace(
+            statement,
+            target=mapping.get(statement.target, statement.target),
+            args=tuple(mapping.get(a, a) for a in statement.args),
+        )
+    fields = {}
+    for name in ("target", "base", "source", "value"):
+        if hasattr(statement, name):
+            value = getattr(statement, name)
+            if isinstance(value, str) and name != "value":
+                fields[name] = mapping.get(value, value)
+    if isinstance(statement, Return) and statement.value is not None:
+        fields["value"] = mapping.get(statement.value, statement.value)
+    return replace(statement, **fields) if fields else statement
+
+
+def _category(name: str, classes: Dict[str, str], defined: Set[str]) -> Optional[str]:
+    """Interchangeability category: a tracked class, ``$const`` or ``"?"``."""
+    if name in classes:
+        return classes[name]
+    if name in defined:
+        return "?"
+    return None
+
+
+def _candidates_by_category(
+    body: Sequence[Statement],
+    params: Sequence[str],
+    classes: Dict[str, str],
+    upto: Optional[int] = None,
+) -> Dict[str, List[str]]:
+    """Variables available before statement *upto*, grouped by category."""
+    available: List[str] = list(params)
+    seen = set(available)
+    for index, statement in enumerate(body):
+        if upto is not None and index >= upto:
+            break
+        defined = statement.defined_variable()
+        if defined is not None and defined not in seen:
+            seen.add(defined)
+            available.append(defined)
+    grouped: Dict[str, List[str]] = {}
+    for name in available:
+        grouped.setdefault(classes.get(name, "?"), []).append(name)
+    return grouped
+
+
+# ----------------------------------------------------------------- operators
+def delete_statement(
+    program: Program, rng: random.Random, ctx: MutationContext
+) -> Optional[Program]:
+    """Remove one statement whose result no later statement reads."""
+    pairs = _client_methods(program)
+    if not pairs:
+        return None
+    rng.shuffle(pairs)
+    for class_name, method_name in pairs:
+        method = program.class_def(class_name).methods[method_name]
+        body = method.body
+        deletable = [
+            i
+            for i, statement in enumerate(body)
+            if not isinstance(statement, Return)
+            and (
+                statement.defined_variable() is None
+                or not _used_later(body, i, statement.defined_variable())
+            )
+        ]
+        if len(body) <= 1 or not deletable:
+            continue
+        index = rng.choice(deletable)
+        mutant = _with_body(
+            program, class_name, method_name, body[:index] + body[index + 1 :]
+        )
+        if ctx.is_valid(mutant):
+            return mutant
+    return None
+
+
+def duplicate_statement(
+    program: Program, rng: random.Random, ctx: MutationContext
+) -> Optional[Program]:
+    """Re-run one statement, writing any result into a fresh local."""
+    if program.statement_count() + 1 > ctx.max_statements:
+        return None
+    pairs = _client_methods(program)
+    if not pairs:
+        return None
+    rng.shuffle(pairs)
+    for class_name, method_name in pairs:
+        method = program.class_def(class_name).methods[method_name]
+        body = method.body
+        candidates = [i for i, s in enumerate(body) if not isinstance(s, Return)]
+        if not candidates:
+            continue
+        index = rng.choice(candidates)
+        statement = body[index]
+        defined = statement.defined_variable()
+        copy = statement
+        if defined is not None:
+            used = _used_names(method)
+            copy = _rename_defs(statement, {defined: _fresh(defined, used)})
+            # a duplicate must keep reading the *original* inputs
+            copy = replace(copy, **{
+                name: getattr(statement, name)
+                for name in ("base", "source", "args")
+                if hasattr(statement, name)
+            })
+        mutant = _with_body(
+            program,
+            class_name,
+            method_name,
+            body[: index + 1] + (copy,) + body[index + 1 :],
+        )
+        if ctx.is_valid(mutant):
+            return mutant
+    return None
+
+
+def splice_statements(
+    program: Program, rng: random.Random, ctx: MutationContext
+) -> Optional[Program]:
+    """Copy a short def-closed slice from one method to the end of another.
+
+    Free variables of the slice are re-bound to destination variables of the
+    same category (same tracked library class, constant for constant,
+    untracked for untracked); defined variables get fresh names.  Slices
+    touching ``this``, ``Return`` or field accesses are skipped -- they are
+    the forms whose meaning is method-local.
+    """
+    pairs = _client_methods(program)
+    if len(pairs) < 1:
+        return None
+    for _attempt in range(6):
+        src_class, src_method = rng.choice(pairs)
+        dst_class, dst_method = rng.choice(pairs)
+        source = program.class_def(src_class).methods[src_method]
+        dest = program.class_def(dst_class).methods[dst_method]
+        if not source.body:
+            continue
+        length = rng.randint(1, min(_MAX_SLICE, len(source.body)))
+        start = rng.randint(0, len(source.body) - length)
+        slice_ = source.body[start : start + length]
+        if any(
+            isinstance(s, Return)
+            or RECEIVER in s.used_variables()
+            or hasattr(s, "field_name")  # Store / Load: field meaning is class-local
+            for s in slice_
+        ):
+            continue
+        if program.statement_count() + length > ctx.max_statements:
+            return None
+        src_classes = tracked_classes(source.body, ctx.interface, upto=start)
+        src_defined = {p.name for p in source.params}
+        for statement in source.body[:start]:
+            defined = statement.defined_variable()
+            if defined is not None:
+                src_defined.add(defined)
+
+        dst_classes = tracked_classes(dest.body, ctx.interface)
+        dst_candidates = _candidates_by_category(
+            dest.body, [p.name for p in dest.params], dst_classes
+        )
+
+        # destination body ends in Return? insert before it
+        insert_at = len(dest.body)
+        while insert_at > 0 and isinstance(dest.body[insert_at - 1], Return):
+            insert_at -= 1
+
+        mapping: Dict[str, str] = {}
+        used = _used_names(dest)
+        if src_class == dst_class and src_method == dst_method:
+            used |= _used_names(source)
+        bound: Set[str] = set()
+        ok = True
+        for statement in slice_:
+            for name in statement.used_variables():
+                if name in bound or name in mapping:
+                    continue
+                category = _category(name, src_classes, src_defined)
+                if category is None:
+                    ok = False
+                    break
+                choices = dst_candidates.get(category, [])
+                if not choices:
+                    ok = False
+                    break
+                mapping[name] = rng.choice(choices)
+            if not ok:
+                break
+            defined = statement.defined_variable()
+            if defined is not None:
+                mapping[defined] = _fresh(defined, used)
+                bound.add(defined)
+        if not ok:
+            continue
+        renamed = tuple(_rename_defs(s, mapping) for s in slice_)
+        mutant = _with_body(
+            program,
+            dst_class,
+            dst_method,
+            dest.body[:insert_at] + renamed + dest.body[insert_at:],
+        )
+        if ctx.is_valid(mutant):
+            return mutant
+    return None
+
+
+def rewire_receiver(
+    program: Program, rng: random.Random, ctx: MutationContext
+) -> Optional[Program]:
+    """Redirect one library call to a different receiver of the same class."""
+    pairs = _client_methods(program)
+    rng.shuffle(pairs)
+    for class_name, method_name in pairs:
+        method = program.class_def(class_name).methods[method_name]
+        body = method.body
+        classes = tracked_classes(body, ctx.interface)
+        options = []
+        for index, statement in enumerate(body):
+            if not isinstance(statement, Call) or statement.base is None:
+                continue
+            at_index = tracked_classes(body, ctx.interface, upto=index)
+            receiver_class = at_index.get(statement.base)
+            if receiver_class is None or receiver_class == _CONST:
+                continue
+            if not ctx.interface.has_method(receiver_class, statement.method_name):
+                continue
+            grouped = _candidates_by_category(
+                body, [p.name for p in method.params], at_index, upto=index
+            )
+            others = [
+                name
+                for name in grouped.get(receiver_class, [])
+                if name != statement.base
+            ]
+            if others:
+                options.append((index, others))
+        if not options:
+            continue
+        index, others = rng.choice(options)
+        statement = body[index]
+        mutant_statement = replace(statement, base=rng.choice(others))
+        mutant = _with_body(
+            program,
+            class_name,
+            method_name,
+            body[:index] + (mutant_statement,) + body[index + 1 :],
+        )
+        if ctx.is_valid(mutant):
+            return mutant
+    return None
+
+
+def rewire_argument(
+    program: Program, rng: random.Random, ctx: MutationContext
+) -> Optional[Program]:
+    """Swap one call argument for another variable of the same category."""
+    pairs = _client_methods(program)
+    rng.shuffle(pairs)
+    for class_name, method_name in pairs:
+        method = program.class_def(class_name).methods[method_name]
+        body = method.body
+        options = []
+        for index, statement in enumerate(body):
+            if not isinstance(statement, (Call, New)) or not statement.args:
+                continue
+            at_index = tracked_classes(body, ctx.interface, upto=index)
+            defined_before = {p.name for p in method.params}
+            for earlier in body[:index]:
+                defined = earlier.defined_variable()
+                if defined is not None:
+                    defined_before.add(defined)
+            grouped = _candidates_by_category(
+                body, [p.name for p in method.params], at_index, upto=index
+            )
+            for position, arg in enumerate(statement.args):
+                category = _category(arg, at_index, defined_before)
+                if category is None:
+                    continue
+                others = [n for n in grouped.get(category, []) if n != arg]
+                if others:
+                    options.append((index, position, others))
+        if not options:
+            continue
+        index, position, others = rng.choice(options)
+        statement = body[index]
+        args = list(statement.args)
+        args[position] = rng.choice(others)
+        mutant_statement = replace(statement, args=tuple(args))
+        mutant = _with_body(
+            program,
+            class_name,
+            method_name,
+            body[:index] + (mutant_statement,) + body[index + 1 :],
+        )
+        if ctx.is_valid(mutant):
+            return mutant
+    return None
+
+
+def substitute_method(
+    program: Program, rng: random.Random, ctx: MutationContext
+) -> Optional[Program]:
+    """Replace one library call with a signature-compatible sibling method.
+
+    Compatible means: same receiver class, identical parameter-type tuple and
+    the same reference-ness of the return value; and either the return types
+    match exactly, or the call's result is discarded / never read.
+    """
+    signatures_by_class: Dict[str, List] = {}
+    for signature in ctx.interface.methods():
+        signatures_by_class.setdefault(signature.class_name, []).append(signature)
+    pairs = _client_methods(program)
+    rng.shuffle(pairs)
+    for class_name, method_name in pairs:
+        method = program.class_def(class_name).methods[method_name]
+        body = method.body
+        options = []
+        for index, statement in enumerate(body):
+            if not isinstance(statement, Call) or statement.base is None:
+                continue
+            at_index = tracked_classes(body, ctx.interface, upto=index)
+            receiver_class = at_index.get(statement.base)
+            if receiver_class is None or receiver_class == _CONST:
+                continue
+            if not ctx.interface.has_method(receiver_class, statement.method_name):
+                continue
+            current = ctx.interface.method(receiver_class, statement.method_name)
+            result_read = statement.target is not None and _used_later(
+                body, index, statement.target
+            )
+            substitutes = []
+            for candidate in signatures_by_class.get(receiver_class, []):
+                if candidate.method_name == statement.method_name:
+                    continue
+                if candidate.is_static != current.is_static:
+                    continue
+                if tuple(t for _n, t in candidate.params) != tuple(
+                    t for _n, t in current.params
+                ):
+                    continue
+                if candidate.returns_reference() != current.returns_reference():
+                    continue
+                if result_read and candidate.return_type != current.return_type:
+                    continue
+                substitutes.append(candidate.method_name)
+            if substitutes:
+                options.append((index, sorted(substitutes)))
+        if not options:
+            continue
+        index, substitutes = rng.choice(options)
+        statement = body[index]
+        mutant_statement = replace(statement, method_name=rng.choice(substitutes))
+        mutant = _with_body(
+            program,
+            class_name,
+            method_name,
+            body[:index] + (mutant_statement,) + body[index + 1 :],
+        )
+        if ctx.is_valid(mutant):
+            return mutant
+    return None
+
+
+def crossover(
+    program: Program, mate: Program, rng: random.Random, ctx: MutationContext
+) -> Optional[Program]:
+    """Combine two corpus programs into one (renaming colliding classes)."""
+    mate_classes = [cls for cls in mate if not cls.is_library]
+    if not mate_classes:
+        return None
+    if program.statement_count() + mate.statement_count() > ctx.max_statements:
+        return None
+    existing = set(program.class_names())
+    renames: Dict[str, str] = {}
+    for cls in mate_classes:
+        if cls.name in existing:
+            index = 2
+            while f"{cls.name}X{index}" in existing or f"{cls.name}X{index}" in renames.values():
+                index += 1
+            renames[cls.name] = f"{cls.name}X{index}"
+    combined = Program(program.classes())
+    for cls in mate_classes:
+        methods = {}
+        for name, method in cls.methods.items():
+            body = tuple(
+                replace(s, class_name=renames[s.class_name])
+                if isinstance(s, New) and s.class_name in renames
+                else s
+                for s in method.body
+            )
+            methods[name] = replace(method, body=body)
+        superclass = renames.get(cls.superclass, cls.superclass) if cls.superclass else cls.superclass
+        combined.replace_class(
+            ClassDef(
+                name=renames.get(cls.name, cls.name),
+                superclass=superclass,
+                fields=cls.fields,
+                methods=methods,
+                is_library=False,
+            )
+        )
+    if ctx.is_valid(combined):
+        return combined
+    return None
+
+
+#: named registry, in the deterministic order the scheduler draws from
+MUTATORS = {
+    "delete": delete_statement,
+    "duplicate": duplicate_statement,
+    "splice": splice_statements,
+    "rewire-receiver": rewire_receiver,
+    "rewire-argument": rewire_argument,
+    "substitute": substitute_method,
+}
+
+_MUTATOR_NAMES = tuple(MUTATORS)
+
+
+def mutate_program(
+    program: Program,
+    rng: random.Random,
+    ctx: MutationContext,
+    mates: Sequence[Program] = (),
+) -> Optional[Tuple[str, Program]]:
+    """Apply one randomly chosen applicable operator; ``None`` if all fail."""
+    names = list(_MUTATOR_NAMES)
+    if mates:
+        names.append("crossover")
+    for _attempt in range(8):
+        name = rng.choice(names)
+        if name == "crossover":
+            mutant = crossover(program, rng.choice(list(mates)), rng, ctx)
+        else:
+            mutant = MUTATORS[name](program, rng, ctx)
+        if mutant is not None:
+            return name, mutant
+    return None
+
+
+__all__ = [
+    "MAX_STATEMENTS",
+    "MUTATORS",
+    "MutationContext",
+    "build_mutation_context",
+    "crossover",
+    "delete_statement",
+    "duplicate_statement",
+    "mutate_program",
+    "rewire_argument",
+    "rewire_receiver",
+    "splice_statements",
+    "substitute_method",
+]

@@ -49,6 +49,7 @@ class FuzzConfig:
     cross_check: bool = True  # also run handwritten-model (implementation) Andersen
     shrink: bool = True
     sample: int = 10  # passing programs frozen into the golden corpus
+    guided: bool = False  # coverage-guided mutation mode (repro.diff.guided)
 
     def corpus_filename(self) -> str:
         """Distinct per (pipeline, families, seed): campaigns with different
@@ -56,7 +57,8 @@ class FuzzConfig:
         families = (
             "default" if tuple(self.families) == DEFAULT_FAMILIES else "+".join(self.families)
         )
-        return f"fuzz-{self.pipeline}-{families}-seed{self.seed}.json"
+        mode = "guided-" if self.guided else ""
+        return f"fuzz-{mode}{self.pipeline}-{families}-seed{self.seed}.json"
 
 
 @dataclass
@@ -69,6 +71,10 @@ class FuzzReport:
     elapsed_seconds: float = 0.0
     corpus_path: Optional[str] = None
     golden: List[GoldenEntry] = field(default_factory=list)
+    # guided-mode extras (None for blind campaigns, keeping their encodings
+    # byte-identical to previous releases)
+    coverage: Optional[object] = None  # CoverageMap
+    corpus_stats: Optional[Dict] = None
 
     @property
     def programs(self) -> int:
@@ -113,7 +119,7 @@ class FuzzReport:
 
     def canonical(self) -> Dict:
         """The timing-free encoding serial and parallel campaigns share."""
-        return {
+        payload = {
             "format": REPORT_FORMAT,
             "families": list(self.config.families),
             "budget": self.config.budget,
@@ -123,6 +129,11 @@ class FuzzReport:
             "shrink": self.config.shrink,
             "outcomes": [outcome.canonical() for outcome in self.outcomes],
         }
+        if self.config.guided:
+            payload["guided"] = True
+            payload["coverage"] = self.coverage.to_dict() if self.coverage is not None else None
+            payload["corpus"] = self.corpus_stats
+        return payload
 
     def to_dict(self, include_timing: bool = True) -> Dict:
         payload = self.canonical()
@@ -145,6 +156,9 @@ class FuzzReport:
         }
         if self.corpus_path is not None:
             payload["summary"]["corpus_path"] = self.corpus_path
+        if self.config.guided and self.coverage is not None:
+            payload["summary"]["coverage_keys"] = len(self.coverage)
+            payload["summary"]["coverage_digest"] = self.coverage.digest()
         if include_timing:
             payload["summary"]["elapsed_seconds"] = self.elapsed_seconds
         return payload
@@ -168,9 +182,16 @@ class FuzzReport:
             pipeline=data["pipeline"],
             cross_check=bool(data["cross_check"]),
             shrink=bool(data["shrink"]),
+            guided=bool(data.get("guided", False)),
         )
         outcomes = [DiffOutcome.from_dict(entry) for entry in data["outcomes"]]
-        return cls(config=config, outcomes=outcomes, executor="serial")
+        report = cls(config=config, outcomes=outcomes, executor="serial")
+        if config.guided and data.get("coverage") is not None:
+            from repro.diff.coverage import CoverageMap
+
+            report.coverage = CoverageMap.from_dict(data["coverage"])
+            report.corpus_stats = data.get("corpus")
+        return report
 
 
 # ----------------------------------------------------------------- worker side
@@ -187,25 +208,25 @@ def run_check_task(shared, payload) -> DiffOutcome:
         outcome = checker.check(scenario)
         if outcome.diverged and shrink_enabled:
             with _trace.span("fuzz.shrink", program=name):
-                outcome = _shrink_outcome(checker, scenario, outcome)
+                outcome = _shrink_outcome(checker, scenario.program, outcome)
     return outcome
 
 
 def _shrink_outcome(
-    checker: DifferentialChecker, scenario, outcome: DiffOutcome
+    checker: DifferentialChecker, program, outcome: DiffOutcome
 ) -> DiffOutcome:
-    """Minimize a divergent scenario, preserving its divergence signatures."""
+    """Minimize a divergent program, preserving its divergence signatures."""
     target = set(outcome.signatures())
 
     def still_diverges(candidate) -> bool:
         verdict = checker.check_program(
-            candidate, scenario.name, family=scenario.family, seed=scenario.seed
+            candidate, outcome.name, family=outcome.family, seed=outcome.seed
         )
         return target.issubset(set(verdict.signatures()))
 
-    result = shrink_program(scenario.program, still_diverges)
+    result = shrink_program(program, still_diverges)
     final = checker.check_program(
-        result.program, scenario.name, family=scenario.family, seed=scenario.seed
+        result.program, outcome.name, family=outcome.family, seed=outcome.seed
     )
     final.shrunk_program = result.program
     final.shrink_steps = result.steps
@@ -325,20 +346,31 @@ def run_fuzz(
     return report
 
 
-def golden_entries(report: FuzzReport) -> List[GoldenEntry]:
+def golden_entries(
+    report: FuzzReport, programs: Optional[Dict[str, "object"]] = None
+) -> List[GoldenEntry]:
     """Select what a campaign freezes: every counterexample + a seeded sample.
 
     All shrunk counterexamples are kept.  Passing programs are sampled with
     a :class:`random.Random` seeded from the campaign seed, so the same
     campaign always freezes the same corpus; sampled entries are frozen in
     plan order.
+
+    *programs* optionally maps outcome names to the exact checked programs
+    (the guided campaign's mutants are not regenerable from their (family,
+    seed) label); when absent, programs are regenerated from the plan.
     """
+
+    def program_for(outcome: DiffOutcome):
+        if programs is not None and outcome.name in programs:
+            return programs[outcome.name]
+        return generate_scenario(outcome.name, outcome.family, outcome.seed).program
+
     entries: List[GoldenEntry] = []
     passing: List[DiffOutcome] = []
     for outcome in report.outcomes:
         if outcome.diverged:
-            scenario = generate_scenario(outcome.name, outcome.family, outcome.seed)
-            entries.append(GoldenEntry.from_outcome(outcome, scenario.program))
+            entries.append(GoldenEntry.from_outcome(outcome, program_for(outcome)))
         else:
             passing.append(outcome)
     rng = random.Random(report.config.seed)
@@ -346,8 +378,7 @@ def golden_entries(report: FuzzReport) -> List[GoldenEntry]:
     sampled = sorted(rng.sample(range(len(passing)), count)) if count else []
     for index in sampled:
         outcome = passing[index]
-        scenario = generate_scenario(outcome.name, outcome.family, outcome.seed)
-        entries.append(GoldenEntry.from_outcome(outcome, scenario.program))
+        entries.append(GoldenEntry.from_outcome(outcome, program_for(outcome)))
     return entries
 
 

@@ -214,6 +214,31 @@ class FuzzFinished(EngineEvent):
 
 
 @dataclass(frozen=True)
+class CorpusSeeded(EngineEvent):
+    """Emitted once when a guided campaign has loaded its seed corpus."""
+
+    source: str  # directory (or label) the seeds came from
+    entries: int  # number of seed programs admitted to the queue
+    families: Tuple[str, ...]
+
+
+@dataclass(frozen=True)
+class CoverageGrown(EngineEvent):
+    """Emitted when a checked program adds semantic coverage.
+
+    The program is admitted into the live corpus; ``origin`` records where it
+    came from (``seed:<name>``, ``fresh:<family>`` or a mutation operator).
+    """
+
+    index: int
+    program: str
+    origin: str
+    new_keys: int
+    total_keys: int
+    corpus_size: int
+
+
+@dataclass(frozen=True)
 class RepairStarted(EngineEvent):
     """Emitted once when a counterexample-guided repair run begins."""
 
@@ -512,6 +537,17 @@ def _format_event(event: EngineEvent) -> Optional[str]:
             f"{event.diverged} diverged ({event.shrunk} shrunk), "
             f"{event.golden_entries} golden entries"
         )
+    if isinstance(event, CorpusSeeded):
+        return (
+            f"corpus seeded: {event.entries} entries from {event.source} "
+            f"(families={','.join(event.families)})"
+        )
+    if isinstance(event, CoverageGrown):
+        return (
+            f"coverage grown {event.index}: {event.program} [{event.origin}] "
+            f"+{event.new_keys} keys ({event.total_keys} total, "
+            f"corpus {event.corpus_size})"
+        )
     if isinstance(event, RepairStarted):
         return (
             f"repair started: pipeline={event.pipeline}, {event.divergences} divergences, "
@@ -610,6 +646,8 @@ __all__ = [
     "ClusterFinished",
     "ClusterStarted",
     "CollectingSink",
+    "CorpusSeeded",
+    "CoverageGrown",
     "DivergenceShrunk",
     "EngineEvent",
     "EventSink",

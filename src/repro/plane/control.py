@@ -66,6 +66,8 @@ class PlaneConfig:
     golden_dir: Optional[str] = None
     cache_dir: Optional[str] = None
     policy: PromotionPolicy = PromotionPolicy()
+    #: every Nth campaign cycle goes coverage-guided (0 keeps all cycles blind)
+    guided_every: int = 0
 
     def schedule(self) -> ScheduleConfig:
         return ScheduleConfig(
@@ -74,6 +76,8 @@ class PlaneConfig:
             seed=self.seed,
             workers=self.workers,
             shrink=self.shrink,
+            guided_every=self.guided_every,
+            golden_dir=self.golden_dir,
         )
 
 

@@ -16,6 +16,7 @@ from dataclasses import dataclass
 from typing import Optional, Tuple
 
 from repro.diff.families import DEFAULT_FAMILIES
+from repro.diff.guided import run_guided_fuzz
 from repro.diff.runner import FuzzConfig, FuzzReport, build_checker, run_fuzz
 from repro.engine.events import CampaignFinished, CampaignStarted, EventSink, NullSink
 from repro.obs import trace as _trace
@@ -34,6 +35,10 @@ class ScheduleConfig:
     seed: int = 2018
     workers: int = 0
     shrink: bool = True
+    #: every Nth cycle runs coverage-guided over ALL schedule families,
+    #: seeded from ``golden_dir`` (0 disables guided rotation)
+    guided_every: int = 0
+    golden_dir: Optional[str] = None
 
 
 class CampaignScheduler:
@@ -63,8 +68,25 @@ class CampaignScheduler:
         ``(base seed, cycle)``.  ``sample=0``: the plane probes for
         divergences, it does not grow the golden corpus -- that stays a
         deliberate ``repro fuzz --golden-out`` act.
+
+        When ``guided_every`` is set, every Nth cycle (cycle numbers that are
+        positive multiples of N) runs a coverage-guided campaign over *all*
+        schedule families instead, seeded from ``golden_dir`` -- the search
+        mode that keeps paying after each repair closes a known gap.
         """
         families = self.config.families
+        if self.is_guided_cycle(cycle):
+            return FuzzConfig(
+                families=families,
+                budget=self.config.budget,
+                seed=self.config.seed + cycle,
+                workers=self.config.workers,
+                pipeline="store",
+                cross_check=False,
+                shrink=self.config.shrink,
+                sample=0,
+                guided=True,
+            )
         return FuzzConfig(
             families=(families[cycle % len(families)],),
             budget=self.config.budget,
@@ -75,6 +97,10 @@ class CampaignScheduler:
             shrink=self.config.shrink,
             sample=0,
         )
+
+    def is_guided_cycle(self, cycle: int) -> bool:
+        every = self.config.guided_every
+        return bool(every) and cycle > 0 and cycle % every == 0
 
     def run_campaign(self, spec_id: str, cycle: int = 0) -> FuzzReport:
         """Fuzz the stored *spec_id* with cycle *cycle*'s campaign."""
@@ -102,7 +128,19 @@ class CampaignScheduler:
                 store=self.store,
                 spec_id=spec_id,
             )
-            report = run_fuzz(config, events=self.events, checker=checker)
+            if config.guided:
+                report = run_guided_fuzz(
+                    config,
+                    events=self.events,
+                    checker=checker,
+                    store=self.store,
+                    spec_id=spec_id,
+                    seed_corpus=self.config.golden_dir,
+                    library_program=self.library_program,
+                    interface=self.interface,
+                )
+            else:
+                report = run_fuzz(config, events=self.events, checker=checker)
         self.events.emit(
             CampaignFinished(
                 cycle=cycle,

@@ -188,13 +188,23 @@ class ClientAnalyzer:
         return cls(result.spec_program, library_program=library, spec_id=spec_id)
 
     # ---------------------------------------------------------------- analysis
-    def analyze_program(self, program: Program, name: str) -> FlowReport:
-        """Run Andersen + the taint client on one client program."""
+    def analyze_program(
+        self, program: Program, name: str, points_to_observer=None
+    ) -> FlowReport:
+        """Run Andersen + the taint client on one client program.
+
+        *points_to_observer*, when given, is called with the
+        :class:`~repro.pointsto.relations.PointsToResult` right after the
+        Andersen step -- the hook the coverage-guided fuzzer uses to
+        fingerprint edge shapes without re-running any analysis.
+        """
         with _trace.span("analysis.analyze", program=name):
             started = time.perf_counter()
             merged = program.merged_with(self.base_program)
             with _trace.span("analysis.andersen", program=name):
                 points_to = AndersenAnalysis(merged).run()
+            if points_to_observer is not None:
+                points_to_observer(points_to)
             after_andersen = time.perf_counter()
             with _trace.span("analysis.taint", program=name):
                 report = InformationFlowAnalysis(merged).run(points_to=points_to)

@@ -26,7 +26,9 @@ SUITE_DIGESTS = {
 
 FAMILY_DIGESTS = {
     "alias-chains": "dac3fefefa63c2ed5e9637ee86a10f09d3ab17e037804c2a99b620b05bbb7223",
+    "callback-flows": "a41daaff7f92b5c23909c4c9578bc0757ac71d46496da83770c66d13b8225553",
     "field-interleavings": "c555765451e899e0f194bb3eb32db1b54750ea314497cb2cfa4658db8265903e",
+    "fluent-pipelines": "272b703cdb1211aa1d1300fea5a79835ea6548bbef89983fcce2fb99cce9573f",
     "nested-containers": "bdd020503e3db7b53d6349c28c09ad9453175ef28b049dc8004c7afd87ff2e87",
     "taint-app": "8aa5cb94da1c83b2211da5d71c0412c41ad41057fa001a23027195a74070018f",
 }

@@ -1,0 +1,120 @@
+"""Coverage fingerprinting tests (``repro.diff.coverage``).
+
+Two kinds of guarantees: the :class:`CoverageMap` container behaves (new-key
+accounting, digest stability, serialization round-trip), and the semantic
+fingerprints themselves are *pinned* over the golden corpus -- the baseline
+coverage digest of everything past campaigns froze.  A pin failing means the
+fingerprint vocabulary changed: deliberate when evolving the coverage model
+(recompute and update the constants), a regression otherwise, because every
+guided campaign's corpus-admission decisions shift with it.
+"""
+
+import pytest
+
+from repro.diff.checker import build_pipeline_analyzer
+from repro.diff.corpus import corpus_files, load_corpus
+from repro.diff.coverage import (
+    CoverageMap,
+    build_coverage_context,
+    structural_keys,
+)
+from repro.testing import GOLDEN_DIR
+
+#: baseline digest of the structural keys over the whole golden corpus
+GOLDEN_STRUCTURAL_DIGEST = "80b59674c4a03f421079953f1d2d39832fb06e16cc5230a71673266947f09a52"
+
+#: points-to key digest for the corpus's first entry under ground-truth specs
+GOLDEN_POINTS_TO_DIGEST = "0702256ddb1b02ed4e736a333242be9ad6eaad739dabb7120c0c478ac470fa2c"
+
+
+@pytest.fixture(scope="module")
+def golden_entries():
+    entries = [e for path in corpus_files(GOLDEN_DIR) for e in load_corpus(path)]
+    assert entries, "tests/golden must not be empty"
+    return entries
+
+
+@pytest.fixture(scope="module")
+def context(library_program, interface):
+    return build_coverage_context(
+        "ground_truth", library_program=library_program, interface=interface
+    )
+
+
+# ---------------------------------------------------------------- CoverageMap
+def test_observe_counts_only_new_keys():
+    coverage = CoverageMap()
+    assert coverage.observe(["a", "b", "b"]) == 2
+    assert coverage.observe(["b", "c"]) == 1
+    assert coverage.observe(["a"]) == 0
+    assert len(coverage) == 3
+
+
+def test_digest_is_order_independent_but_count_sensitive():
+    forward, backward = CoverageMap(), CoverageMap()
+    forward.observe(["a", "b"])
+    forward.observe(["c"])
+    backward.observe(["c"])
+    backward.observe(["b", "a"])
+    assert forward.digest() == backward.digest()
+    backward.observe(["a"])  # same key set, different hit count
+    assert forward.digest() != backward.digest()
+
+
+def test_coverage_map_round_trips_through_dict():
+    coverage = CoverageMap()
+    coverage.observe(["call:ArrayList.add", "auto:0-x->1"])
+    coverage.observe(["call:ArrayList.add"])
+    restored = CoverageMap.from_dict(coverage.to_dict())
+    assert restored.digest() == coverage.digest()
+    assert len(restored) == len(coverage)
+
+
+# ------------------------------------------------------------------- the keys
+def test_structural_keys_name_calls_sequences_and_links(interface):
+    from repro.diff.families import generate_scenario
+
+    program = generate_scenario("CovProbe0000", "nested-containers", 7).program
+    keys = set(structural_keys(program, interface))
+    assert any(k.startswith("call:") for k in keys)
+    assert any(k.startswith("seq:") for k in keys)
+    assert any(k.startswith("link:") for k in keys)
+
+
+def test_automaton_keys_fire_for_golden_programs(context, golden_entries):
+    keys = set(context.keys_for_program(golden_entries[0].program))
+    assert any(k.startswith(("auto:", "accept:")) for k in keys), (
+        "ground-truth automaton simulation produced no transition keys"
+    )
+
+
+def test_points_to_keys_bucket_object_and_variable_shapes(
+    context, golden_entries, library_program, interface
+):
+    analyzer = build_pipeline_analyzer(
+        "ground_truth", library_program=library_program, interface=interface
+    )
+    entry = golden_entries[0]
+    collected = []
+    analyzer.analyze_program(
+        entry.program,
+        entry.name,
+        points_to_observer=lambda pt: collected.extend(context.keys_for_points_to(pt)),
+    )
+    assert any(k.startswith("pt:obj:") for k in collected)
+    assert any(k.startswith("pt:var:") for k in collected)
+    coverage = CoverageMap()
+    coverage.observe(collected)
+    assert coverage.digest() == GOLDEN_POINTS_TO_DIGEST, (
+        "points-to fingerprint vocabulary changed; recompute the pin if deliberate"
+    )
+
+
+# ------------------------------------------------------------------- the pins
+def test_golden_corpus_baseline_structural_digest(golden_entries, interface):
+    coverage = CoverageMap()
+    for entry in golden_entries:
+        coverage.observe(structural_keys(entry.program, interface))
+    assert coverage.digest() == GOLDEN_STRUCTURAL_DIGEST, (
+        "structural fingerprint vocabulary changed; recompute the pin if deliberate"
+    )

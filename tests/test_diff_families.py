@@ -22,6 +22,45 @@ def test_registry_contains_the_new_families_and_the_classic_profile():
     assert set(DEFAULT_FAMILIES) <= set(FAMILIES)
 
 
+def test_guided_workload_families_are_registered_but_not_default():
+    # new families ride guided campaigns; DEFAULT_FAMILIES stays frozen so
+    # existing golden-corpus filenames ("default") keep meaning what they say
+    assert "fluent-pipelines" in FAMILIES
+    assert "callback-flows" in FAMILIES
+    assert "fluent-pipelines" not in DEFAULT_FAMILIES
+    assert "callback-flows" not in DEFAULT_FAMILIES
+
+
+def test_fluent_pipelines_exercise_iteration_and_chaining():
+    from repro.lang.statements import Call
+
+    methods = set()
+    for seed in range(8):
+        scenario = generate_scenario("Fluent", "fluent-pipelines", seed)
+        for _cls, _method, statement in _calls(scenario.program):
+            methods.add(statement.method_name)
+    assert "iterator" in methods
+    assert "subList" in methods or "append" in methods
+
+
+def test_callback_flows_route_secrets_through_client_methods():
+    scenario = generate_scenario("Hof", "callback-flows", 3)
+    callback = scenario.program.class_def("HofCb")
+    assert {"accept", "relay", "fetch"} <= set(callback.methods)
+
+
+def _calls(program):
+    from repro.lang.statements import Call
+
+    for cls in program:
+        if cls.is_library:
+            continue
+        for method in cls.methods.values():
+            for statement in method.body:
+                if isinstance(statement, Call):
+                    yield cls.name, method.name, statement
+
+
 @pytest.mark.parametrize("family", sorted(FAMILIES))
 def test_generation_is_deterministic(family):
     first = generate_scenario("S", family, 1234)

@@ -3,11 +3,17 @@
 Every entry under ``tests/golden/`` is a program a fuzz campaign froze --
 shrunk counterexamples and sampled passing programs -- together with the
 verdict it produced: the concrete ground-truth flows, the per-pipeline
-static flows, and the divergence signatures.  This test re-runs the concrete
-interpreter and every recorded pipeline over the serialized program and
-asserts the verdict is unchanged, so any behaviour drift in the interpreter,
-the specification languages, the code generator, or the points-to analysis
-is caught by the ordinary test suite instead of by the next fuzz campaign.
+static flows, and the divergence signatures.  These tests re-run the
+concrete interpreter and every recorded pipeline over the serialized
+program and assert the verdict is unchanged, so any behaviour drift in the
+interpreter, the specification languages, the code generator, or the
+points-to analysis is caught by the ordinary test suite instead of by the
+next fuzz campaign.
+
+Each corpus entry parametrizes three separate tests (concrete flows,
+per-pipeline flows, divergence signatures) that share one cached verdict,
+so a drifting entry reports exactly which layer moved instead of stopping
+at the first failing assert.
 
 Regenerate the corpus with (see ``docs/diff.md``)::
 
@@ -33,6 +39,24 @@ def _entries():
 
 _ENTRIES = _entries()
 
+#: one replay verdict per entry name, computed lazily and shared by the three
+#: per-entry tests below -- each test asserts one layer of the verdict
+_VERDICTS = {}
+
+
+def _verdict(entry, analyzers, library_program):
+    if entry.name not in _VERDICTS:
+        unknown = set(entry.flows) - set(analyzers)
+        assert not unknown, f"corpus records pipelines this test cannot rebuild: {unknown}"
+        checker = DifferentialChecker(
+            {pipeline: analyzers[pipeline] for pipeline in entry.flows},
+            library_program=library_program,
+        )
+        _VERDICTS[entry.name] = checker.check_program(
+            entry.program, entry.name, family=entry.family, seed=entry.seed
+        )
+    return _VERDICTS[entry.name]
+
 
 def test_the_corpus_exists_and_holds_both_kinds():
     kinds = {entry.values[0].kind for entry in _ENTRIES}
@@ -51,18 +75,19 @@ def analyzers(ground_truth_analyzer, handwritten_analyzer, implementation_analyz
 
 
 @pytest.mark.parametrize("entry", _ENTRIES)
-def test_golden_entry_replays_identically(entry, analyzers, library_program):
-    unknown = set(entry.flows) - set(analyzers)
-    assert not unknown, f"corpus records pipelines this test cannot rebuild: {unknown}"
-
-    checker = DifferentialChecker(
-        {pipeline: analyzers[pipeline] for pipeline in entry.flows},
-        library_program=library_program,
-    )
-    verdict = checker.check_program(
-        entry.program, entry.name, family=entry.family, seed=entry.seed
-    )
+def test_golden_concrete_flows_replay(entry, analyzers, library_program):
+    verdict = _verdict(entry, analyzers, library_program)
     assert verdict.concrete == entry.concrete_flows, "ground-truth flows drifted"
+
+
+@pytest.mark.parametrize("entry", _ENTRIES)
+def test_golden_pipeline_flows_replay(entry, analyzers, library_program):
+    verdict = _verdict(entry, analyzers, library_program)
     for pipeline, expected in entry.flows.items():
         assert verdict.flows[pipeline] == expected, f"{pipeline} flows drifted"
+
+
+@pytest.mark.parametrize("entry", _ENTRIES)
+def test_golden_divergence_signatures_replay(entry, analyzers, library_program):
+    verdict = _verdict(entry, analyzers, library_program)
     assert verdict.signatures() == entry.divergence_signatures, "verdict drifted"

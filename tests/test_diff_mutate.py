@@ -1,0 +1,96 @@
+"""Property tests for the mutation operators (``repro.diff.mutate``).
+
+The operator contract the guided campaign relies on: whatever a mutation
+returns is *validate-clean* (merged with the library + framework environment
+it passes :func:`repro.lang.validate.validate_program`) and round-trips
+through :mod:`repro.lang.serialize` to a stable digest -- mutate -> encode ->
+decode -> encode is a fixed point.  Each operator is exercised over a seeded
+spread of parent programs from every default family; operators are allowed to
+return ``None`` (no applicable edit) but must succeed somewhere in the spread.
+"""
+
+import random
+
+import pytest
+
+from repro.diff.families import DEFAULT_FAMILIES, generate_scenario
+from repro.diff.mutate import (
+    MUTATORS,
+    build_mutation_context,
+    crossover,
+    mutate_program,
+)
+from repro.lang.serialize import program_digest, program_from_dict, program_to_dict
+
+_SEEDS = (3, 7, 11)
+
+
+@pytest.fixture(scope="module")
+def ctx(library_program, interface):
+    return build_mutation_context(library_program=library_program, interface=interface)
+
+
+@pytest.fixture(scope="module")
+def parents():
+    return [
+        generate_scenario(f"Parent{family}{seed}", family, seed).program
+        for family in DEFAULT_FAMILIES
+        for seed in _SEEDS
+    ]
+
+
+def _assert_clean_and_stable(mutant, ctx):
+    assert ctx.is_valid(mutant), "mutant does not validate against the environment"
+    encoded = program_to_dict(mutant)
+    decoded = program_from_dict(encoded)
+    assert program_to_dict(decoded) == encoded, "serialize round-trip is not a fixed point"
+    assert program_digest(decoded) == program_digest(mutant), "digest drifted in round-trip"
+
+
+@pytest.mark.parametrize("op_name", sorted(MUTATORS))
+def test_operator_yields_validate_clean_programs(op_name, ctx, parents):
+    operator = MUTATORS[op_name]
+    produced = 0
+    for index, parent in enumerate(parents):
+        before = program_digest(parent)
+        for draw in range(4):
+            mutant = operator(parent, random.Random(1000 * index + draw), ctx)
+            if mutant is None:
+                continue
+            produced += 1
+            _assert_clean_and_stable(mutant, ctx)
+            assert program_digest(parent) == before, "operator mutated its input in place"
+    assert produced > 0, f"{op_name} never applied across the seeded parent spread"
+
+
+def test_crossover_yields_validate_clean_programs(ctx, parents):
+    produced = 0
+    for index in range(len(parents)):
+        parent = parents[index]
+        mate = parents[(index + 1) % len(parents)]
+        mutant = crossover(parent, mate, random.Random(index), ctx)
+        if mutant is None:
+            continue
+        produced += 1
+        _assert_clean_and_stable(mutant, ctx)
+        # the combined program holds both parents' client classes
+        assert set(c.name for c in parent if not c.is_library) <= set(mutant.class_names())
+    assert produced > 0, "crossover never applied across the seeded parent spread"
+
+
+def test_mutate_program_names_the_operator(ctx, parents):
+    parent, mate = parents[0], parents[1]
+    result = mutate_program(parent, random.Random(5), ctx, mates=[mate])
+    assert result is not None
+    op_name, mutant = result
+    assert op_name in set(MUTATORS) | {"crossover"}
+    _assert_clean_and_stable(mutant, ctx)
+
+
+def test_mutate_program_is_deterministic(ctx, parents):
+    parent, mate = parents[0], parents[1]
+    first = mutate_program(parent, random.Random(42), ctx, mates=[mate])
+    second = mutate_program(parent, random.Random(42), ctx, mates=[mate])
+    assert first is not None and second is not None
+    assert first[0] == second[0]
+    assert program_digest(first[1]) == program_digest(second[1])

@@ -23,6 +23,24 @@ def test_campaign_config_is_deterministic(tiny_store):
     assert a == b
 
 
+def test_guided_rotation_claims_every_nth_cycle(tiny_store):
+    scheduler = CampaignScheduler(
+        tiny_store, config=ScheduleConfig(seed=9, budget=7, guided_every=3)
+    )
+    configs = [scheduler.campaign_config(cycle) for cycle in range(7)]
+    assert [c.guided for c in configs] == [False, False, False, True, False, False, True]
+    guided = configs[3]
+    # guided cycles search over the whole schedule, blind ones one family
+    assert guided.families == ALL_FAMILIES
+    assert guided.seed == 9 + 3 and guided.pipeline == "store" and guided.sample == 0
+    assert all(len(c.families) == 1 for c in configs if not c.guided)
+
+
+def test_guided_rotation_is_off_by_default(tiny_store):
+    scheduler = CampaignScheduler(tiny_store, config=ScheduleConfig(seed=9))
+    assert not any(scheduler.campaign_config(cycle).guided for cycle in range(12))
+
+
 def test_empty_family_schedule_is_rejected(tiny_store):
     with pytest.raises(ValueError):
         CampaignScheduler(tiny_store, config=ScheduleConfig(families=()))
