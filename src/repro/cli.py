@@ -6,7 +6,9 @@ Subcommands cover the serving path end to end, plus the evaluation driver::
     repro analyze --store .repro-specs --count 20 --workers 4
     repro serve-batch --store .repro-specs --request request.json
     repro serve --store .repro-specs --port 8080 --workers 4
+    repro serve --store .repro-specs --port 8080 --processes 4
     repro bench-serve --url http://127.0.0.1:8080 --requests 50 --clients 8
+    repro bench-serve --url http://127.0.0.1:8080 --mode open --rate 8 --requests 80
     repro fuzz --budget 200 --seed 7 --workers 4 [--shrink]
     repro fuzz --families taint-app --repair      # closed loop: fuzz -> repair -> re-fuzz
     repro repair --report fuzz-report.json --store .repro-specs --verify
@@ -27,9 +29,13 @@ builds the request from flags, ``serve-batch`` reads an
 :class:`~repro.service.api.AnalyzeRequest` JSON document (``-`` for stdin).
 ``serve`` runs the long-running HTTP daemon (:mod:`repro.server`): warm
 workers that compile the stored spec once at startup, a bounded queue with
-503 backpressure, and hot reload of newly stored specs.  ``bench-serve``
-load-tests a running daemon and verifies its responses bit-identical to
-in-process handling.  ``fuzz`` runs a differential fuzzing campaign
+503 backpressure, and hot reload of newly stored specs; ``--processes N``
+swaps in the sharded multi-process tier (pre-forked workers behind an
+asyncio front door with admission control and request coalescing).
+``bench-serve`` load-tests a running daemon and verifies its responses
+bit-identical to in-process handling -- ``--mode open`` schedules arrivals
+at a fixed ``--rate`` with latency anchored at the intended send time, so
+server backlog is never hidden (no coordinated omission).  ``fuzz`` runs a differential fuzzing campaign
 (:mod:`repro.diff`): seeded scenario programs checked concrete-vs-static,
 divergences shrunk to minimal counterexamples, golden corpus written under
 ``tests/golden/``.  ``repair`` (and the one-command ``fuzz --repair`` closed
@@ -182,20 +188,37 @@ def cmd_serve(args) -> int:
 
         sinks.append(JournalSink(journal))
     events = FanOutSink(sinks) if len(sinks) > 1 else (sinks[0] if sinks else None)
-    server = AnalysisServer(
-        SpecStore(args.store),
-        host=args.host,
-        port=args.port,
-        workers=args.workers,
-        queue_depth=args.queue_depth,
-        poll_interval=args.poll_interval,
-        events=events,
-    )
+    if args.processes > 0:
+        from repro.server import ShardedAnalysisServer
+
+        server = ShardedAnalysisServer(
+            SpecStore(args.store),
+            host=args.host,
+            port=args.port,
+            processes=args.processes,
+            queue_depth=args.queue_depth,
+            poll_interval=args.poll_interval,
+            events=events,
+            admission_limit=args.admission_limit,
+            coalesce=not args.no_coalesce,
+        )
+        tier = f"{args.processes} worker processes"
+    else:
+        server = AnalysisServer(
+            SpecStore(args.store),
+            host=args.host,
+            port=args.port,
+            workers=args.workers,
+            queue_depth=args.queue_depth,
+            poll_interval=args.poll_interval,
+            events=events,
+        )
+        tier = f"{server.pool.workers} warm worker threads"
     server.start()
     host, port = server.address
     sys.stderr.write(
         f"[serve] listening on http://{host}:{port} "
-        f"(spec {server.pool.current_spec_id}, {server.pool.workers} warm workers, "
+        f"(spec {server.pool.current_spec_id}, {tier}, "
         f"queue depth {server.pool.queue_capacity})\n"
     )
     if journal:
@@ -215,7 +238,12 @@ def cmd_serve(args) -> int:
 
 
 def cmd_bench_serve(args) -> int:
-    from repro.server.bench import fetch_json, run_load, verify_against_inprocess
+    from repro.server.bench import (
+        fetch_json,
+        run_load,
+        run_open_load,
+        verify_against_inprocess,
+    )
     from repro.service.api import AnalyzeRequest, SuiteSpec
     from repro.service.store import SpecStore
 
@@ -236,7 +264,16 @@ def cmd_bench_serve(args) -> int:
         spec_id=args.spec if args.spec else health.get("spec_id"),
         workers=args.workers,
     )
-    result = run_load(args.url, request, total_requests=args.requests, clients=args.clients)
+    if args.mode == "open":
+        result = run_open_load(
+            args.url,
+            request,
+            total_requests=args.requests,
+            rate_rps=args.rate,
+            distinct_seeds=args.distinct_seeds,
+        )
+    else:
+        result = run_load(args.url, request, total_requests=args.requests, clients=args.clients)
     print(result.summary())
 
     metrics = fetch_json(args.url, "/metrics")
@@ -250,18 +287,25 @@ def cmd_bench_serve(args) -> int:
 
     failed = result.ok != args.requests
     if args.store and not args.no_verify:
-        ok, detail = verify_against_inprocess(result, SpecStore(args.store), request)
-        print(f"verification: {detail}")
-        failed = failed or not ok
+        if args.mode == "open" and args.distinct_seeds:
+            print("verification: skipped (distinct seeds name a different corpus per request)")
+        else:
+            ok, detail = verify_against_inprocess(result, SpecStore(args.store), request)
+            print(f"verification: {detail}")
+            failed = failed or not ok
     if args.out:
         from repro.server.bench import bench_artifact, write_bench_artifact
 
-        artifact = bench_artifact(
-            result,
-            request,
-            metrics_snapshot=metrics,
-            meta={"url": args.url, "spec_id": request.spec_id},
-        )
+        meta = {
+            "url": args.url,
+            "spec_id": request.spec_id,
+            "cpu_count": os.cpu_count(),
+            "server": {
+                "workers": health.get("workers"),
+                "processes": health.get("processes", 0),
+            },
+        }
+        artifact = bench_artifact(result, request, metrics_snapshot=metrics, meta=meta)
         write_bench_artifact(args.out, artifact)
         sys.stderr.write(f"[bench] wrote {args.out}\n")
     return 1 if failed else 0
@@ -852,6 +896,26 @@ def build_parser() -> argparse.ArgumentParser:
         "--workers", type=int, default=2, help="warm worker threads (one compiled analyzer each)"
     )
     daemon.add_argument(
+        "--processes",
+        type=int,
+        default=0,
+        help="serve from N pre-forked worker processes behind the asyncio "
+        "front door instead of worker threads (0 = threaded tier)",
+    )
+    daemon.add_argument(
+        "--admission-limit",
+        type=int,
+        default=None,
+        help="max /analyze requests in flight before the front door sheds "
+        "with 503 (sharded tier only; default queue-depth + 2*processes)",
+    )
+    daemon.add_argument(
+        "--no-coalesce",
+        action="store_true",
+        help="disable single-flight coalescing of identical in-flight "
+        "requests (sharded tier only)",
+    )
+    daemon.add_argument(
         "--queue-depth",
         type=int,
         default=16,
@@ -873,6 +937,25 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--url", default="http://127.0.0.1:8080", help="daemon base URL")
     bench.add_argument("--requests", type=int, default=50, help="total requests to fire")
     bench.add_argument("--clients", type=int, default=8, help="concurrent client threads")
+    bench.add_argument(
+        "--mode",
+        choices=("closed", "open"),
+        default="closed",
+        help="closed: N client threads back to back; open: scheduled "
+        "arrivals at --rate rps, latency anchored at the intended send",
+    )
+    bench.add_argument(
+        "--rate",
+        type=float,
+        default=4.0,
+        help="open-loop arrival rate in requests/second",
+    )
+    bench.add_argument(
+        "--distinct-seeds",
+        action="store_true",
+        help="vary the suite seed per request (defeats response coalescing; "
+        "measures per-request analysis cost instead of cache hits)",
+    )
     bench.add_argument("--count", type=int, default=5, help="programs per request's suite")
     bench.add_argument("--seed", type=int, default=2018, help="corpus generation seed")
     bench.add_argument("--max-statements", type=int, default=60)

@@ -180,6 +180,24 @@ def ambient_sink(sink: EventSink, thread_local: bool = False) -> Iterator[EventS
         remove_ambient_sink(sink, thread_local=thread_local)
 
 
+def reset_ambient_sinks() -> None:
+    """Drop every process-global ambient sink (and the journal path).
+
+    For the child side of a ``fork()``: a pre-forked serving worker inherits
+    the parent's ambient sinks (journal tee, metrics) by memory copy, but its
+    telemetry must flow through its result queue to the parent -- which
+    re-emits into those very sinks.  Without this reset every worker-side
+    span would be delivered twice (once directly into the inherited sink's
+    copy, once via the parent), and two processes would interleave writes
+    into one journal file.  Thread-local sinks die with the forking thread
+    and need no reset.
+    """
+    global _JOURNAL_PATH
+    with _PROCESS_LOCK:
+        _PROCESS_SINKS.clear()
+    _JOURNAL_PATH = None
+
+
 def set_journal_path(path: Optional[str]) -> None:
     """Remember the ambient journal's path for cross-process propagation."""
     global _JOURNAL_PATH
@@ -324,6 +342,7 @@ __all__ = [
     "journal_path",
     "new_id",
     "remove_ambient_sink",
+    "reset_ambient_sinks",
     "set_journal_path",
     "span",
 ]

@@ -12,35 +12,51 @@ learned once precisely so clients can query them cheaply and often
   **once at startup**, a bounded request queue with backpressure
   (:class:`PoolSaturated`), and hot reload of newly stored specs without
   dropping in-flight requests.
+* :mod:`repro.server.procpool` -- :class:`ProcessWorkerPool`: the same
+  contract over pre-forked worker **processes** (compile once per process,
+  spec-id routing, telemetry and shadow mirroring forwarded across the fork
+  boundary), so analysis throughput scales with cores instead of one GIL.
 * :mod:`repro.server.http` -- :class:`AnalysisServer`: a stdlib
   ``ThreadingHTTPServer`` exposing ``POST /analyze`` (the existing
   :class:`~repro.service.api.AnalyzeRequest` / ``FlowReport`` JSON bodies),
   ``GET /healthz``, ``GET /specs``, and ``GET /metrics``.
+* :mod:`repro.server.front` -- :class:`ShardedAnalysisServer`: the
+  multi-process tier's asyncio front door -- same endpoints and headers,
+  plus admission control and single-flight request coalescing keyed on
+  :func:`~repro.service.api.canonical_request_key`.
 * :mod:`repro.server.metrics` -- :class:`ServerMetrics` + :class:`MetricsSink`:
   request counts, latency percentiles, queue depth, and per-worker spec
   compilation counters fed from :mod:`repro.engine.events`.
-* :mod:`repro.server.bench` -- :func:`run_load`: a seeded concurrent load
-  generator whose responses are verified bit-identical to in-process
+* :mod:`repro.server.bench` -- :func:`run_load` / :func:`run_open_load`:
+  seeded closed- and open-loop load generators (latency anchored at first
+  attempt / intended send -- no coordinated omission) whose responses are
+  verified bit-identical to in-process
   :func:`~repro.service.api.handle_request`.
 
-The CLI surface is ``repro serve`` (run the daemon) and ``repro bench-serve``
-(load-test one); ``examples/serve_http.py`` walks the whole path in-process.
+The CLI surface is ``repro serve`` (``--processes N`` picks the sharded
+tier) and ``repro bench-serve`` (load-test one, ``--mode open`` for the
+scheduled-arrival harness); ``examples/serve_http.py`` walks the whole path
+in-process.
 """
 
 from repro.server.bench import (
     LoadResult,
     canonical_reports,
     fetch_json,
+    parse_retry_after,
     post_analyze,
     run_load,
+    run_open_load,
     verify_against_inprocess,
 )
+from repro.server.front import ShardedAnalysisServer
 from repro.server.http import (
     AnalysisHTTPServer,
     AnalysisServer,
     DEFAULT_HOST,
     DEFAULT_POLL_INTERVAL_SECONDS,
     DEFAULT_PORT,
+    spec_status,
 )
 from repro.server.metrics import MetricsSink, ServerMetrics, percentile
 from repro.server.pool import (
@@ -48,6 +64,7 @@ from repro.server.pool import (
     PoolSaturated,
     WarmWorkerPool,
 )
+from repro.server.procpool import ProcessWorkerPool
 
 __all__ = [
     "AnalysisHTTPServer",
@@ -59,12 +76,17 @@ __all__ = [
     "LoadResult",
     "MetricsSink",
     "PoolSaturated",
+    "ProcessWorkerPool",
     "ServerMetrics",
+    "ShardedAnalysisServer",
     "WarmWorkerPool",
     "canonical_reports",
     "fetch_json",
+    "parse_retry_after",
     "percentile",
     "post_analyze",
     "run_load",
+    "run_open_load",
+    "spec_status",
     "verify_against_inprocess",
 ]

@@ -1,7 +1,7 @@
 """A seeded load generator for the analysis daemon.
 
 ``repro bench-serve`` (and ``examples/serve_http.py``) use this module to
-fire N concurrent copies of one benchgen-derived
+fire N copies of one benchgen-derived
 :class:`~repro.service.api.AnalyzeRequest` at a running daemon and report
 sustained throughput and client-observed latency.  Because the request
 document fully determines its corpus (seeded suite) and the analysis is
@@ -11,9 +11,25 @@ deterministic, every response must be **bit-identical** to running
 end-to-end proof that the warm-worker fast path changes *where* the work
 happens, never *what* it computes.
 
-Clients honor backpressure: a ``503`` is counted, then retried after the
-server's ``Retry-After`` hint, so a bounded queue shapes the load instead of
-failing it.
+Two load models, one result shape:
+
+* :func:`run_load` is **closed-loop**: a fixed set of client threads, each
+  issuing its next request only after the previous one finished.  Throughput
+  self-limits to what the server sustains, which is why the closed-loop
+  number is the trajectory headline (``BENCH_*.json``).
+* :func:`run_open_load` is **open-loop**: requests are dispatched on a fixed
+  schedule (``rate_rps``) regardless of how the server is doing, the way
+  independent clients actually arrive.  Latency is measured from the
+  *intended* send time, so server-induced queueing cannot hide in the
+  generator -- the coordinated-omission failure mode of naive harnesses.
+
+Both models measure a request's latency **from its first attempt**: a 503
+round-trip and its ``Retry-After`` sleep are part of what the client waited,
+so they stay in the reported number, while the final attempt's service time
+is kept separately (:attr:`LoadResult.service_seconds`).  Clients honor
+backpressure: a ``503`` is counted, then retried after the server's
+``Retry-After`` hint (numeric seconds or HTTP-date), so a bounded queue
+shapes the load instead of failing it.
 
 Example::
 
@@ -31,7 +47,9 @@ import threading
 import time
 import urllib.error
 import urllib.request
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
+from datetime import datetime, timezone
+from email.utils import parsedate_to_datetime
 from typing import Dict, List, Optional, Tuple
 
 from repro.server.metrics import percentile
@@ -40,6 +58,38 @@ from repro.service.store import SpecStore
 
 DEFAULT_TIMEOUT_SECONDS = 600.0
 DEFAULT_MAX_ATTEMPTS = 60
+#: fallback sleep before retrying a 503 that carried no usable Retry-After
+DEFAULT_RETRY_SLEEP_SECONDS = 0.1
+
+
+def parse_retry_after(value: Optional[str]) -> Optional[float]:
+    """``Retry-After`` header -> seconds to wait, or ``None`` if unusable.
+
+    RFC 9110 allows both forms -- ``Retry-After: 3`` (delay-seconds) and
+    ``Retry-After: Fri, 08 Aug 2026 07:28:00 GMT`` (HTTP-date) -- and a
+    load client must not die on either (an uncaught ``ValueError`` from
+    ``float()`` once killed whole bench client threads silently).  Dates in
+    the past and negative delays clamp to ``0.0``, which callers must treat
+    as "retry immediately", distinct from ``None`` ("no hint given").
+    """
+    if value is None:
+        return None
+    text = str(value).strip()
+    if not text:
+        return None
+    try:
+        seconds = float(text)
+    except ValueError:
+        try:
+            when = parsedate_to_datetime(text)
+        except (TypeError, ValueError):
+            return None
+        if when is None:  # pre-3.10 parsedate behavior, kept for safety
+            return None
+        if when.tzinfo is None:
+            when = when.replace(tzinfo=timezone.utc)
+        seconds = (when - datetime.now(timezone.utc)).total_seconds()
+    return max(0.0, seconds)
 
 
 @dataclass
@@ -51,10 +101,25 @@ class LoadResult:
     elapsed_seconds: float
     statuses: Dict[int, int]
     retries_after_503: int
+    #: per-request latency measured from the FIRST attempt (closed loop) or
+    #: the intended send time (open loop) -- 503 round-trips and Retry-After
+    #: sleeps are part of what the client waited, so they are in here
     latencies_seconds: List[float]
     #: parsed JSON bodies of the 200 responses, indexed by request number
     responses: Dict[int, dict] = field(default_factory=dict)
     errors: List[str] = field(default_factory=list)
+    #: wall-clock of the final (successful) attempt alone -- the server's
+    #: service time, without the backpressure wait the latency includes
+    service_seconds: List[float] = field(default_factory=list)
+    #: attempts each successful request needed (1 = no 503 on the way)
+    attempts: List[int] = field(default_factory=list)
+    #: ``"closed"`` (:func:`run_load`) or ``"open"`` (:func:`run_open_load`)
+    mode: str = "closed"
+    #: the scheduled arrival rate of an open-loop run (``None`` when closed)
+    target_rps: Optional[float] = None
+    #: open loop only: how far behind schedule each dispatch actually started
+    #: (a loaded generator shows up here instead of silently skewing latency)
+    send_lateness_seconds: List[float] = field(default_factory=list)
 
     @property
     def ok(self) -> int:
@@ -69,16 +134,31 @@ class LoadResult:
             return None
         return percentile(sorted(self.latencies_seconds), fraction)
 
+    def service_percentile(self, fraction: float) -> Optional[float]:
+        if not self.service_seconds:
+            return None
+        return percentile(sorted(self.service_seconds), fraction)
+
     def summary(self) -> str:
+        label = "open-loop" if self.mode == "open" else "closed-loop"
+        rate = f" at {self.target_rps:g} req/s scheduled" if self.target_rps else ""
         lines = [
-            f"{self.ok}/{self.total_requests} requests ok from {self.clients} client threads "
-            f"in {self.elapsed_seconds:.2f}s ({self.throughput_rps:.1f} req/s)",
+            f"{self.ok}/{self.total_requests} requests ok ({label}{rate}, "
+            f"{self.clients} clients) in {self.elapsed_seconds:.2f}s "
+            f"({self.throughput_rps:.1f} req/s)",
         ]
         if self.latencies_seconds:
             lines.append(
-                "latency: "
+                "latency (from first attempt): "
                 + ", ".join(
                     f"p{f:g}={self.latency_percentile(f):.3f}s" for f in (50.0, 90.0, 99.0)
+                )
+            )
+        if self.service_seconds:
+            lines.append(
+                "service (final attempt only): "
+                + ", ".join(
+                    f"p{f:g}={self.service_percentile(f):.3f}s" for f in (50.0, 90.0, 99.0)
                 )
             )
         if self.retries_after_503:
@@ -110,14 +190,77 @@ def post_analyze(
             parsed = json.loads(body)
         except json.JSONDecodeError:
             parsed = {"error": body}
-        retry_after = error.headers.get("Retry-After")
-        return error.code, parsed, float(retry_after) if retry_after else None
+        return error.code, parsed, parse_retry_after(error.headers.get("Retry-After"))
 
 
 def fetch_json(base_url: str, path: str, timeout: float = 30.0) -> dict:
     """GET a JSON endpoint (``/healthz``, ``/specs``, ``/metrics``)."""
     with urllib.request.urlopen(base_url.rstrip("/") + path, timeout=timeout) as response:
         return json.loads(response.read().decode("utf-8"))
+
+
+class _Recorder:
+    """Thread-safe accumulation shared by the closed- and open-loop drivers."""
+
+    def __init__(self) -> None:
+        self.lock = threading.Lock()
+        self.statuses: Dict[int, int] = {}
+        self.latencies: List[float] = []
+        self.service: List[float] = []
+        self.attempts: List[int] = []
+        self.responses: Dict[int, dict] = {}
+        self.errors: List[str] = []
+        self.retries = 0
+
+    def run_one(
+        self,
+        base_url: str,
+        payload: bytes,
+        index: int,
+        reference_started: float,
+        timeout: float,
+        max_attempts: int,
+    ) -> None:
+        """Issue request *index* until it lands (or attempts run out).
+
+        *reference_started* is the ``perf_counter`` instant latency is
+        measured from: the first attempt (closed loop) or the scheduled
+        arrival time (open loop).  It is NOT reset across retries -- the
+        whole point; resetting it per attempt made a saturated server look
+        *faster* because every 503 round-trip and Retry-After sleep was
+        dropped from the reported latency.
+        """
+        for attempt in range(1, max_attempts + 1):
+            attempt_started = time.perf_counter()
+            try:
+                status, body, retry_after = post_analyze(base_url, payload, timeout=timeout)
+            except (urllib.error.URLError, OSError) as error:
+                with self.lock:
+                    self.errors.append(f"request {index}: {error}")
+                return
+            finished = time.perf_counter()
+            if status == 503:
+                with self.lock:
+                    self.statuses[503] = self.statuses.get(503, 0) + 1
+                    self.retries += 1
+                # an explicit ``Retry-After: 0`` means "retry now", which is
+                # not the same as no hint at all -- hence ``is None``
+                sleep = retry_after if retry_after is not None else DEFAULT_RETRY_SLEEP_SECONDS
+                if sleep > 0:
+                    time.sleep(sleep)
+                continue
+            with self.lock:
+                self.statuses[status] = self.statuses.get(status, 0) + 1
+                if status == 200:
+                    self.latencies.append(finished - reference_started)
+                    self.service.append(finished - attempt_started)
+                    self.attempts.append(attempt)
+                    self.responses[index] = body
+                else:
+                    self.errors.append(f"request {index}: status {status}: {body.get('error')}")
+            return
+        with self.lock:
+            self.errors.append(f"request {index}: gave up after {max_attempts} attempts")
 
 
 def run_load(
@@ -130,57 +273,32 @@ def run_load(
 ) -> LoadResult:
     """Fire *total_requests* copies of *request* from *clients* threads.
 
-    Each client thread pulls request numbers off a shared queue, POSTs, and
-    on a 503 sleeps the server's ``Retry-After`` hint before retrying (up to
-    *max_attempts* attempts per request), so every request eventually lands
-    unless the server is down.  Latency is measured per successful POST,
-    client-side.
+    Closed-loop: each client thread pulls request numbers off a shared
+    queue, POSTs, and on a 503 sleeps the server's ``Retry-After`` hint
+    before retrying (up to *max_attempts* attempts per request), so every
+    request eventually lands unless the server is down.  Latency is measured
+    client-side from the request's **first** attempt.
     """
     payload = json.dumps(request.to_dict()).encode("utf-8")
     pending: "queue.Queue[int]" = queue.Queue()
     for index in range(total_requests):
         pending.put(index)
-
-    lock = threading.Lock()
-    statuses: Dict[int, int] = {}
-    latencies: List[float] = []
-    responses: Dict[int, dict] = {}
-    errors: List[str] = []
-    retries = 0
+    recorder = _Recorder()
 
     def client_loop() -> None:
-        nonlocal retries
         while True:
             try:
                 index = pending.get_nowait()
             except queue.Empty:
                 return
-            for _attempt in range(max_attempts):
-                started = time.perf_counter()
-                try:
-                    status, body, retry_after = post_analyze(base_url, payload, timeout=timeout)
-                except (urllib.error.URLError, OSError) as error:
-                    with lock:
-                        errors.append(f"request {index}: {error}")
-                    break
-                elapsed = time.perf_counter() - started
-                if status == 503:
-                    with lock:
-                        statuses[503] = statuses.get(503, 0) + 1
-                        retries += 1
-                    time.sleep(retry_after if retry_after else 0.1)
-                    continue
-                with lock:
-                    statuses[status] = statuses.get(status, 0) + 1
-                    if status == 200:
-                        latencies.append(elapsed)
-                        responses[index] = body
-                    else:
-                        errors.append(f"request {index}: status {status}: {body.get('error')}")
-                break
-            else:
-                with lock:
-                    errors.append(f"request {index}: gave up after {max_attempts} attempts")
+            recorder.run_one(
+                base_url,
+                payload,
+                index,
+                reference_started=time.perf_counter(),
+                timeout=timeout,
+                max_attempts=max_attempts,
+            )
 
     threads = [
         threading.Thread(target=client_loop, name=f"bench-client-{i}", daemon=True)
@@ -196,16 +314,115 @@ def run_load(
         total_requests=total_requests,
         clients=max(1, clients),
         elapsed_seconds=elapsed,
-        statuses=statuses,
-        retries_after_503=retries,
-        latencies_seconds=latencies,
-        responses=responses,
-        errors=errors,
+        statuses=recorder.statuses,
+        retries_after_503=recorder.retries,
+        latencies_seconds=recorder.latencies,
+        responses=recorder.responses,
+        errors=recorder.errors,
+        service_seconds=recorder.service,
+        attempts=recorder.attempts,
+        mode="closed",
+    )
+
+
+def vary_request_seed(request: AnalyzeRequest, index: int) -> AnalyzeRequest:
+    """Request *index* of a distinct-corpus run: same shape, shifted seed.
+
+    Used to defeat response coalescing when the point of a run is per-request
+    compute (scaling measurements) rather than cache behavior -- each request
+    then names a different (but same-sized) deterministic corpus.
+    """
+    return replace(request, suite=replace(request.suite, seed=request.suite.seed + index))
+
+
+def run_open_load(
+    base_url: str,
+    request: AnalyzeRequest,
+    total_requests: int,
+    rate_rps: float,
+    timeout: float = DEFAULT_TIMEOUT_SECONDS,
+    max_attempts: int = DEFAULT_MAX_ATTEMPTS,
+    distinct_seeds: bool = False,
+) -> LoadResult:
+    """Dispatch *total_requests* on a fixed schedule of *rate_rps* per second.
+
+    Open-loop, coordinated-omission-free: request *i* is *scheduled* at
+    ``i / rate_rps`` seconds after the run starts and dispatched on its own
+    thread, whether or not earlier requests have finished.  Latency is
+    measured from the **intended** send time, so when the server (or the
+    generator) falls behind, the backlog shows up in the latency numbers
+    instead of silently stretching the arrival schedule.  Dispatch lateness
+    is recorded separately (:attr:`LoadResult.send_lateness_seconds`) so a
+    starved generator is distinguishable from a slow server.
+
+    *distinct_seeds* gives every request its own suite seed (same corpus
+    shape) via :func:`vary_request_seed`, defeating the front door's response
+    coalescing when per-request compute is what the run must measure.
+    """
+    if rate_rps <= 0:
+        raise ValueError(f"rate_rps must be positive, got {rate_rps!r}")
+    payloads = []
+    for index in range(total_requests):
+        doc = vary_request_seed(request, index) if distinct_seeds else request
+        payloads.append(json.dumps(doc.to_dict()).encode("utf-8"))
+    recorder = _Recorder()
+    lateness: List[float] = []
+    lateness_lock = threading.Lock()
+    threads: List[threading.Thread] = []
+    epoch = time.perf_counter()
+    for index in range(total_requests):
+        scheduled = epoch + index / rate_rps
+        delay = scheduled - time.perf_counter()
+        if delay > 0:
+            time.sleep(delay)
+        with lateness_lock:
+            lateness.append(max(0.0, time.perf_counter() - scheduled))
+        thread = threading.Thread(
+            target=recorder.run_one,
+            args=(base_url, payloads[index], index),
+            kwargs={
+                "reference_started": scheduled,
+                "timeout": timeout,
+                "max_attempts": max_attempts,
+            },
+            name=f"bench-open-{index}",
+            daemon=True,
+        )
+        threads.append(thread)
+        thread.start()
+    for thread in threads:
+        thread.join()
+    elapsed = time.perf_counter() - epoch
+    return LoadResult(
+        total_requests=total_requests,
+        clients=total_requests,  # open loop: every arrival is its own client
+        elapsed_seconds=elapsed,
+        statuses=recorder.statuses,
+        retries_after_503=recorder.retries,
+        latencies_seconds=recorder.latencies,
+        responses=recorder.responses,
+        errors=recorder.errors,
+        service_seconds=recorder.service,
+        attempts=recorder.attempts,
+        mode="open",
+        target_rps=rate_rps,
+        send_lateness_seconds=lateness,
     )
 
 
 # ------------------------------------------------------------ bench artifacts
 BENCH_FORMAT = "repro.bench.serve/1"
+
+
+def _percentile_block(values: List[float]) -> dict:
+    ordered = sorted(values)
+    return {
+        "count": len(ordered),
+        "p50": percentile(ordered, 50.0) if ordered else None,
+        "p90": percentile(ordered, 90.0) if ordered else None,
+        "p99": percentile(ordered, 99.0) if ordered else None,
+        "max": ordered[-1] if ordered else None,
+    }
 
 
 def bench_artifact(
@@ -220,9 +437,11 @@ def bench_artifact(
     one schema-versioned document per recorded run, comparable across
     commits.  Phase times aggregate the per-report timing of every 200
     response; the optional server-side ``/metrics`` snapshot is embedded
-    verbatim for queue/compilation context.
+    verbatim for queue/compilation context.  The latency block reports the
+    first-attempt-anchored numbers; ``service_seconds`` carries the final
+    attempt alone, and ``attempts`` how many tries requests needed -- under
+    backpressure the gap between the two is the price of the bounded queue.
     """
-    ordered = sorted(result.latencies_seconds)
     phases = {"andersen_seconds": 0.0, "taint_seconds": 0.0, "total_seconds": 0.0}
     programs = 0
     for body in result.responses.values():
@@ -235,6 +454,8 @@ def bench_artifact(
         "format": BENCH_FORMAT,
         "request": request.to_dict(),
         "load": {
+            "mode": result.mode,
+            "target_rps": result.target_rps,
             "total_requests": result.total_requests,
             "clients": result.clients,
             "elapsed_seconds": result.elapsed_seconds,
@@ -244,15 +465,18 @@ def bench_artifact(
             "errors": len(result.errors),
         },
         "throughput_rps": result.throughput_rps,
-        "latency_seconds": {
-            "count": len(ordered),
-            "p50": percentile(ordered, 50.0) if ordered else None,
-            "p90": percentile(ordered, 90.0) if ordered else None,
-            "p99": percentile(ordered, 99.0) if ordered else None,
-            "max": ordered[-1] if ordered else None,
+        "latency_seconds": _percentile_block(result.latencies_seconds),
+        "service_seconds": _percentile_block(result.service_seconds),
+        "attempts": {
+            "mean": (sum(result.attempts) / len(result.attempts)) if result.attempts else None,
+            "max": max(result.attempts) if result.attempts else None,
         },
         "phases": {"programs_analyzed": programs, **phases},
     }
+    if result.mode == "open" and result.send_lateness_seconds:
+        artifact["load"]["send_lateness_seconds"] = _percentile_block(
+            result.send_lateness_seconds
+        )
     if metrics_snapshot is not None:
         artifact["server_metrics"] = metrics_snapshot
     if meta:
@@ -288,6 +512,9 @@ def verify_against_inprocess(
     Compares the canonical (timing-free) report lists and the resolved spec
     id; returns ``(ok, human-readable detail)``.  This is the acceptance
     check that the warm-worker path is an optimization, not a semantic fork.
+    Only meaningful for same-document runs -- a ``distinct_seeds`` open-loop
+    run names a different corpus per request and must be verified per
+    request instead.
     """
     expected_response = handle_request(
         request, store, library_program=library_program, interface=interface
@@ -316,8 +543,11 @@ __all__ = [
     "bench_artifact",
     "canonical_reports",
     "fetch_json",
+    "parse_retry_after",
     "post_analyze",
     "run_load",
+    "run_open_load",
+    "vary_request_seed",
     "verify_against_inprocess",
     "write_bench_artifact",
 ]

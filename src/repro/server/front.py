@@ -1,0 +1,522 @@
+"""The asyncio front door of the sharded, multi-process serving tier.
+
+:class:`ShardedAnalysisServer` is the multi-process counterpart of
+:class:`~repro.server.http.AnalysisServer`: the same four endpoints, the
+same status mapping, the same ``X-Repro-Trace-Id`` / ``Server-Timing``
+headers, the same hot-reload and shadow-canary semantics -- but requests are
+accepted by a single-threaded asyncio event loop (stdlib streams, manual
+HTTP/1.1 framing, keep-alive) and analyzed by a
+:class:`~repro.server.procpool.ProcessWorkerPool` of pre-forked worker
+processes, so throughput scales with cores instead of capping at one GIL.
+
+Two request-shaping layers live in the front door itself, above the pool's
+bounded queue:
+
+* **Admission control** -- at most ``admission_limit`` ``/analyze`` requests
+  may be in flight through the pool at once; excess arrivals are shed
+  immediately with ``503`` + ``Retry-After`` (and a dedicated metric), so a
+  burst fails fast at the door instead of stacking up in the event loop.
+  Coalesced followers do not count: they consume no pool capacity.
+* **Request coalescing** -- the analysis is deterministic, so two in-flight
+  requests with the same :func:`repro.service.api.canonical_request_key`
+  (canonical document + resolved spec id, a faithful stand-in for the
+  corpus's ``repro.lang.serialize`` program digests) must produce the same
+  bytes.  The first becomes the *leader*; the rest await its response and
+  receive the leader's body verbatim (bit-identical, flagged with
+  ``X-Repro-Coalesced: 1``).  Keys resolve the spec id at arrival time, so a
+  hot reload never coalesces across spec versions.
+
+Trace note: the loop handles many requests on one thread, so the
+thread-local ``span()`` context manager would cross-contaminate interleaved
+tasks.  The front door mints each request's :class:`~repro.obs.trace.TraceContext`
+explicitly, ships it to the worker through ``pool.submit(context=...)``, and
+emits the root ``server.request`` span by hand when the response is written.
+
+Example::
+
+    >>> server = ShardedAnalysisServer(store, port=0, processes=2)
+    >>> server.start()
+    >>> server.url
+    'http://127.0.0.1:40121'
+    >>> server.close()
+"""
+
+from __future__ import annotations
+
+import asyncio
+import http.client
+import json
+import threading
+import time
+from typing import Dict, Optional, Tuple
+from urllib.parse import parse_qs, urlsplit
+
+from repro.engine.events import EventSink, FanOutSink
+from repro.obs import trace as _trace
+from repro.obs.metrics import PROMETHEUS_CONTENT_TYPE
+from repro.obs.trace import SpanFinished, TraceContext
+from repro.server.http import (
+    DEFAULT_HOST,
+    DEFAULT_POLL_INTERVAL_SECONDS,
+    DEFAULT_PORT,
+    spec_status,
+)
+from repro.server.metrics import MetricsSink, ServerMetrics
+from repro.server.pool import DEFAULT_QUEUE_DEPTH, PoolSaturated
+from repro.server.procpool import ProcessWorkerPool
+from repro.service.api import (
+    AnalyzeRequest,
+    UnknownAppsError,
+    canonical_request_key,
+)
+from repro.service.store import SpecNotFoundError, SpecStore
+
+JSON_CONTENT_TYPE = "application/json"
+
+#: (status, body bytes, extra headers, content type) -- one rendered response
+_Rendered = Tuple[int, bytes, Dict[str, str], str]
+
+
+def _render_json(status: int, payload) -> bytes:
+    """Match the threaded server byte for byte: compact 200s, readable errors."""
+    rendered = (
+        json.dumps(payload, separators=(",", ":"))
+        if status == 200
+        else json.dumps(payload, indent=1)
+    )
+    return rendered.encode("utf-8") + b"\n"
+
+
+def _server_timing(future) -> str:
+    """The per-phase breakdown header from the worker's shipped timings."""
+    parts = []
+    for phase, attr in (
+        ("queue", "queue_seconds"),
+        ("andersen", "andersen_seconds"),
+        ("taint", "taint_seconds"),
+        ("analysis", "analysis_seconds"),
+    ):
+        seconds = getattr(future, attr, None)
+        if seconds is not None:
+            parts.append(f"{phase};dur={seconds * 1000.0:.3f}")
+    return ", ".join(parts)
+
+
+class ShardedAnalysisServer:
+    """Process pool + metrics + asyncio HTTP front door, one lifecycle.
+
+    ``start()`` forks and warms every worker process, begins store polling
+    for hot reload, and serves HTTP from an event loop on a background
+    thread; ``close()`` (or the context manager) tears all of it down.
+    ``port=0`` binds an ephemeral port, read back from :attr:`address` /
+    :attr:`url`.
+    """
+
+    def __init__(
+        self,
+        store: SpecStore,
+        host: str = DEFAULT_HOST,
+        port: int = DEFAULT_PORT,
+        processes: int = 2,
+        queue_depth: int = DEFAULT_QUEUE_DEPTH,
+        events: Optional[EventSink] = None,
+        poll_interval: float = DEFAULT_POLL_INTERVAL_SECONDS,
+        metrics: Optional[ServerMetrics] = None,
+        library_program=None,
+        admission_limit: Optional[int] = None,
+        coalesce: bool = True,
+        mp_context: Optional[str] = None,
+    ):
+        self.store = store
+        self.host = host
+        self.port = port
+        self.poll_interval = poll_interval
+        self.metrics = metrics if metrics is not None else ServerMetrics()
+        sinks: list = [MetricsSink(self.metrics)]
+        if events is not None:
+            sinks.append(events)
+        self.events = FanOutSink(sinks)
+        self.pool = ProcessWorkerPool(
+            store,
+            processes=processes,
+            queue_depth=queue_depth,
+            events=self.events,
+            library_program=library_program,
+            mp_context=mp_context,
+        )
+        # headroom above the pool bound: the door sheds before the loop fills
+        # with tasks that would only be shed by the pool anyway
+        self.admission_limit = (
+            admission_limit
+            if admission_limit is not None
+            else queue_depth + 2 * self.pool.processes
+        )
+        self.coalesce = coalesce
+        self._inflight = 0
+        self._leaders: Dict[str, "asyncio.Future[_Rendered]"] = {}
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._thread: Optional[threading.Thread] = None
+        self._loop_ready = threading.Event()
+        self._startup_error: Optional[BaseException] = None
+        self._shutdown: Optional[asyncio.Event] = None
+        self._bound: Optional[Tuple[str, int]] = None
+
+    # ----------------------------------------------------------------- lifecycle
+    def start(self) -> None:
+        """Warm the worker fleet, bind the socket, serve on a loop thread."""
+        if self._thread is not None:
+            raise RuntimeError("server already started")
+        self.pool.start()
+        self.pool.start_polling(self.poll_interval)
+        self._loop_ready.clear()
+        self._startup_error = None
+        self._thread = threading.Thread(
+            target=self._run_loop, name="repro-serve-front", daemon=True
+        )
+        self._thread.start()
+        self._loop_ready.wait()
+        if self._startup_error is not None:
+            error = self._startup_error
+            self._thread.join()
+            self._thread = None
+            self.pool.stop()
+            raise error
+
+    def _run_loop(self) -> None:
+        asyncio.run(self._main())
+
+    async def _main(self) -> None:
+        self._loop = asyncio.get_running_loop()
+        self._shutdown = asyncio.Event()
+        try:
+            server = await asyncio.start_server(self._handle_client, self.host, self.port)
+        except OSError as error:
+            self._startup_error = error
+            self._loop_ready.set()
+            return
+        self._bound = server.sockets[0].getsockname()[:2]
+        self._loop_ready.set()
+        async with server:
+            await self._shutdown.wait()
+
+    def serve_forever(self) -> None:
+        """Block the calling thread until :meth:`close` (or interrupt)."""
+        if self._thread is None:
+            raise RuntimeError("server is not running (call start() first)")
+        self._thread.join()
+
+    def close(self) -> None:
+        """Stop accepting connections, drain the fleet, stop the workers."""
+        if self._thread is not None and self._loop is not None:
+            try:
+                self._loop.call_soon_threadsafe(self._shutdown.set)
+            except RuntimeError:
+                pass  # loop already closed
+            self._thread.join()
+            self._thread = None
+            self._loop = None
+            self._bound = None
+        if self.pool.running:  # tolerate close() after a failed start()
+            self.pool.stop()
+
+    def __enter__(self) -> "ShardedAnalysisServer":
+        self.start()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------ address
+    @property
+    def address(self) -> Tuple[str, int]:
+        """The bound ``(host, port)`` -- the real port even when 0 was asked."""
+        if self._bound is None:
+            raise RuntimeError("server is not running")
+        return self._bound
+
+    @property
+    def url(self) -> str:
+        host, port = self.address
+        return f"http://{host}:{port}"
+
+    # --------------------------------------------------------------- connection
+    async def _handle_client(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        """One keep-alive HTTP/1.1 connection: parse, route, frame, repeat."""
+        try:
+            while True:
+                request_line = await reader.readline()
+                if not request_line:
+                    break
+                parts = request_line.decode("latin-1").strip().split()
+                if len(parts) != 3:
+                    await self._write(
+                        writer,
+                        (400, _render_json(400, {"error": "malformed request line"}), {}, JSON_CONTENT_TYPE),
+                        close=True,
+                    )
+                    break
+                method, target, version = parts
+                headers: Dict[str, str] = {}
+                while True:
+                    line = await reader.readline()
+                    if line in (b"\r\n", b"\n", b""):
+                        break
+                    name, sep, value = line.decode("latin-1").partition(":")
+                    if sep:
+                        headers[name.strip().lower()] = value.strip()
+                try:
+                    length = int(headers.get("content-length", "0") or "0")
+                except ValueError:
+                    # an unparseable Content-Length makes the rest of the
+                    # stream unframeable; answer and close, like the threaded tier
+                    await self._write(
+                        writer,
+                        (400, _render_json(400, {"error": "invalid Content-Length header"}), {}, JSON_CONTENT_TYPE),
+                        close=True,
+                    )
+                    break
+                body = await reader.readexactly(length) if length > 0 else b""
+                close = (
+                    headers.get("connection", "").lower() == "close"
+                    or version.upper() == "HTTP/1.0"
+                )
+                rendered = await self._route(method, target, headers, body)
+                await self._write(writer, rendered, close=close)
+                if close:
+                    break
+        except (asyncio.IncompleteReadError, ConnectionResetError, BrokenPipeError):
+            pass  # client went away mid-request; nothing to answer
+        finally:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError, OSError):
+                pass
+
+    async def _write(
+        self, writer: asyncio.StreamWriter, rendered: _Rendered, close: bool
+    ) -> None:
+        status, body, extra_headers, content_type = rendered
+        reason = http.client.responses.get(status, "")
+        head = [
+            f"HTTP/1.1 {status} {reason}",
+            "Server: repro-serve/2",
+            f"Content-Type: {content_type}",
+            f"Content-Length: {len(body)}",
+        ]
+        if close:
+            head.append("Connection: close")
+        for name, value in extra_headers.items():
+            head.append(f"{name}: {value}")
+        writer.write(("\r\n".join(head) + "\r\n\r\n").encode("latin-1") + body)
+        await writer.drain()
+
+    # ------------------------------------------------------------------- routes
+    async def _route(
+        self, method: str, target: str, headers: Dict[str, str], body: bytes
+    ) -> _Rendered:
+        parsed = urlsplit(target)
+        if method == "POST":
+            if parsed.path != "/analyze":
+                return 404, _render_json(404, {"error": f"no such endpoint: {target}"}), {}, JSON_CONTENT_TYPE
+            return await self._analyze(headers, body)
+        if method == "GET":
+            return self._get(parsed)
+        return (
+            405,
+            _render_json(405, {"error": f"method {method} not allowed"}),
+            {},
+            JSON_CONTENT_TYPE,
+        )
+
+    def _get(self, parsed) -> _Rendered:
+        if parsed.path == "/metrics":
+            status_view = spec_status(self.pool, self.store)
+            formats = parse_qs(parsed.query).get("format", ["json"])
+            if formats[-1] == "prometheus":
+                text = self.metrics.to_prometheus(
+                    queue_depth=self.pool.queue_depth,
+                    queue_capacity=self.pool.queue_capacity,
+                    workers=self.pool.workers,
+                    active_version=status_view["active_version"],
+                )
+                return 200, text.encode("utf-8"), {}, PROMETHEUS_CONTENT_TYPE
+            snapshot = self.metrics.snapshot(
+                queue_depth=self.pool.queue_depth,
+                queue_capacity=self.pool.queue_capacity,
+                workers=self.pool.workers,
+                active_version=status_view["active_version"],
+            )
+            return 200, _render_json(200, snapshot), {}, JSON_CONTENT_TYPE
+        if parsed.path == "/healthz":
+            payload = {
+                "status": "ok",
+                "spec_id": self.pool.current_spec_id,
+                "workers": self.pool.workers,
+                "processes": self.pool.processes,
+                "uptime_seconds": time.time() - self.metrics.started_at,
+            }
+            payload.update(spec_status(self.pool, self.store))
+            return 200, _render_json(200, payload), {}, JSON_CONTENT_TYPE
+        if parsed.path == "/specs":
+            states = self.store.states()
+            specs = []
+            for record in self.store.records():
+                entry = record.to_dict()
+                entry["state"] = states.get(record.spec_id)
+                specs.append(entry)
+            payload = {"current": self.pool.current_spec_id, "specs": specs}
+            payload.update(spec_status(self.pool, self.store))
+            return 200, _render_json(200, payload), {}, JSON_CONTENT_TYPE
+        return 404, _render_json(404, {"error": f"no such endpoint: {parsed.path}"}), {}, JSON_CONTENT_TYPE
+
+    # ------------------------------------------------------------------ analyze
+    async def _analyze(self, headers: Dict[str, str], body: bytes) -> _Rendered:
+        started_wall = time.time()
+        started = time.perf_counter()
+        client_trace = (headers.get("x-repro-trace-id") or "").strip() or None
+        # minted by hand: the loop thread interleaves requests, so the
+        # thread-local span() contextmanager would attach spans to whichever
+        # task last switched in
+        context = TraceContext(
+            trace_id=client_trace if client_trace else _trace.new_id(),
+            span_id=_trace.new_id(),
+        )
+        status, payload, extra, content_type = await self._analyze_inner(body, context)
+        elapsed = time.perf_counter() - started
+        self.events.emit(
+            SpanFinished(
+                name="server.request",
+                trace_id=context.trace_id,
+                span_id=context.span_id,
+                parent_id=None,
+                started_at=started_wall,
+                elapsed_seconds=elapsed,
+                attrs=(("status", str(status)),),
+            )
+        )
+        self.metrics.record_request(status, elapsed)
+        extra = dict(extra)
+        extra["X-Repro-Trace-Id"] = context.trace_id
+        return status, payload, extra, content_type
+
+    async def _analyze_inner(self, body: bytes, context: TraceContext) -> _Rendered:
+        try:
+            data = json.loads(body.decode("utf-8")) if body else {}
+        except (ValueError, UnicodeDecodeError) as error:
+            return 400, _render_json(400, {"error": f"invalid JSON body: {error}"}), {}, JSON_CONTENT_TYPE
+        try:
+            request = AnalyzeRequest.from_dict(data)
+        except (ValueError, TypeError, AttributeError) as error:
+            return 400, _render_json(400, {"error": f"bad request: {error}"}), {}, JSON_CONTENT_TYPE
+
+        key = (
+            canonical_request_key(request, self.pool.current_spec_id)
+            if self.coalesce
+            else None
+        )
+        if key is not None:
+            leader = self._leaders.get(key)
+            if leader is not None:
+                # follower: no admission slot, no pool submit -- the leader's
+                # bytes are this request's bytes, by determinism
+                self.metrics.record_coalesced()
+                try:
+                    status, payload, extra, content_type = await asyncio.shield(leader)
+                except Exception:  # noqa: BLE001 - leader died; have them retry
+                    return (
+                        503,
+                        _render_json(503, {"error": "coalesced leader failed; retry"}),
+                        {"Retry-After": "0"},
+                        JSON_CONTENT_TYPE,
+                    )
+                extra = dict(extra)
+                extra["X-Repro-Coalesced"] = "1"
+                return status, payload, extra, content_type
+
+        if self._inflight >= self.admission_limit:
+            self.metrics.record_admission_rejected()
+            return (
+                503,
+                _render_json(
+                    503,
+                    {
+                        "error": (
+                            f"admission limit reached "
+                            f"({self.admission_limit} requests in flight)"
+                        ),
+                        "retry_after_seconds": 1,
+                    },
+                ),
+                {"Retry-After": "1"},
+                JSON_CONTENT_TYPE,
+            )
+
+        waiter: Optional["asyncio.Future[_Rendered]"] = None
+        if key is not None:
+            waiter = asyncio.get_running_loop().create_future()
+            self._leaders[key] = waiter
+        self._inflight += 1
+        rendered: Optional[_Rendered] = None
+        try:
+            rendered = await self._serve_via_pool(request, context)
+            return rendered
+        finally:
+            self._inflight -= 1
+            if key is not None:
+                self._leaders.pop(key, None)
+                if waiter is not None and not waiter.done():
+                    # resolve even on leader cancellation so followers never
+                    # hang; they see a retryable 503 instead of an exception
+                    waiter.set_result(
+                        rendered
+                        if rendered is not None
+                        else (
+                            503,
+                            _render_json(503, {"error": "coalesced leader cancelled; retry"}),
+                            {"Retry-After": "0"},
+                            JSON_CONTENT_TYPE,
+                        )
+                    )
+
+    async def _serve_via_pool(self, request: AnalyzeRequest, context: TraceContext) -> _Rendered:
+        try:
+            future = self.pool.submit(request, context=context)
+        except PoolSaturated as error:
+            return (
+                503,
+                _render_json(
+                    503,
+                    {"error": str(error), "retry_after_seconds": error.retry_after_seconds},
+                ),
+                {"Retry-After": str(error.retry_after_seconds)},
+                JSON_CONTENT_TYPE,
+            )
+        except RuntimeError as error:  # pool stopping: shutdown race ends 503
+            return (
+                503,
+                _render_json(503, {"error": f"server unavailable: {error}"}),
+                {"Retry-After": "1"},
+                JSON_CONTENT_TYPE,
+            )
+        try:
+            response = await asyncio.wrap_future(future)
+        except SpecNotFoundError as error:
+            return 404, _render_json(404, {"error": f"unknown spec: {error}"}), {}, JSON_CONTENT_TYPE
+        except UnknownAppsError as error:
+            return 400, _render_json(400, {"error": f"bad request: {error}"}), {}, JSON_CONTENT_TYPE
+        except Exception as error:  # noqa: BLE001 - the wire needs *some* answer
+            return 500, _render_json(500, {"error": f"analysis failed: {error}"}), {}, JSON_CONTENT_TYPE
+        return (
+            200,
+            _render_json(200, response.to_dict()),
+            {"Server-Timing": _server_timing(future)},
+            JSON_CONTENT_TYPE,
+        )
+
+
+__all__ = [
+    "ShardedAnalysisServer",
+]

@@ -64,6 +64,37 @@ DEFAULT_PORT = 8080
 DEFAULT_POLL_INTERVAL_SECONDS = 2.0
 
 
+def spec_status(pool, store: SpecStore) -> dict:
+    """Lifecycle view of the store as seen from what *pool* serves.
+
+    The active spec (id, version, lineage depth) and any candidates awaiting
+    a canary verdict for the same library -- shared by the threaded handler
+    and the asyncio front door so ``/healthz``, ``/specs``, and ``/metrics``
+    report identically whichever serving tier answers.
+    """
+    current = pool.current_spec_id
+    states = store.states()
+    candidates = [
+        record.spec_id
+        for record in store.list(fingerprint=pool.fingerprint)
+        if states.get(record.spec_id) == STATE_CANDIDATE
+    ]
+    active_version: Optional[int] = None
+    lineage_depth: Optional[int] = None
+    if current is not None:
+        try:
+            active_version = store.record(current).version
+            lineage_depth = store.lineage_depth(current)
+        except SpecStoreError:
+            pass  # the served spec predates this index (or store moved)
+    return {
+        "active_spec_id": current,
+        "active_version": active_version,
+        "lineage_depth": lineage_depth,
+        "candidate_spec_ids": candidates,
+    }
+
+
 class _RequestHandler(BaseHTTPRequestHandler):
     """Routes the four endpoints; all state lives on the server object."""
 
@@ -117,30 +148,7 @@ class _RequestHandler(BaseHTTPRequestHandler):
         return self.server.store  # type: ignore[attr-defined]
 
     def _spec_status(self) -> dict:
-        """Lifecycle view of the store as seen from what this pool serves:
-        the active spec (id, version, lineage depth) and any candidates
-        currently awaiting a canary verdict for the same library."""
-        current = self._pool.current_spec_id
-        states = self._store.states()
-        candidates = [
-            record.spec_id
-            for record in self._store.list(fingerprint=self._pool.fingerprint)
-            if states.get(record.spec_id) == STATE_CANDIDATE
-        ]
-        active_version: Optional[int] = None
-        lineage_depth: Optional[int] = None
-        if current is not None:
-            try:
-                active_version = self._store.record(current).version
-                lineage_depth = self._store.lineage_depth(current)
-            except SpecStoreError:
-                pass  # the served spec predates this index (or store moved)
-        return {
-            "active_spec_id": current,
-            "active_version": active_version,
-            "lineage_depth": lineage_depth,
-            "candidate_spec_ids": candidates,
-        }
+        return spec_status(self._pool, self._store)
 
     # ------------------------------------------------------------------- routes
     def do_GET(self) -> None:  # noqa: N802 - stdlib naming
@@ -400,4 +408,5 @@ __all__ = [
     "DEFAULT_HOST",
     "DEFAULT_POLL_INTERVAL_SECONDS",
     "DEFAULT_PORT",
+    "spec_status",
 ]

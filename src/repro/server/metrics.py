@@ -81,6 +81,14 @@ class ServerMetrics:
         self._rejected = reg.counter(
             "repro_requests_rejected_total", "Requests shed with 503 (queue full)"
         )
+        self._admission_rejected = reg.counter(
+            "repro_admission_rejected_total",
+            "Requests shed by front-door admission control before reaching the pool",
+        )
+        self._coalesced = reg.counter(
+            "repro_requests_coalesced_total",
+            "Requests answered with an identical in-flight request's response",
+        )
         self._latency = reg.histogram(
             "repro_request_latency_seconds", "Wall-clock latency of 200 responses"
         )
@@ -157,6 +165,19 @@ class ServerMetrics:
         else:
             self._error_latency.observe(seconds)
 
+    def record_admission_rejected(self) -> None:
+        """Count one request shed by the front door's in-flight cap.
+
+        Distinct from :meth:`record_request`'s 503 accounting (which still
+        runs for these) so operators can tell admission-control sheds from
+        pool-queue sheds -- the two bounds are tuned independently.
+        """
+        self._admission_rejected.inc()
+
+    def record_coalesced(self) -> None:
+        """Count one follower served from an identical in-flight request."""
+        self._coalesced.inc()
+
     def record_event(self, event: EngineEvent) -> None:
         """Fold one engine event into the counters (see :class:`MetricsSink`)."""
         if isinstance(event, SpanFinished):
@@ -187,6 +208,14 @@ class ServerMetrics:
     @property
     def rejected_total(self) -> int:
         return int(self._rejected.value())
+
+    @property
+    def admission_rejected_total(self) -> int:
+        return int(self._admission_rejected.value())
+
+    @property
+    def coalesced_total(self) -> int:
+        return int(self._coalesced.value())
 
     @property
     def analyses_total(self) -> int:
@@ -258,6 +287,8 @@ class ServerMetrics:
                     key[0]: int(value) for key, value in self._requests.series().items()
                 },
                 "rejected": self.rejected_total,
+                "admission_rejected": self.admission_rejected_total,
+                "coalesced": self.coalesced_total,
             },
             "latency": latency,
             "error_latency": {

@@ -1,0 +1,634 @@
+"""Pre-forked analysis worker processes behind per-worker job queues.
+
+The :class:`~repro.server.pool.WarmWorkerPool` amortizes spec compilation
+across requests but keeps every analysis on a thread of one process -- the
+GIL serializes the actual constraint solving, so ``/analyze`` throughput
+caps at roughly one core however many workers the pool has.
+:class:`ProcessWorkerPool` keeps the pool's entire contract (bounded
+admission -> :class:`~repro.server.pool.PoolSaturated`, lazy hot reload via
+store-index polling, shadow canaries, per-worker ``SpecCompiled`` telemetry,
+bit-identical answers through :func:`repro.service.api.run_request`) but
+runs each worker as a **process**: compilation happens once per process at
+startup, requests are dispatched over a per-worker job queue, and results
+come back over one shared result queue.
+
+Design points worth knowing before reading the code:
+
+* **Spec-id routing.**  Requests pinned to an explicit spec id are sharded
+  onto a stable worker (hash of the id), so a pinned minority reuses one
+  process's compiled-analyzer cache instead of forcing every process to
+  compile every historical version.  Unpinned requests go to the worker with
+  the fewest outstanding jobs.
+* **Telemetry crosses the fork as data.**  Engine events (frozen picklable
+  dataclasses, spans included) are forwarded from each worker over the
+  result queue and re-emitted into the pool's sink by the parent's collector
+  thread -- one journal writer, one metrics registry, and the "compiled once
+  per worker, never once per request" counters keep working.  The worker
+  resets the fork-inherited ambient sinks first
+  (:func:`repro.obs.trace.reset_ambient_sinks`), so nothing is delivered
+  twice.
+* **Shadow mirroring stays parent-sampled.**  The parent decides at dispatch
+  whether a request is mirrored (the observer's ``sample()`` runs exactly
+  once per request, in one process); the worker analyzes the mirror *after*
+  shipping the served result, and the parent rehydrates both responses
+  (:meth:`repro.service.api.AnalyzeResponse.from_dict`) to drive the
+  observer's ``observe``/``observe_error`` -- so the canary's events and
+  metrics are emitted in the parent, exactly as with the threaded pool.
+* **Trace contexts are explicit.**  ``submit(request, context=...)`` ships a
+  :class:`~repro.obs.trace.TraceContext` dict to the worker, which adopts it
+  around the analysis, so worker-process spans join the HTTP request's
+  trace.  The asyncio front door passes contexts explicitly (thread-local
+  ambience is meaningless under task interleaving); threaded callers fall
+  back to :func:`repro.obs.trace.current_context`.
+
+Example::
+
+    >>> pool = ProcessWorkerPool(store, processes=2, queue_depth=16)
+    >>> pool.start()                      # 2 processes forked, 2 compilations
+    >>> response = pool.submit(AnalyzeRequest(suite=SuiteSpec(count=5))).result()
+    >>> pool.stop()
+"""
+
+from __future__ import annotations
+
+import hashlib
+import multiprocessing
+import queue as queue_module
+import random
+import signal
+import threading
+import time
+from concurrent.futures import Future
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.engine.cache import program_fingerprint
+from repro.engine.events import EventSink, NullSink, SpecCompiled, SpecReloaded
+from repro.library.registry import build_library_program, build_spec_interface
+from repro.obs import trace as _trace
+from repro.obs.trace import SpanFinished, TraceContext
+from repro.server.pool import (
+    DEFAULT_QUEUE_DEPTH,
+    MAX_CACHED_ANALYZERS,
+    PoolSaturated,
+    poll_backoff_delay,
+)
+from repro.service.analyzer import ClientAnalyzer
+from repro.service.api import (
+    AnalyzeRequest,
+    AnalyzeResponse,
+    UnknownAppsError,
+    run_request,
+)
+from repro.service.store import SpecNotFoundError, SpecStore
+
+#: how long stop() waits for a worker to exit cleanly before terminating it
+STOP_GRACE_SECONDS = 30.0
+#: how long start() waits for every worker to finish its startup compilation
+STARTUP_TIMEOUT_SECONDS = 600.0
+
+
+class _QueueSink(EventSink):
+    """Worker-side ambient sink: every event becomes a message to the parent."""
+
+    def __init__(self, out, worker: str):
+        self.out = out
+        self.worker = worker
+
+    def emit(self, event) -> None:
+        try:
+            self.out.put(("event", self.worker, event))
+        except Exception:  # noqa: BLE001 - telemetry must never kill a worker
+            pass
+
+
+def _evict_stale(analyzers: Dict[str, ClientAnalyzer], protected: set) -> None:
+    """Bound a worker's analyzer cache, mirroring the threaded pool's policy."""
+    while len(analyzers) > MAX_CACHED_ANALYZERS:
+        for spec_id in analyzers:
+            if spec_id not in protected:
+                del analyzers[spec_id]
+                break
+        else:
+            return
+
+
+def _worker_main(name: str, store_root: str, jobs, results, initial_spec_id: str) -> None:
+    """One pre-forked worker: compile once, then serve jobs until the sentinel.
+
+    Module-level (not a closure) so the pool works under the ``spawn`` start
+    method too; everything it needs arrives as picklable arguments, and the
+    library program/interface are rebuilt in-process (they are deterministic,
+    so the fingerprint matches the parent's).
+    """
+    try:  # the parent owns shutdown; a Ctrl-C broadcast must not race it
+        signal.signal(signal.SIGINT, signal.SIG_IGN)
+    except (ValueError, OSError):
+        pass
+    _trace.reset_ambient_sinks()  # see module docstring: no double delivery
+    sink = _QueueSink(results, name)
+    _trace.add_ambient_sink(sink)
+    try:
+        store = SpecStore(store_root)
+        library = build_library_program()
+        interface = build_spec_interface(library)
+    except BaseException as error:  # noqa: BLE001 - surfaced to start()
+        results.put(("startup_error", name, f"{type(error).__name__}: {error}"))
+        return
+
+    analyzers: Dict[str, ClientAnalyzer] = {}
+
+    def compile_spec(spec_id: str) -> ClientAnalyzer:
+        started = time.perf_counter()
+        analyzer = ClientAnalyzer.from_store(
+            store, spec_id=spec_id, library_program=library, interface=interface
+        )
+        sink.emit(
+            SpecCompiled(
+                worker=name,
+                spec_id=analyzer.spec_id,
+                elapsed_seconds=time.perf_counter() - started,
+            )
+        )
+        return analyzer
+
+    try:
+        analyzers[initial_spec_id] = compile_spec(initial_spec_id)
+    except BaseException as error:  # noqa: BLE001 - surfaced to start()
+        results.put(("startup_error", name, f"{type(error).__name__}: {error}"))
+        return
+    results.put(("ready", name, None))
+
+    while True:
+        message = jobs.get()
+        if message is None:
+            return
+        job_id, request_doc, target_spec_id, context_doc, shadow_spec_id, enqueued_at = message
+        # CLOCK_MONOTONIC is system-wide on Linux, so the parent's enqueue
+        # stamp is comparable here; clamp anyway for exotic platforms
+        queue_seconds = max(0.0, time.perf_counter() - enqueued_at)
+        context = TraceContext.from_dict(context_doc) if context_doc else None
+        if context is not None:
+            # the dequeue is the only place queue wait is known, so the span
+            # is synthesized here as a child of the request span
+            sink.emit(
+                SpanFinished(
+                    name="server.queue_wait",
+                    trace_id=context.trace_id,
+                    span_id=_trace.new_id(),
+                    parent_id=context.span_id,
+                    started_at=time.time() - queue_seconds,
+                    elapsed_seconds=queue_seconds,
+                    attrs=(("worker", name),),
+                )
+            )
+        try:
+            request = AnalyzeRequest.from_dict(request_doc)
+        except (ValueError, TypeError) as error:
+            results.put(("result", name, job_id, "error", str(error), None))
+            continue
+        spec_id = request.spec_id if request.spec_id is not None else target_spec_id
+        analysis_started = time.perf_counter()
+        try:
+            if spec_id not in analyzers:
+                analyzers[spec_id] = compile_spec(spec_id)
+            _evict_stale(
+                analyzers, {target_spec_id, spec_id, shadow_spec_id} - {None}
+            )
+            with _trace.activate(context):
+                response = run_request(request, analyzers[spec_id], events=sink)
+        except SpecNotFoundError as error:
+            results.put(("result", name, job_id, "spec_not_found", str(error), None))
+            continue
+        except UnknownAppsError as error:
+            results.put(("result", name, job_id, "unknown_apps", str(error), None))
+            continue
+        except BaseException as error:  # noqa: BLE001 - the wire needs an answer
+            results.put(
+                ("result", name, job_id, "error", f"{type(error).__name__}: {error}", None)
+            )
+            continue
+        reports = response.result.reports
+        timing = {
+            "queue_seconds": queue_seconds,
+            "analysis_seconds": time.perf_counter() - analysis_started,
+            "andersen_seconds": sum(r.timing.andersen_seconds for r in reports),
+            "taint_seconds": sum(r.timing.taint_seconds for r in reports),
+        }
+        results.put(("result", name, job_id, "ok", response.to_dict(), timing))
+        if shadow_spec_id is not None and request.spec_id is None:
+            # strictly after the served result shipped: nothing below can
+            # affect what the client got
+            try:
+                if shadow_spec_id not in analyzers:
+                    analyzers[shadow_spec_id] = compile_spec(shadow_spec_id)
+                with _trace.activate(context):
+                    shadowed = run_request(request, analyzers[shadow_spec_id], events=sink)
+                results.put(("shadow", name, job_id, "ok", shadowed.to_dict(), None))
+            except Exception as error:  # noqa: BLE001 - shadows are best-effort
+                results.put(
+                    ("shadow", name, job_id, "error", f"{type(error).__name__}: {error}", None)
+                )
+
+
+@dataclass
+class _Pending:
+    """Parent-side state of one dispatched job."""
+
+    request: AnalyzeRequest
+    future: Future
+    worker: str
+    shadow_spec_id: Optional[str] = None
+    served: Optional[AnalyzeResponse] = None  # kept only until the shadow lands
+
+
+_ERROR_TYPES = {
+    "spec_not_found": SpecNotFoundError,
+    "unknown_apps": UnknownAppsError,
+}
+
+
+class ProcessWorkerPool:
+    """A fixed fleet of pre-forked worker processes serving one spec store.
+
+    API-compatible with :class:`~repro.server.pool.WarmWorkerPool` where the
+    HTTP layers care (``submit``/``start``/``stop``, queue and spec
+    properties, shadow hooks, store polling), so the front door treats the
+    two interchangeably.  ``queue_depth`` bounds the *total* outstanding
+    requests across the fleet -- the admission contract a 503 +
+    ``Retry-After`` is derived from.
+    """
+
+    def __init__(
+        self,
+        store: SpecStore,
+        processes: int = 2,
+        queue_depth: int = DEFAULT_QUEUE_DEPTH,
+        events: Optional[EventSink] = None,
+        library_program=None,
+        mp_context: Optional[str] = None,
+    ):
+        self.store = store
+        self.processes = max(1, int(processes))
+        self.queue_capacity = max(1, int(queue_depth))
+        self.events = events if events is not None else NullSink()
+        # parent-side library build is for the fingerprint only; each worker
+        # rebuilds its own copy (deterministic, so fingerprints agree)
+        self.library_program = (
+            library_program if library_program is not None else build_library_program()
+        )
+        self._fingerprint = program_fingerprint(self.library_program)
+        if mp_context is None:
+            methods = multiprocessing.get_all_start_methods()
+            mp_context = "fork" if "fork" in methods else methods[0]
+        self._ctx = multiprocessing.get_context(mp_context)
+        self._job_queues: List = []
+        self._results = None
+        self._processes: List = []
+        self._collector: Optional[threading.Thread] = None
+        self._lock = threading.Lock()
+        self._started = False
+        self._job_counter = 0
+        self._pending: Dict[int, _Pending] = {}
+        self._outstanding: Dict[str, int] = {}
+        self._target_spec_id: Optional[str] = None
+        self._startup_errors: List[str] = []
+        self._ready_events: Dict[str, threading.Event] = {}
+        self._shadow = None
+        self._poller: Optional[threading.Thread] = None
+        self._stop_polling_event = threading.Event()
+        self._poll_failures = 0
+
+    # ----------------------------------------------------------------- lifecycle
+    def start(self) -> None:
+        """Fork the fleet and block until every worker has compiled its spec.
+
+        Raises :class:`~repro.service.store.SpecNotFoundError` when the store
+        holds nothing for this library (checked before any fork), and
+        ``RuntimeError`` when a worker fails its startup compilation.
+        """
+        if self._started or self._processes:
+            raise RuntimeError("pool already started")
+        record = self.store.latest(fingerprint=self._fingerprint)
+        if record is None:
+            raise SpecNotFoundError(
+                f"no stored specification for this library in {self.store.root} "
+                "(run `repro learn` before `repro serve`)"
+            )
+        self._target_spec_id = record.spec_id
+        self._startup_errors = []
+        self._pending = {}
+        self._results = self._ctx.Queue()
+        self._job_queues = [self._ctx.Queue() for _ in range(self.processes)]
+        self._ready_events = {}
+        self._outstanding = {}
+        names = [f"proc-{index}" for index in range(self.processes)]
+        for name, jobs in zip(names, self._job_queues):
+            self._ready_events[name] = threading.Event()
+            self._outstanding[name] = 0
+            process = self._ctx.Process(
+                target=_worker_main,
+                args=(name, str(self.store.root), jobs, self._results, record.spec_id),
+                name=f"repro-serve-{name}",
+                daemon=True,
+            )
+            self._processes.append(process)
+            process.start()
+        self._collector = threading.Thread(
+            target=self._collector_loop, name="repro-serve-collector", daemon=True
+        )
+        self._collector.start()
+        deadline = time.monotonic() + STARTUP_TIMEOUT_SECONDS
+        for name, event in self._ready_events.items():
+            if not event.wait(max(0.0, deadline - time.monotonic())):
+                self._startup_errors.append(f"{name}: startup timed out")
+        if self._startup_errors:
+            errors = "; ".join(self._startup_errors)
+            self.stop()
+            raise RuntimeError(f"worker startup failed: {errors}")
+        with self._lock:
+            self._started = True
+
+    def stop(self) -> None:
+        """Stop polling, retire every worker, fail any unresolved futures."""
+        self.stop_polling()
+        with self._lock:
+            self._started = False
+        for jobs in self._job_queues:
+            try:
+                jobs.put(None)
+            except (ValueError, OSError):
+                pass
+        deadline = time.monotonic() + STOP_GRACE_SECONDS
+        for process in self._processes:
+            process.join(max(0.1, deadline - time.monotonic()))
+            if process.is_alive():
+                process.terminate()
+                process.join(5.0)
+        if self._results is not None:
+            self._results.put(("stop",))
+        if self._collector is not None:
+            self._collector.join()
+            self._collector = None
+        with self._lock:
+            stragglers = list(self._pending.values())
+            self._pending = {}
+        for job in stragglers:
+            if not job.future.done():
+                job.future.set_exception(RuntimeError("pool is shutting down"))
+        for jobs in self._job_queues:
+            jobs.close()
+        if self._results is not None:
+            self._results.close()
+            self._results = None
+        self._job_queues = []
+        self._processes = []
+
+    def __enter__(self) -> "ProcessWorkerPool":
+        self.start()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    # ----------------------------------------------------------------- requests
+    def submit(
+        self, request: AnalyzeRequest, context: Optional[TraceContext] = None
+    ) -> "Future[AnalyzeResponse]":
+        """Dispatch one request to a worker process; never blocks.
+
+        Raises :class:`~repro.server.pool.PoolSaturated` once
+        ``queue_depth`` requests are outstanding across the fleet.
+        *context* carries the caller's trace explicitly (required from
+        asyncio, where thread-local ambience is meaningless); threaded
+        callers may omit it and inherit :func:`repro.obs.trace.current_context`.
+        """
+        if context is None:
+            context = _trace.current_context()
+        shadow = self.shadow
+        future: "Future[AnalyzeResponse]" = Future()
+        with self._lock:
+            if not self._started:
+                raise RuntimeError("pool is not running (call start() first)")
+            if len(self._pending) >= self.queue_capacity:
+                raise PoolSaturated(self.queue_capacity)
+            target = self._target_spec_id
+            shadow_spec_id = None
+            if shadow is not None and request.spec_id is None:
+                try:
+                    if shadow.sample():
+                        shadow_spec_id = shadow.spec_id
+                except Exception:  # noqa: BLE001 - a broken sampler mirrors nothing
+                    shadow_spec_id = None
+            worker = self._route(request)
+            self._job_counter += 1
+            job_id = self._job_counter
+            self._pending[job_id] = _Pending(
+                request=request, future=future, worker=worker, shadow_spec_id=shadow_spec_id
+            )
+            self._outstanding[worker] += 1
+            index = int(worker.rsplit("-", 1)[1])
+        self._job_queues[index].put(
+            (
+                job_id,
+                request.to_dict(),
+                target,
+                context.to_dict() if context is not None else None,
+                shadow_spec_id,
+                time.perf_counter(),
+            )
+        )
+        return future
+
+    def _route(self, request: AnalyzeRequest) -> str:
+        """Pick a worker: stable shard for pinned ids, least-loaded otherwise."""
+        names = sorted(self._outstanding)
+        if request.spec_id is not None:
+            digest = hashlib.sha256(request.spec_id.encode("utf-8")).hexdigest()
+            return names[int(digest, 16) % len(names)]
+        return min(names, key=lambda name: (self._outstanding[name], name))
+
+    # ---------------------------------------------------------------- collector
+    def _collector_loop(self) -> None:
+        """Drain the shared result queue: events, results, shadows, lifecycle.
+
+        The single place worker messages re-enter the parent -- which is what
+        keeps one journal writer, one metrics registry, and a race-free
+        shadow observer without any cross-process locking.
+        """
+        while True:
+            message = self._results.get()
+            kind = message[0]
+            if kind == "stop":
+                # worker puts and this parent put are not globally ordered
+                # across processes; drain briefly so late results still land
+                while True:
+                    try:
+                        message = self._results.get(timeout=0.2)
+                    except (queue_module.Empty, OSError, ValueError):
+                        return
+                    if message[0] != "stop":
+                        self._dispatch_message(message)
+                return
+            self._dispatch_message(message)
+
+    def _dispatch_message(self, message) -> None:
+        try:
+            kind = message[0]
+            if kind == "ready":
+                self._ready_events[message[1]].set()
+            elif kind == "startup_error":
+                self._startup_errors.append(f"{message[1]}: {message[2]}")
+                self._ready_events[message[1]].set()
+            elif kind == "event":
+                self.events.emit(message[2])
+            elif kind == "result":
+                self._on_result(*message[1:])
+            elif kind == "shadow":
+                self._on_shadow(*message[1:])
+        except Exception:  # noqa: BLE001 - the collector must outlive bad messages
+            pass
+
+    def _on_result(self, worker: str, job_id: int, status: str, payload, timing) -> None:
+        with self._lock:
+            job = self._pending.get(job_id)
+        if job is None:
+            return
+        if status == "ok":
+            response = AnalyzeResponse.from_dict(payload)
+            if timing:
+                # timing attributes ride the future (no __slots__), so HTTP
+                # layers render Server-Timing without changing the contract
+                for key, value in timing.items():
+                    setattr(job.future, key, value)
+            expects_shadow = job.shadow_spec_id is not None
+            with self._lock:
+                if expects_shadow:
+                    job.served = response  # keep pending until the shadow lands
+                else:
+                    self._pending.pop(job_id, None)
+                    self._outstanding[worker] -= 1
+            job.future.set_result(response)
+        else:
+            with self._lock:
+                self._pending.pop(job_id, None)
+                self._outstanding[worker] -= 1
+            error_type = _ERROR_TYPES.get(status, RuntimeError)
+            job.future.set_exception(error_type(payload))
+
+    def _on_shadow(self, worker: str, job_id: int, status: str, payload, _timing) -> None:
+        with self._lock:
+            job = self._pending.pop(job_id, None)
+            if job is not None:
+                self._outstanding[worker] -= 1
+        if job is None:
+            return
+        shadow = self.shadow
+        if shadow is None:
+            return
+        try:
+            if status == "ok":
+                shadow.observe(job.request, job.served, AnalyzeResponse.from_dict(payload))
+            else:
+                shadow.observe_error(job.request, RuntimeError(payload))
+        except Exception:  # noqa: BLE001 - observer bugs stay out of serving
+            pass
+
+    # --------------------------------------------------------------- properties
+    @property
+    def running(self) -> bool:
+        return self._started
+
+    @property
+    def queue_depth(self) -> int:
+        """Outstanding requests across the fleet (dispatched, unresolved)."""
+        with self._lock:
+            return len(self._pending)
+
+    @property
+    def workers(self) -> int:
+        """Worker count under the pool-API name the HTTP layers expect."""
+        return self.processes
+
+    @property
+    def current_spec_id(self) -> Optional[str]:
+        with self._lock:
+            return self._target_spec_id
+
+    @property
+    def fingerprint(self) -> str:
+        return self._fingerprint
+
+    # ------------------------------------------------------------ shadow canary
+    def set_shadow(self, shadow) -> None:
+        """Install a shadow observer (``spec_id`` + ``sample``/``observe``)."""
+        with self._lock:
+            self._shadow = shadow
+
+    def clear_shadow(self) -> None:
+        with self._lock:
+            self._shadow = None
+
+    @property
+    def shadow(self):
+        with self._lock:
+            return self._shadow
+
+    # --------------------------------------------------------------- hot reload
+    def poll_once(self) -> bool:
+        """Re-read the store index; retarget the fleet on a newer latest spec.
+
+        Only the dispatch target moves: jobs already queued carry the spec id
+        they were dispatched under, and each worker compiles the new spec
+        lazily on its first post-swap job -- in-flight requests are never
+        migrated.
+        """
+        record = self.store.latest(fingerprint=self._fingerprint)
+        if record is None:
+            return False
+        with self._lock:
+            if record.spec_id == self._target_spec_id:
+                return False
+            previous = self._target_spec_id
+            self._target_spec_id = record.spec_id
+        self.events.emit(SpecReloaded(previous_spec_id=previous or "", spec_id=record.spec_id))
+        return True
+
+    def start_polling(self, interval_seconds: float) -> None:
+        """Background store polling with the threaded pool's backoff policy."""
+        if self._poller is not None or interval_seconds <= 0:
+            return
+        self._stop_polling_event.clear()
+        rng = random.Random()
+
+        def loop() -> None:
+            while True:
+                delay = poll_backoff_delay(interval_seconds, self._poll_failures, rng)
+                if self._stop_polling_event.wait(delay):
+                    return
+                try:
+                    self.poll_once()
+                    self._poll_failures = 0
+                except Exception:  # noqa: BLE001 - transient store read error
+                    self._poll_failures += 1
+
+        self._poller = threading.Thread(target=loop, name="repro-serve-poller", daemon=True)
+        self._poller.start()
+
+    @property
+    def poll_failures(self) -> int:
+        return self._poll_failures
+
+    def stop_polling(self) -> None:
+        if self._poller is None:
+            return
+        self._stop_polling_event.set()
+        self._poller.join()
+        self._poller = None
+
+
+__all__ = [
+    "ProcessWorkerPool",
+    "STARTUP_TIMEOUT_SECONDS",
+    "STOP_GRACE_SECONDS",
+]

@@ -33,6 +33,8 @@ Example (one-shot, against a store that already holds a learned spec)::
 
 from __future__ import annotations
 
+import hashlib
+import json
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
@@ -160,6 +162,70 @@ class AnalyzeResponse:
         payload["request"] = self.request.to_dict()
         return payload
 
+    @classmethod
+    def from_dict(cls, data: Dict) -> "AnalyzeResponse":
+        """Rebuild a response from its wire encoding.
+
+        How the multi-process serving tier rehydrates a worker process's
+        answer on the parent side (the shadow canary compares
+        :class:`AnalyzeResponse` objects, not dicts).  Re-serializing the
+        result reproduces the original document: key order is fixed by
+        :meth:`to_dict`, and the canonical fields round-trip exactly.
+        """
+        declared = data.get("format", RESPONSE_FORMAT)
+        if declared != RESPONSE_FORMAT:
+            raise ValueError(f"unsupported response format {declared!r}")
+        request = AnalyzeRequest.from_dict(data.get("request") or {})
+        return cls(
+            spec_id=data["spec_id"],
+            request=request,
+            result=BatchResult.from_dict(data),
+        )
+
+
+def canonical_request_key(request: AnalyzeRequest, resolved_spec_id: Optional[str]) -> str:
+    """The coalescing identity of a request: one key per distinct answer.
+
+    Two requests share a key exactly when the daemon must return the same
+    canonical response for them.  The request document deterministically
+    names its corpus (the seeded suite fixes every program, hence every
+    :func:`repro.lang.serialize.program_digest`), so hashing the canonical
+    request document plus the *resolved* spec id -- the explicit pin, or the
+    currently served spec for unpinned requests -- is equivalent to hashing
+    the program digests themselves, without generating the corpus on the
+    front door's hot path.  Resolving the spec id *before* keying is what
+    keeps a hot reload from coalescing requests across spec versions:
+    unpinned requests that arrive after a swap hash differently.
+
+    ``workers`` and ``include_timing`` stay in the key deliberately: they do
+    not change the canonical flows, but they change the response document
+    (timing fields, executor metadata), and coalesced followers receive the
+    leader's bytes verbatim.
+    """
+    document = request.to_dict()
+    document["spec_id"] = request.spec_id if request.spec_id is not None else resolved_spec_id
+    encoded = json.dumps(document, sort_keys=True, separators=(",", ":")).encode("utf-8")
+    return hashlib.sha256(encoded).hexdigest()
+
+
+def corpus_digest(request: AnalyzeRequest) -> str:
+    """The content digest of the corpus a request names (order-sensitive).
+
+    Materializes the deterministic suite and folds each program's
+    :func:`repro.lang.serialize.program_digest` into one hash -- the
+    ground-truth identity :func:`canonical_request_key` stands in for.  Used
+    by tests to prove the stand-in is faithful (same suite document, same
+    corpus digest; different seed, different digest); too expensive for the
+    serving hot path itself.
+    """
+    from repro.lang.serialize import program_digest
+
+    folded = hashlib.sha256()
+    for app in build_corpus(request):
+        folded.update(app.name.encode("utf-8"))
+        folded.update(program_digest(app.program).encode("ascii"))
+    return folded.hexdigest()
+
 
 def resolve_analyzer(
     request: AnalyzeRequest,
@@ -267,6 +333,8 @@ __all__ = [
     "SuiteSpec",
     "UnknownAppsError",
     "build_corpus",
+    "canonical_request_key",
+    "corpus_digest",
     "handle_request",
     "resolve_analyzer",
     "run_request",

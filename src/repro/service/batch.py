@@ -68,6 +68,23 @@ class BatchResult:
             "reports": [report.to_dict(include_timing=include_timing) for report in self.reports],
         }
 
+    @classmethod
+    def from_dict(cls, data: Dict) -> "BatchResult":
+        """Rebuild a result from its wire encoding (timing-free fields zero).
+
+        The inverse of :meth:`to_dict` up to omitted timings -- what the
+        multi-process serving tier uses to rehydrate a worker's response on
+        the parent side (shadow comparison, re-serialization): round-tripping
+        through ``from_dict(...).to_dict()`` preserves the canonical portion
+        bit for bit.
+        """
+        return cls(
+            reports=[FlowReport.from_dict(entry) for entry in data.get("reports", ())],
+            elapsed_seconds=float(data.get("elapsed_seconds", 0.0)),
+            executor=str(data.get("executor", "serial")),
+            workers=int(data.get("workers", 0)),
+        )
+
 
 class BatchAnalysisScheduler:
     """Analyze many client programs under one specification set.
