@@ -144,7 +144,13 @@ def cmd_analyze(args) -> int:
         apps=tuple(args.apps.split(",")) if args.apps else (),
         include_timing=not args.no_timing,
     )
-    response = handle_request(request, SpecStore(args.store), events=_events(args.progress))
+    response = handle_request(
+        request,
+        SpecStore(args.store),
+        events=_events(args.progress),
+        solver=args.solver,
+        analysis_cache_dir=args.analysis_cache,
+    )
     _write_json(response.to_dict(), args.out)
     result = response.result
     sys.stderr.write(
@@ -201,6 +207,8 @@ def cmd_serve(args) -> int:
             events=events,
             admission_limit=args.admission_limit,
             coalesce=not args.no_coalesce,
+            solver=args.solver,
+            analysis_cache_dir=args.analysis_cache,
         )
         tier = f"{args.processes} worker processes"
     else:
@@ -212,6 +220,8 @@ def cmd_serve(args) -> int:
             queue_depth=args.queue_depth,
             poll_interval=args.poll_interval,
             events=events,
+            solver=args.solver,
+            analysis_cache_dir=args.analysis_cache,
         )
         tier = f"{server.pool.workers} warm worker threads"
     server.start()
@@ -327,6 +337,7 @@ def cmd_fuzz(args) -> int:
         workers=args.workers,
         pipeline="store" if args.store else args.pipeline,
         cross_check=not args.no_cross_check,
+        engine_check=args.engine_check,
         shrink=not args.no_shrink,
         sample=args.sample,
         guided=args.guided,
@@ -810,10 +821,19 @@ def cmd_compact_cache(args) -> int:
 
     from repro.engine import CacheCompacted
 
-    path = os.path.join(args.cache_dir, InferenceEngine.CACHE_FILENAME)
-    stats = compact_cache_file(path)
+    if not args.cache_dir and not args.analysis_cache:
+        sys.stderr.write("compact-cache: pass --cache-dir and/or --analysis-cache\n")
+        return 2
     # telemetry goes to stderr, like every other engine event
-    StreamSink(sys.stderr).emit(CacheCompacted.from_stats(stats))
+    sink = StreamSink(sys.stderr)
+    if args.cache_dir:
+        path = os.path.join(args.cache_dir, InferenceEngine.CACHE_FILENAME)
+        sink.emit(CacheCompacted.from_stats(compact_cache_file(path)))
+    if args.analysis_cache:
+        from repro.solve import compact_analysis_cache_dir
+
+        for stats in compact_analysis_cache_dir(args.analysis_cache):
+            sink.emit(CacheCompacted.from_stats(stats))
     return 0
 
 
@@ -835,6 +855,23 @@ def _add_journal_flag(subparser) -> None:
         metavar="PATH",
         help="append telemetry (events + trace spans) to this JSONL journal "
         "(default: $REPRO_JOURNAL)",
+    )
+
+
+def _add_solver_flags(subparser) -> None:
+    subparser.add_argument(
+        "--solver",
+        choices=("compiled", "reference"),
+        default=None,
+        help="analysis engine: 'compiled' (bitset CFL solver + analysis cache) "
+        "or 'reference' (default: $REPRO_SOLVER, else reference)",
+    )
+    subparser.add_argument(
+        "--analysis-cache",
+        default=None,
+        metavar="DIR",
+        help="content-addressed analysis result cache directory, compiled "
+        "solver only (default: $REPRO_ANALYSIS_CACHE)",
     )
 
 
@@ -875,6 +912,7 @@ def build_parser() -> argparse.ArgumentParser:
     analyze.add_argument("--out", default=None, help="write the JSON response here (default stdout)")
     analyze.add_argument("--no-timing", action="store_true", help="omit per-request timing")
     analyze.add_argument("--progress", action="store_true", help="stream analysis events to stderr")
+    _add_solver_flags(analyze)
     _add_journal_flag(analyze)
     analyze.set_defaults(func=cmd_analyze)
 
@@ -928,6 +966,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="seconds between spec-store polls for hot reload (0 disables)",
     )
     daemon.add_argument("--progress", action="store_true", help="stream server events to stderr")
+    _add_solver_flags(daemon)
     _add_journal_flag(daemon)
     daemon.set_defaults(func=cmd_serve)
 
@@ -1006,6 +1045,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-cross-check",
         action="store_true",
         help="skip the handwritten-model (implementation) Andersen cross-check",
+    )
+    fuzz.add_argument(
+        "--engine-check",
+        action="store_true",
+        help="also run each pipeline through the compiled bitset solver and "
+        "report any flow mismatch as an engine-mismatch divergence",
     )
     shrink_flags = fuzz.add_mutually_exclusive_group()
     shrink_flags.add_argument(
@@ -1252,8 +1297,16 @@ def build_parser() -> argparse.ArgumentParser:
         "experiments", help="regenerate paper tables/figures (repro.experiments.runner)"
     )
 
-    compact = commands.add_parser("compact-cache", help="compact the oracle cache file")
-    compact.add_argument("--cache-dir", required=True, help="cache directory to compact")
+    compact = commands.add_parser(
+        "compact-cache", help="compact the oracle and/or analysis cache files"
+    )
+    compact.add_argument("--cache-dir", default=None, help="oracle cache directory to compact")
+    compact.add_argument(
+        "--analysis-cache",
+        default=None,
+        metavar="DIR",
+        help="analysis result cache directory to compact (every worker shard)",
+    )
     _add_journal_flag(compact)
     compact.set_defaults(func=cmd_compact_cache)
 

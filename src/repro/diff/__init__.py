@@ -35,6 +35,7 @@ property:
 """
 
 from repro.diff.checker import (
+    ENGINE_MISMATCH,
     DiffOutcome,
     DifferentialChecker,
     Divergence,
@@ -78,6 +79,7 @@ __all__ = [
     "DiffOutcome",
     "DifferentialChecker",
     "Divergence",
+    "ENGINE_MISMATCH",
     "FAMILIES",
     "FuzzConfig",
     "FuzzReport",

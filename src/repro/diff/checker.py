@@ -31,11 +31,18 @@ from repro.client.taint import Flow
 from repro.diff.families import GeneratedScenario
 from repro.diff.truth import ConcreteExecutionError, ConcreteTaintAnalysis
 from repro.lang.program import Program
-from repro.service.analyzer import ClientAnalyzer, _flow_sort_key, flow_from_dict, flow_to_dict
+from repro.service.analyzer import (
+    SOLVER_COMPILED,
+    ClientAnalyzer,
+    _flow_sort_key,
+    flow_from_dict,
+    flow_to_dict,
+)
 
 #: divergence kinds
 MISSED_FLOW = "missed-flow"
 CRASH = "crash"
+ENGINE_MISMATCH = "engine-mismatch"
 
 PIPELINE_MODES = ("ground_truth", "handwritten", "implementation", "store")
 
@@ -200,11 +207,21 @@ class DifferentialChecker:
         analyzers: Dict[str, ClientAnalyzer],
         library_program=None,
         max_steps: int = 200_000,
+        engine_check: bool = False,
     ):
         if not analyzers:
             raise ValueError("at least one analysis pipeline is required")
         self.analyzers = dict(analyzers)
         self.truth = ConcreteTaintAnalysis(library_program=library_program, max_steps=max_steps)
+        self.engine_check = bool(engine_check)
+        # compiled twins share each pipeline's compiled spec but run the
+        # bitset engine, so every checked program also differentially tests
+        # repro.solve against the reference solver (kind: engine-mismatch)
+        self._compiled_twins: Dict[str, ClientAnalyzer] = {}
+        if self.engine_check:
+            for pipeline, analyzer in self.analyzers.items():
+                if analyzer.solver != SOLVER_COMPILED:
+                    self._compiled_twins[pipeline] = analyzer.with_solver(SOLVER_COMPILED)
 
     # ------------------------------------------------------------------ checks
     def check_program(
@@ -241,6 +258,27 @@ class DifferentialChecker:
                 if flow not in reported:
                     divergences.append(Divergence(kind=MISSED_FLOW, pipeline=pipeline, flow=flow))
             spurious[pipeline] = len(reported.difference(concrete))
+            twin = self._compiled_twins.get(pipeline)
+            if twin is not None:
+                compiled = set(twin.analyze_program(program, name).flows)
+                for flow in sorted(reported - compiled, key=_flow_sort_key):
+                    divergences.append(
+                        Divergence(
+                            kind=ENGINE_MISMATCH,
+                            pipeline=pipeline,
+                            flow=flow,
+                            detail="missing from compiled solver",
+                        )
+                    )
+                for flow in sorted(compiled - reported, key=_flow_sort_key):
+                    divergences.append(
+                        Divergence(
+                            kind=ENGINE_MISMATCH,
+                            pipeline=pipeline,
+                            flow=flow,
+                            detail="extra in compiled solver",
+                        )
+                    )
 
         return DiffOutcome(
             name=name,
@@ -261,6 +299,7 @@ class DifferentialChecker:
 
 __all__ = [
     "CRASH",
+    "ENGINE_MISMATCH",
     "MISSED_FLOW",
     "PIPELINE_MODES",
     "DiffOutcome",

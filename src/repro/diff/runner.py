@@ -47,6 +47,7 @@ class FuzzConfig:
     workers: int = 0
     pipeline: str = "ground_truth"  # primary pipeline under test
     cross_check: bool = True  # also run handwritten-model (implementation) Andersen
+    engine_check: bool = False  # cross-check the compiled bitset solver per pipeline
     shrink: bool = True
     sample: int = 10  # passing programs frozen into the golden corpus
     guided: bool = False  # coverage-guided mutation mode (repro.diff.guided)
@@ -129,6 +130,9 @@ class FuzzReport:
             "shrink": self.config.shrink,
             "outcomes": [outcome.canonical() for outcome in self.outcomes],
         }
+        if self.config.engine_check:
+            # only stamped when on, keeping older report encodings byte-stable
+            payload["engine_check"] = True
         if self.config.guided:
             payload["guided"] = True
             payload["coverage"] = self.coverage.to_dict() if self.coverage is not None else None
@@ -181,6 +185,7 @@ class FuzzReport:
             seed=int(data["seed"]),
             pipeline=data["pipeline"],
             cross_check=bool(data["cross_check"]),
+            engine_check=bool(data.get("engine_check", False)),
             shrink=bool(data["shrink"]),
             guided=bool(data.get("guided", False)),
         )
@@ -262,7 +267,9 @@ def build_checker(
         analyzers["implementation"] = build_pipeline_analyzer(
             "implementation", library_program=library, interface=interface
         )
-    return DifferentialChecker(analyzers, library_program=library)
+    return DifferentialChecker(
+        analyzers, library_program=library, engine_check=config.engine_check
+    )
 
 
 def run_fuzz(

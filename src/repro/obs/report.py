@@ -26,12 +26,15 @@ from repro.obs.metrics import percentile
 
 _SUMMARY_PERCENTILES = (50.0, 90.0, 99.0)
 
+_SOLVE_SPAN = "analysis.solve"
+
 
 # ------------------------------------------------------------------- summaries
 def summarize(entries: Iterable[JournalEntry]) -> Dict:
     """Fold journal entries into event counts and per-span latency stats."""
     event_counts: Dict[str, int] = {}
     span_elapsed: Dict[str, List[float]] = {}
+    solve_outcomes: Dict[str, int] = {}
     traces = set()
     first_ts: Optional[float] = None
     last_ts: Optional[float] = None
@@ -48,6 +51,11 @@ def summarize(entries: Iterable[JournalEntry]) -> Dict:
             name = str(entry.data.get("name", "?"))
             elapsed = float(entry.data.get("elapsed_seconds", 0.0))
             span_elapsed.setdefault(name, []).append(elapsed)
+            if name == _SOLVE_SPAN:
+                attrs = {str(k): str(v) for k, v in (entry.data.get("attrs") or [])}
+                outcome = attrs.get("outcome")
+                if outcome:
+                    solve_outcomes[outcome] = solve_outcomes.get(outcome, 0) + 1
 
     spans: Dict[str, Dict] = {}
     for name, values in sorted(span_elapsed.items()):
@@ -61,12 +69,25 @@ def summarize(entries: Iterable[JournalEntry]) -> Dict:
                 for fraction in _SUMMARY_PERCENTILES
             },
         }
+    solve_total = sum(solve_outcomes.values())
+    solve_times = sorted(span_elapsed.get(_SOLVE_SPAN, ()))
+    solver = {
+        "total": solve_total,
+        "by_outcome": dict(sorted(solve_outcomes.items())),
+        "cache_hit_rate": (solve_outcomes.get("hit", 0) / solve_total) if solve_total else None,
+        "incremental_share": (
+            solve_outcomes.get("incremental", 0) / solve_total if solve_total else None
+        ),
+        "p50_seconds": percentile(solve_times, 50.0) if solve_times else None,
+        "p99_seconds": percentile(solve_times, 99.0) if solve_times else None,
+    }
     return {
         "entries": total,
         "events": dict(sorted(event_counts.items())),
         "traces": len(traces),
         "window_seconds": (last_ts - first_ts) if first_ts is not None else 0.0,
         "spans": spans,
+        "solver": solver,
     }
 
 
@@ -99,6 +120,20 @@ def render_summary(summary: Dict) -> str:
                 f"{pct['p90']:>9.4f}  {pct['p99']:>9.4f}  "
                 f"{stats['max_seconds']:>9.4f}"
             )
+    solver = summary.get("solver")
+    if solver and solver["total"]:
+        outcomes = " ".join(f"{name}={count}" for name, count in solver["by_outcome"].items())
+        lines.append("")
+        lines.append("compiled solver:")
+        lines.append(f"  solves: {solver['total']} ({outcomes})")
+        lines.append(
+            f"  cache hit rate: {solver['cache_hit_rate']:.1%}  "
+            f"incremental share: {solver['incremental_share']:.1%}"
+        )
+        lines.append(
+            f"  solve time: p50 {solver['p50_seconds']:.4f}s  "
+            f"p99 {solver['p99_seconds']:.4f}s"
+        )
     return "\n".join(lines)
 
 

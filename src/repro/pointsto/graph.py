@@ -14,7 +14,7 @@ static calls, whose targets are known syntactically, are resolved eagerly.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Set, Tuple
+from typing import List, Mapping, Optional, Set, Tuple
 
 from repro.lang.program import CONSTRUCTOR, MethodDef, MethodRef, Program, RECEIVER
 from repro.lang.statements import Assign, Call, Const, Load, New, Return, Store
@@ -85,10 +85,26 @@ def parameter_nodes(method: MethodDef, ref: MethodRef) -> Tuple[VarNode, ...]:
 
 
 class PointsToGraph:
-    """The labeled graph ``G`` extracted from a program, plus call sites."""
+    """The labeled graph ``G`` extracted from a program, plus call sites.
 
-    def __init__(self, program: Program):
+    *only* restricts extraction to a slice of the program: a mapping
+    ``class name -> {method name: first statement index to extract}``.
+    Statement indices stay absolute (skipped prefixes still count), so the
+    extracted edges, abstract objects and call sites are exactly the subset
+    the full extraction would produce for those statements -- the property
+    :mod:`repro.solve` relies on to extract only a client (or only the
+    appended tail of an edited method) on top of an already-solved base.
+    Constructor and static-call resolution still consult the *whole*
+    program.
+    """
+
+    def __init__(
+        self,
+        program: Program,
+        only: Optional[Mapping[str, Mapping[str, int]]] = None,
+    ):
         self.program = program
+        self._only = only
         self.edges: List[Tuple[object, Symbol, object]] = []
         self.call_sites: List[CallSite] = []
         self.fields: Set[str] = set()
@@ -104,8 +120,14 @@ class PointsToGraph:
 
     def _extract(self) -> None:
         for cls, method in self.program.iter_methods():
+            start = 0
+            if self._only is not None:
+                methods = self._only.get(cls.name)
+                if methods is None or method.name not in methods:
+                    continue
+                start = methods[method.name]
             ref = MethodRef(cls.name, method.name)
-            self._extract_method(ref, method)
+            self._extract_method(ref, method, start)
 
     def _bind_call_arguments(
         self,
@@ -125,7 +147,7 @@ class PointsToGraph:
         if target is not None and callee.returns_reference():
             self._add_edge(return_node(callee_ref), ASSIGN, target)
 
-    def _extract_method(self, ref: MethodRef, method: MethodDef) -> None:
+    def _extract_method(self, ref: MethodRef, method: MethodDef, start: int = 0) -> None:
         local = lambda name: var_node(ref, name)
         # Ensure interface variables exist as nodes even for empty/native bodies.
         if not method.is_static:
@@ -136,6 +158,8 @@ class PointsToGraph:
             self.nodes.add(return_node(ref))
 
         for index, statement in enumerate(method.body):
+            if index < start:
+                continue
             if isinstance(statement, Assign):
                 self._add_edge(local(statement.source), ASSIGN, local(statement.target))
             elif isinstance(statement, Const):

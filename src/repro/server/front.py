@@ -94,6 +94,7 @@ def _server_timing(future) -> str:
         ("queue", "queue_seconds"),
         ("andersen", "andersen_seconds"),
         ("taint", "taint_seconds"),
+        ("solve", "solve_seconds"),
         ("analysis", "analysis_seconds"),
     ):
         seconds = getattr(future, attr, None)
@@ -126,6 +127,8 @@ class ShardedAnalysisServer:
         admission_limit: Optional[int] = None,
         coalesce: bool = True,
         mp_context: Optional[str] = None,
+        solver: Optional[str] = None,
+        analysis_cache_dir: Optional[str] = None,
     ):
         self.store = store
         self.host = host
@@ -143,6 +146,8 @@ class ShardedAnalysisServer:
             events=self.events,
             library_program=library_program,
             mp_context=mp_context,
+            solver=solver,
+            analysis_cache_dir=analysis_cache_dir,
         )
         # headroom above the pool bound: the door sheds before the loop fills
         # with tasks that would only be shed by the pool anyway

@@ -285,6 +285,9 @@ class _RequestHandler(BaseHTTPRequestHandler):
         parts.append(
             f"taint;dur={sum(r.timing.taint_seconds for r in reports) * 1000.0:.3f}"
         )
+        if any(r.timing.solve_outcome is not None for r in reports):
+            solve_seconds = sum(r.timing.solve_seconds or 0.0 for r in reports)
+            parts.append(f"solve;dur={solve_seconds * 1000.0:.3f}")
         analysis_seconds = getattr(future, "analysis_seconds", None)
         if analysis_seconds is not None:
             parts.append(f"analysis;dur={analysis_seconds * 1000.0:.3f}")
@@ -328,6 +331,8 @@ class AnalysisServer:
         library_program=None,
         interface=None,
         handler=None,
+        solver: Optional[str] = None,
+        analysis_cache_dir: Optional[str] = None,
     ):
         self.store = store
         self.host = host
@@ -346,6 +351,8 @@ class AnalysisServer:
             library_program=library_program,
             interface=interface,
             handler=handler,
+            solver=solver,
+            analysis_cache_dir=analysis_cache_dir,
         )
         self._httpd: Optional[AnalysisHTTPServer] = None
         self._thread: Optional[threading.Thread] = None

@@ -131,6 +131,11 @@ class ServerMetrics:
         self._phases = reg.histogram(
             "repro_phase_seconds", "Per-phase (span) wall-clock time", ("phase",)
         )
+        self._solves = reg.counter(
+            "repro_solve_total",
+            "Compiled-solver analyses, by outcome (hit, incremental, cold)",
+            ("outcome",),
+        )
         self._queue_depth = reg.gauge("repro_queue_depth", "Queued requests at scrape time")
         self._queue_capacity = reg.gauge(
             "repro_queue_capacity", "Bounded queue capacity"
@@ -182,6 +187,10 @@ class ServerMetrics:
         """Fold one engine event into the counters (see :class:`MetricsSink`)."""
         if isinstance(event, SpanFinished):
             self._phases.observe(event.elapsed_seconds, phase=event.name)
+            if event.name == "analysis.solve":
+                outcome = event.attributes().get("outcome")
+                if outcome:
+                    self._solves.inc(outcome=outcome)
         elif isinstance(event, AnalysisFinished):
             self._analyses.inc()
             self._flows.inc(event.flows)
@@ -240,6 +249,10 @@ class ServerMetrics:
     @property
     def hot_reloads_total(self) -> int:
         return int(self._reloads.value())
+
+    @property
+    def solves_by_outcome(self) -> Dict[str, int]:
+        return {key[0]: int(value) for key, value in self._solves.series().items()}
 
     @property
     def canaries_by_result(self) -> Dict[str, int]:
@@ -311,6 +324,7 @@ class ServerMetrics:
                 "rollbacks": self.rollbacks_total,
             },
             "canaries": dict(sorted(self.canaries_by_result.items())),
+            "solver": self._solver_snapshot(),
             "dropped_events": dropped_event_count(),
         }
         queue: Dict = {}
@@ -323,6 +337,23 @@ class ServerMetrics:
         if workers is not None:
             snapshot["workers"] = workers
         return snapshot
+
+    def _solver_snapshot(self) -> Dict:
+        """The compiled-engine counters: per-outcome counts plus derived rates.
+
+        All zeros under the reference solver -- the block is always present
+        so dashboards need not special-case engine selection.
+        """
+        by_outcome = self.solves_by_outcome
+        total = sum(by_outcome.values())
+        hits = by_outcome.get("hit", 0)
+        incremental = by_outcome.get("incremental", 0)
+        return {
+            "total": total,
+            "by_outcome": dict(sorted(by_outcome.items())),
+            "cache_hit_rate": (hits / total) if total else None,
+            "incremental_share": (incremental / total) if total else None,
+        }
 
     # -------------------------------------------------------------- prometheus
     def to_prometheus(

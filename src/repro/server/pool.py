@@ -130,11 +130,15 @@ class WarmWorkerPool:
         library_program=None,
         interface=None,
         handler: Optional[Handler] = None,
+        solver: Optional[str] = None,
+        analysis_cache_dir: Optional[str] = None,
     ):
         self.store = store
         self.workers = max(1, int(workers))
         self.queue_capacity = max(1, int(queue_depth))
         self.events = events if events is not None else NullSink()
+        self.solver = solver
+        self.analysis_cache_dir = analysis_cache_dir
         self.library_program = (
             library_program if library_program is not None else build_library_program()
         )
@@ -367,6 +371,10 @@ class WarmWorkerPool:
             spec_id=spec_id,
             library_program=self.library_program,
             interface=self.interface,
+            solver=self.solver,
+            analysis_cache_dir=self.analysis_cache_dir,
+            # per-worker cache files: appends from worker threads never interleave
+            analysis_cache_worker=worker,
         )
         self.events.emit(
             SpecCompiled(

@@ -113,7 +113,15 @@ def _evict_stale(analyzers: Dict[str, ClientAnalyzer], protected: set) -> None:
             return
 
 
-def _worker_main(name: str, store_root: str, jobs, results, initial_spec_id: str) -> None:
+def _worker_main(
+    name: str,
+    store_root: str,
+    jobs,
+    results,
+    initial_spec_id: str,
+    solver: Optional[str] = None,
+    analysis_cache_dir: Optional[str] = None,
+) -> None:
     """One pre-forked worker: compile once, then serve jobs until the sentinel.
 
     Module-level (not a closure) so the pool works under the ``spawn`` start
@@ -141,7 +149,15 @@ def _worker_main(name: str, store_root: str, jobs, results, initial_spec_id: str
     def compile_spec(spec_id: str) -> ClientAnalyzer:
         started = time.perf_counter()
         analyzer = ClientAnalyzer.from_store(
-            store, spec_id=spec_id, library_program=library, interface=interface
+            store,
+            spec_id=spec_id,
+            library_program=library,
+            interface=interface,
+            solver=solver,
+            analysis_cache_dir=analysis_cache_dir,
+            # per-process cache files in one shared directory: each worker
+            # appends to its own, loads the union -- no write interleaving
+            analysis_cache_worker=name,
         )
         sink.emit(
             SpecCompiled(
@@ -215,6 +231,10 @@ def _worker_main(name: str, store_root: str, jobs, results, initial_spec_id: str
             "andersen_seconds": sum(r.timing.andersen_seconds for r in reports),
             "taint_seconds": sum(r.timing.taint_seconds for r in reports),
         }
+        if any(r.timing.solve_outcome is not None for r in reports):
+            timing["solve_seconds"] = sum(
+                r.timing.solve_seconds or 0.0 for r in reports
+            )
         results.put(("result", name, job_id, "ok", response.to_dict(), timing))
         if shadow_spec_id is not None and request.spec_id is None:
             # strictly after the served result shipped: nothing below can
@@ -267,11 +287,15 @@ class ProcessWorkerPool:
         events: Optional[EventSink] = None,
         library_program=None,
         mp_context: Optional[str] = None,
+        solver: Optional[str] = None,
+        analysis_cache_dir: Optional[str] = None,
     ):
         self.store = store
         self.processes = max(1, int(processes))
         self.queue_capacity = max(1, int(queue_depth))
         self.events = events if events is not None else NullSink()
+        self.solver = solver
+        self.analysis_cache_dir = analysis_cache_dir
         # parent-side library build is for the fingerprint only; each worker
         # rebuilds its own copy (deterministic, so fingerprints agree)
         self.library_program = (
@@ -328,7 +352,15 @@ class ProcessWorkerPool:
             self._outstanding[name] = 0
             process = self._ctx.Process(
                 target=_worker_main,
-                args=(name, str(self.store.root), jobs, self._results, record.spec_id),
+                args=(
+                    name,
+                    str(self.store.root),
+                    jobs,
+                    self._results,
+                    record.spec_id,
+                    self.solver,
+                    self.analysis_cache_dir,
+                ),
                 name=f"repro-serve-{name}",
                 daemon=True,
             )

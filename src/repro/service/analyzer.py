@@ -16,6 +16,8 @@ produced them.
 
 from __future__ import annotations
 
+import copy
+import os
 import time
 from dataclasses import dataclass
 from typing import Dict, Iterable, Optional, Tuple
@@ -24,9 +26,27 @@ from repro.benchgen.generator import GeneratedApp
 from repro.client.sources_sinks import build_framework_program
 from repro.client.taint import Flow, InformationFlowAnalysis
 from repro.lang.program import Program
+from repro.lang.serialize import program_digest
 from repro.library.registry import build_interface, build_library_program, core_program
 from repro.obs import trace as _trace
 from repro.pointsto.andersen import AndersenAnalysis
+
+#: engine selector values (``REPRO_SOLVER`` / ``--solver``)
+SOLVER_REFERENCE = "reference"
+SOLVER_COMPILED = "compiled"
+SOLVERS = (SOLVER_REFERENCE, SOLVER_COMPILED)
+
+#: environment fallbacks for the engine selector and the analysis cache
+SOLVER_ENV = "REPRO_SOLVER"
+ANALYSIS_CACHE_ENV = "REPRO_ANALYSIS_CACHE"
+
+
+def resolve_solver(value: Optional[str]) -> str:
+    """Normalize an engine selector: explicit value > environment > reference."""
+    chosen = value or os.environ.get(SOLVER_ENV) or SOLVER_REFERENCE
+    if chosen not in SOLVERS:
+        raise ValueError(f"unknown solver {chosen!r} (expected one of {SOLVERS})")
+    return chosen
 
 _FLOW_FIELDS = (
     "source_class",
@@ -53,11 +73,18 @@ def _flow_sort_key(flow: Flow) -> Tuple:
 
 @dataclass(frozen=True)
 class RequestTiming:
-    """Wall-clock breakdown of one analysis request."""
+    """Wall-clock breakdown of one analysis request.
+
+    ``solve_seconds``/``solve_outcome`` are only populated by the compiled
+    engine: the outcome is ``"hit"`` (cache), ``"incremental"`` (extended a
+    cached fixpoint) or ``"cold"`` (forked the pre-solved base).
+    """
 
     andersen_seconds: float
     taint_seconds: float
     total_seconds: float
+    solve_seconds: Optional[float] = None
+    solve_outcome: Optional[str] = None
 
     def server_timing(self, **extra_seconds: float) -> str:
         """The breakdown as a ``Server-Timing`` header value (durations in ms).
@@ -69,6 +96,8 @@ class RequestTiming:
             ("andersen", self.andersen_seconds),
             ("taint", self.taint_seconds),
         ]
+        if self.solve_outcome is not None and self.solve_seconds is not None:
+            phases.append(("solve", self.solve_seconds))
         phases.extend(sorted(extra_seconds.items()))
         phases.append(("total", self.total_seconds))
         return ", ".join(f"{name};dur={seconds * 1000.0:.3f}" for name, seconds in phases)
@@ -103,11 +132,15 @@ class FlowReport:
                 "taint_seconds": self.timing.taint_seconds,
                 "total_seconds": self.timing.total_seconds,
             }
+            if self.timing.solve_outcome is not None:
+                payload["timing"]["solve_seconds"] = self.timing.solve_seconds
+                payload["timing"]["solve_outcome"] = self.timing.solve_outcome
         return payload
 
     @classmethod
     def from_dict(cls, data: Dict) -> "FlowReport":
         timing = data.get("timing") or {}
+        solve_seconds = timing.get("solve_seconds")
         return cls(
             program=data["program"],
             flows=tuple(
@@ -117,6 +150,8 @@ class FlowReport:
                 andersen_seconds=float(timing.get("andersen_seconds", 0.0)),
                 taint_seconds=float(timing.get("taint_seconds", 0.0)),
                 total_seconds=float(timing.get("total_seconds", 0.0)),
+                solve_seconds=None if solve_seconds is None else float(solve_seconds),
+                solve_outcome=timing.get("solve_outcome"),
             ),
             spec_id=data.get("spec_id"),
         )
@@ -131,6 +166,9 @@ class ClientAnalyzer:
         library_program: Optional[Program] = None,
         framework: Optional[Program] = None,
         spec_id: Optional[str] = None,
+        solver: Optional[str] = None,
+        analysis_cache_dir: Optional[str] = None,
+        analysis_cache_worker: Optional[str] = None,
     ):
         library = library_program if library_program is not None else build_library_program()
         framework = framework if framework is not None else build_framework_program()
@@ -139,6 +177,16 @@ class ClientAnalyzer:
             core_program(library).merged_with(framework).merged_with(spec_program)
         )
         self.spec_id = spec_id
+        self.solver = resolve_solver(solver)
+        self.analysis_cache_dir = (
+            analysis_cache_dir or os.environ.get(ANALYSIS_CACHE_ENV) or None
+        )
+        self.analysis_cache_worker = analysis_cache_worker
+        # both are built lazily (and dropped on pickling): the compiled engine
+        # pre-solves the base program, the cache reads its directory
+        self._engine = None
+        self._cache = None
+        self._cache_loaded = False
 
     @classmethod
     def from_store(
@@ -148,6 +196,9 @@ class ClientAnalyzer:
         library_program: Optional[Program] = None,
         interface=None,
         config=None,
+        solver: Optional[str] = None,
+        analysis_cache_dir: Optional[str] = None,
+        analysis_cache_worker: Optional[str] = None,
     ) -> "ClientAnalyzer":
         """Build an analyzer from a stored specification.
 
@@ -185,7 +236,62 @@ class ClientAnalyzer:
         if interface is None:
             interface = build_spec_interface(library)
         result = store.get(spec_id, interface=interface)
-        return cls(result.spec_program, library_program=library, spec_id=spec_id)
+        return cls(
+            result.spec_program,
+            library_program=library,
+            spec_id=spec_id,
+            solver=solver,
+            analysis_cache_dir=analysis_cache_dir,
+            analysis_cache_worker=analysis_cache_worker,
+        )
+
+    # -------------------------------------------------------------- engine/cache
+    def with_solver(
+        self, solver: str, analysis_cache_dir: Optional[str] = None
+    ) -> "ClientAnalyzer":
+        """A twin of this analyzer running *solver* (sharing the base program).
+
+        The differential fuzzer uses this to cross-check the compiled engine
+        against the reference on identical specifications without recompiling
+        the spec automaton.
+        """
+        clone = copy.copy(self)
+        clone.solver = resolve_solver(solver)
+        clone.analysis_cache_dir = analysis_cache_dir
+        clone._engine = None
+        clone._cache = None
+        clone._cache_loaded = False
+        return clone
+
+    def _compiled_engine(self):
+        if self._engine is None:
+            from repro.solve.engine import CompiledAnalysisEngine
+
+            self._engine = CompiledAnalysisEngine(self.base_program)
+        return self._engine
+
+    def _analysis_cache(self):
+        if not self._cache_loaded:
+            self._cache_loaded = True
+            if self.analysis_cache_dir:
+                from repro.engine.cache import program_fingerprint
+                from repro.solve.cache import AnalysisResultCache
+
+                self._cache = AnalysisResultCache(
+                    self.analysis_cache_dir,
+                    spec_key=program_fingerprint(self.base_program),
+                    worker=self.analysis_cache_worker,
+                )
+        return self._cache
+
+    def __getstate__(self) -> Dict:
+        # the engine (a solved base closure) and the cache (an open directory
+        # view) are per-process; worker processes rebuild them lazily
+        state = dict(self.__dict__)
+        state["_engine"] = None
+        state["_cache"] = None
+        state["_cache_loaded"] = False
+        return state
 
     # ---------------------------------------------------------------- analysis
     def analyze_program(
@@ -198,6 +304,8 @@ class ClientAnalyzer:
         Andersen step -- the hook the coverage-guided fuzzer uses to
         fingerprint edge shapes without re-running any analysis.
         """
+        if self.solver == SOLVER_COMPILED:
+            return self._analyze_compiled(program, name, points_to_observer)
         with _trace.span("analysis.analyze", program=name):
             started = time.perf_counter()
             merged = program.merged_with(self.base_program)
@@ -220,6 +328,65 @@ class ClientAnalyzer:
             spec_id=self.spec_id,
         )
 
+    def _analyze_compiled(
+        self, program: Program, name: str, points_to_observer=None
+    ) -> FlowReport:
+        """The ``repro.solve`` hot path: cache hit > incremental > cold solve.
+
+        The cache is bypassed when an observer wants the points-to result (a
+        cached answer has no solver to observe).  Flows come back in the same
+        canonical order as the reference path, so reports are bit-identical
+        whichever engine -- or cache entry -- produced them.
+        """
+        with _trace.span("analysis.analyze", program=name):
+            started = time.perf_counter()
+            merged = program.merged_with(self.base_program)
+            digest = program_digest(program)
+            cache = self._analysis_cache() if points_to_observer is None else None
+            with _trace.span(
+                "analysis.solve", program=name, engine=SOLVER_COMPILED
+            ) as solve_span:
+                solve_started = time.perf_counter()
+                cached = cache.get(digest) if cache is not None else None
+                if cached is None:
+                    points_to, outcome = self._compiled_engine().analyze(
+                        program, merged, digest
+                    )
+                    if points_to_observer is not None:
+                        points_to_observer(points_to)
+                else:
+                    outcome = "hit"
+                solve_span.set("outcome", outcome)
+                solve_finished = time.perf_counter()
+            if cached is None:
+                with _trace.span("analysis.taint", program=name):
+                    report = InformationFlowAnalysis(merged).run(points_to=points_to)
+                flows = tuple(sorted(report.flows, key=_flow_sort_key))
+                finished = time.perf_counter()
+                andersen_seconds = solve_finished - started
+                taint_seconds = finished - solve_finished
+                if cache is not None:
+                    cache.put(digest, [flow_to_dict(flow) for flow in flows])
+            else:
+                flows = tuple(
+                    sorted((flow_from_dict(entry) for entry in cached), key=_flow_sort_key)
+                )
+                finished = time.perf_counter()
+                andersen_seconds = 0.0
+                taint_seconds = 0.0
+        return FlowReport(
+            program=name,
+            flows=flows,
+            timing=RequestTiming(
+                andersen_seconds=andersen_seconds,
+                taint_seconds=taint_seconds,
+                total_seconds=finished - started,
+                solve_seconds=solve_finished - solve_started,
+                solve_outcome=outcome,
+            ),
+            spec_id=self.spec_id,
+        )
+
     def analyze_app(self, app: GeneratedApp) -> FlowReport:
         return self.analyze_program(app.program, app.name)
 
@@ -229,10 +396,16 @@ class ClientAnalyzer:
 
 
 __all__ = [
+    "ANALYSIS_CACHE_ENV",
     "ClientAnalyzer",
     "Flow",
     "FlowReport",
     "RequestTiming",
+    "SOLVERS",
+    "SOLVER_COMPILED",
+    "SOLVER_ENV",
+    "SOLVER_REFERENCE",
     "flow_from_dict",
     "flow_to_dict",
+    "resolve_solver",
 ]

@@ -232,6 +232,8 @@ def resolve_analyzer(
     store: SpecStore,
     library_program=None,
     interface=None,
+    solver: Optional[str] = None,
+    analysis_cache_dir: Optional[str] = None,
 ) -> ClientAnalyzer:
     """Compile the specification a request names into a :class:`ClientAnalyzer`.
 
@@ -250,6 +252,8 @@ def resolve_analyzer(
         spec_id=request.spec_id,
         library_program=library_program,
         interface=interface,
+        solver=solver,
+        analysis_cache_dir=analysis_cache_dir,
     )
 
 
@@ -308,6 +312,8 @@ def handle_request(
     events: Optional[EventSink] = None,
     library_program=None,
     interface=None,
+    solver: Optional[str] = None,
+    analysis_cache_dir: Optional[str] = None,
 ) -> AnalyzeResponse:
     """Serve one request end to end: resolve specs, build corpus, analyze.
 
@@ -322,7 +328,12 @@ def handle_request(
     """
     library = library_program if library_program is not None else build_library_program()
     analyzer = resolve_analyzer(
-        request, store, library_program=library, interface=interface
+        request,
+        store,
+        library_program=library,
+        interface=interface,
+        solver=solver,
+        analysis_cache_dir=analysis_cache_dir,
     )
     return run_request(request, analyzer, events=events)
 

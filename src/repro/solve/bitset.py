@@ -1,0 +1,327 @@
+"""A compiled CFL-reachability solver over integer bitsets.
+
+This is the hot-path twin of :class:`repro.pointsto.cfl.CFLSolver`: the same
+normalized grammar, the same least fixpoint, the same query API -- but the
+closure state is *dense*.  Nodes and symbols are interned to small integers
+and every relation ``u --A--> *`` is one arbitrary-precision Python int used
+as a bitmask, so the inner worklist loop propagates whole successor rows with
+single ``|``/``& ~`` operations instead of element-wise set inserts.  Pure
+stdlib: Python's bignums are the bitset type, which keeps the solver
+dependency-free and picklable.
+
+Two things the reference solver does not offer:
+
+* :meth:`add_productions` -- field-parameterized productions may be added
+  after edges exist.  Existing edges over the symbols a new production
+  mentions are re-enqueued, and rule firing always consults the *index*
+  (which holds every edge ever added, popped or not), so no derivation is
+  missed whatever the interleaving of productions and edges.
+* :meth:`fork` -- an O(rows) copy of the entire solver state.  The serving
+  engine solves the invariant base program once, then forks the solved state
+  per request (and forks cached per-program fixpoints for incremental
+  re-solve) instead of re-deriving it.
+
+The worklist carries ``(source, symbol, delta_mask)`` triples: one entry may
+represent many edges, and rule application combines masks in bulk.  Because
+the closure is a least fixpoint, the iteration order cannot change the
+result -- which is what makes the bit-identical-flows guarantee against the
+reference solver checkable rather than aspirational.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, Hashable, Iterable, Iterator, List, Sequence, Set, Tuple
+
+from repro.pointsto.grammar import NULLABLE, Production
+from repro.pointsto.labels import Symbol
+
+
+class BitsetCFLSolver:
+    """CFL-reachability over int-bitmask adjacency rows.
+
+    API-compatible with :class:`repro.pointsto.cfl.CFLSolver` (``add_node``,
+    ``add_edge``, ``solve``, and every query), so
+    :class:`~repro.pointsto.relations.PointsToResult` and the taint client
+    run unchanged on top of it.
+    """
+
+    def __init__(
+        self,
+        productions: Sequence[Production] = (),
+        nullable: Iterable[Symbol] = NULLABLE,
+    ):
+        self._symbol_ids: Dict[Symbol, int] = {}
+        self._symbols: List[Symbol] = []
+        self._node_ids: Dict[Hashable, int] = {}
+        self._nodes: List[Hashable] = []
+
+        # production indexes keyed by symbol id (same shape as the reference)
+        self._by_single: Dict[int, List[int]] = {}
+        self._by_first: Dict[int, List[Tuple[int, int]]] = {}
+        self._by_second: Dict[int, List[Tuple[int, int]]] = {}
+        self._productions: Set[Production] = set()
+        self.add_productions(productions)
+
+        self._nullable_ids = tuple(self._symbol_id(symbol) for symbol in nullable)
+
+        #: symbol id -> {source id: mask of target ids}
+        self._out: Dict[int, Dict[int, int]] = {}
+        #: symbol id -> {target id: mask of source ids}
+        self._in: Dict[int, Dict[int, int]] = {}
+        self._edge_counts: Dict[int, int] = {}
+        self._total_edges = 0
+        self._worklist: deque = deque()
+
+    # ------------------------------------------------------------------ interning
+    def _symbol_id(self, symbol: Symbol) -> int:
+        identifier = self._symbol_ids.get(symbol)
+        if identifier is None:
+            identifier = len(self._symbols)
+            self._symbol_ids[symbol] = identifier
+            self._symbols.append(symbol)
+        return identifier
+
+    def _node_id(self, node: Hashable) -> int:
+        identifier = self._node_ids.get(node)
+        if identifier is None:
+            identifier = len(self._nodes)
+            self._node_ids[node] = identifier
+            self._nodes.append(node)
+            bit = 1 << identifier
+            for nullable in self._nullable_ids:
+                self._push(identifier, nullable, bit)
+        return identifier
+
+    # ------------------------------------------------------------------ public API
+    def add_productions(self, productions: Sequence[Production]) -> int:
+        """Index *productions*, skipping any already present; returns how many were new.
+
+        Edges already at fixpoint are re-enqueued for every symbol a new
+        production mentions, so late productions fire over pre-existing edges
+        too -- ordering of ``add_productions``/``add_edge`` cannot lose
+        derivations.  (Re-pushed masks that derive nothing new are dropped by
+        the ``& ~have`` delta check, so this is idempotent.)
+        """
+        added = 0
+        affected: Set[int] = set()
+        for production in productions:
+            if production in self._productions:
+                continue
+            self._productions.add(production)
+            added += 1
+            lhs = self._symbol_id(production.lhs)
+            rhs = [self._symbol_id(symbol) for symbol in production.rhs]
+            affected.update(rhs)
+            if len(rhs) == 1:
+                self._by_single.setdefault(rhs[0], []).append(lhs)
+            else:
+                first, second = rhs
+                self._by_first.setdefault(first, []).append((second, lhs))
+                self._by_second.setdefault(second, []).append((first, lhs))
+        # guarded getattr: __init__ indexes the grammar before edge state exists
+        out_index = getattr(self, "_out", None)
+        if added and out_index:
+            for symbol in affected:
+                for source, mask in out_index.get(symbol, {}).items():
+                    self._worklist.append((source, symbol, mask))
+        return added
+
+    def add_node(self, node: Hashable) -> None:
+        """Register *node* (ensuring its nullable self-loops exist)."""
+        self._node_id(node)
+
+    def add_edge(self, source: Hashable, symbol: Symbol, target: Hashable) -> bool:
+        """Add an edge; returns ``True`` if it was new."""
+        source_id = self._node_id(source)
+        target_id = self._node_id(target)
+        symbol_id = self._symbol_id(symbol)
+        return self._push(source_id, symbol_id, 1 << target_id) > 0
+
+    def solve(self) -> None:
+        """Run the worklist to fixpoint (may be called repeatedly)."""
+        worklist = self._worklist
+        out_index = self._out
+        in_index = self._in
+        by_single = self._by_single
+        by_first = self._by_first
+        by_second = self._by_second
+        push = self._push
+
+        while worklist:
+            source, symbol, mask = worklist.popleft()
+
+            for produced in by_single.get(symbol, ()):
+                push(source, produced, mask)
+
+            # production A -> symbol C : extend each new target to the right
+            firsts = by_first.get(symbol)
+            if firsts:
+                remaining = mask
+                while remaining:
+                    low = remaining & -remaining
+                    target = low.bit_length() - 1
+                    remaining ^= low
+                    for follower, produced in firsts:
+                        row = out_index.get(follower)
+                        if row:
+                            successors = row.get(target)
+                            if successors:
+                                push(source, produced, successors)
+
+            # production A -> B symbol : every B-predecessor of source gains
+            # the whole delta mask in one push
+            seconds = by_second.get(symbol)
+            if seconds:
+                for leader, produced in seconds:
+                    row = in_index.get(leader)
+                    if row:
+                        predecessors = row.get(source)
+                        if predecessors:
+                            remaining = predecessors
+                            while remaining:
+                                low = remaining & -remaining
+                                predecessor = low.bit_length() - 1
+                                remaining ^= low
+                                push(predecessor, produced, mask)
+
+    # ------------------------------------------------------------------ queries
+    def has_edge(self, source: Hashable, symbol: Symbol, target: Hashable) -> bool:
+        source_id = self._node_ids.get(source)
+        target_id = self._node_ids.get(target)
+        symbol_id = self._symbol_ids.get(symbol)
+        if source_id is None or target_id is None or symbol_id is None:
+            return False
+        row = self._out.get(symbol_id)
+        if not row:
+            return False
+        return bool(row.get(source_id, 0) >> target_id & 1)
+
+    def successors(self, source: Hashable, symbol: Symbol) -> Set[Hashable]:
+        source_id = self._node_ids.get(source)
+        symbol_id = self._symbol_ids.get(symbol)
+        if source_id is None or symbol_id is None:
+            return set()
+        row = self._out.get(symbol_id)
+        mask = row.get(source_id, 0) if row else 0
+        return set(self._iter_mask(mask))
+
+    def predecessors(self, target: Hashable, symbol: Symbol) -> Set[Hashable]:
+        target_id = self._node_ids.get(target)
+        symbol_id = self._symbol_ids.get(symbol)
+        if target_id is None or symbol_id is None:
+            return set()
+        row = self._in.get(symbol_id)
+        mask = row.get(target_id, 0) if row else 0
+        return set(self._iter_mask(mask))
+
+    def reachable(self, source: Hashable, symbol: Symbol) -> Iterator[Hashable]:
+        """Lazily iterate nodes reachable from *source* via *symbol*."""
+        source_id = self._node_ids.get(source)
+        symbol_id = self._symbol_ids.get(symbol)
+        if source_id is None or symbol_id is None:
+            return iter(())
+        row = self._out.get(symbol_id)
+        return self._iter_mask(row.get(source_id, 0) if row else 0)
+
+    def reaching_sources(
+        self, target: Hashable, symbol: Symbol, candidates: Iterable[Hashable]
+    ) -> Iterator[Hashable]:
+        """Bulk query: which *candidates* have a *symbol* edge into *target*?"""
+        target_id = self._node_ids.get(target)
+        symbol_id = self._symbol_ids.get(symbol)
+        if target_id is None or symbol_id is None:
+            return iter(())
+        row = self._in.get(symbol_id)
+        incoming = row.get(target_id, 0) if row else 0
+        if not incoming:
+            return iter(())
+        node_ids = self._node_ids
+        return (
+            candidate
+            for candidate in candidates
+            if (identifier := node_ids.get(candidate)) is not None
+            and incoming >> identifier & 1
+        )
+
+    def edges(self, symbol: Symbol) -> Iterator[Tuple[Hashable, Hashable]]:
+        """Iterate over all ``(source, target)`` pairs related by *symbol*."""
+        symbol_id = self._symbol_ids.get(symbol)
+        if symbol_id is None:
+            return iter(())
+        nodes = self._nodes
+        return (
+            (nodes[source], target)
+            for source, mask in self._out.get(symbol_id, {}).items()
+            for target in self._iter_mask(mask)
+        )
+
+    def edge_count(self, symbol: Symbol) -> int:
+        symbol_id = self._symbol_ids.get(symbol)
+        if symbol_id is None:
+            return 0
+        return self._edge_counts.get(symbol_id, 0)
+
+    @property
+    def total_edges(self) -> int:
+        return self._total_edges
+
+    def nodes(self) -> Tuple[Hashable, ...]:
+        return tuple(self._nodes)
+
+    # ------------------------------------------------------------------ forking
+    def fork(self) -> "BitsetCFLSolver":
+        """An independent copy of the full solver state.
+
+        Rows are masks (immutable ints), so the copy is one dict copy per
+        relation -- the cheap operation the per-request engine leans on.
+        """
+        clone = self.__class__.__new__(self.__class__)
+        clone._symbol_ids = dict(self._symbol_ids)
+        clone._symbols = list(self._symbols)
+        clone._node_ids = dict(self._node_ids)
+        clone._nodes = list(self._nodes)
+        clone._by_single = {key: list(value) for key, value in self._by_single.items()}
+        clone._by_first = {key: list(value) for key, value in self._by_first.items()}
+        clone._by_second = {key: list(value) for key, value in self._by_second.items()}
+        clone._productions = set(self._productions)
+        clone._nullable_ids = self._nullable_ids
+        clone._out = {key: dict(row) for key, row in self._out.items()}
+        clone._in = {key: dict(row) for key, row in self._in.items()}
+        clone._edge_counts = dict(self._edge_counts)
+        clone._total_edges = self._total_edges
+        clone._worklist = deque(self._worklist)
+        return clone
+
+    # ------------------------------------------------------------------ internals
+    def _iter_mask(self, mask: int) -> Iterator[Hashable]:
+        nodes = self._nodes
+        while mask:
+            low = mask & -mask
+            yield nodes[low.bit_length() - 1]
+            mask ^= low
+
+    def _push(self, source: int, symbol: int, mask: int) -> int:
+        """Merge *mask* into ``out[symbol][source]``; returns how many bits were new."""
+        row = self._out.setdefault(symbol, {})
+        have = row.get(source, 0)
+        new = mask & ~have
+        if not new:
+            return 0
+        row[source] = have | new
+        in_rows = self._in.setdefault(symbol, {})
+        bit = 1 << source
+        remaining = new
+        while remaining:
+            low = remaining & -remaining
+            target = low.bit_length() - 1
+            remaining ^= low
+            in_rows[target] = in_rows.get(target, 0) | bit
+        count = new.bit_count()
+        self._edge_counts[symbol] = self._edge_counts.get(symbol, 0) + count
+        self._total_edges += count
+        self._worklist.append((source, symbol, new))
+        return count
+
+
+__all__ = ["BitsetCFLSolver"]

@@ -1,0 +1,186 @@
+"""Content-addressed analysis result cache: the serving twin of the oracle cache.
+
+A flow report is fully determined by two inputs: the analysis-invariant base
+program (library stubs + framework + compiled specifications) and the client
+program itself.  The cache therefore keys every entry by ``(spec key,
+program digest)`` -- the spec key is the SHA-256 fingerprint of the merged
+base program (any spec version, library, or framework change invalidates
+transparently), the program digest is the canonical encoding digest from
+:func:`repro.lang.serialize.program_digest`.  Repeated or shared client
+fragments never re-solve: the stored flows come back verbatim, and because
+flow reports are canonically sorted, a cached answer is bit-identical to a
+fresh one.
+
+On disk the cache is append-only JSON lines, like
+:class:`repro.engine.cache.PersistentCache`: crash-safe (a truncated last
+line is skipped on load) and multi-run friendly.  One twist for the serving
+tier: several pre-forked worker processes share one cache *directory* but
+each appends to its **own** file (``analysis-cache-<worker>.jsonl``), so
+concurrent appends never interleave; every worker loads the union of all
+files at startup, which is how warmth survives restarts and spreads across
+the shard.  Compaction keeps the last entry per key, preserves first-seen
+order, and replaces each file atomically.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from typing import Dict, List, Optional, Tuple
+
+from repro.engine.cache import CompactionStats
+
+#: basename stem every cache file in a directory shares
+ANALYSIS_CACHE_BASENAME = "analysis-cache"
+_ENTRY_FORMAT = "repro.solve.cache/1"
+
+
+def analysis_cache_files(directory: str) -> List[str]:
+    """Every cache file under *directory*, sorted by name."""
+    if not os.path.isdir(directory):
+        return []
+    names = [
+        name
+        for name in os.listdir(directory)
+        if name.startswith(ANALYSIS_CACHE_BASENAME) and name.endswith(".jsonl")
+    ]
+    return [os.path.join(directory, name) for name in sorted(names)]
+
+
+class AnalysisResultCache:
+    """In-memory map over an append-only JSONL directory, keyed by program digest.
+
+    Entries recorded under a different spec key are preserved on disk but
+    invisible to this instance.  ``put`` appends immediately (a serving
+    worker's results must survive the process), unlike the oracle cache's
+    buffered ``flush`` -- one analyzed program is one line, not thousands.
+    """
+
+    def __init__(self, directory: str, spec_key: str, worker: Optional[str] = None):
+        self.directory = str(directory)
+        self.spec_key = spec_key
+        self.worker = worker
+        name = ANALYSIS_CACHE_BASENAME + (f"-{worker}" if worker else "") + ".jsonl"
+        self.path = os.path.join(self.directory, name)
+        self._memory: Dict[str, List[Dict]] = {}
+        self._load()
+
+    # -------------------------------------------------------------- interface
+    def get(self, digest: str) -> Optional[List[Dict]]:
+        return self._memory.get(digest)
+
+    def put(self, digest: str, flows: List[Dict]) -> None:
+        if self._memory.get(digest) == flows:
+            return
+        self._memory[digest] = flows
+        os.makedirs(self.directory, exist_ok=True)
+        with open(self.path, "a", encoding="utf-8") as handle:
+            handle.write(
+                json.dumps(
+                    {
+                        "format": _ENTRY_FORMAT,
+                        "spec": self.spec_key,
+                        "digest": digest,
+                        "flows": flows,
+                    },
+                    sort_keys=True,
+                )
+                + "\n"
+            )
+
+    def __len__(self) -> int:
+        return len(self._memory)
+
+    def __contains__(self, digest: str) -> bool:
+        return digest in self._memory
+
+    # -------------------------------------------------------------- disk layer
+    def _load(self) -> None:
+        for path in analysis_cache_files(self.directory):
+            with open(path, "r", encoding="utf-8") as handle:
+                for line in handle:
+                    line = line.strip()
+                    if not line:
+                        continue
+                    try:
+                        entry = json.loads(line)
+                    except json.JSONDecodeError:
+                        continue  # truncated trailing line from a killed worker
+                    if entry.get("spec") != self.spec_key:
+                        continue
+                    digest = entry.get("digest")
+                    flows = entry.get("flows")
+                    if not isinstance(digest, str) or not isinstance(flows, list):
+                        continue
+                    self._memory[digest] = flows
+
+
+# ------------------------------------------------------------------ compaction
+def compact_analysis_cache_file(path: str) -> CompactionStats:
+    """Rewrite one cache file keeping the last entry per ``(spec, digest)`` key.
+
+    Same contract as :func:`repro.engine.cache.compact_cache_file`: last
+    line per key wins (matching load semantics), first-seen key order is
+    preserved, and the file is replaced atomically so a crash mid-compaction
+    never loses data.  Safe against crashes, not concurrent writers -- run it
+    when no daemon is appending to this directory.
+    """
+    if not os.path.exists(path):
+        return CompactionStats(
+            path=path, lines_before=0, lines_after=0, malformed_dropped=0, superseded_dropped=0
+        )
+
+    lines_before = 0
+    malformed = 0
+    entries: Dict[Tuple[str, str], str] = {}
+    with open(path, "r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            lines_before += 1
+            try:
+                entry = json.loads(line)
+                key = (entry["spec"], entry["digest"])
+                if not isinstance(entry["flows"], list):
+                    raise TypeError("flows must be a list")
+            except (json.JSONDecodeError, KeyError, TypeError):
+                malformed += 1
+                continue
+            entries[key] = line
+
+    directory = os.path.dirname(path) or "."
+    descriptor, temp_path = tempfile.mkstemp(
+        prefix=os.path.basename(path) + ".compact-", dir=directory
+    )
+    try:
+        with os.fdopen(descriptor, "w", encoding="utf-8") as handle:
+            for line in entries.values():
+                handle.write(line + "\n")
+        os.replace(temp_path, path)
+    except BaseException:
+        if os.path.exists(temp_path):
+            os.unlink(temp_path)
+        raise
+    return CompactionStats(
+        path=path,
+        lines_before=lines_before,
+        lines_after=len(entries),
+        malformed_dropped=malformed,
+        superseded_dropped=lines_before - malformed - len(entries),
+    )
+
+
+def compact_analysis_cache_dir(directory: str) -> List[CompactionStats]:
+    """Compact every cache file under *directory* (one stats record per file)."""
+    return [compact_analysis_cache_file(path) for path in analysis_cache_files(directory)]
+
+
+__all__ = [
+    "ANALYSIS_CACHE_BASENAME",
+    "AnalysisResultCache",
+    "analysis_cache_files",
+    "compact_analysis_cache_dir",
+    "compact_analysis_cache_file",
+]

@@ -1,0 +1,71 @@
+"""Statement-level edit detection over canonical program encodings.
+
+Incremental re-solve is only sound when the edited program's already-solved
+portion means exactly what it meant before.  Two things pin statements to
+their meaning here: abstract objects and reported sink flows both embed
+*absolute statement indices* (:class:`~repro.pointsto.graph.ObjNode` carries
+its allocation index; a ``Flow`` its sink's), and graph extraction resolves
+constructors and static calls against the program's *class and method
+signatures*.  So the one edit shape that provably preserves both is the
+**pure statement append**: every class keeps its name, superclass, fields
+and library flag; every method keeps its name, signature and flags; every
+old method body is a prefix of the new one.  Appended statements get fresh
+(higher) indices, and no signature changes, so every cached edge -- and every
+cached dispatch resolution -- survives verbatim.
+
+Anything else (deleted or reordered statements, renamed methods, new classes
+or methods, changed signatures) returns ``None`` and the engine falls back
+to a cold solve, which is always correct.  The classifier works on the
+canonical dictionaries of :mod:`repro.lang.serialize`, the same encoding the
+cache key digests -- detection and addressing share one notion of identity.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+#: method keys that must be untouched for the method to count as "same method"
+_SIGNATURE_KEYS = ("params", "return_type", "is_static", "is_native")
+
+
+def extension_starts(old_doc: Dict, new_doc: Dict) -> Optional[Dict[str, Dict[str, int]]]:
+    """Classify *new_doc* as a statement-append extension of *old_doc*.
+
+    Both arguments are canonical program dictionaries
+    (:func:`repro.lang.serialize.program_to_dict`).  Returns a mapping
+    ``class name -> {method name: first new statement index}`` covering
+    exactly the methods that grew -- the restriction an incremental
+    re-extraction feeds to :class:`~repro.pointsto.graph.PointsToGraph` --
+    or ``None`` when the edit is not a pure append and the caller must
+    solve cold.  An identical program yields an empty mapping.
+    """
+    old_classes = {cls["name"]: cls for cls in old_doc.get("classes", ())}
+    new_classes = {cls["name"]: cls for cls in new_doc.get("classes", ())}
+    if set(old_classes) != set(new_classes):
+        return None
+
+    starts: Dict[str, Dict[str, int]] = {}
+    for name, old_cls in old_classes.items():
+        new_cls = new_classes[name]
+        for key in ("superclass", "fields", "is_library"):
+            if old_cls.get(key) != new_cls.get(key):
+                return None
+        old_methods = {method["name"]: method for method in old_cls.get("methods", ())}
+        new_methods = {method["name"]: method for method in new_cls.get("methods", ())}
+        if set(old_methods) != set(new_methods):
+            return None
+        for method_name, old_method in old_methods.items():
+            new_method = new_methods[method_name]
+            for key in _SIGNATURE_KEYS:
+                if old_method.get(key) != new_method.get(key):
+                    return None
+            old_body = old_method.get("body", [])
+            new_body = new_method.get("body", [])
+            if len(new_body) < len(old_body) or new_body[: len(old_body)] != old_body:
+                return None
+            if len(new_body) > len(old_body):
+                starts.setdefault(name, {})[method_name] = len(old_body)
+    return starts
+
+
+__all__ = ["extension_starts"]

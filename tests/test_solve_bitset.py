@@ -1,0 +1,149 @@
+"""Unit and parity tests for the compiled bitset CFL solver."""
+
+import random
+
+from repro.pointsto.cfl import CFLSolver
+from repro.pointsto.grammar import NULLABLE, Production, build_cpt_grammar
+from repro.pointsto.labels import Symbol
+from repro.solve import BitsetCFLSolver
+
+A = Symbol("A")
+B = Symbol("B")
+C = Symbol("C")
+S = Symbol("S")
+
+
+# ---------------------------------------------------------------- basic rules
+def test_single_symbol_production():
+    solver = BitsetCFLSolver([Production(S, (A,))], nullable=())
+    solver.add_edge(1, A, 2)
+    solver.solve()
+    assert solver.has_edge(1, S, 2)
+    assert not solver.has_edge(2, S, 1)
+
+
+def test_binary_production_composes_edges():
+    solver = BitsetCFLSolver([Production(S, (A, B))], nullable=())
+    solver.add_edge(1, A, 2)
+    solver.add_edge(2, B, 3)
+    solver.solve()
+    assert solver.has_edge(1, S, 3)
+    assert not solver.has_edge(1, S, 2)
+
+
+def test_transitive_closure_via_recursion():
+    solver = BitsetCFLSolver([Production(S, (A,)), Production(S, (S, S))], nullable=())
+    for left, right in [(1, 2), (2, 3), (3, 4)]:
+        solver.add_edge(left, A, right)
+    solver.solve()
+    assert solver.has_edge(1, S, 4)
+    assert solver.has_edge(2, S, 4)
+    assert not solver.has_edge(4, S, 1)
+
+
+def test_nullable_symbols_add_self_loops():
+    solver = BitsetCFLSolver([Production(S, (S, A))], nullable=(S,))
+    solver.add_edge(7, A, 8)
+    solver.solve()
+    assert solver.has_edge(7, S, 7)
+    assert solver.has_edge(7, S, 8)
+
+
+def test_incremental_edges_continue_from_fixpoint():
+    solver = BitsetCFLSolver([Production(S, (A, B))], nullable=())
+    solver.add_edge(1, A, 2)
+    solver.solve()
+    assert not solver.has_edge(1, S, 3)
+    solver.add_edge(2, B, 3)
+    solver.solve()
+    assert solver.has_edge(1, S, 3)
+
+
+def test_late_productions_fire_over_existing_edges():
+    # the engine adds per-field productions after base edges already exist;
+    # rule firing must consult edges inserted before the production arrived
+    solver = BitsetCFLSolver([Production(S, (A,))], nullable=())
+    solver.add_edge(1, A, 2)
+    solver.add_edge(2, B, 3)
+    solver.solve()
+    assert not solver.has_edge(1, C, 3)
+    added = solver.add_productions([Production(C, (S, B))])
+    assert added == 1
+    solver.solve()
+    assert solver.has_edge(1, C, 3)
+    # re-adding the same production is a no-op
+    assert solver.add_productions([Production(C, (S, B))]) == 0
+
+
+# -------------------------------------------------------------------- queries
+def test_query_api_matches_reference():
+    productions = [Production(S, (A, B)), Production(C, (S,))]
+    reference = CFLSolver(productions, nullable=())
+    compiled = BitsetCFLSolver(productions, nullable=())
+    edges = [(1, A, 2), (2, B, 3), (1, A, 4), (4, B, 3), (3, A, 5), (5, B, 6)]
+    for source, symbol, target in edges:
+        reference.add_edge(source, symbol, target)
+        compiled.add_edge(source, symbol, target)
+    reference.solve()
+    compiled.solve()
+    for symbol in (A, B, C, S):
+        assert sorted(compiled.edges(symbol)) == sorted(reference.edges(symbol))
+        assert compiled.edge_count(symbol) == reference.edge_count(symbol)
+        for node in (1, 2, 3, 4, 5, 6):
+            assert compiled.successors(node, symbol) == reference.successors(node, symbol)
+            assert compiled.predecessors(node, symbol) == reference.predecessors(node, symbol)
+            assert set(compiled.reachable(node, symbol)) == set(reference.reachable(node, symbol))
+    assert compiled.total_edges == reference.total_edges
+    assert sorted(compiled.nodes(), key=str) == sorted(reference.nodes(), key=str)
+
+
+def test_reaching_sources_filters_candidates():
+    solver = BitsetCFLSolver([Production(S, (A,)), Production(S, (S, S))], nullable=())
+    solver.add_edge("x", A, "y")
+    solver.add_edge("y", A, "z")
+    solver.solve()
+    assert set(solver.reaching_sources("z", S, ["x", "y", "z", "missing"])) == {"x", "y"}
+    assert set(solver.reaching_sources("z", S, ["x"])) == {"x"}
+
+
+# ----------------------------------------------------------------------- fork
+def test_fork_isolates_parent_from_child():
+    solver = BitsetCFLSolver([Production(S, (A,))], nullable=())
+    solver.add_edge(1, A, 2)
+    solver.solve()
+    child = solver.fork()
+    child.add_edge(2, A, 3)
+    child.solve()
+    assert child.has_edge(2, S, 3)
+    assert not solver.has_edge(2, S, 3)
+    # and the parent keeps working independently
+    solver.add_edge(2, A, 4)
+    solver.solve()
+    assert solver.has_edge(2, S, 4)
+    assert not child.has_edge(2, S, 4)
+
+
+# --------------------------------------------------------------------- parity
+def test_randomized_parity_with_reference_solver():
+    """Random Cpt-grammar edge soups solve bit-identically to CFLSolver."""
+    fields = ("f", "g")
+    grammar = build_cpt_grammar(fields)
+    symbols = sorted({symbol for production in grammar for symbol in production.rhs}, key=str)
+    rng = random.Random(2018)
+    for _ in range(10):
+        reference = CFLSolver(grammar, nullable=NULLABLE)
+        compiled = BitsetCFLSolver(grammar, nullable=NULLABLE)
+        for _ in range(60):
+            source = rng.randrange(12)
+            target = rng.randrange(12)
+            symbol = rng.choice(symbols)
+            assert reference.add_edge(source, symbol, target) == compiled.add_edge(
+                source, symbol, target
+            )
+        reference.solve()
+        compiled.solve()
+        assert compiled.total_edges == reference.total_edges
+        for production in grammar:
+            assert sorted(compiled.edges(production.lhs)) == sorted(
+                reference.edges(production.lhs)
+            )

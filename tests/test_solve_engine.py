@@ -1,0 +1,135 @@
+"""Property tests for the compiled analysis engine (repro.solve.engine).
+
+The headline guarantee: for any program the fuzz families generate, the
+compiled bitset pipeline reports *bit-identical* flows to the reference
+pipeline -- and its incremental re-solve of an edited neighbor equals a cold
+solve of the edited program.
+"""
+
+import dataclasses
+import random
+
+import pytest
+
+from repro.diff.families import FAMILIES, generate_scenario
+from repro.lang.program import Program
+from repro.lang.serialize import program_digest, program_to_dict
+from repro.lang.statements import Assign
+from repro.solve import COLD, INCREMENTAL, CompiledAnalysisEngine, extension_starts
+
+ALL_FAMILIES = tuple(sorted(FAMILIES))
+
+PIPELINES = ("ground_truth_analyzer", "handwritten_analyzer", "implementation_analyzer")
+
+
+def _analyzer(request, pipeline):
+    return request.getfixturevalue(pipeline)
+
+
+# ----------------------------------------------------------------- bit-identity
+@pytest.mark.parametrize("pipeline", PIPELINES)
+@pytest.mark.parametrize("family", ALL_FAMILIES)
+def test_compiled_flows_bit_identical_to_reference(request, pipeline, family):
+    analyzer = _analyzer(request, pipeline)
+    compiled = analyzer.with_solver("compiled")
+    for seed in (2018, 2019):
+        scenario = generate_scenario(f"{family}-{seed}", family, seed)
+        reference_report = analyzer.analyze_program(scenario.program, scenario.name)
+        compiled_report = compiled.analyze_program(scenario.program, scenario.name)
+        assert compiled_report.canonical() == reference_report.canonical()
+        assert compiled_report.timing.solve_outcome in (COLD, INCREMENTAL)
+
+
+# ---------------------------------------------------------------- incremental
+def _grow_program(program: Program, rng: random.Random) -> Program:
+    """Append one well-formed ``Assign`` to a random non-empty client method."""
+    grown = Program(program.classes())
+    candidates = []
+    for cls in grown:
+        for method in cls.methods.values():
+            defined = [s.defined_variable() for s in method.body if s.defined_variable()]
+            if defined:
+                candidates.append((cls, method, defined[-1]))
+    assert candidates, "family programs always define at least one variable"
+    cls, method, source = candidates[rng.randrange(len(candidates))]
+    edited = dataclasses.replace(method, body=method.body + (Assign("grown_tmp", source),))
+    grown.replace_class(cls.with_method(edited))
+    return grown
+
+
+@pytest.mark.parametrize("family", ALL_FAMILIES[:4])
+def test_incremental_resolve_equals_cold_solve(request, family):
+    analyzer = _analyzer(request, "ground_truth_analyzer")
+    rng = random.Random(sum(map(ord, family)))
+    scenario = generate_scenario(f"{family}-grow", family, 2018)
+    grown = _grow_program(scenario.program, rng)
+
+    warm = analyzer.with_solver("compiled")
+    first = warm.analyze_program(scenario.program, scenario.name)
+    assert first.timing.solve_outcome == COLD
+    incremental = warm.analyze_program(grown, scenario.name + "-grown")
+    assert incremental.timing.solve_outcome == INCREMENTAL
+
+    cold = analyzer.with_solver("compiled").analyze_program(grown, scenario.name + "-grown")
+    assert cold.timing.solve_outcome == COLD
+    reference = analyzer.analyze_program(grown, scenario.name + "-grown")
+    assert incremental.canonical()["flows"] == cold.canonical()["flows"]
+    assert incremental.canonical()["flows"] == reference.canonical()["flows"]
+
+
+def test_ineligible_edit_falls_back_to_cold(request):
+    analyzer = _analyzer(request, "ground_truth_analyzer")
+    warm = analyzer.with_solver("compiled")
+    scenario = generate_scenario("edit-cold", "alias-chains", 2018)
+    warm.analyze_program(scenario.program, scenario.name)
+
+    # rewriting an *existing* statement is not a pure append: must go cold
+    edited = Program(scenario.program.classes())
+    for cls in edited:
+        for method in cls.methods.values():
+            if len(method.body) >= 2:
+                body = (Assign("rewritten", method.body[0].defined_variable() or "this"),)
+                body = body + method.body[1:]
+                edited.replace_class(cls.with_method(dataclasses.replace(method, body=body)))
+                report = warm.analyze_program(edited, "edited")
+                assert report.timing.solve_outcome == COLD
+                reference = analyzer.analyze_program(edited, "edited")
+                assert report.canonical()["flows"] == reference.canonical()["flows"]
+                return
+    pytest.fail("no editable method found")
+
+
+# ------------------------------------------------------------ extension_starts
+def test_extension_starts_classifies_edits():
+    scenario = generate_scenario("starts", "nested-containers", 2018)
+    doc = program_to_dict(scenario.program)
+    assert extension_starts(doc, doc) == {}
+
+    grown = _grow_program(scenario.program, random.Random(7))
+    starts = extension_starts(doc, program_to_dict(grown))
+    assert starts is not None and len(starts) == 1
+    ((cls_name, methods),) = starts.items()
+    ((method_name, start),) = methods.items()
+    assert grown.class_def(cls_name).methods[method_name].body[start].target == "grown_tmp"
+
+    # removing a class, renaming a method, or truncating a body all disqualify
+    other = generate_scenario("starts-other", "alias-chains", 2018)
+    assert extension_starts(doc, program_to_dict(other.program)) is None
+
+
+# ------------------------------------------------------------------- fallback
+def test_dangling_base_reference_defined_by_client_goes_full(
+    library_program, ground_truth_analyzer
+):
+    engine = CompiledAnalysisEngine(ground_truth_analyzer.base_program)
+    # a client class whose name the base program references but never
+    # defines would change the base pre-solve: the engine must re-solve the
+    # merged program from scratch rather than extend the cached base fixpoint
+    dangling = engine._dangling_names
+    client = generate_scenario("full", "alias-chains", 2018).program
+    merged = client.merged_with(ground_truth_analyzer.base_program)
+    result, outcome = engine.analyze(client, merged, program_digest(client))
+    assert outcome == COLD
+    assert result.graph.program is merged
+    # the guard itself: client names never intersect the dangling set here
+    assert not ({cls.name for cls in client} & dangling)

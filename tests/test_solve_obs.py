@@ -1,0 +1,68 @@
+"""The ``repro obs summary`` solver section (compiled-solver telemetry)."""
+
+import pytest
+
+from repro.obs.journal import JournalEntry
+from repro.obs.report import render_summary, summarize
+
+
+def solve_entry(outcome, span_id, elapsed, engine="compiled"):
+    return JournalEntry(
+        ts=100.0,
+        trace_id="aaaa000011112222",
+        span_id=span_id,
+        parent_id=None,
+        event="SpanFinished",
+        data={
+            "name": "analysis.solve",
+            "started_at": 100.0 - elapsed,
+            "elapsed_seconds": elapsed,
+            "attrs": [["engine", engine], ["outcome", outcome]],
+        },
+    )
+
+
+JOURNAL = [
+    solve_entry("cold", "s0", 0.40),
+    solve_entry("hit", "s1", 0.01),
+    solve_entry("hit", "s2", 0.02),
+    solve_entry("incremental", "s3", 0.10),
+]
+
+
+def test_summarize_collects_solver_outcomes_and_latency():
+    solver = summarize(JOURNAL)["solver"]
+    assert solver["total"] == 4
+    assert solver["by_outcome"] == {"cold": 1, "hit": 2, "incremental": 1}
+    assert solver["cache_hit_rate"] == pytest.approx(0.5)
+    assert solver["incremental_share"] == pytest.approx(0.25)
+    assert solver["p50_seconds"] == pytest.approx(0.02)
+    assert solver["p99_seconds"] == pytest.approx(0.40)
+
+
+def test_summarize_without_solve_spans_reports_empty_solver_block():
+    solver = summarize([])["solver"]
+    assert solver["total"] == 0
+    assert solver["by_outcome"] == {}
+    assert solver["cache_hit_rate"] is None
+    assert solver["incremental_share"] is None
+    assert solver["p50_seconds"] is None and solver["p99_seconds"] is None
+
+
+def test_render_summary_prints_solver_section_only_when_present():
+    text = render_summary(summarize(JOURNAL))
+    assert "compiled solver:" in text
+    assert "solves: 4 (cold=1 hit=2 incremental=1)" in text
+    assert "cache hit rate: 50.0%" in text
+    assert "incremental share: 25.0%" in text
+    assert "p50 0.0200s" in text and "p99 0.4000s" in text
+    assert "compiled solver:" not in render_summary(summarize([]))
+
+
+def test_spans_without_outcome_attr_do_not_count_as_solves():
+    entry = solve_entry("cold", "s9", 0.1)
+    entry.data["attrs"] = [["engine", "compiled"]]
+    summary = summarize([entry])
+    assert summary["solver"]["total"] == 0
+    # the span still shows up in the latency table
+    assert summary["spans"]["analysis.solve"]["count"] == 1
